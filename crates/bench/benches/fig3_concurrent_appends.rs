@@ -1,0 +1,38 @@
+//! Figure 3 — "Performance of BSFS when concurrent clients append data to
+//! the same file": N ∈ [1, 246] clients each append a 64 MB chunk to one
+//! shared file on the 270-node cluster; the paper reports that the average
+//! per-client throughput stays high as N grows.
+
+use bench_suite::{fig3_point, print_table, relative_spread};
+
+fn main() {
+    let clients = [1u32, 20, 40, 80, 120, 160, 200, 246];
+    let reps = 3u64;
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &n in &clients {
+        let avg: f64 = (0..reps).map(|r| fig3_point(n, 1000 + r)).sum::<f64>() / reps as f64;
+        series.push(avg);
+        rows.push(vec![
+            n.to_string(),
+            format!("{avg:.1}"),
+            format!("{:.1}", avg * n as f64),
+        ]);
+    }
+    print_table(
+        "Figure 3: concurrent appends to the same file (BSFS, 64 MB chunks, page = 64 MB)",
+        &["appenders", "per-client MB/s", "aggregate MB/s"],
+        &rows,
+    );
+    let retention = series.last().unwrap() / series.first().unwrap();
+    println!(
+        "\nshape: throughput retention at N=246 vs N=1: {:.2} (paper: \"BSFS maintains a good \
+         throughput as the number of appenders increases\"); spread {:.2}",
+        retention,
+        relative_spread(&series)
+    );
+    assert!(
+        retention > 0.35,
+        "append throughput collapsed under concurrency: retention {retention:.2}"
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 5 — "Impact of concurrent reads on concurrent appends to the
+//! same file": 100 appenders (10 × 64 MB each) measure their average append
+//! throughput while 0→140 readers (10 × 64 MB each) scan the same file.
+//! The paper: appenders maintain their throughput as readers are added.
+
+use bench_suite::{mixed_point, print_table, relative_spread};
+
+fn main() {
+    let readers = [0u32, 20, 40, 60, 80, 100, 120, 140];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &r in &readers {
+        // Readers scan a pre-filled region; mixed_point prefills r*10 chunks.
+        let (read_mbps, append_mbps) = mixed_point(r, 10, 100, 10, 3000 + r as u64);
+        series.push(append_mbps);
+        rows.push(vec![
+            r.to_string(),
+            format!("{append_mbps:.1}"),
+            if r == 0 {
+                "-".into()
+            } else {
+                format!("{read_mbps:.1}")
+            },
+        ]);
+    }
+    print_table(
+        "Figure 5: append throughput of 100 appenders vs number of concurrent readers",
+        &["readers", "append MB/s (avg of 100 appenders)", "read MB/s"],
+        &rows,
+    );
+    let retention = series.last().unwrap() / series.first().unwrap();
+    println!(
+        "\nshape: append throughput with 140 readers vs none: {:.2} (paper: \"concurrent \
+         appenders maintain their throughput as well, when the number of concurrent readers \
+         from a shared file increases\"); spread {:.2}",
+        retention,
+        relative_spread(&series)
+    );
+    assert!(
+        retention > 0.5,
+        "appenders were not isolated from readers: retention {retention:.2}"
+    );
+}

@@ -1,0 +1,182 @@
+//! Criterion microbenchmarks of the core data structures: the versioned
+//! segment-tree metadata (plan/traverse), the pstore persistence layer, the
+//! partitioner and record codecs, and the max-min fair-sharing engine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use blobseer::meta::{collect_leaves, plan_write, NodeBody, NodeKey, PageRef, SnapshotInfo};
+use blobseer::{BlobId, PageId, WriteDesc, WriteKind};
+use fabric::NodeId;
+use std::collections::HashMap;
+
+const PS: u64 = 64 * 1024;
+
+/// Build a history of `n` appends of 3 pages each; returns descriptors and
+/// the complete node store.
+fn history(n: u64) -> (Vec<WriteDesc>, HashMap<NodeKey, NodeBody>) {
+    let blob = BlobId(1);
+    let mut descs: Vec<WriteDesc> = Vec::new();
+    let mut store = HashMap::new();
+    for v in 1..=n {
+        let (tp, tb) = descs
+            .last()
+            .map(|d| (d.total_pages, d.total_bytes))
+            .unwrap_or((0, 0));
+        let k = 3u64;
+        let desc = WriteDesc {
+            version: v,
+            kind: WriteKind::Append,
+            page_lo: tp,
+            page_hi: tp + k,
+            byte_lo: tb,
+            byte_hi: tb + k * PS,
+            total_pages: tp + k,
+            total_bytes: tb + k * PS,
+        };
+        let manifest: Vec<PageRef> = (0..k)
+            .map(|i| PageRef {
+                id: PageId(v, i),
+                byte_len: PS,
+                providers: vec![NodeId((v % 200) as u32)],
+            })
+            .collect();
+        for (key, body) in plan_write(blob, &descs, &desc, PS, &manifest) {
+            store.insert(key, body);
+        }
+        descs.push(desc);
+    }
+    (descs, store)
+}
+
+fn bench_meta(c: &mut Criterion) {
+    let (descs, store) = history(512);
+    let last = *descs.last().unwrap();
+
+    c.bench_function("meta/plan_append_after_512_versions", |b| {
+        let manifest: Vec<PageRef> = (0..3)
+            .map(|i| PageRef {
+                id: PageId(9999, i),
+                byte_len: PS,
+                providers: vec![NodeId(7)],
+            })
+            .collect();
+        let next = WriteDesc {
+            version: last.version + 1,
+            kind: WriteKind::Append,
+            page_lo: last.total_pages,
+            page_hi: last.total_pages + 3,
+            byte_lo: last.total_bytes,
+            byte_hi: last.total_bytes + 3 * PS,
+            total_pages: last.total_pages + 3,
+            total_bytes: last.total_bytes + 3 * PS,
+        };
+        b.iter(|| {
+            let nodes = plan_write(BlobId(1), black_box(&descs), &next, PS, &manifest);
+            black_box(nodes.len())
+        });
+    });
+
+    c.bench_function("meta/traverse_full_snapshot_1536_pages", |b| {
+        let snap = SnapshotInfo {
+            version: last.version,
+            total_pages: last.total_pages,
+            total_bytes: last.total_bytes,
+            page_size: PS,
+        };
+        b.iter(|| {
+            let mut fetch = |k: &NodeKey| store.get(k).cloned();
+            let hits =
+                collect_leaves(&mut fetch, BlobId(1), &snap, 0, snap.total_bytes).unwrap();
+            black_box(hits.len())
+        });
+    });
+
+    c.bench_function("meta/point_lookup_one_page", |b| {
+        let snap = SnapshotInfo {
+            version: last.version,
+            total_pages: last.total_pages,
+            total_bytes: last.total_bytes,
+            page_size: PS,
+        };
+        let off = snap.total_bytes / 2;
+        b.iter(|| {
+            let mut fetch = |k: &NodeKey| store.get(k).cloned();
+            let hits = collect_leaves(&mut fetch, BlobId(1), &snap, off, off + 100).unwrap();
+            black_box(hits.len())
+        });
+    });
+}
+
+fn bench_pstore(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("pstore-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = pstore::Store::open(&dir).unwrap();
+    let value = vec![0xABu8; 4096];
+    let mut i = 0u64;
+    c.bench_function("pstore/put_4k", |b| {
+        b.iter(|| {
+            store.put(&i.to_le_bytes(), &value).unwrap();
+            i += 1;
+        });
+    });
+    store.put(b"probe", &value).unwrap();
+    c.bench_function("pstore/get_4k", |b| {
+        b.iter(|| black_box(store.get(b"probe").unwrap()));
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_records(c: &mut Criterion) {
+    use mapreduce::record::{decode_kvs, encode_kvs, sort_and_group};
+    use mapreduce::KV;
+    let kvs: Vec<KV> = (0..1000)
+        .map(|i| KV::new(format!("user_{:04}", i % 200), format!("value-{i}")))
+        .collect();
+    c.bench_function("record/encode_1k", |b| {
+        b.iter(|| black_box(encode_kvs(&kvs)));
+    });
+    let enc = encode_kvs(&kvs);
+    c.bench_function("record/decode_1k", |b| {
+        b.iter(|| black_box(decode_kvs(enc.bytes())));
+    });
+    c.bench_function("record/sort_group_1k", |b| {
+        b.iter(|| black_box(sort_and_group(kvs.clone())));
+    });
+    c.bench_function("record/partitioner", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for kv in &kvs {
+                acc = acc.wrapping_add(mapreduce::partition_for(&kv.key, 230));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    use fabric::{ClusterSpec, Fabric, Payload};
+    c.bench_function("fabric/100_concurrent_transfers_sim", |b| {
+        b.iter(|| {
+            let fx = Fabric::sim(ClusterSpec::tiny(64));
+            for i in 0..100u32 {
+                fx.spawn(NodeId(i % 64), format!("t{i}"), move |p| {
+                    p.send_to(NodeId((i + 1) % 64), 10_000_000);
+                });
+            }
+            fx.run();
+            black_box(fx.now())
+        });
+    });
+    c.bench_function("fabric/payload_slice_ghost", |b| {
+        let p = Payload::ghost(1 << 30);
+        b.iter(|| black_box(p.slice(12345, 4096).len()));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_meta, bench_pstore, bench_records, bench_fabric
+);
+criterion_main!(benches);

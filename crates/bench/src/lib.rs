@@ -1,0 +1,277 @@
+//! `bench-suite` — harnesses that regenerate every figure of the paper's
+//! evaluation (§4), plus ablations and the §5 pipeline extension.
+//!
+//! Each `benches/figN_*.rs` target is a plain `main` (no criterion harness)
+//! that runs the experiment on the simulated 270-node Orsay cluster and
+//! prints the series the paper plots; `benches/micro.rs` holds criterion
+//! microbenchmarks of the core data structures. Absolute numbers depend on
+//! the fluid network model, not the authors' 2009 testbed — the *shapes*
+//! (who wins, what stays flat, where crossings happen) are the reproduction
+//! targets; see EXPERIMENTS.md.
+
+use std::sync::Arc;
+
+use blobseer::{BlobSeerConfig, Layout};
+use bsfs::Bsfs;
+use dfs::{DfsPath, FileSystem};
+use fabric::prelude::*;
+use fabric::ClusterSpec;
+use hdfs_sim::{HdfsConfig, HdfsSim};
+use mapreduce::{JobConf, MrCluster, MrConfig, OutputMode};
+use parking_lot::Mutex;
+
+/// One chunk, as in the paper: 64 MB (page size == HDFS chunk size, §4.1).
+pub const CHUNK: u64 = 64 * 1024 * 1024;
+
+/// MB/s from bytes and nanoseconds.
+pub fn mbps(bytes: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    (bytes as f64 / 1.0e6) / (ns as f64 / 1e9)
+}
+
+/// Print a formatted results table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Deploy BSFS with the paper layout on a fresh 270-node simulated cluster.
+pub fn paper_bsfs(seed: u64) -> (Fabric, Bsfs) {
+    let fx = Fabric::sim_seeded(ClusterSpec::orsay_270(), seed);
+    let fs = Bsfs::deploy_paper(&fx, BlobSeerConfig::paper()).expect("deploy bsfs");
+    (fx, fs)
+}
+
+/// Deploy BSFS with a custom BlobSeer config (ablations).
+pub fn paper_bsfs_with(seed: u64, config: BlobSeerConfig) -> (Fabric, Bsfs) {
+    let fx = Fabric::sim_seeded(ClusterSpec::orsay_270(), seed);
+    let fs = Bsfs::deploy_paper(&fx, config).expect("deploy bsfs");
+    (fx, fs)
+}
+
+/// Deploy BSFS with a custom layout (metadata-provider ablation).
+pub fn paper_bsfs_with_layout(seed: u64, config: BlobSeerConfig, layout: Layout) -> (Fabric, Bsfs) {
+    let fx = Fabric::sim_seeded(ClusterSpec::orsay_270(), seed);
+    let fs = Bsfs::deploy(&fx, config, layout).expect("deploy bsfs");
+    (fx, fs)
+}
+
+/// Clients are "launched on the same machines as the datanodes (data
+/// providers, respectively)" (§4.2): nodes 23..270 in the paper layout.
+pub fn provider_node(i: usize) -> NodeId {
+    NodeId(23 + (i as u32 % 247))
+}
+
+pub fn path(s: &str) -> DfsPath {
+    DfsPath::new(s).unwrap()
+}
+
+/// Figure 3 point: N concurrent clients each append one 64 MB chunk to the
+/// same BSFS file; returns the average per-client append throughput (MB/s).
+pub fn fig3_point(n_clients: u32, seed: u64) -> f64 {
+    let (fx, fs) = paper_bsfs(seed);
+    fig3_point_on(&fx, &fs, n_clients)
+}
+
+/// Figure 3 body against an existing deployment (used by ablations too).
+pub fn fig3_point_on(fx: &Fabric, fs: &Bsfs, n_clients: u32) -> f64 {
+    let start_gate = fx.gate();
+    let file = path("/bench/shared");
+    {
+        let fs2 = fs.clone();
+        let g = start_gate.clone();
+        let f2 = file.clone();
+        fx.spawn(NodeId(23), "setup", move |p| {
+            let mut w = fs2.create(p, &f2).unwrap();
+            w.close(p).unwrap();
+            g.set();
+        });
+    }
+    let times: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..n_clients {
+        let fs2 = fs.clone();
+        let g = start_gate.clone();
+        let t2 = times.clone();
+        let f2 = file.clone();
+        fx.spawn(provider_node(i as usize), format!("appender{i}"), move |p| {
+            g.wait(p);
+            let chunk = fs2.default_block_size();
+            let t0 = p.now();
+            fs2.append_all(p, &f2, Payload::ghost(chunk)).unwrap();
+            t2.lock().push(p.now() - t0);
+        });
+    }
+    fx.run();
+    let times = times.lock();
+    assert_eq!(times.len(), n_clients as usize);
+    let chunk = fs.default_block_size();
+    times.iter().map(|&ns| mbps(chunk, ns)).sum::<f64>() / n_clients as f64
+}
+
+/// Figures 4/5 point: `readers` concurrent readers (each reading
+/// `read_chunks` chunks of a pre-filled region) run against `appenders`
+/// concurrent appenders (each appending `append_chunks` chunks). Returns
+/// `(avg read MB/s, avg append MB/s)`.
+pub fn mixed_point(
+    readers: u32,
+    read_chunks: u64,
+    appenders: u32,
+    append_chunks: u64,
+    seed: u64,
+) -> (f64, f64) {
+    let (fx, fs) = paper_bsfs(seed);
+    let start_gate = fx.gate();
+    let file = path("/bench/shared");
+    let prefill_chunks = readers as u64 * read_chunks;
+    {
+        let fs2 = fs.clone();
+        let g = start_gate.clone();
+        let f2 = file.clone();
+        fx.spawn(NodeId(23), "setup", move |p| {
+            let mut w = fs2.create(p, &f2).unwrap();
+            w.close(p).unwrap();
+            // Pre-fill the disjoint regions the readers will scan,
+            // 100 chunks per append (setup cost, not measured).
+            let mut left = prefill_chunks;
+            while left > 0 {
+                let n = left.min(100);
+                fs2.append_all(p, &f2, Payload::ghost(n * CHUNK)).unwrap();
+                left -= n;
+            }
+            g.set();
+        });
+    }
+    let read_times: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let append_times: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..readers {
+        let fs2 = fs.clone();
+        let g = start_gate.clone();
+        let t2 = read_times.clone();
+        let f2 = file.clone();
+        fx.spawn(provider_node(i as usize), format!("reader{i}"), move |p| {
+            g.wait(p);
+            let mut r = fs2.open(p, &f2).unwrap();
+            let region_start = i as u64 * read_chunks * CHUNK;
+            let t0 = p.now();
+            for c in 0..read_chunks {
+                let got = r.read_at(p, region_start + c * CHUNK, CHUNK).unwrap();
+                assert_eq!(got.len(), CHUNK);
+            }
+            t2.lock().push(p.now() - t0);
+        });
+    }
+    for i in 0..appenders {
+        let fs2 = fs.clone();
+        let g = start_gate.clone();
+        let t2 = append_times.clone();
+        let f2 = file.clone();
+        fx.spawn(
+            provider_node(readers as usize + i as usize),
+            format!("appender{i}"),
+            move |p| {
+                g.wait(p);
+                let t0 = p.now();
+                for _ in 0..append_chunks {
+                    fs2.append_all(p, &f2, Payload::ghost(CHUNK)).unwrap();
+                }
+                t2.lock().push(p.now() - t0);
+            },
+        );
+    }
+    fx.run();
+    let avg = |v: &[u64], chunks: u64| -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.iter().map(|&ns| mbps(chunks * CHUNK, ns)).sum::<f64>() / v.len() as f64
+    };
+    let reads = read_times.lock().clone();
+    let appends = append_times.lock().clone();
+    (avg(&reads, read_chunks), avg(&appends, append_chunks))
+}
+
+/// Which storage system a Figure 6 run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig6System {
+    /// Original Hadoop on HDFS: one output file per reducer.
+    HdfsPerReducer,
+    /// Modified Hadoop on BSFS: all reducers append to one shared file.
+    BsfsSharedAppend,
+}
+
+/// Figure 6 point: the data join application with ghost payloads calibrated
+/// to the paper's volumes (2×320 MB in, ≈6.3 GB out), on the 270-node
+/// cluster. Returns `(completion seconds, output file count)`.
+pub fn fig6_point(system: Fig6System, reducers: u32, seed: u64) -> (f64, u64) {
+    let fx = Fabric::sim_seeded(ClusterSpec::orsay_270(), seed);
+    let fs: Arc<dyn FileSystem> = match system {
+        Fig6System::BsfsSharedAppend => {
+            Arc::new(Bsfs::deploy_paper(&fx, BlobSeerConfig::paper()).expect("bsfs"))
+        }
+        Fig6System::HdfsPerReducer => Arc::new(HdfsSim::deploy_paper(&fx, HdfsConfig::paper())),
+    };
+    let mode = match system {
+        Fig6System::BsfsSharedAppend => OutputMode::SharedAppendFile,
+        Fig6System::HdfsPerReducer => OutputMode::PerReducerFiles,
+    };
+    let mr_cfg = MrConfig::paper(fx.spec()).with_heartbeat_ns(3_000 * fabric::MILLIS);
+    let mr = MrCluster::start(&fx, fs.clone(), mr_cfg);
+    let fs2 = fs.clone();
+    let mr2 = mr.clone();
+    let driver = fx.spawn(NodeId(23), "driver", move |p| {
+        // Two 320 MB input files (5 chunks each -> 10 map tasks, §4.3).
+        for name in ["/in/a", "/in/b"] {
+            let mut w = fs2.create(p, &path(name)).unwrap();
+            w.write(p, Payload::ghost(320 * 1024 * 1024)).unwrap();
+            w.close(p).unwrap();
+        }
+        let job = JobConf {
+            name: format!("datajoin-{}", mode.label()),
+            inputs: vec![path("/in/a"), path("/in/b")],
+            output_dir: path("/out"),
+            num_reducers: reducers,
+            output_mode: mode,
+            user: workloads::datajoin::user_fns(),
+            ghost: Some(workloads::datajoin::fig6_profile()),
+        };
+        let result = mr2.submit(job).wait(p);
+        mr2.shutdown();
+        result
+    });
+    fx.run();
+    let result = driver.take().unwrap();
+    assert_eq!(result.maps, 10, "fixed input must make 10 map tasks");
+    (result.elapsed_secs(), result.output_files)
+}
+
+/// Shape check helper: max relative spread of a series (0 = perfectly flat).
+pub fn relative_spread(values: &[f64]) -> f64 {
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    if max <= 0.0 {
+        0.0
+    } else {
+        (max - min) / max
+    }
+}

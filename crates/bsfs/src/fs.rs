@@ -1,0 +1,209 @@
+//! `Bsfs`: the [`dfs::FileSystem`] implementation over BlobSeer.
+
+use std::sync::Arc;
+
+use blobseer::{BlobSeer, BlobSeerConfig, Layout};
+use dfs::{BlockLocation, DfsPath, FileReader, FileStatus, FileSystem, FileWriter, FsError, FsResult};
+use fabric::{Fabric, NodeId, Payload, Proc};
+
+use crate::file::{to_fs_err, BsfsReader, BsfsWriter};
+use crate::namespace::{NamespaceManager, NsEntry};
+
+/// The BlobSeer File System (paper §3.2): a namespace manager mapping files
+/// to BLOBs plus client-side block caching, exposing the Hadoop
+/// `FileSystem` surface *including* `append`.
+#[derive(Clone)]
+pub struct Bsfs {
+    ns: Arc<NamespaceManager>,
+    client: Arc<blobseer::BlobClient>,
+    store: BlobSeer,
+}
+
+impl Bsfs {
+    /// Wrap an already-deployed BlobSeer store; the namespace manager is
+    /// hosted on `ns_node` (the paper gives it a dedicated node, §4.1).
+    pub fn new(store: BlobSeer, ns_node: NodeId) -> Bsfs {
+        let cfg = store.config();
+        let ns = Arc::new(NamespaceManager::new(
+            ns_node,
+            cfg.ctl_msg_bytes,
+            cfg.vm_cpu_ops,
+        ));
+        let client = Arc::new(store.client());
+        Bsfs { ns, client, store }
+    }
+
+    /// Deploy BlobSeer + BSFS in one call.
+    pub fn deploy(fabric: &Fabric, config: BlobSeerConfig, layout: Layout) -> FsResult<Bsfs> {
+        let ns_node = layout.namespace;
+        let store = BlobSeer::deploy(fabric, config, layout)
+            .map_err(|e| FsError::Storage(e.to_string()))?;
+        Ok(Bsfs::new(store, ns_node))
+    }
+
+    /// Deploy with the paper's 270-node layout.
+    pub fn deploy_paper(fabric: &Fabric, config: BlobSeerConfig) -> FsResult<Bsfs> {
+        let layout = Layout::paper(fabric.spec());
+        Self::deploy(fabric, config, layout)
+    }
+
+    pub fn namespace(&self) -> &Arc<NamespaceManager> {
+        &self.ns
+    }
+
+    pub fn store(&self) -> &BlobSeer {
+        &self.store
+    }
+
+    /// The BLOB backing `path` (tests/diagnostics).
+    pub fn blob_of(&self, p: &Proc, path: &DfsPath) -> FsResult<blobseer::BlobId> {
+        match self.ns.lookup(p, path)? {
+            NsEntry::File { blob, .. } => Ok(blob),
+            NsEntry::Dir => Err(FsError::IsADirectory(path.clone())),
+        }
+    }
+
+    fn file_entry(&self, p: &Proc, path: &DfsPath) -> FsResult<(blobseer::BlobId, u64)> {
+        match self.ns.lookup(p, path)? {
+            NsEntry::File { blob, block_size } => Ok((blob, block_size)),
+            NsEntry::Dir => Err(FsError::IsADirectory(path.clone())),
+        }
+    }
+}
+
+impl FileSystem for Bsfs {
+    fn create(&self, p: &Proc, path: &DfsPath) -> FsResult<Box<dyn FileWriter>> {
+        let block_size = self.default_block_size();
+        // Namespace insertion first (it owns the AlreadyExists/NotADirectory
+        // checks), then bind the fresh BLOB.
+        let blob = self.client.create(p, Some(block_size));
+        self.ns.create_file(p, path, blob, block_size)?;
+        Ok(Box::new(BsfsWriter::new(
+            self.client.clone(),
+            blob,
+            block_size,
+        )))
+    }
+
+    fn append(&self, p: &Proc, path: &DfsPath) -> FsResult<Box<dyn FileWriter>> {
+        let (blob, block_size) = self.file_entry(p, path)?;
+        Ok(Box::new(BsfsWriter::new(
+            self.client.clone(),
+            blob,
+            block_size,
+        )))
+    }
+
+    fn open(&self, p: &Proc, path: &DfsPath) -> FsResult<Box<dyn FileReader>> {
+        let (blob, _) = self.file_entry(p, path)?;
+        let snap = self.client.snapshot(p, blob, None).map_err(to_fs_err)?;
+        Ok(Box::new(BsfsReader::new(self.client.clone(), blob, snap)))
+    }
+
+    fn delete(&self, p: &Proc, path: &DfsPath, recursive: bool) -> FsResult<bool> {
+        // BLOB ids of removed files are returned for garbage collection;
+        // BlobSeer keeps versions forever (as in the paper), so we drop them.
+        let (removed, _blobs) = self.ns.delete(p, path, recursive)?;
+        Ok(removed)
+    }
+
+    fn rename(&self, p: &Proc, src: &DfsPath, dst: &DfsPath) -> FsResult<()> {
+        self.ns.rename(p, src, dst)
+    }
+
+    fn mkdirs(&self, p: &Proc, path: &DfsPath) -> FsResult<()> {
+        self.ns.mkdirs(p, path)
+    }
+
+    fn status(&self, p: &Proc, path: &DfsPath) -> FsResult<FileStatus> {
+        match self.ns.lookup(p, path)? {
+            NsEntry::Dir => Ok(FileStatus {
+                path: path.clone(),
+                len: 0,
+                is_dir: true,
+                block_size: self.default_block_size(),
+            }),
+            NsEntry::File { blob, block_size } => {
+                // Size is authoritative at the version manager: length of the
+                // latest *published* version.
+                let len = self.client.size(p, blob, None).map_err(to_fs_err)?;
+                Ok(FileStatus {
+                    path: path.clone(),
+                    len,
+                    is_dir: false,
+                    block_size,
+                })
+            }
+        }
+    }
+
+    fn list(&self, p: &Proc, path: &DfsPath) -> FsResult<Vec<FileStatus>> {
+        let entries = self.ns.list(p, path)?;
+        let mut out = Vec::with_capacity(entries.len());
+        for (child, entry) in entries {
+            out.push(match entry {
+                NsEntry::Dir => FileStatus {
+                    path: child,
+                    len: 0,
+                    is_dir: true,
+                    block_size: self.default_block_size(),
+                },
+                NsEntry::File { blob, block_size } => {
+                    let len = self.client.size(p, blob, None).map_err(to_fs_err)?;
+                    FileStatus {
+                        path: child,
+                        len,
+                        is_dir: false,
+                        block_size,
+                    }
+                }
+            });
+        }
+        Ok(out)
+    }
+
+    fn block_locations(
+        &self,
+        p: &Proc,
+        path: &DfsPath,
+        offset: u64,
+        len: u64,
+    ) -> FsResult<Vec<BlockLocation>> {
+        let (blob, _) = self.file_entry(p, path)?;
+        let locs = self
+            .client
+            .page_locations(p, blob, None, offset, len)
+            .map_err(to_fs_err)?;
+        Ok(locs
+            .into_iter()
+            .map(|l| BlockLocation {
+                offset: l.byte_off,
+                len: l.byte_len,
+                hosts: l.hosts,
+            })
+            .collect())
+    }
+
+    fn append_all(&self, p: &Proc, path: &DfsPath, data: Payload) -> FsResult<()> {
+        // One BLOB append = one atomic version, regardless of size: exactly
+        // what concurrent reduce committers need (paper Figure 2).
+        if data.is_empty() {
+            return Ok(());
+        }
+        let (blob, _) = self.file_entry(p, path)?;
+        self.client.append(p, blob, data).map_err(to_fs_err)?;
+        Ok(())
+    }
+
+    fn default_block_size(&self) -> u64 {
+        self.store.config().page_size
+    }
+
+    fn supports_append(&self) -> bool {
+        true
+    }
+
+    fn scheme(&self) -> &'static str {
+        "bsfs"
+    }
+}

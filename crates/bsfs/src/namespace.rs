@@ -1,0 +1,330 @@
+//! The centralized BSFS namespace manager (paper §3.2: "this layer consists
+//! in a centralized namespace manager, which is responsible for maintaining
+//! a file system namespace, and for mapping files to BLOBs").
+//!
+//! The namespace holds directories and `file → BLOB` mappings only; file
+//! *sizes* are authoritative at the version manager (the size of the latest
+//! published version), which keeps concurrent appenders from racing on a
+//! cached size field.
+
+use std::collections::HashMap;
+
+use dfs::{DfsPath, FsError, FsResult};
+use fabric::{NodeId, Proc};
+use parking_lot::Mutex;
+
+use blobseer::BlobId;
+
+/// One namespace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NsEntry {
+    Dir,
+    File { blob: BlobId, block_size: u64 },
+}
+
+impl NsEntry {
+    pub fn is_dir(&self) -> bool {
+        matches!(self, NsEntry::Dir)
+    }
+}
+
+/// Centralized namespace service.
+pub struct NamespaceManager {
+    node: NodeId,
+    ctl_msg_bytes: u64,
+    cpu_ops: u64,
+    state: Mutex<HashMap<DfsPath, NsEntry>>,
+}
+
+impl NamespaceManager {
+    pub fn new(node: NodeId, ctl_msg_bytes: u64, cpu_ops: u64) -> Self {
+        let mut map = HashMap::new();
+        map.insert(DfsPath::root(), NsEntry::Dir);
+        NamespaceManager {
+            node,
+            ctl_msg_bytes,
+            cpu_ops,
+            state: Mutex::new(map),
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn charge(&self, p: &Proc) {
+        p.rpc(self.node, self.ctl_msg_bytes, self.ctl_msg_bytes);
+        if self.cpu_ops > 0 {
+            p.compute(self.node, self.cpu_ops);
+        }
+    }
+
+    /// Create all missing directories down to `path`.
+    pub fn mkdirs(&self, p: &Proc, path: &DfsPath) -> FsResult<()> {
+        self.charge(p);
+        let mut st = self.state.lock();
+        Self::mkdirs_locked(&mut st, path)
+    }
+
+    fn mkdirs_locked(st: &mut HashMap<DfsPath, NsEntry>, path: &DfsPath) -> FsResult<()> {
+        // Walk from the root down, creating directories.
+        let mut cur = DfsPath::root();
+        for comp in path.components() {
+            cur = cur.child(comp)?;
+            match st.get(&cur) {
+                None => {
+                    st.insert(cur.clone(), NsEntry::Dir);
+                }
+                Some(NsEntry::Dir) => {}
+                Some(NsEntry::File { .. }) => return Err(FsError::NotADirectory(cur)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Register a new file mapped to `blob`. Auto-creates parent directories
+    /// (Hadoop `create` semantics).
+    pub fn create_file(
+        &self,
+        p: &Proc,
+        path: &DfsPath,
+        blob: BlobId,
+        block_size: u64,
+    ) -> FsResult<()> {
+        self.charge(p);
+        if path.is_root() {
+            return Err(FsError::IsADirectory(path.clone()));
+        }
+        let mut st = self.state.lock();
+        if st.contains_key(path) {
+            return Err(FsError::AlreadyExists(path.clone()));
+        }
+        if let Some(parent) = path.parent() {
+            Self::mkdirs_locked(&mut st, &parent)?;
+        }
+        st.insert(path.clone(), NsEntry::File { blob, block_size });
+        Ok(())
+    }
+
+    /// Look up an entry.
+    pub fn lookup(&self, p: &Proc, path: &DfsPath) -> FsResult<NsEntry> {
+        self.charge(p);
+        self.state
+            .lock()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| FsError::NotFound(path.clone()))
+    }
+
+    /// Children names + entries of a directory, sorted by name.
+    pub fn list(&self, p: &Proc, path: &DfsPath) -> FsResult<Vec<(DfsPath, NsEntry)>> {
+        self.charge(p);
+        let st = self.state.lock();
+        match st.get(path) {
+            None => return Err(FsError::NotFound(path.clone())),
+            Some(NsEntry::File { .. }) => return Err(FsError::NotADirectory(path.clone())),
+            Some(NsEntry::Dir) => {}
+        }
+        let mut out: Vec<(DfsPath, NsEntry)> = st
+            .iter()
+            .filter(|(k, _)| !k.is_root() && k.parent().as_ref() == Some(path))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Atomic rename of a file or directory subtree. Fails when `dst`
+    /// exists (Hadoop 0.20 semantics) or `src` is missing.
+    pub fn rename(&self, p: &Proc, src: &DfsPath, dst: &DfsPath) -> FsResult<()> {
+        self.charge(p);
+        if src.is_root() {
+            return Err(FsError::InvalidPath {
+                path: src.to_string(),
+                reason: "cannot rename the root".into(),
+            });
+        }
+        if dst.starts_with(src) {
+            return Err(FsError::InvalidPath {
+                path: dst.to_string(),
+                reason: "destination lies inside the source".into(),
+            });
+        }
+        let mut st = self.state.lock();
+        if !st.contains_key(src) {
+            return Err(FsError::NotFound(src.clone()));
+        }
+        if st.contains_key(dst) {
+            return Err(FsError::AlreadyExists(dst.clone()));
+        }
+        if let Some(parent) = dst.parent() {
+            Self::mkdirs_locked(&mut st, &parent)?;
+        }
+        // Move src and (for directories) its whole subtree.
+        let to_move: Vec<DfsPath> = st
+            .keys()
+            .filter(|k| k.starts_with(src))
+            .cloned()
+            .collect();
+        for old in to_move {
+            let entry = st.remove(&old).expect("key just listed");
+            let new = old.rebase(src, dst).expect("subtree paths rebase");
+            st.insert(new, entry);
+        }
+        Ok(())
+    }
+
+    /// Delete a file or directory. Non-empty directories require
+    /// `recursive`. Returns the BLOBs of all deleted files (so callers
+    /// could garbage-collect them) and whether anything was removed.
+    pub fn delete(
+        &self,
+        p: &Proc,
+        path: &DfsPath,
+        recursive: bool,
+    ) -> FsResult<(bool, Vec<BlobId>)> {
+        self.charge(p);
+        if path.is_root() {
+            return Err(FsError::InvalidPath {
+                path: path.to_string(),
+                reason: "cannot delete the root".into(),
+            });
+        }
+        let mut st = self.state.lock();
+        let Some(entry) = st.get(path) else {
+            return Ok((false, Vec::new()));
+        };
+        if entry.is_dir() {
+            let children: Vec<DfsPath> = st
+                .keys()
+                .filter(|k| *k != path && k.starts_with(path))
+                .cloned()
+                .collect();
+            if !children.is_empty() && !recursive {
+                return Err(FsError::DirectoryNotEmpty(path.clone()));
+            }
+            let mut blobs = Vec::new();
+            for k in children {
+                if let Some(NsEntry::File { blob, .. }) = st.remove(&k) {
+                    blobs.push(blob);
+                }
+            }
+            st.remove(path);
+            Ok((true, blobs))
+        } else {
+            let removed = st.remove(path);
+            let blobs = match removed {
+                Some(NsEntry::File { blob, .. }) => vec![blob],
+                _ => Vec::new(),
+            };
+            Ok((true, blobs))
+        }
+    }
+
+    /// Number of entries (diagnostics; includes directories and the root).
+    pub fn entry_count(&self) -> usize {
+        self.state.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{ClusterSpec, Fabric};
+
+    fn d(s: &str) -> DfsPath {
+        DfsPath::new(s).unwrap()
+    }
+
+    fn with_proc<T: Send + 'static>(f: impl FnOnce(&Proc) -> T + Send + 'static) -> T {
+        let fx = Fabric::sim(ClusterSpec::tiny(2));
+        let h = fx.spawn(NodeId(0), "t", f);
+        fx.run();
+        h.take().unwrap()
+    }
+
+    #[test]
+    fn create_auto_creates_parents() {
+        with_proc(|p| {
+            let ns = NamespaceManager::new(NodeId(1), 64, 0);
+            ns.create_file(p, &d("/a/b/f"), BlobId(1), 100).unwrap();
+            assert!(ns.lookup(p, &d("/a")).unwrap().is_dir());
+            assert!(ns.lookup(p, &d("/a/b")).unwrap().is_dir());
+            assert_eq!(
+                ns.lookup(p, &d("/a/b/f")).unwrap(),
+                NsEntry::File {
+                    blob: BlobId(1),
+                    block_size: 100
+                }
+            );
+        });
+    }
+
+    #[test]
+    fn file_as_directory_component_rejected() {
+        with_proc(|p| {
+            let ns = NamespaceManager::new(NodeId(1), 64, 0);
+            ns.create_file(p, &d("/f"), BlobId(1), 100).unwrap();
+            assert!(matches!(
+                ns.create_file(p, &d("/f/child"), BlobId(2), 100),
+                Err(FsError::NotADirectory(_))
+            ));
+            assert!(matches!(
+                ns.mkdirs(p, &d("/f/sub")),
+                Err(FsError::NotADirectory(_))
+            ));
+        });
+    }
+
+    #[test]
+    fn rename_moves_subtrees() {
+        with_proc(|p| {
+            let ns = NamespaceManager::new(NodeId(1), 64, 0);
+            ns.create_file(p, &d("/x/one"), BlobId(1), 100).unwrap();
+            ns.create_file(p, &d("/x/deep/two"), BlobId(2), 100).unwrap();
+            ns.rename(p, &d("/x"), &d("/y")).unwrap();
+            assert!(ns.lookup(p, &d("/y/one")).is_ok());
+            assert!(ns.lookup(p, &d("/y/deep/two")).is_ok());
+            assert!(ns.lookup(p, &d("/x")).is_err());
+            // dst inside src is rejected
+            assert!(ns.rename(p, &d("/y"), &d("/y/inner")).is_err());
+        });
+    }
+
+    #[test]
+    fn delete_returns_blobs_for_gc() {
+        with_proc(|p| {
+            let ns = NamespaceManager::new(NodeId(1), 64, 0);
+            ns.create_file(p, &d("/dir/a"), BlobId(1), 100).unwrap();
+            ns.create_file(p, &d("/dir/b"), BlobId(2), 100).unwrap();
+            assert!(matches!(
+                ns.delete(p, &d("/dir"), false),
+                Err(FsError::DirectoryNotEmpty(_))
+            ));
+            let (removed, blobs) = ns.delete(p, &d("/dir"), true).unwrap();
+            assert!(removed);
+            let mut ids: Vec<u64> = blobs.iter().map(|b| b.0).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![1, 2]);
+            let (removed, _) = ns.delete(p, &d("/dir"), true).unwrap();
+            assert!(!removed);
+        });
+    }
+
+    #[test]
+    fn list_is_sorted_and_shallow() {
+        with_proc(|p| {
+            let ns = NamespaceManager::new(NodeId(1), 64, 0);
+            ns.create_file(p, &d("/dir/b"), BlobId(1), 100).unwrap();
+            ns.create_file(p, &d("/dir/a"), BlobId(2), 100).unwrap();
+            ns.create_file(p, &d("/dir/sub/deep"), BlobId(3), 100).unwrap();
+            let names: Vec<String> = ns
+                .list(p, &d("/dir"))
+                .unwrap()
+                .iter()
+                .map(|(k, _)| k.name().unwrap().to_string())
+                .collect();
+            assert_eq!(names, vec!["a", "b", "sub"]);
+        });
+    }
+}

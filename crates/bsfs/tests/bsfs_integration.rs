@@ -1,0 +1,240 @@
+//! BSFS end-to-end tests: the dfs contract, plus the behaviours specific to
+//! the paper — concurrent appends to a shared file and reader/appender
+//! isolation through versioning.
+
+use std::sync::Arc;
+
+use blobseer::{BlobSeerConfig, Layout};
+use bsfs::Bsfs;
+use dfs::{DfsPath, FileSystem};
+use fabric::{ClusterSpec, Fabric, NodeId, Payload, Proc};
+
+fn d(s: &str) -> DfsPath {
+    DfsPath::new(s).unwrap()
+}
+
+fn deploy_sim(nodes: u32, block: u64) -> (Fabric, Bsfs) {
+    let fx = Fabric::sim(ClusterSpec::tiny(nodes));
+    let fs = Bsfs::deploy(
+        &fx,
+        BlobSeerConfig::test_small(block),
+        Layout::compact(fx.spec()),
+    )
+    .unwrap();
+    (fx, fs)
+}
+
+fn pattern(len: usize, tag: u8) -> Vec<u8> {
+    (0..len).map(|i| tag.wrapping_add((i % 249) as u8)).collect()
+}
+
+#[test]
+fn satisfies_the_filesystem_contract() {
+    let (fx, fs) = deploy_sim(6, 4096);
+    let h = fx.spawn(NodeId(0), "contract", move |p| {
+        dfs::contract::exercise_filesystem(&fs, p);
+    });
+    fx.run();
+    h.take().unwrap();
+}
+
+#[test]
+fn satisfies_the_contract_in_live_mode() {
+    let fx = Fabric::live(ClusterSpec::tiny(4));
+    let fs = Bsfs::deploy(
+        &fx,
+        BlobSeerConfig::test_small(4096),
+        Layout::compact(fx.spec()),
+    )
+    .unwrap();
+    let h = fx.spawn(NodeId(0), "contract", move |p| {
+        dfs::contract::exercise_filesystem(&fs, p);
+    });
+    fx.run();
+    h.take().unwrap();
+}
+
+#[test]
+fn write_behind_buffers_until_block_boundary() {
+    let (fx, fs) = deploy_sim(4, 1000);
+    let h = fx.spawn(NodeId(0), "writer", move |p| {
+        let mut w = fs.create(p, &d("/buffered")).unwrap();
+        // 600 bytes: below the block size, nothing committed yet.
+        w.write(p, Payload::from_vec(pattern(600, 1))).unwrap();
+        assert_eq!(fs.status(p, &d("/buffered")).unwrap().len, 0);
+        // 600 more: one full block flushes (1000), 200 stay buffered.
+        w.write(p, Payload::from_vec(pattern(600, 2))).unwrap();
+        assert_eq!(fs.status(p, &d("/buffered")).unwrap().len, 1000);
+        // Close flushes the 200-byte tail.
+        w.close(p).unwrap();
+        assert_eq!(fs.status(p, &d("/buffered")).unwrap().len, 1200);
+        let mut want = pattern(600, 1);
+        want.extend_from_slice(&pattern(600, 2));
+        let got = fs.read_file(p, &d("/buffered")).unwrap();
+        assert_eq!(got.bytes().as_ref(), &want[..]);
+    });
+    fx.run();
+    h.take().unwrap();
+}
+
+#[test]
+fn concurrent_appenders_to_one_shared_file() {
+    // The paper's headline scenario: N clients appending whole blocks to the
+    // same file; all blocks land atomically.
+    let (fx, fs) = deploy_sim(10, 512);
+    let fs_setup = fs.clone();
+    let ready = fx.gate();
+    let r2 = ready.clone();
+    fx.spawn(NodeId(0), "setup", move |p| {
+        let mut w = fs_setup.create(p, &d("/shared")).unwrap();
+        w.close(p).unwrap();
+        r2.set();
+    });
+    let n = 6usize;
+    let block = 512usize;
+    let per_appender = 4usize; // blocks each
+    for i in 0..n {
+        let fs2 = fs.clone();
+        let ready2 = ready.clone();
+        fx.spawn(NodeId(1 + i as u32), format!("appender{i}"), move |p| {
+            ready2.wait(p);
+            let mut w = fs2.append(p, &d("/shared")).unwrap();
+            for b in 0..per_appender {
+                w.write(
+                    p,
+                    Payload::from_vec(pattern(block, (i * per_appender + b) as u8 + 1)),
+                )
+                .unwrap();
+            }
+            w.close(p).unwrap();
+        });
+    }
+    let fs3 = fs.clone();
+    let result = Arc::new(parking_lot::Mutex::new(None));
+    let res2 = result.clone();
+    let fxc = fx.clone();
+    let ready_v = ready.clone();
+    fx.spawn(NodeId(9), "verifier", move |p: &Proc| {
+        ready_v.wait(p);
+        // Wait for all appenders (crude: poll the size).
+        let want = (n * per_appender * block) as u64;
+        loop {
+            if fs3.status(p, &d("/shared")).unwrap().len == want {
+                break;
+            }
+            p.sleep(10 * fabric::MILLIS);
+        }
+        let got = fs3.read_file(p, &d("/shared")).unwrap();
+        let bytes = got.bytes().clone();
+        // Every 512-byte block is intact (atomic appends).
+        let mut seen = std::collections::HashSet::new();
+        for chunk in bytes.chunks(block) {
+            let tag = chunk[0];
+            assert_eq!(chunk, &pattern(block, tag)[..], "block with tag {tag} corrupted");
+            assert!(seen.insert(tag), "tag {tag} duplicated");
+        }
+        assert_eq!(seen.len(), n * per_appender);
+        *res2.lock() = Some(seen.len());
+        let _ = &fxc;
+    });
+    fx.run();
+    assert_eq!(result.lock().unwrap(), n * per_appender);
+}
+
+#[test]
+fn readers_see_open_time_snapshot_while_appends_continue() {
+    let (fx, fs) = deploy_sim(6, 256);
+    let h = fx.spawn(NodeId(0), "driver", move |p| {
+        let base = pattern(1024, 5);
+        fs.write_file(p, &d("/log"), Payload::from_vec(base.clone()))
+            .unwrap();
+        let mut reader = fs.open(p, &d("/log")).unwrap();
+        assert_eq!(reader.len(), 1024);
+        // Concurrent appends (same proc for determinism; versioning is what
+        // isolates, not scheduling).
+        let mut w = fs.append(p, &d("/log")).unwrap();
+        w.write(p, Payload::from_vec(pattern(512, 9))).unwrap();
+        w.close(p).unwrap();
+        // The pinned reader still sees exactly the old bytes.
+        assert_eq!(reader.len(), 1024);
+        let got = reader.read_at(p, 0, 1024).unwrap();
+        assert_eq!(got.bytes().as_ref(), &base[..]);
+        // A fresh open sees the appended data.
+        let mut r2 = fs.open(p, &d("/log")).unwrap();
+        assert_eq!(r2.len(), 1536);
+        let tail = r2.read_at(p, 1024, 512).unwrap();
+        assert_eq!(tail.bytes().as_ref(), &pattern(512, 9)[..]);
+    });
+    fx.run();
+    h.take().unwrap();
+}
+
+#[test]
+fn block_locations_enable_locality() {
+    let (fx, fs) = deploy_sim(8, 512);
+    let h = fx.spawn(NodeId(0), "driver", move |p| {
+        fs.write_file(p, &d("/data"), Payload::from_vec(pattern(2048, 3)))
+            .unwrap();
+        let locs = fs.block_locations(p, &d("/data"), 0, 2048).unwrap();
+        assert_eq!(locs.len(), 4);
+        for (i, l) in locs.iter().enumerate() {
+            assert_eq!(l.offset, i as u64 * 512);
+            assert_eq!(l.len, 512);
+            assert_eq!(l.hosts.len(), 1); // replication = 1
+        }
+        // Locations must point at actual providers.
+        let provider_nodes: std::collections::HashSet<_> = fs
+            .store()
+            .providers()
+            .iter()
+            .map(|pr| pr.node())
+            .collect();
+        for l in &locs {
+            assert!(provider_nodes.contains(&l.hosts[0]));
+        }
+    });
+    fx.run();
+    h.take().unwrap();
+}
+
+#[test]
+fn prefetch_serves_small_reads_from_cache() {
+    let (fx, fs) = deploy_sim(4, 4096);
+    let h = fx.spawn(NodeId(0), "driver", move |p| {
+        // One block of data; many small sequential reads (the paper: Hadoop
+        // reads ~4 KB records) must hit the metadata DHT only once.
+        fs.write_file(p, &d("/records"), Payload::from_vec(pattern(4096, 8)))
+            .unwrap();
+        let gets_before: u64 = fs
+            .store()
+            .metadata_dht()
+            .servers()
+            .iter()
+            .map(|s| s.op_counts().1)
+            .sum();
+        let mut r = fs.open(p, &d("/records")).unwrap();
+        let mut assembled = Vec::new();
+        loop {
+            let chunk = r.read(p, 128).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            assembled.extend_from_slice(chunk.bytes());
+        }
+        assert_eq!(assembled, pattern(4096, 8));
+        let gets_after: u64 = fs
+            .store()
+            .metadata_dht()
+            .servers()
+            .iter()
+            .map(|s| s.op_counts().1)
+            .sum();
+        let tree_gets = gets_after - gets_before;
+        assert!(
+            tree_gets <= 3,
+            "expected one cached block fetch (few tree gets), saw {tree_gets}"
+        );
+    });
+    fx.run();
+    h.take().unwrap();
+}

@@ -1,0 +1,353 @@
+//! The BlobSeer client: implements the full write and read protocols on top
+//! of the provider manager, providers, metadata DHT and version manager.
+//!
+//! Writes (paper §3.1.2): split into pages → store pages on providers *in
+//! parallel* → obtain a version + descriptor catch-up from the version
+//! manager → write the metadata tree → commit. Reads: snapshot lookup →
+//! descend the version's segment tree → fetch pages (in parallel, with
+//! replica failover) → assemble.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fabric::{run_parallel, NodeId, Payload, Proc};
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::cluster::Services;
+use crate::error::{BlobError, BlobResult};
+use crate::meta::{collect_leaves, plan_write, LeafHit, PageRef, SnapshotInfo};
+use crate::provider::Provider;
+use crate::types::{BlobId, PageId, Version};
+use crate::version_manager::UpdateKind;
+
+/// Byte range + holders of one page, as reported by
+/// [`BlobClient::page_locations`] — the primitive added for Hadoop's
+/// data-location-aware scheduler (paper §3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageLocation {
+    pub byte_off: u64,
+    pub byte_len: u64,
+    pub hosts: Vec<NodeId>,
+}
+
+/// A client handle; cheap to create, one per logical client. Caches write
+/// descriptors per BLOB so the version manager only ships deltas.
+pub struct BlobClient {
+    svc: Arc<Services>,
+    desc_cache: Mutex<HashMap<BlobId, Vec<crate::types::WriteDesc>>>,
+    page_size_cache: Mutex<HashMap<BlobId, u64>>,
+}
+
+impl BlobClient {
+    pub(crate) fn new(svc: Arc<Services>) -> Self {
+        BlobClient {
+            svc,
+            desc_cache: Mutex::new(HashMap::new()),
+            page_size_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Create a new BLOB (page size defaults to the deployment config).
+    pub fn create(&self, p: &Proc, page_size: Option<u64>) -> BlobId {
+        let id = self.svc.vm.create_blob(p, page_size);
+        self.page_size_cache
+            .lock()
+            .insert(id, page_size.unwrap_or(self.svc.config.page_size));
+        id
+    }
+
+    /// Page size of `blob` (cached after first lookup).
+    pub fn page_size(&self, p: &Proc, blob: BlobId) -> BlobResult<u64> {
+        if let Some(ps) = self.page_size_cache.lock().get(&blob) {
+            return Ok(*ps);
+        }
+        let ps = self.svc.vm.page_size_of(p, blob)?;
+        self.page_size_cache.lock().insert(blob, ps);
+        Ok(ps)
+    }
+
+    /// Append `data` to the BLOB; returns the version this update created.
+    pub fn append(&self, p: &Proc, blob: BlobId, data: Payload) -> BlobResult<Version> {
+        self.update(p, blob, None, data)
+    }
+
+    /// Overwrite starting at byte `offset` (see crate docs for alignment
+    /// rules); returns the version created.
+    pub fn write(&self, p: &Proc, blob: BlobId, offset: u64, data: Payload) -> BlobResult<Version> {
+        self.update(p, blob, Some(offset), data)
+    }
+
+    fn update(
+        &self,
+        p: &Proc,
+        blob: BlobId,
+        offset: Option<u64>,
+        data: Payload,
+    ) -> BlobResult<Version> {
+        if data.is_empty() {
+            return Err(BlobError::EmptyWrite);
+        }
+        let ps = self.page_size(p, blob)?;
+        let nbytes = data.len();
+        let chunks = data.chunks(ps);
+
+        // Step 1: store pages on providers, fully in parallel.
+        let manifest = self.store_pages(p, &chunks, ps)?;
+
+        // Step 2: get a version and any descriptors we have not seen.
+        let known = self.desc_cache.lock().get(&blob).map_or(0, |v| v.len()) as Version;
+        let kind = match offset {
+            None => UpdateKind::Append,
+            Some(o) => UpdateKind::WriteAt { offset: o },
+        };
+        let (desc, catch_up) = self
+            .svc
+            .vm
+            .assign(p, blob, kind, nbytes, manifest.clone(), known)?;
+        let before = {
+            // The cache may be shared by concurrent updaters of this client;
+            // merge idempotently by version index. Every response covers all
+            // versions after the `known` watermark it was asked with, so the
+            // cache can never develop gaps.
+            let mut cache = self.desc_cache.lock();
+            let entry = cache.entry(blob).or_default();
+            for d in catch_up.iter().chain(std::iter::once(&desc)) {
+                let idx = (d.version - 1) as usize;
+                match idx.cmp(&entry.len()) {
+                    std::cmp::Ordering::Equal => entry.push(*d),
+                    std::cmp::Ordering::Less => {
+                        debug_assert_eq!(entry[idx], *d, "descriptor cache divergence")
+                    }
+                    std::cmp::Ordering::Greater => {
+                        unreachable!("descriptor gap: {} > {}", d.version, entry.len())
+                    }
+                }
+            }
+            entry[..(desc.version - 1) as usize].to_vec()
+        };
+
+        // Step 3: write the metadata tree.
+        for (key, body) in plan_write(blob, &before, &desc, ps, &manifest) {
+            self.svc.dht.put(p, key, body)?;
+        }
+
+        // Step 4: commit; optionally wait for publication (read-your-writes).
+        self.svc.vm.commit(p, blob, desc.version)?;
+        if self.svc.config.wait_published {
+            self.svc.vm.wait_published(p, blob, desc.version)?;
+        }
+        Ok(desc.version)
+    }
+
+    fn store_pages(&self, p: &Proc, chunks: &[Payload], ps: u64) -> BlobResult<Vec<PageRef>> {
+        let repl = self.svc.config.replication;
+        let placements = self
+            .svc
+            .pm
+            .allocate(p, chunks.len(), repl, ps, &[])?;
+        let ids: Vec<PageId> = chunks
+            .iter()
+            .map(|_| {
+                let mut rng = p.rng();
+                PageId(rng.gen(), rng.gen())
+            })
+            .collect();
+
+        type PageResult = BlobResult<PageRef>;
+        let mut tasks: Vec<Box<dyn FnOnce(&Proc) -> PageResult + Send>> =
+            Vec::with_capacity(chunks.len());
+        for ((chunk, id), providers) in chunks.iter().zip(&ids).zip(placements) {
+            let chunk = chunk.clone();
+            let id = *id;
+            let svc = self.svc.clone();
+            tasks.push(Box::new(move |wp: &Proc| {
+                store_one_page(wp, &svc, id, chunk, providers)
+            }));
+        }
+        let results = run_parallel(p, "page-write", tasks);
+        results.into_iter().collect()
+    }
+
+    /// Read `len` bytes at `offset` from `version` (`None` = latest
+    /// published snapshot).
+    pub fn read(
+        &self,
+        p: &Proc,
+        blob: BlobId,
+        version: Option<Version>,
+        offset: u64,
+        len: u64,
+    ) -> BlobResult<Payload> {
+        let snap = self.svc.vm.snapshot(p, blob, version)?;
+        self.read_snapshot(p, blob, &snap, offset, len)
+    }
+
+    /// Read against an already-resolved snapshot (saves the VM round-trip;
+    /// BSFS pins snapshots at open time).
+    pub fn read_snapshot(
+        &self,
+        p: &Proc,
+        blob: BlobId,
+        snap: &SnapshotInfo,
+        offset: u64,
+        len: u64,
+    ) -> BlobResult<Payload> {
+        if len == 0 {
+            return Ok(Payload::empty());
+        }
+        let hits = self.leaves(p, blob, snap, offset, offset + len)?;
+        type PartResult = BlobResult<Payload>;
+        let mut tasks: Vec<Box<dyn FnOnce(&Proc) -> PartResult + Send>> =
+            Vec::with_capacity(hits.len());
+        for hit in hits {
+            let svc = self.svc.clone();
+            let (a, b) = (
+                offset.max(hit.blob_byte_off),
+                (offset + len).min(hit.blob_byte_off + hit.page.byte_len),
+            );
+            tasks.push(Box::new(move |wp: &Proc| {
+                let page = fetch_with_failover(wp, &svc, &hit)?;
+                Ok(page.slice(a - hit.blob_byte_off, b - a))
+            }));
+        }
+        let parts: Vec<PartResult> = run_parallel(p, "page-read", tasks);
+        let parts: BlobResult<Vec<Payload>> = parts.into_iter().collect();
+        Ok(Payload::concat(&parts?))
+    }
+
+    fn leaves(
+        &self,
+        p: &Proc,
+        blob: BlobId,
+        snap: &SnapshotInfo,
+        byte_lo: u64,
+        byte_hi: u64,
+    ) -> BlobResult<Vec<LeafHit>> {
+        let dht = &self.svc.dht;
+        let mut fetch = |k: &crate::meta::NodeKey| dht.get(p, k).ok().flatten();
+        collect_leaves(&mut fetch, blob, snap, byte_lo, byte_hi)
+    }
+
+    /// Snapshot facts for a version (`None` = latest published).
+    pub fn snapshot(
+        &self,
+        p: &Proc,
+        blob: BlobId,
+        version: Option<Version>,
+    ) -> BlobResult<SnapshotInfo> {
+        self.svc.vm.snapshot(p, blob, version)
+    }
+
+    /// Byte size of a snapshot.
+    pub fn size(&self, p: &Proc, blob: BlobId, version: Option<Version>) -> BlobResult<u64> {
+        Ok(self.snapshot(p, blob, version)?.total_bytes)
+    }
+
+    /// Latest published version number.
+    pub fn latest(&self, p: &Proc, blob: BlobId) -> BlobResult<Version> {
+        self.svc.vm.latest(p, blob)
+    }
+
+    /// Page→provider distribution for a byte range — the primitive the
+    /// paper adds so the Hadoop scheduler can see data locality (§3.2).
+    pub fn page_locations(
+        &self,
+        p: &Proc,
+        blob: BlobId,
+        version: Option<Version>,
+        offset: u64,
+        len: u64,
+    ) -> BlobResult<Vec<PageLocation>> {
+        let snap = self.svc.vm.snapshot(p, blob, version)?;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let end = (offset + len).min(snap.total_bytes);
+        if offset >= end {
+            return Ok(Vec::new());
+        }
+        let hits = self.leaves(p, blob, &snap, offset, end)?;
+        Ok(hits
+            .into_iter()
+            .map(|h| PageLocation {
+                byte_off: h.blob_byte_off,
+                byte_len: h.page.byte_len,
+                hosts: h.page.providers,
+            })
+            .collect())
+    }
+}
+
+fn store_one_page(
+    p: &Proc,
+    svc: &Arc<Services>,
+    id: PageId,
+    chunk: Payload,
+    providers: Vec<Arc<Provider>>,
+) -> BlobResult<PageRef> {
+    let mut placed: Vec<NodeId> = Vec::with_capacity(providers.len());
+    let mut dead: Vec<NodeId> = Vec::new();
+    for prov in providers {
+        let mut target = prov;
+        let mut attempts = 0;
+        loop {
+            match target.put_page(p, id, chunk.clone()) {
+                Ok(()) => {
+                    placed.push(target.node());
+                    break;
+                }
+                Err(BlobError::ProviderDown { node }) => {
+                    dead.push(NodeId(node));
+                    attempts += 1;
+                    if attempts > 3 {
+                        return Err(BlobError::PageUnavailable {
+                            detail: format!("could not place page {id:?} after {attempts} attempts"),
+                        });
+                    }
+                    let mut exclude = dead.clone();
+                    exclude.extend(placed.iter().copied());
+                    target = svc.pm.any_alive(p, &exclude)?;
+                    target.reserve(chunk.len());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(PageRef {
+        id,
+        byte_len: chunk.len(),
+        providers: placed,
+    })
+}
+
+fn fetch_with_failover(p: &Proc, svc: &Arc<Services>, hit: &LeafHit) -> BlobResult<Payload> {
+    // Prefer a local replica (short-circuit read), then random order.
+    let mut order: Vec<NodeId> = hit.page.providers.clone();
+    {
+        let mut rng = p.rng();
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut *rng);
+    }
+    if let Some(i) = order.iter().position(|n| *n == p.node()) {
+        order.swap(0, i);
+    }
+    let mut last_err = BlobError::PageUnavailable {
+        detail: format!("page {:?} has no replicas", hit.page.id),
+    };
+    for node in order {
+        let Some(prov) = svc.provider_map.get(&node) else {
+            continue;
+        };
+        match prov.get_page(p, hit.page.id) {
+            Ok(data) => {
+                debug_assert_eq!(data.len(), hit.page.byte_len);
+                return Ok(data);
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    Err(BlobError::PageUnavailable {
+        detail: format!("all replicas failed for page {:?}: {last_err}", hit.page.id),
+    })
+}

@@ -1,0 +1,235 @@
+//! Deployment wiring: build a full BlobSeer service bundle on a fabric,
+//! following the paper's layout (§4.1): "we deployed one version manager,
+//! one provider manager, one node for the namespace manager and 20 metadata
+//! providers. The remaining nodes are used as data providers."
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fabric::{ClusterSpec, Fabric, NodeId};
+
+use crate::client::BlobClient;
+use crate::config::BlobSeerConfig;
+use crate::dht::{MetaDht, MetaServer};
+use crate::error::{BlobError, BlobResult};
+use crate::provider::Provider;
+use crate::provider_manager::ProviderManager;
+use crate::version_manager::VersionManager;
+
+/// Which node hosts which service.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    pub vm: NodeId,
+    pub pm: NodeId,
+    /// Reserved for the BSFS namespace manager (deployed by the `bsfs`
+    /// crate; kept in the layout so the paper's node budget is explicit).
+    pub namespace: NodeId,
+    pub meta: Vec<NodeId>,
+    pub providers: Vec<NodeId>,
+}
+
+impl Layout {
+    /// The paper's deployment: dedicated nodes for the version manager,
+    /// provider manager and namespace manager, 20 metadata providers, and
+    /// every remaining node a data provider.
+    pub fn paper(spec: &ClusterSpec) -> Layout {
+        assert!(
+            spec.nodes >= 30,
+            "paper layout needs >= 30 nodes, got {}",
+            spec.nodes
+        );
+        Layout {
+            vm: NodeId(0),
+            pm: NodeId(1),
+            namespace: NodeId(2),
+            meta: (3..23).map(NodeId).collect(),
+            providers: (23..spec.nodes).map(NodeId).collect(),
+        }
+    }
+
+    /// Everything-on-few-nodes layout for unit tests and live-mode examples.
+    pub fn compact(spec: &ClusterSpec) -> Layout {
+        assert!(spec.nodes >= 1);
+        Layout {
+            vm: NodeId(0),
+            pm: NodeId(0),
+            namespace: NodeId(0),
+            meta: vec![NodeId(0)],
+            providers: spec.all_nodes().collect(),
+        }
+    }
+
+    /// Custom number of metadata providers (for the metadata-scaling
+    /// ablation), keeping the rest of the paper layout.
+    pub fn paper_with_meta(spec: &ClusterSpec, n_meta: u32) -> Layout {
+        assert!(spec.nodes >= n_meta + 4);
+        Layout {
+            vm: NodeId(0),
+            pm: NodeId(1),
+            namespace: NodeId(2),
+            meta: (3..3 + n_meta).map(NodeId).collect(),
+            providers: (3 + n_meta..spec.nodes).map(NodeId).collect(),
+        }
+    }
+}
+
+/// Shared service handles (one bundle per deployment).
+pub struct Services {
+    pub vm: Arc<VersionManager>,
+    pub pm: Arc<ProviderManager>,
+    pub dht: Arc<MetaDht>,
+    pub providers: Vec<Arc<Provider>>,
+    pub provider_map: HashMap<NodeId, Arc<Provider>>,
+    pub config: BlobSeerConfig,
+    pub layout: Layout,
+}
+
+/// A deployed BlobSeer instance.
+#[derive(Clone)]
+pub struct BlobSeer {
+    svc: Arc<Services>,
+}
+
+impl BlobSeer {
+    /// Deploy all services on `fabric` according to `layout`.
+    pub fn deploy(fabric: &Fabric, config: BlobSeerConfig, layout: Layout) -> BlobResult<BlobSeer> {
+        assert!(
+            !layout.providers.is_empty(),
+            "deployment needs at least one data provider"
+        );
+        let mut providers = Vec::with_capacity(layout.providers.len());
+        for (i, &node) in layout.providers.iter().enumerate() {
+            let prov = match &config.persist_dir {
+                None => Provider::new_mem(node),
+                Some(dir) => Provider::new_persistent(node, &dir.join(format!("provider-{i}")))?,
+            };
+            providers.push(Arc::new(prov));
+        }
+        let provider_map: HashMap<NodeId, Arc<Provider>> = providers
+            .iter()
+            .map(|pr| (pr.node(), pr.clone()))
+            .collect();
+        if provider_map.len() != providers.len() {
+            return Err(BlobError::Persistence(
+                "duplicate provider nodes in layout".into(),
+            ));
+        }
+        let meta_servers: Vec<Arc<MetaServer>> = layout
+            .meta
+            .iter()
+            .map(|&n| Arc::new(MetaServer::new(n)))
+            .collect();
+        let dht = Arc::new(MetaDht::new(meta_servers, config.meta_cpu_ops));
+        let pm = Arc::new(ProviderManager::new(
+            layout.pm,
+            providers.clone(),
+            config.alloc,
+            config.ctl_msg_bytes,
+        ));
+        let vm = Arc::new(VersionManager::new(
+            layout.vm,
+            fabric.clone(),
+            dht.clone(),
+            config.page_size,
+            config.ctl_msg_bytes,
+            config.vm_cpu_ops,
+            config.write_timeout_ns,
+        ));
+        Ok(BlobSeer {
+            svc: Arc::new(Services {
+                vm,
+                pm,
+                dht,
+                providers,
+                provider_map,
+                config,
+                layout,
+            }),
+        })
+    }
+
+    /// Deploy with the paper layout on a fabric whose spec allows it.
+    pub fn deploy_paper(fabric: &Fabric, config: BlobSeerConfig) -> BlobResult<BlobSeer> {
+        let layout = Layout::paper(fabric.spec());
+        Self::deploy(fabric, config, layout)
+    }
+
+    /// New client handle.
+    pub fn client(&self) -> BlobClient {
+        BlobClient::new(self.svc.clone())
+    }
+
+    pub fn config(&self) -> &BlobSeerConfig {
+        &self.svc.config
+    }
+
+    pub fn layout(&self) -> &Layout {
+        &self.svc.layout
+    }
+
+    pub fn version_manager(&self) -> &Arc<VersionManager> {
+        &self.svc.vm
+    }
+
+    pub fn metadata_dht(&self) -> &Arc<MetaDht> {
+        &self.svc.dht
+    }
+
+    pub fn providers(&self) -> &[Arc<Provider>] {
+        &self.svc.providers
+    }
+
+    /// Failure injection: kill the i-th provider.
+    pub fn kill_provider(&self, i: usize) {
+        self.svc.providers[i].kill();
+    }
+
+    /// Bring the i-th provider back.
+    pub fn revive_provider(&self, i: usize) {
+        self.svc.providers[i].revive();
+    }
+
+    /// Total bytes stored across providers (all replicas counted).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.svc.providers.iter().map(|p| p.stored_bytes()).sum()
+    }
+
+    /// Spread of provider loads: (min, max) stored bytes — used by the
+    /// load-balancing tests and benches.
+    pub fn load_spread(&self) -> (u64, u64) {
+        let loads: Vec<u64> = self.svc.providers.iter().map(|p| p.stored_bytes()).collect();
+        (
+            loads.iter().copied().min().unwrap_or(0),
+            loads.iter().copied().max().unwrap_or(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_matches_section_4_1() {
+        let spec = ClusterSpec::orsay_270();
+        let l = Layout::paper(&spec);
+        assert_eq!(l.meta.len(), 20);
+        assert_eq!(l.providers.len(), 247); // 270 - vm - pm - namespace - 20 meta
+        // No overlap between service nodes and provider nodes.
+        assert!(!l.providers.contains(&l.vm));
+        assert!(!l.providers.contains(&l.pm));
+        assert!(!l.providers.contains(&l.namespace));
+        for m in &l.meta {
+            assert!(!l.providers.contains(m));
+        }
+    }
+
+    #[test]
+    fn deploy_on_tiny_cluster() {
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let layout = Layout::compact(fx.spec());
+        let bs = BlobSeer::deploy(&fx, BlobSeerConfig::test_small(1024), layout).unwrap();
+        assert_eq!(bs.providers().len(), 4);
+        assert_eq!(bs.total_stored_bytes(), 0);
+    }
+}

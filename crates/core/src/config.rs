@@ -1,0 +1,133 @@
+//! BlobSeer deployment configuration.
+
+use std::path::PathBuf;
+
+use fabric::MILLIS;
+
+/// Page-placement policy used by the provider manager (paper §3.1.1: "the
+/// distribution of pages to providers aims at achieving load-balancing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocStrategy {
+    /// Cycle through providers.
+    RoundRobin,
+    /// Uniformly random provider per page.
+    Random,
+    /// Provider currently storing the fewest bytes (random tie-break) —
+    /// the default, closest to BlobSeer's load-balancing goal.
+    LeastLoaded,
+    /// Prefer the writer's own node when it hosts a provider, then fall back
+    /// to least-loaded (short-circuit writes; useful for ablations).
+    LocalFirst,
+}
+
+/// Tunables of a BlobSeer deployment.
+#[derive(Debug, Clone)]
+pub struct BlobSeerConfig {
+    /// Page size in bytes. The paper's evaluation sets this to 64 MB to
+    /// match HDFS's chunk size (§4.1).
+    pub page_size: u64,
+    /// Number of replicas per page (page-level replication, §3.1.1).
+    pub replication: usize,
+    /// Placement policy.
+    pub alloc: AllocStrategy,
+    /// Modeled size of one control RPC message (version requests, provider
+    /// allocation, ...).
+    pub ctl_msg_bytes: u64,
+    /// If set, a version left uncommitted for this long may be force-completed
+    /// from its manifest by the version manager (lazily, from within other
+    /// requests) so one crashed writer cannot stall publication forever.
+    pub write_timeout_ns: Option<u64>,
+    /// When true (default), `append`/`write` block until the new version is
+    /// published, giving read-your-writes to the caller.
+    pub wait_published: bool,
+    /// Directory for pstore-backed page persistence on providers (live mode
+    /// only; `None` keeps pages in memory, which matches the BlobSeer
+    /// deployments measured in the paper — BerkeleyDB persisted lazily).
+    pub persist_dir: Option<PathBuf>,
+    /// Abstract CPU operations charged on the version-manager node per
+    /// request. This is the serialization point of the design; a nonzero
+    /// cost lets the benchmarks observe the (small) contention the paper
+    /// reports under hundreds of concurrent appenders.
+    pub vm_cpu_ops: u64,
+    /// Abstract CPU operations charged on a metadata provider per tree-node
+    /// operation.
+    pub meta_cpu_ops: u64,
+}
+
+impl Default for BlobSeerConfig {
+    fn default() -> Self {
+        BlobSeerConfig {
+            page_size: 64 * 1024 * 1024,
+            replication: 1,
+            alloc: AllocStrategy::LeastLoaded,
+            ctl_msg_bytes: 128,
+            write_timeout_ns: Some(30_000 * MILLIS),
+            wait_published: true,
+            persist_dir: None,
+            vm_cpu_ops: 1_000_000,
+            meta_cpu_ops: 100_000,
+        }
+    }
+}
+
+impl BlobSeerConfig {
+    /// Config matching the paper's microbenchmark deployment: 64 MB pages,
+    /// no replication (throughput benchmarks), memory-resident pages.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Small pages for functional tests on real bytes.
+    pub fn test_small(page_size: u64) -> Self {
+        BlobSeerConfig {
+            page_size,
+            ..Self::default()
+        }
+    }
+
+    pub fn with_page_size(mut self, ps: u64) -> Self {
+        assert!(ps > 0, "page size must be positive");
+        self.page_size = ps;
+        self
+    }
+
+    pub fn with_replication(mut self, r: usize) -> Self {
+        assert!(r >= 1, "replication factor must be at least 1");
+        self.replication = r;
+        self
+    }
+
+    pub fn with_alloc(mut self, a: AllocStrategy) -> Self {
+        self.alloc = a;
+        self
+    }
+
+    pub fn with_wait_published(mut self, w: bool) -> Self {
+        self.wait_published = w;
+        self
+    }
+
+    pub fn with_persist_dir(mut self, dir: Option<PathBuf>) -> Self {
+        self.persist_dir = dir;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = BlobSeerConfig::paper();
+        assert_eq!(c.page_size, 64 * 1024 * 1024);
+        assert_eq!(c.replication, 1);
+        assert!(c.wait_published);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn zero_replication_rejected() {
+        let _ = BlobSeerConfig::default().with_replication(0);
+    }
+}

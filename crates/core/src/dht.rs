@@ -1,0 +1,254 @@
+//! The metadata-provider DHT (paper §3.1.1: "the information concerning the
+//! location of the pages for each BLOB version is kept in a Distributed
+//! HashTable, managed by several metadata providers").
+//!
+//! Node keys are deterministic `(blob, version, page range)` triples
+//! (see [`crate::meta`]); a key hashes to exactly one metadata provider, so
+//! concurrent writers updating different tree paths talk to different
+//! servers and scale out — the paper deploys 20 of them on 270 nodes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fabric::{NodeId, Proc};
+use parking_lot::Mutex;
+
+use crate::error::{BlobError, BlobResult};
+use crate::meta::{NodeBody, NodeKey};
+
+/// One metadata server holding a shard of the tree-node space.
+pub struct MetaServer {
+    node: NodeId,
+    alive: AtomicBool,
+    nodes: Mutex<HashMap<NodeKey, NodeBody>>,
+    puts: AtomicU64,
+    gets: AtomicU64,
+}
+
+impl MetaServer {
+    pub fn new(node: NodeId) -> Self {
+        MetaServer {
+            node,
+            alive: AtomicBool::new(true),
+            nodes: Mutex::new(HashMap::new()),
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::Release);
+    }
+
+    /// Number of tree nodes stored on this server.
+    pub fn node_count(&self) -> usize {
+        self.nodes.lock().len()
+    }
+
+    /// (puts, gets) served.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.puts.load(Ordering::Relaxed), self.gets.load(Ordering::Relaxed))
+    }
+}
+
+/// Client-side view of the metadata DHT.
+pub struct MetaDht {
+    servers: Vec<Arc<MetaServer>>,
+    /// Abstract CPU cost charged on the serving node per operation — models
+    /// the (small but nonzero) metadata-serialization overhead the paper
+    /// mentions in §3.1.2.
+    server_cpu_ops: u64,
+}
+
+fn hash_key(k: &NodeKey) -> u64 {
+    // FNV-1a over the key fields: deterministic placement across runs.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [k.blob.0, k.version, k.page_lo, k.page_hi] {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+impl MetaDht {
+    pub fn new(servers: Vec<Arc<MetaServer>>, server_cpu_ops: u64) -> Self {
+        assert!(!servers.is_empty(), "need at least one metadata provider");
+        MetaDht {
+            servers,
+            server_cpu_ops,
+        }
+    }
+
+    /// The server responsible for `key`.
+    pub fn server_for(&self, key: &NodeKey) -> &Arc<MetaServer> {
+        let i = (hash_key(key) % self.servers.len() as u64) as usize;
+        &self.servers[i]
+    }
+
+    pub fn servers(&self) -> &[Arc<MetaServer>] {
+        &self.servers
+    }
+
+    /// Store a tree node. Idempotent: node ids are deterministic and their
+    /// content is a pure function of the id, so double-writes (e.g. a
+    /// force-completed version whose original writer later finishes) are
+    /// harmless.
+    pub fn put(&self, p: &Proc, key: NodeKey, body: NodeBody) -> BlobResult<()> {
+        let server = self.server_for(&key);
+        if !server.is_alive() {
+            return Err(BlobError::ProviderDown {
+                node: server.node.0,
+            });
+        }
+        p.rpc(server.node, body.encoded_size() + 40, 16);
+        if self.server_cpu_ops > 0 {
+            p.compute(server.node, self.server_cpu_ops);
+        }
+        server.puts.fetch_add(1, Ordering::Relaxed);
+        let mut nodes = server.nodes.lock();
+        if let Some(prev) = nodes.get(&key) {
+            debug_assert_eq!(
+                prev, &body,
+                "metadata node {key:?} rewritten with different content"
+            );
+        }
+        nodes.insert(key, body);
+        Ok(())
+    }
+
+    /// Fetch a tree node.
+    pub fn get(&self, p: &Proc, key: &NodeKey) -> BlobResult<Option<NodeBody>> {
+        let server = self.server_for(key);
+        if !server.is_alive() {
+            return Err(BlobError::ProviderDown {
+                node: server.node.0,
+            });
+        }
+        server.gets.fetch_add(1, Ordering::Relaxed);
+        let body = server.nodes.lock().get(key).cloned();
+        let resp = body.as_ref().map_or(16, |b| b.encoded_size() + 16);
+        p.rpc(server.node, 56, resp);
+        if self.server_cpu_ops > 0 {
+            p.compute(server.node, self.server_cpu_ops);
+        }
+        Ok(body)
+    }
+
+    /// Total nodes across all servers.
+    pub fn total_nodes(&self) -> usize {
+        self.servers.iter().map(|s| s.node_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::PageRef;
+    use crate::types::{BlobId, PageId};
+    use fabric::{ClusterSpec, Fabric};
+
+    fn key(v: u64, lo: u64, hi: u64) -> NodeKey {
+        NodeKey {
+            blob: BlobId(1),
+            version: v,
+            page_lo: lo,
+            page_hi: hi,
+        }
+    }
+
+    fn leaf(n: u64) -> NodeBody {
+        NodeBody::Leaf(PageRef {
+            id: PageId(n, n),
+            byte_len: 10,
+            providers: vec![NodeId(0)],
+        })
+    }
+
+    fn with_proc<T: Send + 'static>(f: impl FnOnce(&Proc) -> T + Send + 'static) -> T {
+        let fx = Fabric::sim(ClusterSpec::tiny(8));
+        let h = fx.spawn(NodeId(0), "t", f);
+        fx.run();
+        h.take().unwrap()
+    }
+
+    fn dht(n: u32) -> MetaDht {
+        MetaDht::new(
+            (0..n).map(|i| Arc::new(MetaServer::new(NodeId(i)))).collect(),
+            0,
+        )
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        with_proc(|p| {
+            let d = dht(3);
+            d.put(p, key(1, 0, 1), leaf(1)).unwrap();
+            assert_eq!(d.get(p, &key(1, 0, 1)).unwrap(), Some(leaf(1)));
+            assert_eq!(d.get(p, &key(1, 1, 2)).unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn keys_spread_across_servers() {
+        with_proc(|p| {
+            let d = dht(4);
+            for v in 1..200u64 {
+                d.put(p, key(v, 0, 1), leaf(v)).unwrap();
+            }
+            let counts: Vec<usize> = d.servers().iter().map(|s| s.node_count()).collect();
+            assert_eq!(counts.iter().sum::<usize>(), 199);
+            for c in counts {
+                assert!(c > 20, "suspiciously unbalanced shard: {c}");
+            }
+        });
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let d1 = dht(5);
+        let d2 = dht(5);
+        for v in 1..50 {
+            let k = key(v, 2, 4);
+            assert_eq!(d1.server_for(&k).node(), d2.server_for(&k).node());
+        }
+    }
+
+    #[test]
+    fn dead_server_errors() {
+        with_proc(|p| {
+            let d = dht(1);
+            d.servers()[0].kill();
+            assert!(matches!(
+                d.put(p, key(1, 0, 1), leaf(1)),
+                Err(BlobError::ProviderDown { .. })
+            ));
+            d.servers()[0].revive();
+            d.put(p, key(1, 0, 1), leaf(1)).unwrap();
+        });
+    }
+
+    #[test]
+    fn duplicate_put_is_idempotent() {
+        with_proc(|p| {
+            let d = dht(2);
+            d.put(p, key(1, 0, 1), leaf(1)).unwrap();
+            d.put(p, key(1, 0, 1), leaf(1)).unwrap();
+            assert_eq!(d.total_nodes(), 1);
+        });
+    }
+}

@@ -1,0 +1,76 @@
+//! Error vocabulary for the BLOB store.
+
+use std::fmt;
+
+use crate::types::{BlobId, Version};
+
+/// Errors surfaced by BlobSeer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobError {
+    /// Unknown BLOB id.
+    NoSuchBlob(BlobId),
+    /// Requested version does not exist (yet).
+    NoSuchVersion { blob: BlobId, version: Version },
+    /// Read beyond the end of the snapshot.
+    OutOfBounds { offset: u64, len: u64, size: u64 },
+    /// A write at an offset that is not an existing page boundary, or an
+    /// interior overwrite whose length does not cover whole pages.
+    UnalignedWrite { detail: String },
+    /// Zero-byte updates are not versions.
+    EmptyWrite,
+    /// A metadata tree node could not be found — the version is unpublished
+    /// or metadata was lost.
+    MetadataMissing {
+        blob: BlobId,
+        version: Version,
+        page_lo: u64,
+        page_hi: u64,
+    },
+    /// A page could not be fetched from any replica.
+    PageUnavailable { detail: String },
+    /// A provider rejected an operation because it is down.
+    ProviderDown { node: u32 },
+    /// No providers available to place pages on.
+    NoProviders,
+    /// The version was aborted (writer failure) and will never publish.
+    VersionAborted { blob: BlobId, version: Version },
+    /// Local persistence failure.
+    Persistence(String),
+}
+
+impl fmt::Display for BlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobError::NoSuchBlob(b) => write!(f, "no such BLOB: {b}"),
+            BlobError::NoSuchVersion { blob, version } => {
+                write!(f, "{blob} has no version {version}")
+            }
+            BlobError::OutOfBounds { offset, len, size } => write!(
+                f,
+                "range [{offset}, {offset}+{len}) exceeds snapshot of {size} bytes"
+            ),
+            BlobError::UnalignedWrite { detail } => write!(f, "unaligned write: {detail}"),
+            BlobError::EmptyWrite => write!(f, "empty writes are not allowed"),
+            BlobError::MetadataMissing {
+                blob,
+                version,
+                page_lo,
+                page_hi,
+            } => write!(
+                f,
+                "metadata node ({blob}, v{version}, pages [{page_lo}, {page_hi})) missing"
+            ),
+            BlobError::PageUnavailable { detail } => write!(f, "page unavailable: {detail}"),
+            BlobError::ProviderDown { node } => write!(f, "provider on node n{node} is down"),
+            BlobError::NoProviders => write!(f, "no live providers available"),
+            BlobError::VersionAborted { blob, version } => {
+                write!(f, "{blob} version {version} was aborted")
+            }
+            BlobError::Persistence(msg) => write!(f, "persistence layer: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+pub type BlobResult<T> = std::result::Result<T, BlobError>;

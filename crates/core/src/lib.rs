@@ -1,0 +1,44 @@
+//! `blobseer` — a from-scratch implementation of the BlobSeer BLOB
+//! management system (Nicolae, Antoniu & Bougé), the storage substrate of
+//! the paper *"Improving the Hadoop Map/Reduce Framework to Support
+//! Concurrent Appends through the BlobSeer BLOB management system"*
+//! (HPDC'10 MapReduce workshop).
+//!
+//! A BLOB is a large sequence of bytes split into fixed-size *pages*:
+//!
+//! * [`provider::Provider`]s store pages (in memory, or durably through the
+//!   [`pstore`] BerkeleyDB-substitute);
+//! * the [`provider_manager::ProviderManager`] load-balances page placement;
+//! * page locations per version live in versioned segment trees
+//!   ([`meta`]) sharded over a DHT of metadata providers ([`dht`]);
+//! * the centralized [`version_manager::VersionManager`] orders concurrent
+//!   updates and publishes versions strictly in sequence;
+//! * [`client::BlobClient`] ties it together: `create` / `append` / `write`
+//!   / `read` / `page_locations`.
+//!
+//! Data is never overwritten in place: every update produces a new snapshot
+//! version, and readers only ever see published snapshots. That is the
+//! mechanism behind the paper's headline microbenchmarks: massively
+//! concurrent appends to a shared BLOB proceed in parallel (Figure 3) and
+//! do not disturb concurrent readers (Figures 4/5).
+//!
+//! Everything runs on a [`fabric::Fabric`] — real threads in live mode, a
+//! deterministic 270-node cluster simulation for paper-scale experiments.
+
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod dht;
+pub mod error;
+pub mod meta;
+pub mod provider;
+pub mod provider_manager;
+pub mod types;
+pub mod version_manager;
+
+pub use client::{BlobClient, PageLocation};
+pub use cluster::{BlobSeer, Layout};
+pub use config::{AllocStrategy, BlobSeerConfig};
+pub use error::{BlobError, BlobResult};
+pub use meta::{PageRef, SnapshotInfo};
+pub use types::{BlobId, PageId, Version, WriteDesc, WriteKind};

@@ -1,0 +1,644 @@
+//! Distributed versioned segment trees — BlobSeer's metadata scheme.
+//!
+//! Each version `v` of a BLOB is described by a binary segment tree over
+//! *page-index* space `[0, 2^k)`. Nodes are identified by the deterministic
+//! triple `(version, page_lo, page_hi)`; inner nodes hold references to their
+//! two children (which may belong to *older* versions — subtree sharing is
+//! what makes snapshots cheap), leaves describe one page (its id, byte
+//! length and replica providers).
+//!
+//! A writer for version `v` creates exactly the nodes on the root-to-leaf
+//! paths covering its own pages and *references* everything else. Because
+//! node ids are deterministic and the version manager hands out the write
+//! descriptors of all previously-assigned versions, a writer can link to the
+//! nodes of a concurrent writer that has not finished writing them yet —
+//! no reads, no locks, full write parallelism (paper §3.1.2).
+//!
+//! Trees live over page indices rather than byte offsets so appends of
+//! arbitrary byte sizes (short tail pages) never require read-modify-write
+//! of a neighbour's metadata. Byte navigation works because every child
+//! reference carries the byte length of its subtree.
+//!
+//! All functions here are pure: I/O (the metadata-provider DHT) is abstracted
+//! as a `fetch` closure, so the same code is exercised by in-memory unit
+//! tests and by the costed distributed path in [`crate::client`].
+
+use fabric::NodeId;
+
+use crate::error::{BlobError, BlobResult};
+use crate::types::{
+    byte_len_of_range, latest_toucher, tree_span, BlobId, PageId, Version, WriteDesc,
+};
+
+/// Deterministic identity of a metadata tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeKey {
+    pub blob: BlobId,
+    pub version: Version,
+    pub page_lo: u64,
+    pub page_hi: u64,
+}
+
+impl NodeKey {
+    pub fn is_leaf(&self) -> bool {
+        self.page_hi - self.page_lo == 1
+    }
+}
+
+/// Reference from an inner node to a child subtree (possibly of an older
+/// version).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildRef {
+    pub version: Version,
+    pub page_lo: u64,
+    pub page_hi: u64,
+    /// Bytes held by this subtree (clamped to the BLOB length of the
+    /// referencing version) — this is what makes byte-offset navigation
+    /// possible without consulting the descriptor history again.
+    pub byte_len: u64,
+}
+
+/// Leaf payload: where one page lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageRef {
+    pub id: PageId,
+    /// Bytes stored in this page (== page size except for tail pages).
+    pub byte_len: u64,
+    /// Replica holders, primary first.
+    pub providers: Vec<NodeId>,
+}
+
+/// Content of a metadata node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeBody {
+    Inner {
+        left: Option<ChildRef>,
+        right: Option<ChildRef>,
+    },
+    Leaf(PageRef),
+}
+
+impl NodeBody {
+    /// Approximate wire size, used to charge the fabric for metadata
+    /// messages.
+    pub fn encoded_size(&self) -> u64 {
+        match self {
+            NodeBody::Inner { .. } => 96,
+            NodeBody::Leaf(p) => 48 + 8 * p.providers.len() as u64,
+        }
+    }
+}
+
+/// A leaf reached by a read, positioned in the BLOB's byte space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafHit {
+    pub page_index: u64,
+    /// Byte offset of the page's first byte within the BLOB.
+    pub blob_byte_off: u64,
+    pub page: PageRef,
+}
+
+/// Compute every metadata node version `new.version` must publish, given the
+/// descriptor history of all previously *assigned* versions (committed or
+/// not), the new descriptor, and the manifest of freshly-written pages
+/// (`manifest[i]` describes page `new.page_lo + i`).
+///
+/// Nodes are returned leaves-first so that writing them in order never
+/// publishes a parent before its children.
+pub fn plan_write(
+    blob: BlobId,
+    descs_before: &[WriteDesc],
+    new: &WriteDesc,
+    page_size: u64,
+    manifest: &[PageRef],
+) -> Vec<(NodeKey, NodeBody)> {
+    assert_eq!(
+        manifest.len() as u64,
+        new.page_count(),
+        "manifest must describe exactly the written pages"
+    );
+    let mut all = Vec::with_capacity(descs_before.len() + 1);
+    all.extend_from_slice(descs_before);
+    all.push(*new);
+    let span = tree_span(new.total_pages);
+    let mut out = Vec::new();
+    build_node(&mut out, blob, &all, new, page_size, manifest, 0, span);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    out: &mut Vec<(NodeKey, NodeBody)>,
+    blob: BlobId,
+    all: &[WriteDesc],
+    new: &WriteDesc,
+    page_size: u64,
+    manifest: &[PageRef],
+    lo: u64,
+    hi: u64,
+) {
+    debug_assert!(new.touches_range(lo, hi), "only nodes on the write path are built");
+    let key = NodeKey {
+        blob,
+        version: new.version,
+        page_lo: lo,
+        page_hi: hi,
+    };
+    if hi - lo == 1 {
+        let idx = (lo - new.page_lo) as usize;
+        out.push((key, NodeBody::Leaf(manifest[idx].clone())));
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let left = child_ref(out, blob, all, new, page_size, manifest, lo, mid);
+    let right = child_ref(out, blob, all, new, page_size, manifest, mid, hi);
+    out.push((key, NodeBody::Inner { left, right }));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn child_ref(
+    out: &mut Vec<(NodeKey, NodeBody)>,
+    blob: BlobId,
+    all: &[WriteDesc],
+    new: &WriteDesc,
+    page_size: u64,
+    manifest: &[PageRef],
+    lo: u64,
+    hi: u64,
+) -> Option<ChildRef> {
+    let byte_len = byte_len_of_range(all, new.version, page_size, lo, hi)
+        .expect("descriptor history covers the new version");
+    if new.touches_range(lo, hi) {
+        build_node(out, blob, all, new, page_size, manifest, lo, hi);
+        Some(ChildRef {
+            version: new.version,
+            page_lo: lo,
+            page_hi: hi,
+            byte_len,
+        })
+    } else if lo >= new.total_pages {
+        // Slots beyond the end of the BLOB.
+        None
+    } else {
+        // Untouched, existing subtree: reference the newest version whose
+        // write path crosses it. Its node is guaranteed to exist by the
+        // time this version publishes (see crate::version_manager).
+        let w = latest_toucher(all, new.version, lo, hi)
+            .expect("pages below total_pages have a writer");
+        Some(ChildRef {
+            version: w.version,
+            page_lo: lo,
+            page_hi: hi,
+            byte_len,
+        })
+    }
+}
+
+/// Snapshot facts needed to start a read: produced by the version manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    pub version: Version,
+    pub total_pages: u64,
+    pub total_bytes: u64,
+    pub page_size: u64,
+}
+
+impl SnapshotInfo {
+    /// Root node key for this snapshot (`None` for the empty version 0).
+    pub fn root(&self, blob: BlobId) -> Option<NodeKey> {
+        if self.version == 0 {
+            return None;
+        }
+        Some(NodeKey {
+            blob,
+            version: self.version,
+            page_lo: 0,
+            page_hi: tree_span(self.total_pages),
+        })
+    }
+}
+
+/// Walk the tree of `snap` and collect the leaves overlapping the byte range
+/// `[byte_lo, byte_hi)`, left to right. `fetch` resolves node keys (the DHT
+/// lookup); a missing node is a hard error — it means the version was not
+/// published or metadata was lost.
+pub fn collect_leaves(
+    fetch: &mut dyn FnMut(&NodeKey) -> Option<NodeBody>,
+    blob: BlobId,
+    snap: &SnapshotInfo,
+    byte_lo: u64,
+    byte_hi: u64,
+) -> BlobResult<Vec<LeafHit>> {
+    let mut hits = Vec::new();
+    if byte_lo >= byte_hi {
+        return Ok(hits);
+    }
+    if byte_hi > snap.total_bytes {
+        return Err(BlobError::OutOfBounds {
+            offset: byte_lo,
+            len: byte_hi - byte_lo,
+            size: snap.total_bytes,
+        });
+    }
+    let Some(root) = snap.root(blob) else {
+        return Err(BlobError::OutOfBounds {
+            offset: byte_lo,
+            len: byte_hi - byte_lo,
+            size: 0,
+        });
+    };
+    walk(fetch, &root, 0, byte_lo, byte_hi, &mut hits)?;
+    Ok(hits)
+}
+
+fn walk(
+    fetch: &mut dyn FnMut(&NodeKey) -> Option<NodeBody>,
+    key: &NodeKey,
+    node_byte_start: u64,
+    byte_lo: u64,
+    byte_hi: u64,
+    hits: &mut Vec<LeafHit>,
+) -> BlobResult<()> {
+    let body = fetch(key).ok_or(BlobError::MetadataMissing {
+        blob: key.blob,
+        version: key.version,
+        page_lo: key.page_lo,
+        page_hi: key.page_hi,
+    })?;
+    match body {
+        NodeBody::Leaf(page) => {
+            debug_assert!(key.is_leaf());
+            hits.push(LeafHit {
+                page_index: key.page_lo,
+                blob_byte_off: node_byte_start,
+                page,
+            });
+        }
+        NodeBody::Inner { left, right } => {
+            let left_len = left.as_ref().map_or(0, |c| c.byte_len);
+            if let Some(l) = left {
+                let (a, b) = (node_byte_start, node_byte_start + l.byte_len);
+                if a < byte_hi && byte_lo < b {
+                    let k = NodeKey {
+                        blob: key.blob,
+                        version: l.version,
+                        page_lo: l.page_lo,
+                        page_hi: l.page_hi,
+                    };
+                    walk(fetch, &k, a, byte_lo, byte_hi, hits)?;
+                }
+            }
+            if let Some(r) = right {
+                let (a, b) = (
+                    node_byte_start + left_len,
+                    node_byte_start + left_len + r.byte_len,
+                );
+                if a < byte_hi && byte_lo < b {
+                    let k = NodeKey {
+                        blob: key.blob,
+                        version: r.version,
+                        page_lo: r.page_lo,
+                        page_hi: r.page_hi,
+                    };
+                    walk(fetch, &k, a, byte_lo, byte_hi, hits)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::WriteKind;
+    use std::collections::HashMap;
+
+    const PS: u64 = 100;
+
+    /// In-memory harness that plays version manager + DHT + providers for
+    /// the pure metadata logic: appends real byte vectors, keeps reference
+    /// snapshots, and checks every read against them.
+    struct Harness {
+        blob: BlobId,
+        descs: Vec<WriteDesc>,
+        nodes: HashMap<NodeKey, NodeBody>,
+        pages: HashMap<PageId, Vec<u8>>,
+        snapshots: Vec<Vec<u8>>, // snapshots[v] = content at version v
+        next_page: u64,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                blob: BlobId(7),
+                descs: Vec::new(),
+                nodes: HashMap::new(),
+                pages: HashMap::new(),
+                snapshots: vec![Vec::new()],
+                next_page: 0,
+            }
+        }
+
+        fn total(&self) -> (u64, u64) {
+            self.descs
+                .last()
+                .map(|d| (d.total_pages, d.total_bytes))
+                .unwrap_or((0, 0))
+        }
+
+        fn store_pages(&mut self, data: &[u8]) -> Vec<PageRef> {
+            data.chunks(PS as usize)
+                .map(|chunk| {
+                    let id = PageId(0xABCD, self.next_page);
+                    self.next_page += 1;
+                    self.pages.insert(id, chunk.to_vec());
+                    PageRef {
+                        id,
+                        byte_len: chunk.len() as u64,
+                        providers: vec![NodeId(0)],
+                    }
+                })
+                .collect()
+        }
+
+        fn append(&mut self, data: &[u8]) -> Version {
+            assert!(!data.is_empty());
+            let (tp, tb) = self.total();
+            let manifest = self.store_pages(data);
+            let v = self.descs.len() as Version + 1;
+            let desc = WriteDesc {
+                version: v,
+                kind: WriteKind::Append,
+                page_lo: tp,
+                page_hi: tp + manifest.len() as u64,
+                byte_lo: tb,
+                byte_hi: tb + data.len() as u64,
+                total_pages: tp + manifest.len() as u64,
+                total_bytes: tb + data.len() as u64,
+            };
+            let nodes = plan_write(self.blob, &self.descs, &desc, PS, &manifest);
+            for (k, b) in nodes {
+                assert!(
+                    self.nodes.insert(k, b).is_none(),
+                    "node {k:?} written twice"
+                );
+            }
+            self.descs.push(desc);
+            let mut snap = self.snapshots.last().unwrap().clone();
+            snap.extend_from_slice(data);
+            self.snapshots.push(snap);
+            v
+        }
+
+        /// Overwrite whole pages starting at page `page_lo`.
+        fn overwrite(&mut self, page_lo: u64, data: &[u8]) -> Version {
+            let (tp, tb) = self.total();
+            let byte_lo = page_lo * PS; // valid only below the short tail, asserted below
+            assert!(byte_lo + data.len() as u64 <= tb, "test uses interior overwrites");
+            assert_eq!(data.len() as u64 % PS, 0, "interior overwrite keeps layout");
+            let manifest = self.store_pages(data);
+            let v = self.descs.len() as Version + 1;
+            let desc = WriteDesc {
+                version: v,
+                kind: WriteKind::Write,
+                page_lo,
+                page_hi: page_lo + manifest.len() as u64,
+                byte_lo,
+                byte_hi: byte_lo + data.len() as u64,
+                total_pages: tp,
+                total_bytes: tb,
+            };
+            let nodes = plan_write(self.blob, &self.descs, &desc, PS, &manifest);
+            for (k, b) in nodes {
+                self.nodes.insert(k, b);
+            }
+            self.descs.push(desc);
+            let mut snap = self.snapshots.last().unwrap().clone();
+            snap[byte_lo as usize..byte_lo as usize + data.len()].copy_from_slice(data);
+            self.snapshots.push(snap);
+            v
+        }
+
+        fn read(&self, version: Version, off: u64, len: u64) -> Vec<u8> {
+            let d = self
+                .descs
+                .iter()
+                .rev()
+                .find(|d| d.version <= version)
+                .expect("version exists");
+            let snap = SnapshotInfo {
+                version: d.version,
+                total_pages: d.total_pages,
+                total_bytes: d.total_bytes,
+                page_size: PS,
+            };
+            let mut fetch = |k: &NodeKey| self.nodes.get(k).cloned();
+            let hits = collect_leaves(&mut fetch, self.blob, &snap, off, off + len).unwrap();
+            let mut out = Vec::new();
+            for h in &hits {
+                let page = &self.pages[&h.page.id];
+                let a = off.max(h.blob_byte_off);
+                let b = (off + len).min(h.blob_byte_off + h.page.byte_len);
+                out.extend_from_slice(
+                    &page[(a - h.blob_byte_off) as usize..(b - h.blob_byte_off) as usize],
+                );
+            }
+            out
+        }
+
+        fn check_all_versions(&self) {
+            for (v, want) in self.snapshots.iter().enumerate().skip(1) {
+                let got = self.read(v as Version, 0, want.len() as u64);
+                assert_eq!(&got, want, "full read of version {v} diverged");
+            }
+        }
+    }
+
+    fn pattern(len: usize, tag: u8) -> Vec<u8> {
+        (0..len).map(|i| tag.wrapping_add(i as u8)).collect()
+    }
+
+    #[test]
+    fn single_append_roundtrip() {
+        let mut h = Harness::new();
+        h.append(&pattern(250, 1)); // 3 pages, short tail
+        h.check_all_versions();
+        assert_eq!(h.read(1, 150, 60), pattern(250, 1)[150..210]);
+    }
+
+    #[test]
+    fn appends_share_subtrees() {
+        let mut h = Harness::new();
+        h.append(&pattern(300, 1));
+        let nodes_after_v1 = h.nodes.len();
+        h.append(&pattern(100, 50));
+        // v2 adds one page: one leaf plus the path to the (possibly grown)
+        // root — not a whole new tree.
+        let added = h.nodes.len() - nodes_after_v1;
+        assert!(added <= 3, "expected a short path, got {added} nodes");
+        h.check_all_versions();
+    }
+
+    #[test]
+    fn tree_growth_references_old_roots() {
+        let mut h = Harness::new();
+        h.append(&pattern(100, 1)); // 1 page, span 1
+        h.append(&pattern(100, 2)); // span 2
+        h.append(&pattern(100, 3)); // span 4
+        h.append(&pattern(100, 4));
+        h.append(&pattern(100, 5)); // span 8
+        h.check_all_versions();
+        // Old snapshots still fully readable mid-history.
+        assert_eq!(h.read(2, 0, 200), h.snapshots[2]);
+    }
+
+    #[test]
+    fn short_tail_pages_then_more_appends() {
+        let mut h = Harness::new();
+        h.append(&pattern(130, 1)); // pages: 100 + 30 (short, interior after next append)
+        h.append(&pattern(70, 9)); // 1 short page
+        h.append(&pattern(250, 17)); // 3 pages
+        h.check_all_versions();
+        // Cross-append range read spanning the short pages.
+        let want = &h.snapshots[3][90..260];
+        assert_eq!(h.read(3, 90, 170), want);
+    }
+
+    #[test]
+    fn overwrite_creates_new_snapshot_and_preserves_old() {
+        let mut h = Harness::new();
+        h.append(&pattern(400, 1)); // 4 full pages
+        h.overwrite(1, &pattern(200, 99)); // replace pages 1..3
+        h.check_all_versions();
+        assert_ne!(h.snapshots[1], h.snapshots[2]);
+        assert_eq!(h.read(1, 0, 400), h.snapshots[1]); // versioning isolation
+    }
+
+    #[test]
+    fn concurrent_appenders_can_link_to_pending_versions() {
+        // Simulates two writers A (v1) and B (v2) racing: B plans its tree
+        // from descriptors alone, *before* A's nodes are visible, then A and
+        // B publish in any order. The combined tree must be complete.
+        let blob = BlobId(1);
+        let a_pages: Vec<PageRef> = (0..3)
+            .map(|i| PageRef {
+                id: PageId(1, i),
+                byte_len: 100,
+                providers: vec![NodeId(0)],
+            })
+            .collect();
+        let b_pages: Vec<PageRef> = (0..2)
+            .map(|i| PageRef {
+                id: PageId(2, i),
+                byte_len: 100,
+                providers: vec![NodeId(1)],
+            })
+            .collect();
+        let d1 = WriteDesc {
+            version: 1,
+            kind: WriteKind::Append,
+            page_lo: 0,
+            page_hi: 3,
+            byte_lo: 0,
+            byte_hi: 300,
+            total_pages: 3,
+            total_bytes: 300,
+        };
+        let d2 = WriteDesc {
+            version: 2,
+            kind: WriteKind::Append,
+            page_lo: 3,
+            page_hi: 5,
+            byte_lo: 300,
+            byte_hi: 500,
+            total_pages: 5,
+            total_bytes: 500,
+        };
+        // B plans first (sees only descriptors), then A plans.
+        let b_nodes = plan_write(blob, &[d1], &d2, PS, &b_pages);
+        let a_nodes = plan_write(blob, &[], &d1, PS, &a_pages);
+        let mut store: HashMap<NodeKey, NodeBody> = HashMap::new();
+        for (k, v) in b_nodes.into_iter().chain(a_nodes) {
+            store.insert(k, v);
+        }
+        // Version 2's full tree must resolve every reference.
+        let snap = SnapshotInfo {
+            version: 2,
+            total_pages: 5,
+            total_bytes: 500,
+            page_size: PS,
+        };
+        let mut fetch = |k: &NodeKey| store.get(k).cloned();
+        let hits = collect_leaves(&mut fetch, blob, &snap, 0, 500).unwrap();
+        assert_eq!(hits.len(), 5);
+        assert_eq!(hits[0].page.id, PageId(1, 0));
+        assert_eq!(hits[4].page.id, PageId(2, 1));
+        let offs: Vec<u64> = hits.iter().map(|h| h.blob_byte_off).collect();
+        assert_eq!(offs, vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_fail() {
+        let mut h = Harness::new();
+        h.append(&pattern(100, 1));
+        let snap = SnapshotInfo {
+            version: 1,
+            total_pages: 1,
+            total_bytes: 100,
+            page_size: PS,
+        };
+        let mut fetch = |k: &NodeKey| h.nodes.get(k).cloned();
+        let err = collect_leaves(&mut fetch, h.blob, &snap, 50, 151).unwrap_err();
+        assert!(matches!(err, BlobError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn missing_node_is_reported() {
+        let mut h = Harness::new();
+        h.append(&pattern(300, 1));
+        let snap = SnapshotInfo {
+            version: 1,
+            total_pages: 3,
+            total_bytes: 300,
+            page_size: PS,
+        };
+        let mut fetch = |_: &NodeKey| None;
+        let err = collect_leaves(&mut fetch, h.blob, &snap, 0, 10).unwrap_err();
+        assert!(matches!(err, BlobError::MetadataMissing { .. }));
+    }
+
+    #[test]
+    fn nodes_are_emitted_children_first() {
+        let mut h = Harness::new();
+        let (tp, tb) = h.total();
+        let manifest = h.store_pages(&pattern(500, 3));
+        let desc = WriteDesc {
+            version: 1,
+            kind: WriteKind::Append,
+            page_lo: tp,
+            page_hi: tp + 5,
+            byte_lo: tb,
+            byte_hi: tb + 500,
+            total_pages: 5,
+            total_bytes: 500,
+        };
+        let nodes = plan_write(h.blob, &[], &desc, PS, &manifest);
+        let mut seen = std::collections::HashSet::new();
+        for (k, b) in &nodes {
+            if let NodeBody::Inner { left, right } = b {
+                for c in [left, right].into_iter().flatten() {
+                    if c.version == 1 {
+                        assert!(
+                            seen.contains(&(c.page_lo, c.page_hi)),
+                            "child [{}, {}) of {k:?} emitted after parent",
+                            c.page_lo,
+                            c.page_hi
+                        );
+                    }
+                }
+            }
+            seen.insert((k.page_lo, k.page_hi));
+        }
+    }
+}

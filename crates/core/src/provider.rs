@@ -1,0 +1,324 @@
+//! Data providers: the nodes that physically store pages (paper §3.1.1:
+//! "the providers store the pages, as assigned by the provider manager").
+//!
+//! A provider is a passive service object; clients invoke it with their
+//! [`Proc`] context, which charges the network transfer (client→provider for
+//! stores, provider→client for fetches) and, when persistence is enabled,
+//! the provider-side disk I/O. Pages live either in memory (the
+//! configuration the paper benchmarks — BlobSeer persisted to BerkeleyDB
+//! asynchronously) or in a [`pstore::Store`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use fabric::{NodeId, Payload, Proc};
+use parking_lot::Mutex;
+
+use crate::error::{BlobError, BlobResult};
+use crate::types::PageId;
+
+enum Backend {
+    Mem(HashMap<PageId, Payload>),
+    Persistent(pstore::Store),
+}
+
+/// One page-storage service instance.
+pub struct Provider {
+    node: NodeId,
+    alive: AtomicBool,
+    backend: Mutex<Backend>,
+    stored_bytes: AtomicU64,
+    stored_pages: AtomicU64,
+    /// Bytes promised to in-flight writes by the provider manager; lets the
+    /// least-loaded policy spread concurrent writers before their data lands.
+    reserved_bytes: AtomicU64,
+}
+
+fn page_key(id: PageId) -> [u8; 16] {
+    let mut k = [0u8; 16];
+    k[..8].copy_from_slice(&id.0.to_be_bytes());
+    k[8..].copy_from_slice(&id.1.to_be_bytes());
+    k
+}
+
+impl Provider {
+    /// In-memory provider on `node`.
+    pub fn new_mem(node: NodeId) -> Self {
+        Provider {
+            node,
+            alive: AtomicBool::new(true),
+            backend: Mutex::new(Backend::Mem(HashMap::new())),
+            stored_bytes: AtomicU64::new(0),
+            stored_pages: AtomicU64::new(0),
+            reserved_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Provider backed by the BerkeleyDB-substitute [`pstore::Store`]
+    /// (live mode with real bytes only).
+    pub fn new_persistent(node: NodeId, dir: &std::path::Path) -> BlobResult<Self> {
+        let store =
+            pstore::Store::open(dir).map_err(|e| BlobError::Persistence(e.to_string()))?;
+        Ok(Provider {
+            node,
+            alive: AtomicBool::new(true),
+            backend: Mutex::new(Backend::Persistent(store)),
+            stored_bytes: AtomicU64::new(0),
+            stored_pages: AtomicU64::new(0),
+            reserved_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// The node hosting this provider.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Is the provider accepting requests?
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Failure injection: stop serving (simulates a crashed provider).
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Bring a killed provider back (its pages survived — crash, not wipe).
+    pub fn revive(&self) {
+        self.alive.store(true, Ordering::Release);
+    }
+
+    /// Bytes currently stored.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Pages currently stored.
+    pub fn stored_pages(&self) -> u64 {
+        self.stored_pages.load(Ordering::Relaxed)
+    }
+
+    /// Load metric used by the least-loaded allocation policy.
+    pub fn load_estimate(&self) -> u64 {
+        self.stored_bytes() + self.reserved_bytes.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reserve(&self, bytes: u64) {
+        self.reserved_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn unreserve(&self, bytes: u64) {
+        let mut cur = self.reserved_bytes.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.reserved_bytes.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Store a page. Charges the client→provider transfer and (if
+    /// persistent) provider disk I/O. Fails when the provider is down.
+    pub fn put_page(&self, p: &Proc, id: PageId, data: Payload) -> BlobResult<()> {
+        if !self.is_alive() {
+            return Err(BlobError::ProviderDown { node: self.node.0 });
+        }
+        let len = data.len();
+        p.transfer(p.node(), self.node, len);
+        // The transfer took (virtual) time; the provider may have died
+        // mid-stream.
+        if !self.is_alive() {
+            return Err(BlobError::ProviderDown { node: self.node.0 });
+        }
+        {
+            let mut be = self.backend.lock();
+            match &mut *be {
+                Backend::Mem(m) => {
+                    if m.insert(id, data).is_none() {
+                        self.stored_pages.fetch_add(1, Ordering::Relaxed);
+                        self.stored_bytes.fetch_add(len, Ordering::Relaxed);
+                    }
+                }
+                Backend::Persistent(s) => {
+                    let bytes = match &data {
+                        Payload::Bytes(b) => b.as_ref(),
+                        Payload::Ghost(_) => {
+                            return Err(BlobError::Persistence(
+                                "persistent providers require real payload bytes".into(),
+                            ))
+                        }
+                    };
+                    let existed = s.contains(&page_key(id));
+                    s.put(&page_key(id), bytes)
+                        .map_err(|e| BlobError::Persistence(e.to_string()))?;
+                    if !existed {
+                        self.stored_pages.fetch_add(1, Ordering::Relaxed);
+                        self.stored_bytes.fetch_add(len, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if matches!(&*self.backend.lock(), Backend::Persistent(_)) {
+            p.disk_write(self.node, len);
+        }
+        self.unreserve(len);
+        Ok(())
+    }
+
+    /// Fetch a page. Charges the provider→client transfer (and provider disk
+    /// read when persistent).
+    pub fn get_page(&self, p: &Proc, id: PageId) -> BlobResult<Payload> {
+        if !self.is_alive() {
+            return Err(BlobError::ProviderDown { node: self.node.0 });
+        }
+        let data = {
+            let be = self.backend.lock();
+            match &*be {
+                Backend::Mem(m) => m.get(&id).cloned(),
+                Backend::Persistent(s) => s
+                    .get(&page_key(id))
+                    .map_err(|e| BlobError::Persistence(e.to_string()))?
+                    .map(Payload::from_vec),
+            }
+        };
+        let data = data.ok_or_else(|| BlobError::PageUnavailable {
+            detail: format!("page {id:?} not on provider {}", self.node),
+        })?;
+        if matches!(&*self.backend.lock(), Backend::Persistent(_)) {
+            p.disk_read(self.node, data.len());
+        }
+        p.transfer(self.node, p.node(), data.len());
+        Ok(data)
+    }
+
+    /// Does the provider hold this page? (control query, uncosted)
+    pub fn has_page(&self, id: PageId) -> bool {
+        let be = self.backend.lock();
+        match &*be {
+            Backend::Mem(m) => m.contains_key(&id),
+            Backend::Persistent(s) => s.contains(&page_key(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{ClusterSpec, Fabric};
+
+    fn with_proc<T: Send + 'static>(
+        f: impl FnOnce(&Proc) -> T + Send + 'static,
+    ) -> T {
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let h = fx.spawn(NodeId(0), "t", f);
+        fx.run();
+        h.take().unwrap()
+    }
+
+    #[test]
+    fn mem_put_get_roundtrip() {
+        with_proc(|p| {
+            let prov = Provider::new_mem(NodeId(1));
+            let id = PageId(1, 2);
+            prov.put_page(p, id, Payload::from_vec(vec![9u8; 64 * 1024]))
+                .unwrap();
+            assert_eq!(prov.stored_pages(), 1);
+            assert_eq!(prov.stored_bytes(), 64 * 1024);
+            let got = prov.get_page(p, id).unwrap();
+            assert_eq!(got.bytes().as_ref(), &[9u8; 64 * 1024][..]);
+            assert!(prov.has_page(id));
+            assert!(!prov.has_page(PageId(9, 9)));
+        });
+    }
+
+    #[test]
+    fn ghost_pages_are_stored_by_size() {
+        with_proc(|p| {
+            let prov = Provider::new_mem(NodeId(1));
+            prov.put_page(p, PageId(1, 1), Payload::ghost(1 << 20)).unwrap();
+            assert_eq!(prov.stored_bytes(), 1 << 20);
+            assert_eq!(prov.get_page(p, PageId(1, 1)).unwrap().len(), 1 << 20);
+        });
+    }
+
+    #[test]
+    fn dead_provider_rejects() {
+        with_proc(|p| {
+            let prov = Provider::new_mem(NodeId(1));
+            prov.put_page(p, PageId(1, 1), Payload::ghost(10)).unwrap();
+            prov.kill();
+            assert!(matches!(
+                prov.put_page(p, PageId(1, 2), Payload::ghost(10)),
+                Err(BlobError::ProviderDown { .. })
+            ));
+            assert!(matches!(
+                prov.get_page(p, PageId(1, 1)),
+                Err(BlobError::ProviderDown { .. })
+            ));
+            prov.revive();
+            assert_eq!(prov.get_page(p, PageId(1, 1)).unwrap().len(), 10);
+        });
+    }
+
+    #[test]
+    fn missing_page_reports_unavailable() {
+        with_proc(|p| {
+            let prov = Provider::new_mem(NodeId(1));
+            assert!(matches!(
+                prov.get_page(p, PageId(5, 5)),
+                Err(BlobError::PageUnavailable { .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn reservation_tracks_inflight_writes() {
+        with_proc(|p| {
+            let prov = Provider::new_mem(NodeId(1));
+            prov.reserve(1000);
+            assert_eq!(prov.load_estimate(), 1000);
+            prov.put_page(p, PageId(1, 1), Payload::ghost(1000)).unwrap();
+            assert_eq!(prov.load_estimate(), 1000); // reserved released, stored added
+            prov.unreserve(5000); // over-release saturates at zero
+            assert_eq!(prov.load_estimate(), 1000);
+        });
+    }
+
+    #[test]
+    fn persistent_provider_roundtrip_and_recovery() {
+        let dir = std::env::temp_dir().join(format!("prov-pstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d2 = dir.clone();
+        with_proc(move |p| {
+            let prov = Provider::new_persistent(NodeId(1), &d2).unwrap();
+            prov.put_page(p, PageId(3, 4), Payload::from_vec(b"durable".to_vec()))
+                .unwrap();
+            assert_eq!(
+                prov.get_page(p, PageId(3, 4)).unwrap().bytes().as_ref(),
+                b"durable"
+            );
+            // Ghosts cannot be persisted.
+            assert!(matches!(
+                prov.put_page(p, PageId(3, 5), Payload::ghost(10)),
+                Err(BlobError::Persistence(_))
+            ));
+        });
+        // Reopen: pages survive "process restart".
+        let d3 = dir.clone();
+        with_proc(move |p| {
+            let prov = Provider::new_persistent(NodeId(1), &d3).unwrap();
+            assert_eq!(
+                prov.get_page(p, PageId(3, 4)).unwrap().bytes().as_ref(),
+                b"durable"
+            );
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

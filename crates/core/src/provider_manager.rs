@@ -1,0 +1,255 @@
+//! The provider manager: decides which providers receive the pages of each
+//! write (paper §3.1.1: placement "aims at achieving load-balancing").
+
+use std::sync::Arc;
+
+use fabric::{NodeId, Proc};
+use parking_lot::Mutex;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::AllocStrategy;
+use crate::error::{BlobError, BlobResult};
+use crate::provider::Provider;
+
+/// Centralized placement service (one instance per deployment, like the
+/// paper's single provider manager node).
+pub struct ProviderManager {
+    node: NodeId,
+    providers: Vec<Arc<Provider>>,
+    strategy: AllocStrategy,
+    ctl_msg_bytes: u64,
+    rr: Mutex<usize>,
+}
+
+impl ProviderManager {
+    pub fn new(
+        node: NodeId,
+        providers: Vec<Arc<Provider>>,
+        strategy: AllocStrategy,
+        ctl_msg_bytes: u64,
+    ) -> Self {
+        ProviderManager {
+            node,
+            providers,
+            strategy,
+            ctl_msg_bytes,
+            rr: Mutex::new(0),
+        }
+    }
+
+    /// The node hosting this service.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// All managed providers.
+    pub fn providers(&self) -> &[Arc<Provider>] {
+        &self.providers
+    }
+
+    /// Choose `replication` distinct providers for each of `n_pages` pages of
+    /// `bytes_per_page` bytes. `exclude` removes nodes observed failing by
+    /// the caller (retry paths). Reserves the planned bytes on each chosen
+    /// provider so concurrent allocations spread out.
+    pub fn allocate(
+        &self,
+        p: &Proc,
+        n_pages: usize,
+        replication: usize,
+        bytes_per_page: u64,
+        exclude: &[NodeId],
+    ) -> BlobResult<Vec<Vec<Arc<Provider>>>> {
+        p.rpc(self.node, self.ctl_msg_bytes, self.ctl_msg_bytes);
+        let mut candidates: Vec<Arc<Provider>> = self
+            .providers
+            .iter()
+            .filter(|pr| pr.is_alive() && !exclude.contains(&pr.node()))
+            .cloned()
+            .collect();
+        if candidates.len() < replication {
+            return Err(BlobError::NoProviders);
+        }
+        let mut out = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            let chosen = self.pick(p, &mut candidates, replication);
+            for pr in &chosen {
+                pr.reserve(bytes_per_page);
+            }
+            out.push(chosen);
+        }
+        Ok(out)
+    }
+
+    fn pick(
+        &self,
+        p: &Proc,
+        candidates: &mut [Arc<Provider>],
+        replication: usize,
+    ) -> Vec<Arc<Provider>> {
+        match self.strategy {
+            AllocStrategy::RoundRobin => {
+                let mut rr = self.rr.lock();
+                let mut chosen = Vec::with_capacity(replication);
+                for i in 0..replication {
+                    chosen.push(candidates[(*rr + i) % candidates.len()].clone());
+                }
+                *rr = (*rr + replication) % candidates.len();
+                chosen
+            }
+            AllocStrategy::Random => {
+                let mut rng = p.rng();
+                candidates
+                    .choose_multiple(&mut *rng, replication)
+                    .cloned()
+                    .collect()
+            }
+            AllocStrategy::LeastLoaded => {
+                // Random tie-break via a pre-shuffle, then stable sort by load.
+                let mut rng = p.rng();
+                let mut idx: Vec<usize> = (0..candidates.len()).collect();
+                idx.shuffle(&mut *rng);
+                idx.sort_by_key(|&i| candidates[i].load_estimate());
+                idx.iter()
+                    .take(replication)
+                    .map(|&i| candidates[i].clone())
+                    .collect()
+            }
+            AllocStrategy::LocalFirst => {
+                let mut chosen = Vec::with_capacity(replication);
+                if let Some(local) = candidates.iter().find(|c| c.node() == p.node()) {
+                    chosen.push(local.clone());
+                }
+                let mut rng = p.rng();
+                let mut idx: Vec<usize> = (0..candidates.len()).collect();
+                idx.shuffle(&mut *rng);
+                idx.sort_by_key(|&i| candidates[i].load_estimate());
+                for i in idx {
+                    if chosen.len() >= replication {
+                        break;
+                    }
+                    if !chosen.iter().any(|c| c.node() == candidates[i].node()) {
+                        chosen.push(candidates[i].clone());
+                    }
+                }
+                chosen
+            }
+        }
+    }
+
+    /// A uniformly random *alive* provider (used by retry paths wanting a
+    /// fresh target).
+    pub fn any_alive(&self, p: &Proc, exclude: &[NodeId]) -> BlobResult<Arc<Provider>> {
+        let mut rng = p.rng();
+        let alive: Vec<&Arc<Provider>> = self
+            .providers
+            .iter()
+            .filter(|pr| pr.is_alive() && !exclude.contains(&pr.node()))
+            .collect();
+        if alive.is_empty() {
+            return Err(BlobError::NoProviders);
+        }
+        Ok((*alive[rng.gen_range(0..alive.len())]).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{ClusterSpec, Fabric};
+
+    fn providers(n: u32) -> Vec<Arc<Provider>> {
+        (0..n).map(|i| Arc::new(Provider::new_mem(NodeId(i)))).collect()
+    }
+
+    fn with_proc<T: Send + 'static>(f: impl FnOnce(&Proc) -> T + Send + 'static) -> T {
+        let fx = Fabric::sim(ClusterSpec::tiny(8));
+        let h = fx.spawn(NodeId(0), "t", f);
+        fx.run();
+        h.take().unwrap()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        with_proc(|p| {
+            let pm = ProviderManager::new(NodeId(0), providers(3), AllocStrategy::RoundRobin, 64);
+            let a = pm.allocate(p, 4, 1, 100, &[]).unwrap();
+            let nodes: Vec<u32> = a.iter().map(|r| r[0].node().0).collect();
+            assert_eq!(nodes, vec![0, 1, 2, 0]);
+        });
+    }
+
+    #[test]
+    fn least_loaded_spreads_concurrent_reservations() {
+        with_proc(|p| {
+            let pm = ProviderManager::new(NodeId(0), providers(4), AllocStrategy::LeastLoaded, 64);
+            // 4 single-page allocations *before any data lands* must pick 4
+            // distinct providers thanks to reservations.
+            let mut nodes = std::collections::HashSet::new();
+            for _ in 0..4 {
+                let a = pm.allocate(p, 1, 1, 1000, &[]).unwrap();
+                nodes.insert(a[0][0].node().0);
+            }
+            assert_eq!(nodes.len(), 4);
+        });
+    }
+
+    #[test]
+    fn replication_yields_distinct_nodes() {
+        with_proc(|p| {
+            let pm = ProviderManager::new(NodeId(0), providers(5), AllocStrategy::LeastLoaded, 64);
+            let a = pm.allocate(p, 3, 3, 100, &[]).unwrap();
+            for replicas in &a {
+                let mut ns: Vec<u32> = replicas.iter().map(|r| r.node().0).collect();
+                ns.sort_unstable();
+                ns.dedup();
+                assert_eq!(ns.len(), 3, "replicas must be distinct providers");
+            }
+        });
+    }
+
+    #[test]
+    fn excludes_and_dead_are_skipped() {
+        with_proc(|p| {
+            let provs = providers(4);
+            provs[1].kill();
+            let pm = ProviderManager::new(
+                NodeId(0),
+                provs.clone(),
+                AllocStrategy::LeastLoaded,
+                64,
+            );
+            for _ in 0..8 {
+                let a = pm.allocate(p, 1, 1, 10, &[NodeId(2)]).unwrap();
+                let n = a[0][0].node().0;
+                assert!(n != 1 && n != 2, "picked dead or excluded provider {n}");
+            }
+        });
+    }
+
+    #[test]
+    fn insufficient_providers_error() {
+        with_proc(|p| {
+            let provs = providers(2);
+            provs[0].kill();
+            let pm = ProviderManager::new(NodeId(0), provs, AllocStrategy::Random, 64);
+            assert!(matches!(
+                pm.allocate(p, 1, 2, 10, &[]),
+                Err(BlobError::NoProviders)
+            ));
+        });
+    }
+
+    #[test]
+    fn local_first_prefers_callers_node() {
+        with_proc(|p| {
+            // p runs on node 0 and a provider lives there.
+            let pm = ProviderManager::new(NodeId(7), providers(4), AllocStrategy::LocalFirst, 64);
+            let a = pm.allocate(p, 2, 2, 10, &[]).unwrap();
+            for replicas in &a {
+                assert_eq!(replicas[0].node(), NodeId(0), "primary should be local");
+                assert_ne!(replicas[1].node(), NodeId(0));
+            }
+        });
+    }
+}

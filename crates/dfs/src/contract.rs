@@ -1,0 +1,159 @@
+//! A reusable conformance suite for [`FileSystem`] implementations.
+//!
+//! Both BSFS and the HDFS baseline must behave identically on the common
+//! surface (namespace operations, create/read semantics, rename-based
+//! commit); they intentionally differ on `append` support. Each FS crate
+//! calls [`exercise_filesystem`] from its tests.
+
+use fabric::{Payload, Proc};
+
+use crate::error::FsError;
+use crate::fs::FileSystem;
+use crate::path::DfsPath;
+
+fn p(s: &str) -> DfsPath {
+    DfsPath::new(s).unwrap()
+}
+
+fn bytes(len: usize, tag: u8) -> Payload {
+    Payload::from_vec((0..len).map(|i| tag.wrapping_add((i % 247) as u8)).collect())
+}
+
+/// Run the common-behaviour suite against `fs`. Panics on any violation.
+pub fn exercise_filesystem(fs: &dyn FileSystem, proc_: &Proc) {
+    let prc = proc_;
+
+    // --- namespace basics -------------------------------------------------
+    fs.mkdirs(prc, &p("/a/b/c")).unwrap();
+    assert!(fs.exists(prc, &p("/a/b/c")));
+    assert!(fs.status(prc, &p("/a/b")).unwrap().is_dir);
+    // mkdirs is idempotent.
+    fs.mkdirs(prc, &p("/a/b/c")).unwrap();
+    // Root always exists.
+    assert!(fs.exists(prc, &DfsPath::root()));
+    assert!(matches!(
+        fs.status(prc, &p("/nope")),
+        Err(FsError::NotFound(_))
+    ));
+
+    // --- create / read ----------------------------------------------------
+    let data = bytes(10_000, 7);
+    fs.write_file(prc, &p("/a/file1"), data.clone()).unwrap();
+    let st = fs.status(prc, &p("/a/file1")).unwrap();
+    assert!(!st.is_dir);
+    assert_eq!(st.len, 10_000);
+    let back = fs.read_file(prc, &p("/a/file1")).unwrap();
+    assert_eq!(back.fingerprint(), data.fingerprint());
+
+    // create over an existing path fails
+    assert!(matches!(
+        fs.create(prc, &p("/a/file1")),
+        Err(FsError::AlreadyExists(_))
+    ));
+    // create under a file fails
+    assert!(matches!(
+        fs.create(prc, &p("/a/file1/child")),
+        Err(FsError::NotADirectory(_))
+    ));
+    // reading a directory fails
+    assert!(matches!(
+        fs.open(prc, &p("/a/b")),
+        Err(FsError::IsADirectory(_))
+    ));
+    // reading a missing file fails
+    assert!(matches!(
+        fs.open(prc, &p("/a/missing")),
+        Err(FsError::NotFound(_))
+    ));
+
+    // --- streaming reads with seek ----------------------------------------
+    {
+        let mut r = fs.open(prc, &p("/a/file1")).unwrap();
+        assert_eq!(r.len(), 10_000);
+        let first = r.read(prc, 100).unwrap();
+        assert_eq!(first.fingerprint(), data.slice(0, 100).fingerprint());
+        r.seek(5_000).unwrap();
+        let mid = r.read(prc, 200).unwrap();
+        assert_eq!(mid.fingerprint(), data.slice(5_000, 200).fingerprint());
+        let tail = r.read_at(prc, 9_900, 100).unwrap();
+        assert_eq!(tail.fingerprint(), data.slice(9_900, 100).fingerprint());
+        // EOF yields empty payloads.
+        r.seek(10_000).unwrap();
+        assert!(r.read(prc, 10).unwrap().is_empty());
+    }
+
+    // --- list --------------------------------------------------------------
+    fs.write_file(prc, &p("/a/file2"), bytes(10, 1)).unwrap();
+    let names: Vec<String> = fs
+        .list(prc, &p("/a"))
+        .unwrap()
+        .iter()
+        .map(|s| s.path.name().unwrap().to_string())
+        .collect();
+    assert_eq!(names, vec!["b", "file1", "file2"]);
+    assert!(matches!(
+        fs.list(prc, &p("/a/file1")),
+        Err(FsError::NotADirectory(_))
+    ));
+
+    // --- rename (the original Hadoop commit path) --------------------------
+    fs.mkdirs(prc, &p("/out")).unwrap();
+    fs.rename(prc, &p("/a/file2"), &p("/out/part-0")).unwrap();
+    assert!(!fs.exists(prc, &p("/a/file2")));
+    assert_eq!(fs.status(prc, &p("/out/part-0")).unwrap().len, 10);
+    // rename onto an existing path fails
+    assert!(matches!(
+        fs.rename(prc, &p("/a/file1"), &p("/out/part-0")),
+        Err(FsError::AlreadyExists(_))
+    ));
+    // directory rename moves the subtree
+    fs.rename(prc, &p("/a/b"), &p("/moved")).unwrap();
+    assert!(fs.exists(prc, &p("/moved/c")));
+    assert!(!fs.exists(prc, &p("/a/b")));
+
+    // --- delete -------------------------------------------------------------
+    assert!(matches!(
+        fs.delete(prc, &p("/moved"), false),
+        Err(FsError::DirectoryNotEmpty(_))
+    ));
+    assert!(fs.delete(prc, &p("/moved"), true).unwrap());
+    assert!(!fs.exists(prc, &p("/moved")));
+    assert!(!fs.delete(prc, &p("/moved"), true).unwrap()); // already gone
+
+    // --- file counting (the paper's "file-count problem" metric) -----------
+    fs.mkdirs(prc, &p("/count/deep")).unwrap();
+    fs.write_file(prc, &p("/count/x"), bytes(1, 2)).unwrap();
+    fs.write_file(prc, &p("/count/deep/y"), bytes(1, 2)).unwrap();
+    assert_eq!(fs.count_files(prc, &p("/count")).unwrap(), 2);
+
+    // --- block locations -----------------------------------------------------
+    let bs = fs.default_block_size();
+    let big = bytes((2 * bs + bs / 2) as usize, 9);
+    fs.write_file(prc, &p("/a/big"), big).unwrap();
+    let locs = fs.block_locations(prc, &p("/a/big"), 0, 3 * bs).unwrap();
+    assert!(locs.len() >= 3, "expected >=3 blocks, got {}", locs.len());
+    assert_eq!(locs[0].offset, 0);
+    for l in &locs {
+        assert!(!l.hosts.is_empty(), "every block must report hosts");
+    }
+
+    // --- append surface ------------------------------------------------------
+    if fs.supports_append() {
+        let mut w = fs.append(prc, &p("/a/file1")).unwrap();
+        w.write(prc, bytes(500, 42)).unwrap();
+        w.close(prc).unwrap();
+        assert_eq!(fs.status(prc, &p("/a/file1")).unwrap().len, 10_500);
+        let tail = fs.open(prc, &p("/a/file1")).unwrap().read_at(prc, 10_000, 500).unwrap();
+        assert_eq!(tail.fingerprint(), bytes(500, 42).fingerprint());
+        // Appending to a missing file fails.
+        assert!(matches!(
+            fs.append(prc, &p("/a/missing")),
+            Err(FsError::NotFound(_))
+        ));
+    } else {
+        assert!(matches!(
+            fs.append(prc, &p("/a/file1")),
+            Err(FsError::AppendUnsupported { .. })
+        ));
+    }
+}

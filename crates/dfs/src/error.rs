@@ -1,0 +1,75 @@
+//! File-system error vocabulary.
+
+use std::fmt;
+
+use crate::path::DfsPath;
+
+/// Errors surfaced by [`crate::FileSystem`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound(DfsPath),
+    /// Create on an existing path, or rename onto an occupied destination.
+    AlreadyExists(DfsPath),
+    /// A directory operation hit a file (or an ancestor component is a file).
+    NotADirectory(DfsPath),
+    /// A file operation hit a directory.
+    IsADirectory(DfsPath),
+    /// The file system does not implement `append` — what stock HDFS of the
+    /// paper's era returns (§2.1: "shortly after being introduced, append
+    /// support was disabled").
+    AppendUnsupported { fs: &'static str },
+    /// Single-writer lease violation (HDFS semantics: no concurrent writers).
+    LeaseConflict(DfsPath),
+    /// Deleting a non-empty directory without `recursive`.
+    DirectoryNotEmpty(DfsPath),
+    /// Operation on a closed handle.
+    HandleClosed,
+    /// Malformed path.
+    InvalidPath { path: String, reason: String },
+    /// Misaligned write/append for a store that requires alignment.
+    Unaligned { detail: String },
+    /// Error bubbled up from the storage substrate.
+    Storage(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::AppendUnsupported { fs } => {
+                write!(f, "{fs} does not support the append operation")
+            }
+            FsError::LeaseConflict(p) => {
+                write!(f, "file is already open for writing (lease conflict): {p}")
+            }
+            FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::HandleClosed => write!(f, "operation on closed file handle"),
+            FsError::InvalidPath { path, reason } => write!(f, "invalid path '{path}': {reason}"),
+            FsError::Unaligned { detail } => write!(f, "unaligned access: {detail}"),
+            FsError::Storage(msg) => write!(f, "storage layer error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+pub type FsResult<T> = std::result::Result<T, FsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let p = DfsPath::new("/a/b").unwrap();
+        assert!(FsError::NotFound(p.clone()).to_string().contains("/a/b"));
+        assert!(FsError::AppendUnsupported { fs: "hdfs" }
+            .to_string()
+            .contains("append"));
+        assert!(FsError::LeaseConflict(p).to_string().contains("lease"));
+    }
+}

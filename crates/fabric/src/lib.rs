@@ -1,0 +1,56 @@
+//! Execution substrate for the BlobSeer/Hadoop reproduction.
+//!
+//! The paper evaluates on 270 nodes of the Grid'5000 Orsay cluster. That
+//! testbed is not available here, so this crate provides the substitute: a
+//! *process-oriented discrete-event simulator* in the style of SimGrid.
+//! Distributed-system code (version managers, providers, namenodes, job
+//! trackers, clients, ...) is written as ordinary concurrent Rust against the
+//! [`Proc`] API; the same code runs in two modes:
+//!
+//! * **Sim** ([`Fabric::sim`]): every node has TX/RX NIC, disk, CPU and
+//!   loopback resources with configurable capacities. Data movement
+//!   ([`Proc::transfer`]), disk I/O and computation become *fluid flows* that
+//!   share resources max-min fairly; a virtual clock advances through an
+//!   event queue. Exactly one simulated process executes at a time and all
+//!   wakeups are routed through the event queue, so simulations are
+//!   deterministic and cheap: hundreds of simulated nodes moving tens of
+//!   simulated gigabytes run in seconds on a laptop.
+//! * **Live** ([`Fabric::live`]): processes are real OS threads, transfers
+//!   and disk charges are free (the real work on real bytes *is* the cost)
+//!   and the clock is the wall clock. Functional tests and the runnable
+//!   examples use this mode.
+//!
+//! The [`Payload`] type carries either real bytes (live mode / small sims) or
+//! a *ghost* length (cluster-scale sims), so experiments that shuffle 6.3 GB
+//! across 270 nodes do not need 6.3 GB of RAM while still exercising every
+//! control-plane code path.
+//!
+//! Blocking primitives that integrate with both modes live in [`sync`]:
+//! unbounded MPMC [`sync::Queue`]s (service inboxes, heartbeat channels) and
+//! one-shot broadcast [`sync::Gate`]s (completion signals, shutdown flags).
+
+pub mod handle;
+pub mod live;
+pub mod payload;
+pub mod sim;
+pub mod stats;
+pub mod sync;
+pub mod time;
+pub mod topology;
+
+mod parker;
+
+pub use handle::{run_parallel, Fabric, JoinHandle, Proc};
+pub use payload::Payload;
+pub use stats::FabricStats;
+pub use time::{ns_to_secs, secs_to_ns, SimTime, MICROS, MILLIS, SECS};
+pub use topology::{ClusterSpec, NodeId};
+
+/// Convenience prelude for downstream crates.
+pub mod prelude {
+    pub use crate::sync::{Gate, Queue};
+    pub use crate::{run_parallel,
+        ns_to_secs, secs_to_ns, ClusterSpec, Fabric, FabricStats, JoinHandle, NodeId, Payload,
+        Proc, SimTime, MICROS, MILLIS, SECS,
+    };
+}

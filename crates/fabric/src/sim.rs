@@ -1,0 +1,676 @@
+//! The discrete-event simulation core.
+//!
+//! Model (SimGrid-style "fluid" network model):
+//!
+//! * Every node contributes TX/RX/disk/CPU/loopback *resources* with fixed
+//!   capacities ([`ClusterSpec`]). An optional backplane resource is shared
+//!   by all remote flows.
+//! * A *flow* is a quantity of work (bytes, CPU ops) that simultaneously
+//!   claims a set of resources. Active flows share each resource max-min
+//!   fairly (progressive filling); a flow's rate is the minimum of its
+//!   per-resource allocations. When flows start or finish, all rates are
+//!   recomputed and completion events rescheduled.
+//! * *Processes* are real OS threads that run **one at a time**: a process
+//!   executes until it blocks on a flow, a sleep, a queue or a gate, at which
+//!   point the engine advances the virtual clock to the next event and wakes
+//!   exactly one process. All wakeups travel through the event queue, so a
+//!   simulation is deterministic for a fixed seed and spawn order.
+//!
+//! Stale events are handled with generation counters on both flows and
+//! process block-sites, the standard technique for heap-based simulators
+//! that cannot delete arbitrary heap entries.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::parker::Parker;
+use crate::stats::FabricStats;
+use crate::time::SimTime;
+use crate::topology::{ClusterSpec, NodeId};
+
+/// Reasons a process can be blocked — used in deadlock diagnostics.
+pub(crate) type BlockReason = &'static str;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    /// A fluid flow ran out of work.
+    FlowDone { flow: u64, gen: u64 },
+    /// Wake a blocked process (sleeps, queue/gate notifications, spawns).
+    Wake { proc: u64, gen: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    time: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Flow {
+    resources: Vec<u32>,
+    remaining: f64,
+    rate: f64,
+    gen: u64,
+    waiter: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Runnable,
+    Blocked(&'static str),
+    Finished,
+}
+
+struct ProcInfo {
+    name: String,
+    node: NodeId,
+    parker: Arc<Parker>,
+    state: ProcState,
+    /// Incremented on every block; wake events carry the generation they
+    /// target so stale wakeups are discarded.
+    block_gen: u64,
+}
+
+struct SimState {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Ev>>,
+    flows: BTreeMap<u64, Flow>,
+    next_flow_id: u64,
+    /// resource -> active flow ids
+    res_flows: Vec<Vec<u64>>,
+    /// resource -> accumulated work done (bytes / ops)
+    res_done: Vec<f64>,
+    last_settle: SimTime,
+    runnable: u32,
+    live_procs: u32,
+    procs: HashMap<u64, ProcInfo>,
+    next_proc_id: u64,
+    panics: Vec<String>,
+    transfers: u64,
+    flows_started: u64,
+    bytes_requested: f64,
+    events_processed: u64,
+    running: bool,
+    // scratch buffers for recompute (reused to avoid per-event allocation)
+    scratch_cap: Vec<f64>,
+    scratch_nf: Vec<u32>,
+}
+
+pub(crate) struct SimCore {
+    pub spec: ClusterSpec,
+    pub seed: u64,
+    state: Mutex<SimState>,
+    engine_cv: Condvar,
+}
+
+impl SimCore {
+    pub fn new(spec: ClusterSpec, seed: u64) -> Arc<Self> {
+        let nres = spec.resource_count();
+        Arc::new(SimCore {
+            spec,
+            seed,
+            state: Mutex::new(SimState {
+                now: 0,
+                seq: 0,
+                events: BinaryHeap::new(),
+                flows: BTreeMap::new(),
+                next_flow_id: 0,
+                res_flows: vec![Vec::new(); nres],
+                res_done: vec![0.0; nres],
+                last_settle: 0,
+                runnable: 0,
+                live_procs: 0,
+                procs: HashMap::new(),
+                next_proc_id: 0,
+                panics: Vec::new(),
+                transfers: 0,
+                flows_started: 0,
+                bytes_requested: 0.0,
+                events_processed: 0,
+                running: false,
+                scratch_cap: vec![0.0; nres],
+                scratch_nf: vec![0; nres],
+            }),
+            engine_cv: Condvar::new(),
+        })
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.state.lock().now
+    }
+
+    /// Register a new process in Blocked state and schedule its initial wake
+    /// at the current virtual time. Returns the process id.
+    pub fn register_proc(&self, node: NodeId, name: &str, parker: Arc<Parker>) -> u64 {
+        let mut st = self.state.lock();
+        let pid = st.next_proc_id;
+        st.next_proc_id += 1;
+        st.procs.insert(
+            pid,
+            ProcInfo {
+                name: name.to_string(),
+                node,
+                parker,
+                state: ProcState::Blocked("spawn"),
+                block_gen: 0,
+            },
+        );
+        st.live_procs += 1;
+        let now = st.now;
+        Self::push_event(&mut st, now, EvKind::Wake { proc: pid, gen: 0 });
+        pid
+    }
+
+    fn push_event(st: &mut SimState, time: SimTime, kind: EvKind) {
+        let seq = st.seq;
+        st.seq += 1;
+        st.events.push(Reverse(Ev { time, seq, kind }));
+    }
+
+    /// Mark the calling process blocked and return the fresh block
+    /// generation. The caller must subsequently `parker.park()` *without*
+    /// holding the state lock. `register` runs under the state lock and may
+    /// push events / flows that will eventually wake this generation.
+    fn block<R>(
+        &self,
+        pid: u64,
+        reason: BlockReason,
+        register: impl FnOnce(&mut SimState, u64) -> R,
+    ) -> R {
+        let mut st = self.state.lock();
+        let p = st.procs.get_mut(&pid).expect("blocking unknown process");
+        debug_assert_eq!(p.state, ProcState::Runnable, "process must be running to block");
+        p.block_gen += 1;
+        p.state = ProcState::Blocked(reason);
+        let gen = p.block_gen;
+        let out = register(&mut st, gen);
+        st.runnable -= 1;
+        if st.runnable == 0 {
+            self.engine_cv.notify_all();
+        }
+        out
+    }
+
+    /// Same as [`Self::block`] but for callers that already computed their
+    /// generation via [`Self::block_prepare`] (queue/gate paths that must
+    /// hold their own lock while registering).
+    pub(crate) fn block_prepare(&self, pid: u64, reason: BlockReason) -> u64 {
+        let mut st = self.state.lock();
+        let p = st.procs.get_mut(&pid).expect("blocking unknown process");
+        debug_assert_eq!(p.state, ProcState::Runnable);
+        p.block_gen += 1;
+        p.state = ProcState::Blocked(reason);
+        let gen = p.block_gen;
+        st.runnable -= 1;
+        if st.runnable == 0 {
+            self.engine_cv.notify_all();
+        }
+        gen
+    }
+
+    /// Schedule a wake for `(pid, gen)` at the current virtual time.
+    /// Harmless if stale — the engine discards mismatched generations.
+    pub(crate) fn schedule_wake(&self, pid: u64, gen: u64) {
+        let mut st = self.state.lock();
+        let now = st.now;
+        Self::push_event(&mut st, now, EvKind::Wake { proc: pid, gen });
+    }
+
+    /// Block the calling process for `dur` nanoseconds of virtual time.
+    pub fn sleep(&self, pid: u64, parker: &Parker, dur: u64) {
+        self.block(pid, "sleep", |st, gen| {
+            let t = st.now.saturating_add(dur);
+            Self::push_event(st, t, EvKind::Wake { proc: pid, gen });
+        });
+        parker.park();
+    }
+
+    /// Block the calling process on a fluid flow of `work` units across
+    /// `resources`.
+    pub fn flow(&self, pid: u64, parker: &Parker, resources: &[u32], work: f64) {
+        if work <= 0.0 {
+            return;
+        }
+        self.block(pid, "flow", |st, _gen| {
+            let now = st.now;
+            Self::settle(st, now);
+            let id = st.next_flow_id;
+            st.next_flow_id += 1;
+            for &r in resources {
+                st.res_flows[r as usize].push(id);
+            }
+            st.flows.insert(
+                id,
+                Flow {
+                    resources: resources.to_vec(),
+                    remaining: work,
+                    rate: 0.0,
+                    gen: 0,
+                    waiter: pid,
+                },
+            );
+            st.flows_started += 1;
+            Self::recompute(st, &self.spec);
+        });
+        parker.park();
+    }
+
+    /// Record a transfer request in the stats (called for every message,
+    /// including latency-only small ones).
+    pub fn note_transfer(&self, bytes: u64) {
+        let mut st = self.state.lock();
+        st.transfers += 1;
+        st.bytes_requested += bytes as f64;
+    }
+
+    /// Process finished normally.
+    pub fn proc_finished(&self, pid: u64) {
+        let mut st = self.state.lock();
+        self.finish_inner(&mut st, pid);
+    }
+
+    /// Process panicked; the panic is re-raised from `run()`.
+    pub fn proc_panicked(&self, pid: u64, msg: String) {
+        let mut st = self.state.lock();
+        let name = st.procs.get(&pid).map(|p| p.name.clone()).unwrap_or_default();
+        st.panics.push(format!("process '{name}' panicked: {msg}"));
+        self.finish_inner(&mut st, pid);
+    }
+
+    fn finish_inner(&self, st: &mut SimState, pid: u64) {
+        let p = st.procs.get_mut(&pid).expect("finishing unknown process");
+        debug_assert_eq!(p.state, ProcState::Runnable);
+        p.state = ProcState::Finished;
+        st.runnable -= 1;
+        st.live_procs -= 1;
+        if st.runnable == 0 {
+            self.engine_cv.notify_all();
+        }
+    }
+
+    /// Advance all flows' remaining work to time `to`.
+    fn settle(st: &mut SimState, to: SimTime) {
+        debug_assert!(to >= st.last_settle);
+        let dt = (to - st.last_settle) as f64 / 1e9;
+        if dt > 0.0 {
+            // Split borrows: flows and res_done are distinct fields.
+            let res_done = &mut st.res_done;
+            for f in st.flows.values_mut() {
+                let done = f.rate * dt;
+                f.remaining = (f.remaining - done).max(0.0);
+                for &r in &f.resources {
+                    res_done[r as usize] += done;
+                }
+            }
+        }
+        st.last_settle = to;
+    }
+
+    /// Max-min fair rate allocation (progressive filling), then reschedule
+    /// every flow's completion event under its new rate.
+    fn recompute(st: &mut SimState, spec: &ClusterSpec) {
+        // Collect resources that currently carry flows.
+        let mut active_res: Vec<u32> = Vec::new();
+        for f in st.flows.values() {
+            for &r in &f.resources {
+                if st.scratch_nf[r as usize] == 0 {
+                    active_res.push(r);
+                }
+                st.scratch_nf[r as usize] += 1;
+            }
+        }
+        for &r in &active_res {
+            st.scratch_cap[r as usize] = spec.capacity(r);
+        }
+
+        // Progressive filling: repeatedly find the resource with the lowest
+        // fair share, freeze its flows at that rate, subtract.
+        let mut unfrozen: std::collections::HashSet<u64> = st.flows.keys().copied().collect();
+        let mut frozen_rate: HashMap<u64, f64> = HashMap::with_capacity(st.flows.len());
+        while !unfrozen.is_empty() {
+            let mut best: Option<(u32, f64)> = None;
+            for &r in &active_res {
+                let nf = st.scratch_nf[r as usize];
+                if nf == 0 {
+                    continue;
+                }
+                let share = (st.scratch_cap[r as usize] / nf as f64).max(0.0);
+                if best.map_or(true, |(_, s)| share < s) {
+                    best = Some((r, share));
+                }
+            }
+            let Some((bottleneck, share)) = best else { break };
+            // Freeze all unfrozen flows crossing the bottleneck.
+            let flow_ids: Vec<u64> = st.res_flows[bottleneck as usize]
+                .iter()
+                .copied()
+                .filter(|id| unfrozen.contains(id))
+                .collect();
+            debug_assert!(!flow_ids.is_empty());
+            for id in flow_ids {
+                unfrozen.remove(&id);
+                frozen_rate.insert(id, share);
+                let f = &st.flows[&id];
+                for &r in &f.resources {
+                    st.scratch_cap[r as usize] = (st.scratch_cap[r as usize] - share).max(0.0);
+                    st.scratch_nf[r as usize] -= 1;
+                }
+            }
+        }
+
+        // Apply rates and reschedule completions.
+        let now = st.now;
+        let mut to_push: Vec<(SimTime, EvKind)> = Vec::with_capacity(frozen_rate.len());
+        for (&id, f) in st.flows.iter_mut() {
+            let rate = frozen_rate.get(&id).copied().unwrap_or(0.0);
+            f.rate = rate;
+            f.gen += 1;
+            let eta = if f.remaining <= 0.0 {
+                now
+            } else if rate <= 0.0 {
+                // Fully starved flow (capacity exhausted by frozen flows due
+                // to fp rounding): retry shortly; progressive filling
+                // guarantees this cannot persist.
+                now + 1_000
+            } else {
+                now + ((f.remaining / rate) * 1e9).ceil() as u64
+            };
+            to_push.push((eta, EvKind::FlowDone { flow: id, gen: f.gen }));
+        }
+        for (t, k) in to_push {
+            Self::push_event(st, t, k);
+        }
+
+        // Clear scratch.
+        for &r in &active_res {
+            st.scratch_nf[r as usize] = 0;
+            st.scratch_cap[r as usize] = 0.0;
+        }
+    }
+
+    fn wake_proc(&self, st: &mut SimState, pid: u64) {
+        let p = st.procs.get_mut(&pid).expect("waking unknown process");
+        debug_assert!(matches!(p.state, ProcState::Blocked(_)));
+        p.state = ProcState::Runnable;
+        st.runnable += 1;
+        p.parker.unpark();
+    }
+
+    /// Is this event still meaningful?
+    fn event_valid(st: &SimState, ev: &Ev) -> bool {
+        match ev.kind {
+            EvKind::FlowDone { flow, gen } => {
+                st.flows.get(&flow).is_some_and(|f| f.gen == gen)
+            }
+            EvKind::Wake { proc, gen } => st
+                .procs
+                .get(&proc)
+                .is_some_and(|p| matches!(p.state, ProcState::Blocked(_)) && p.block_gen == gen),
+        }
+    }
+
+    /// Run the engine until every process has finished. Panics are collected
+    /// from processes and re-raised here. Must be called from a thread that
+    /// is *not* a fabric process (typically the test/bench main thread).
+    pub fn run(&self) {
+        let mut st = self.state.lock();
+        assert!(!st.running, "SimCore::run is not reentrant");
+        st.running = true;
+        loop {
+            while st.runnable > 0 {
+                self.engine_cv.wait(&mut st);
+            }
+            if !st.panics.is_empty() || st.live_procs == 0 {
+                break;
+            }
+            // Pop the next valid event.
+            let ev = loop {
+                match st.events.pop() {
+                    None => {
+                        let mut msg = String::from(
+                            "fabric deadlock: no runnable process and no pending events.\nBlocked processes:\n",
+                        );
+                        let mut blocked: Vec<_> = st
+                            .procs
+                            .values()
+                            .filter_map(|p| match p.state {
+                                ProcState::Blocked(r) => {
+                                    Some(format!("  - '{}' on {} blocked on {}\n", p.name, p.node, r))
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        blocked.sort();
+                        for b in blocked {
+                            msg.push_str(&b);
+                        }
+                        st.running = false;
+                        drop(st);
+                        panic!("{msg}");
+                    }
+                    Some(Reverse(ev)) => {
+                        if Self::event_valid(&st, &ev) {
+                            break ev;
+                        }
+                    }
+                }
+            };
+            debug_assert!(ev.time >= st.now, "time must be monotonic");
+            Self::settle(&mut st, ev.time);
+            st.now = ev.time;
+            st.events_processed += 1;
+            match ev.kind {
+                EvKind::Wake { proc, .. } => self.wake_proc(&mut st, proc),
+                EvKind::FlowDone { flow, .. } => {
+                    let f = st.flows.remove(&flow).expect("valid event implies flow");
+                    debug_assert!(
+                        f.remaining <= 1.0,
+                        "flow completed with {} units left",
+                        f.remaining
+                    );
+                    for &r in &f.resources {
+                        st.res_flows[r as usize].retain(|&x| x != flow);
+                    }
+                    Self::recompute(&mut st, &self.spec);
+                    self.wake_proc(&mut st, f.waiter);
+                }
+            }
+        }
+        st.running = false;
+        let panics = std::mem::take(&mut st.panics);
+        drop(st);
+        if !panics.is_empty() {
+            panic!("{}", panics.join("\n"));
+        }
+    }
+
+    pub fn stats(&self) -> FabricStats {
+        let st = self.state.lock();
+        FabricStats {
+            per_resource: st.res_done.clone(),
+            transfers: st.transfers,
+            flows: st.flows_started,
+            bytes_requested: st.bytes_requested,
+            events: st.events_processed,
+            now_ns: st.now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ResourceKind;
+
+    fn spawn_raw(
+        core: &Arc<SimCore>,
+        node: NodeId,
+        name: &str,
+        f: impl FnOnce(u64, &Parker) + Send + 'static,
+    ) {
+        let parker = Arc::new(Parker::new());
+        let pid = core.register_proc(node, name, parker.clone());
+        let core2 = core.clone();
+        std::thread::spawn(move || {
+            parker.park();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(pid, &parker)));
+            match r {
+                Ok(()) => core2.proc_finished(pid),
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| e.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic".into());
+                    core2.proc_panicked(pid, msg);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn single_flow_takes_size_over_bandwidth() {
+        let spec = ClusterSpec::tiny(2);
+        let core = SimCore::new(spec.clone(), 0);
+        let bytes = 117_000_000u64; // exactly 1 second at nic_bw
+        let tx = spec.resource(NodeId(0), ResourceKind::Tx);
+        let rx = spec.resource(NodeId(1), ResourceKind::Rx);
+        let done = Arc::new(Mutex::new(0u64));
+        let d2 = done.clone();
+        let c2 = core.clone();
+        spawn_raw(&core, NodeId(0), "xfer", move |pid, parker| {
+            c2.flow(pid, parker, &[tx, rx], bytes as f64);
+            *d2.lock() = c2.now();
+        });
+        core.run();
+        let t = *done.lock();
+        assert!(
+            (t as f64 - 1e9).abs() < 2.0e3,
+            "expected ~1e9 ns, got {t}"
+        );
+    }
+
+    #[test]
+    fn two_flows_share_a_tx_link_fairly() {
+        let spec = ClusterSpec::tiny(3);
+        let core = SimCore::new(spec.clone(), 0);
+        let bytes = 117_000_000u64;
+        // Both flows leave node 0 -> shared TX -> each gets half the rate.
+        let times = Arc::new(Mutex::new(Vec::new()));
+        for dst in [1u32, 2u32] {
+            let tx = spec.resource(NodeId(0), ResourceKind::Tx);
+            let rx = spec.resource(NodeId(dst), ResourceKind::Rx);
+            let c2 = core.clone();
+            let t2 = times.clone();
+            spawn_raw(&core, NodeId(0), "xfer", move |pid, parker| {
+                c2.flow(pid, parker, &[tx, rx], bytes as f64);
+                t2.lock().push(c2.now());
+            });
+        }
+        core.run();
+        for &t in times.lock().iter() {
+            assert!(
+                (t as f64 - 2e9).abs() < 5.0e3,
+                "expected ~2e9 ns (half rate), got {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interfere() {
+        let spec = ClusterSpec::tiny(4);
+        let core = SimCore::new(spec.clone(), 0);
+        let bytes = 117_000_000u64;
+        let times = Arc::new(Mutex::new(Vec::new()));
+        for (src, dst) in [(0u32, 1u32), (2, 3)] {
+            let tx = spec.resource(NodeId(src), ResourceKind::Tx);
+            let rx = spec.resource(NodeId(dst), ResourceKind::Rx);
+            let c2 = core.clone();
+            let t2 = times.clone();
+            spawn_raw(&core, NodeId(src), "xfer", move |pid, parker| {
+                c2.flow(pid, parker, &[tx, rx], bytes as f64);
+                t2.lock().push(c2.now());
+            });
+        }
+        core.run();
+        for &t in times.lock().iter() {
+            assert!((t as f64 - 1e9).abs() < 2.0e3, "expected ~1e9 ns, got {t}");
+        }
+    }
+
+    #[test]
+    fn sleep_orders_events() {
+        let core = SimCore::new(ClusterSpec::tiny(1), 0);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (i, d) in [(0u32, 30u64), (1, 10), (2, 20)] {
+            let c2 = core.clone();
+            let o2 = order.clone();
+            spawn_raw(&core, NodeId(0), "sleeper", move |pid, parker| {
+                c2.sleep(pid, parker, d * 1_000_000);
+                o2.lock().push(i);
+            });
+        }
+        core.run();
+        assert_eq!(*order.lock(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn deterministic_event_counts() {
+        let run_once = || {
+            let spec = ClusterSpec::tiny(8);
+            let core = SimCore::new(spec.clone(), 42);
+            for i in 0..6u32 {
+                let tx = spec.resource(NodeId(i % 4), ResourceKind::Tx);
+                let rx = spec.resource(NodeId((i + 1) % 8), ResourceKind::Rx);
+                let c2 = core.clone();
+                spawn_raw(&core, NodeId(i % 4), "x", move |pid, parker| {
+                    c2.sleep(pid, parker, (i as u64) * 1000);
+                    c2.flow(pid, parker, &[tx, rx], 1e6 * (i + 1) as f64);
+                });
+            }
+            core.run();
+            let s = core.stats();
+            (s.events, s.now_ns)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked: boom")]
+    fn process_panics_propagate() {
+        let core = SimCore::new(ClusterSpec::tiny(1), 0);
+        spawn_raw(&core, NodeId(0), "bomb", |_pid, _parker| panic!("boom"));
+        core.run();
+    }
+
+    #[test]
+    fn stats_account_flow_bytes() {
+        let spec = ClusterSpec::tiny(2);
+        let core = SimCore::new(spec.clone(), 0);
+        let tx = spec.resource(NodeId(0), ResourceKind::Tx);
+        let rx = spec.resource(NodeId(1), ResourceKind::Rx);
+        let c2 = core.clone();
+        spawn_raw(&core, NodeId(0), "xfer", move |pid, parker| {
+            c2.flow(pid, parker, &[tx, rx], 5e6);
+        });
+        core.run();
+        let s = core.stats();
+        assert!((s.per_resource[tx as usize] - 5e6).abs() < 1.0);
+        assert!((s.per_resource[rx as usize] - 5e6).abs() < 1.0);
+    }
+}

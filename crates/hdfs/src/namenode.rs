@@ -1,0 +1,468 @@
+//! The HDFS namenode: "a centralized namenode is responsible for keeping
+//! the file metadata and the chunk location" (paper §2.2).
+//!
+//! Semantics follow HDFS 0.20, the release the paper evaluates:
+//! write-once-read-many, single-writer leases, random block placement
+//! ("HDFS picks random servers to store the data, which will often lead to
+//! a layout that is not load balanced"), and **no append** — that error is
+//! raised at the FileSystem layer.
+
+use std::collections::HashMap;
+
+use dfs::{DfsPath, FsError, FsResult};
+use fabric::{NodeId, Proc};
+use parking_lot::Mutex;
+use rand::seq::SliceRandom;
+
+/// One block of a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    pub id: u64,
+    pub len: u64,
+    pub replicas: Vec<NodeId>,
+}
+
+/// Lease token proving write ownership of an under-construction file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease(pub u64);
+
+#[derive(Debug, Clone)]
+enum NnEntry {
+    Dir,
+    File {
+        blocks: Vec<BlockInfo>,
+        /// `Some(lease)` while under construction; `None` once closed
+        /// (immutable from then on).
+        lease: Option<Lease>,
+        block_size: u64,
+    },
+}
+
+struct NnState {
+    entries: HashMap<DfsPath, NnEntry>,
+    next_block: u64,
+    next_lease: u64,
+}
+
+/// The centralized metadata service.
+pub struct Namenode {
+    node: NodeId,
+    datanodes: Vec<NodeId>,
+    replication: usize,
+    ctl_msg_bytes: u64,
+    cpu_ops: u64,
+    state: Mutex<NnState>,
+}
+
+impl Namenode {
+    pub fn new(
+        node: NodeId,
+        datanodes: Vec<NodeId>,
+        replication: usize,
+        ctl_msg_bytes: u64,
+        cpu_ops: u64,
+    ) -> Self {
+        assert!(!datanodes.is_empty(), "namenode needs datanodes");
+        let replication = replication.min(datanodes.len()).max(1);
+        let mut entries = HashMap::new();
+        entries.insert(DfsPath::root(), NnEntry::Dir);
+        Namenode {
+            node,
+            datanodes,
+            replication,
+            ctl_msg_bytes,
+            cpu_ops,
+            state: Mutex::new(NnState {
+                entries,
+                next_block: 1,
+                next_lease: 1,
+            }),
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    fn charge(&self, p: &Proc) {
+        p.rpc(self.node, self.ctl_msg_bytes, self.ctl_msg_bytes);
+        if self.cpu_ops > 0 {
+            p.compute(self.node, self.cpu_ops);
+        }
+    }
+
+    fn mkdirs_locked(st: &mut NnState, path: &DfsPath) -> FsResult<()> {
+        let mut cur = DfsPath::root();
+        for comp in path.components() {
+            cur = cur.child(comp)?;
+            match st.entries.get(&cur) {
+                None => {
+                    st.entries.insert(cur.clone(), NnEntry::Dir);
+                }
+                Some(NnEntry::Dir) => {}
+                Some(NnEntry::File { .. }) => return Err(FsError::NotADirectory(cur)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Start a new file under construction; returns the write lease.
+    pub fn create_file(&self, p: &Proc, path: &DfsPath, block_size: u64) -> FsResult<Lease> {
+        self.charge(p);
+        if path.is_root() {
+            return Err(FsError::IsADirectory(path.clone()));
+        }
+        let mut st = self.state.lock();
+        if st.entries.contains_key(path) {
+            return Err(FsError::AlreadyExists(path.clone()));
+        }
+        if let Some(parent) = path.parent() {
+            Self::mkdirs_locked(&mut st, &parent)?;
+        }
+        let lease = Lease(st.next_lease);
+        st.next_lease += 1;
+        st.entries.insert(
+            path.clone(),
+            NnEntry::File {
+                blocks: Vec::new(),
+                lease: Some(lease),
+                block_size,
+            },
+        );
+        Ok(lease)
+    }
+
+    /// Allocate the next block of an under-construction file on
+    /// `replication` random datanodes.
+    pub fn add_block(&self, p: &Proc, path: &DfsPath, lease: Lease) -> FsResult<BlockInfo> {
+        self.charge(p);
+        let replicas: Vec<NodeId> = {
+            let mut rng = p.rng();
+            self.datanodes
+                .choose_multiple(&mut *rng, self.replication)
+                .copied()
+                .collect()
+        };
+        let mut st = self.state.lock();
+        let id = st.next_block;
+        st.next_block += 1;
+        let entry = st
+            .entries
+            .get_mut(path)
+            .ok_or_else(|| FsError::NotFound(path.clone()))?;
+        match entry {
+            NnEntry::Dir => Err(FsError::IsADirectory(path.clone())),
+            NnEntry::File {
+                blocks,
+                lease: cur,
+                ..
+            } => {
+                if *cur != Some(lease) {
+                    return Err(FsError::LeaseConflict(path.clone()));
+                }
+                let info = BlockInfo {
+                    id,
+                    len: 0,
+                    replicas,
+                };
+                blocks.push(info.clone());
+                Ok(info)
+            }
+        }
+    }
+
+    /// Record the final length of a block once its pipeline finished.
+    pub fn complete_block(
+        &self,
+        p: &Proc,
+        path: &DfsPath,
+        lease: Lease,
+        block_id: u64,
+        len: u64,
+    ) -> FsResult<()> {
+        self.charge(p);
+        let mut st = self.state.lock();
+        let entry = st
+            .entries
+            .get_mut(path)
+            .ok_or_else(|| FsError::NotFound(path.clone()))?;
+        match entry {
+            NnEntry::Dir => Err(FsError::IsADirectory(path.clone())),
+            NnEntry::File { blocks, lease: cur, .. } => {
+                if *cur != Some(lease) {
+                    return Err(FsError::LeaseConflict(path.clone()));
+                }
+                let b = blocks
+                    .iter_mut()
+                    .find(|b| b.id == block_id)
+                    .ok_or_else(|| FsError::Storage(format!("unknown block {block_id}")))?;
+                b.len = len;
+                Ok(())
+            }
+        }
+    }
+
+    /// Close the file: release the lease and freeze it forever.
+    pub fn complete_file(&self, p: &Proc, path: &DfsPath, lease: Lease) -> FsResult<()> {
+        self.charge(p);
+        let mut st = self.state.lock();
+        let entry = st
+            .entries
+            .get_mut(path)
+            .ok_or_else(|| FsError::NotFound(path.clone()))?;
+        match entry {
+            NnEntry::Dir => Err(FsError::IsADirectory(path.clone())),
+            NnEntry::File { lease: cur, .. } => {
+                if *cur != Some(lease) {
+                    return Err(FsError::LeaseConflict(path.clone()));
+                }
+                *cur = None;
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks of a file (readers; includes under-construction files, whose
+    /// completed prefix is readable, matching 0.20 behaviour).
+    pub fn get_blocks(&self, p: &Proc, path: &DfsPath) -> FsResult<(Vec<BlockInfo>, u64)> {
+        self.charge(p);
+        let st = self.state.lock();
+        match st.entries.get(path) {
+            None => Err(FsError::NotFound(path.clone())),
+            Some(NnEntry::Dir) => Err(FsError::IsADirectory(path.clone())),
+            Some(NnEntry::File {
+                blocks, block_size, ..
+            }) => Ok((blocks.clone(), *block_size)),
+        }
+    }
+
+    /// Status of a path: `(is_dir, len, block_size)`.
+    pub fn status(&self, p: &Proc, path: &DfsPath) -> FsResult<(bool, u64, u64)> {
+        self.charge(p);
+        let st = self.state.lock();
+        match st.entries.get(path) {
+            None => Err(FsError::NotFound(path.clone())),
+            Some(NnEntry::Dir) => Ok((true, 0, 0)),
+            Some(NnEntry::File {
+                blocks, block_size, ..
+            }) => Ok((false, blocks.iter().map(|b| b.len).sum(), *block_size)),
+        }
+    }
+
+    pub fn mkdirs(&self, p: &Proc, path: &DfsPath) -> FsResult<()> {
+        self.charge(p);
+        let mut st = self.state.lock();
+        Self::mkdirs_locked(&mut st, path)
+    }
+
+    /// Children of a directory with `(is_dir, len, block_size)`.
+    #[allow(clippy::type_complexity)]
+    pub fn list(&self, p: &Proc, path: &DfsPath) -> FsResult<Vec<(DfsPath, bool, u64, u64)>> {
+        self.charge(p);
+        let st = self.state.lock();
+        match st.entries.get(path) {
+            None => return Err(FsError::NotFound(path.clone())),
+            Some(NnEntry::File { .. }) => return Err(FsError::NotADirectory(path.clone())),
+            Some(NnEntry::Dir) => {}
+        }
+        let mut out: Vec<(DfsPath, bool, u64, u64)> = st
+            .entries
+            .iter()
+            .filter(|(k, _)| !k.is_root() && k.parent().as_ref() == Some(path))
+            .map(|(k, v)| match v {
+                NnEntry::Dir => (k.clone(), true, 0, 0),
+                NnEntry::File {
+                    blocks, block_size, ..
+                } => (
+                    k.clone(),
+                    false,
+                    blocks.iter().map(|b| b.len).sum(),
+                    *block_size,
+                ),
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    pub fn rename(&self, p: &Proc, src: &DfsPath, dst: &DfsPath) -> FsResult<()> {
+        self.charge(p);
+        if src.is_root() {
+            return Err(FsError::InvalidPath {
+                path: src.to_string(),
+                reason: "cannot rename the root".into(),
+            });
+        }
+        if dst.starts_with(src) {
+            return Err(FsError::InvalidPath {
+                path: dst.to_string(),
+                reason: "destination lies inside the source".into(),
+            });
+        }
+        let mut st = self.state.lock();
+        if !st.entries.contains_key(src) {
+            return Err(FsError::NotFound(src.clone()));
+        }
+        if st.entries.contains_key(dst) {
+            return Err(FsError::AlreadyExists(dst.clone()));
+        }
+        if let Some(parent) = dst.parent() {
+            Self::mkdirs_locked(&mut st, &parent)?;
+        }
+        let to_move: Vec<DfsPath> = st
+            .entries
+            .keys()
+            .filter(|k| k.starts_with(src))
+            .cloned()
+            .collect();
+        for old in to_move {
+            let entry = st.entries.remove(&old).expect("listed");
+            let new = old.rebase(src, dst).expect("rebase");
+            st.entries.insert(new, entry);
+        }
+        Ok(())
+    }
+
+    /// Delete; returns `(removed, block ids to GC)`.
+    pub fn delete(&self, p: &Proc, path: &DfsPath, recursive: bool) -> FsResult<(bool, Vec<u64>)> {
+        self.charge(p);
+        if path.is_root() {
+            return Err(FsError::InvalidPath {
+                path: path.to_string(),
+                reason: "cannot delete the root".into(),
+            });
+        }
+        let mut st = self.state.lock();
+        let Some(entry) = st.entries.get(path) else {
+            return Ok((false, Vec::new()));
+        };
+        let mut gc = Vec::new();
+        match entry {
+            NnEntry::Dir => {
+                let children: Vec<DfsPath> = st
+                    .entries
+                    .keys()
+                    .filter(|k| *k != path && k.starts_with(path))
+                    .cloned()
+                    .collect();
+                if !children.is_empty() && !recursive {
+                    return Err(FsError::DirectoryNotEmpty(path.clone()));
+                }
+                for k in children {
+                    if let Some(NnEntry::File { blocks, .. }) = st.entries.remove(&k) {
+                        gc.extend(blocks.iter().map(|b| b.id));
+                    }
+                }
+                st.entries.remove(path);
+            }
+            NnEntry::File { .. } => {
+                if let Some(NnEntry::File { blocks, .. }) = st.entries.remove(path) {
+                    gc.extend(blocks.iter().map(|b| b.id));
+                }
+            }
+        }
+        Ok((true, gc))
+    }
+
+    /// Number of namespace entries (the paper's "file-count problem"
+    /// metric).
+    pub fn entry_count(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{ClusterSpec, Fabric};
+
+    fn d(s: &str) -> DfsPath {
+        DfsPath::new(s).unwrap()
+    }
+
+    fn with_proc<T: Send + 'static>(f: impl FnOnce(&Proc) -> T + Send + 'static) -> T {
+        let fx = Fabric::sim(ClusterSpec::tiny(8));
+        let h = fx.spawn(NodeId(0), "t", f);
+        fx.run();
+        h.take().unwrap()
+    }
+
+    fn nn() -> Namenode {
+        Namenode::new(NodeId(0), (1..8).map(NodeId).collect(), 3, 64, 0)
+    }
+
+    #[test]
+    fn create_write_close_lifecycle() {
+        with_proc(|p| {
+            let nn = nn();
+            let lease = nn.create_file(p, &d("/f"), 1000).unwrap();
+            let b1 = nn.add_block(p, &d("/f"), lease).unwrap();
+            assert_eq!(b1.replicas.len(), 3);
+            nn.complete_block(p, &d("/f"), lease, b1.id, 1000).unwrap();
+            let b2 = nn.add_block(p, &d("/f"), lease).unwrap();
+            nn.complete_block(p, &d("/f"), lease, b2.id, 400).unwrap();
+            nn.complete_file(p, &d("/f"), lease).unwrap();
+            let (is_dir, len, bs) = nn.status(p, &d("/f")).unwrap();
+            assert!(!is_dir);
+            assert_eq!(len, 1400);
+            assert_eq!(bs, 1000);
+            // Lease is gone: further writes rejected.
+            assert!(matches!(
+                nn.add_block(p, &d("/f"), lease),
+                Err(FsError::LeaseConflict(_))
+            ));
+        });
+    }
+
+    #[test]
+    fn stale_lease_is_rejected() {
+        with_proc(|p| {
+            let nn = nn();
+            let lease = nn.create_file(p, &d("/f"), 1000).unwrap();
+            let fake = Lease(lease.0 + 999);
+            assert!(matches!(
+                nn.add_block(p, &d("/f"), fake),
+                Err(FsError::LeaseConflict(_))
+            ));
+        });
+    }
+
+    #[test]
+    fn random_placement_uses_distinct_nodes() {
+        with_proc(|p| {
+            let nn = nn();
+            let lease = nn.create_file(p, &d("/f"), 1000).unwrap();
+            for _ in 0..10 {
+                let b = nn.add_block(p, &d("/f"), lease).unwrap();
+                let mut r: Vec<u32> = b.replicas.iter().map(|n| n.0).collect();
+                r.sort_unstable();
+                r.dedup();
+                assert_eq!(r.len(), 3);
+            }
+        });
+    }
+
+    #[test]
+    fn replication_clamped_to_cluster_size() {
+        let nn = Namenode::new(NodeId(0), vec![NodeId(1), NodeId(2)], 3, 64, 0);
+        assert_eq!(nn.replication(), 2);
+    }
+
+    #[test]
+    fn delete_returns_blocks_for_gc() {
+        with_proc(|p| {
+            let nn = nn();
+            let lease = nn.create_file(p, &d("/dir/f"), 1000).unwrap();
+            let b = nn.add_block(p, &d("/dir/f"), lease).unwrap();
+            nn.complete_block(p, &d("/dir/f"), lease, b.id, 10).unwrap();
+            nn.complete_file(p, &d("/dir/f"), lease).unwrap();
+            let (removed, gc) = nn.delete(p, &d("/dir"), true).unwrap();
+            assert!(removed);
+            assert_eq!(gc, vec![b.id]);
+        });
+    }
+}

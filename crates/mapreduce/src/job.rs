@@ -1,0 +1,172 @@
+//! Job description, counters and results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dfs::DfsPath;
+use fabric::SimTime;
+
+use crate::api::{GhostProfile, UserFns};
+
+/// How reducers write their output — the paper's experimental variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Original Hadoop (paper Figure 1): every reducer writes a uniquely
+    /// named temporary file, then renames it into the output directory —
+    /// the job ends with one file *per reducer*.
+    PerReducerFiles,
+    /// Modified Hadoop (paper Figure 2): every reducer appends its output
+    /// to one shared file — requires a storage layer with concurrent
+    /// append (BSFS).
+    SharedAppendFile,
+}
+
+impl OutputMode {
+    pub fn label(&self) -> &'static str {
+        match self {
+            OutputMode::PerReducerFiles => "per-reducer-files",
+            OutputMode::SharedAppendFile => "shared-append",
+        }
+    }
+}
+
+/// A Map/Reduce job description.
+#[derive(Clone)]
+pub struct JobConf {
+    pub name: String,
+    /// Input files (each is split at block granularity).
+    pub inputs: Vec<DfsPath>,
+    /// Output directory; `PerReducerFiles` creates `part-NNNNN` files in it,
+    /// `SharedAppendFile` creates a single `result` file.
+    pub output_dir: DfsPath,
+    pub num_reducers: u32,
+    pub output_mode: OutputMode,
+    pub user: UserFns,
+    /// When set, tasks process ghost payloads through this profile instead
+    /// of running the user functions on real bytes (cluster-scale sims).
+    pub ghost: Option<GhostProfile>,
+}
+
+impl JobConf {
+    /// Name of the single shared output file in [`OutputMode::SharedAppendFile`].
+    pub fn shared_output_file(&self) -> DfsPath {
+        self.output_dir.child("result").expect("valid name")
+    }
+
+    /// Final name of reducer `r`'s output in [`OutputMode::PerReducerFiles`].
+    pub fn part_file(&self, r: u32) -> DfsPath {
+        self.output_dir
+            .child(&format!("part-{r:05}"))
+            .expect("valid name")
+    }
+
+    /// Temporary attempt file for reducer `r` before the rename commit.
+    pub fn temp_part_file(&self, r: u32) -> DfsPath {
+        self.output_dir
+            .child("_temporary")
+            .and_then(|d| d.child(&format!("attempt-part-{r:05}")))
+            .expect("valid name")
+    }
+}
+
+/// Live counters of a running job (updated by tasks, read by the result).
+#[derive(Debug, Default)]
+pub struct JobCounters {
+    pub map_input_bytes: AtomicU64,
+    pub map_input_records: AtomicU64,
+    pub map_output_bytes: AtomicU64,
+    pub map_output_records: AtomicU64,
+    pub shuffle_bytes: AtomicU64,
+    pub reduce_input_records: AtomicU64,
+    pub reduce_output_bytes: AtomicU64,
+    pub reduce_output_records: AtomicU64,
+    pub data_local_maps: AtomicU64,
+    pub remote_maps: AtomicU64,
+}
+
+impl JobCounters {
+    pub fn add(&self, field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Final report of a completed job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub name: String,
+    pub job_id: u64,
+    pub maps: u32,
+    pub reduces: u32,
+    pub started_ns: SimTime,
+    pub finished_ns: SimTime,
+    pub map_input_bytes: u64,
+    pub map_output_bytes: u64,
+    pub shuffle_bytes: u64,
+    pub reduce_output_bytes: u64,
+    pub data_local_maps: u64,
+    pub remote_maps: u64,
+    /// Files the job left in its output directory (the paper's file-count
+    /// argument: R for original Hadoop, 1 for the append mode).
+    pub output_files: u64,
+}
+
+impl JobResult {
+    /// Completion time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        fabric::ns_to_secs(self.finished_ns - self.started_ns)
+    }
+}
+
+/// Runtime handle pairing a job's configuration with its live counters
+/// (shared between the jobtracker and every task of the job).
+pub struct JobCtx {
+    pub id: u64,
+    pub conf: JobConf,
+    pub counters: Arc<JobCounters>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::KV;
+
+    fn dummy_user() -> UserFns {
+        struct Nop;
+        impl crate::api::Mapper for Nop {
+            fn map(&self, _: &[u8], _: &[u8], _: &mut dyn FnMut(KV)) {}
+        }
+        impl crate::api::Reducer for Nop {
+            fn reduce(
+                &self,
+                _: &[u8],
+                _: &mut dyn Iterator<Item = &[u8]>,
+                _: &mut dyn FnMut(KV),
+            ) {
+            }
+        }
+        UserFns {
+            mapper: Arc::new(Nop),
+            reducer: Arc::new(Nop),
+            combiner: None,
+        }
+    }
+
+    #[test]
+    fn output_paths() {
+        let conf = JobConf {
+            name: "t".into(),
+            inputs: vec![],
+            output_dir: DfsPath::new("/out").unwrap(),
+            num_reducers: 3,
+            output_mode: OutputMode::PerReducerFiles,
+            user: dummy_user(),
+            ghost: None,
+        };
+        assert_eq!(conf.shared_output_file().as_str(), "/out/result");
+        assert_eq!(conf.part_file(2).as_str(), "/out/part-00002");
+        assert_eq!(
+            conf.temp_part_file(2).as_str(),
+            "/out/_temporary/attempt-part-00002"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! `mapreduce` — a Hadoop-style Map/Reduce framework (paper §2.2) able to
+//! run over any [`dfs::FileSystem`] (HDFS baseline or BSFS).
+//!
+//! Architecture mirrors Hadoop 0.20: a single [`tracker::MrCluster`] spawns
+//! one *jobtracker* and one *tasktracker* per worker node; tasktrackers
+//! heartbeat for work; map tasks are placed near their input blocks using
+//! [`dfs::FileSystem::block_locations`]; reducers pull sorted map-output
+//! partitions (shuffle), merge, reduce and commit their output.
+//!
+//! The paper's modification is captured by [`job::OutputMode`]:
+//! [`job::OutputMode::PerReducerFiles`] is stock Hadoop (unique temp file +
+//! rename per reducer → R output files), [`job::OutputMode::SharedAppendFile`]
+//! is the modified framework (all reducers append to one shared file →
+//! exactly 1 output file — requires a store with concurrent append).
+//!
+//! Jobs run on real records in live mode and on calibrated
+//! [`api::GhostProfile`]s for cluster-scale simulations; the engine code is
+//! identical in both cases.
+
+pub mod api;
+pub mod job;
+pub mod record;
+pub mod shuffle;
+pub mod task;
+pub mod tracker;
+
+pub use api::{partition_for, GhostProfile, Mapper, Reducer, UserFns, KV};
+pub use job::{JobConf, JobResult, OutputMode};
+pub use shuffle::MapOutputRegistry;
+pub use task::{MapTaskSpec, ReduceTaskSpec};
+pub use tracker::{JobHandle, MrCluster, MrConfig};

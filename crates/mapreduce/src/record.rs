@@ -1,0 +1,192 @@
+//! Record formats: newline-delimited text input (with the Hadoop
+//! record-boundary rule for splits) and a length-prefixed binary codec for
+//! intermediate data.
+
+use bytes::Bytes;
+use fabric::Payload;
+
+use crate::api::KV;
+
+/// Parse `key TAB value` from a text line (Hadoop's
+/// `KeyValueTextInputFormat`); lines without a tab map to `(line, "")`.
+pub fn split_tab(line: &[u8]) -> (&[u8], &[u8]) {
+    match line.iter().position(|&b| b == b'\t') {
+        Some(i) => (&line[..i], &line[i + 1..]),
+        None => (line, &[][..]),
+    }
+}
+
+/// Iterate complete lines of `data` (without trailing newline bytes).
+/// A final unterminated line is yielded too.
+pub fn lines(data: &[u8]) -> impl Iterator<Item = &[u8]> {
+    data.split(|&b| b == b'\n').filter(|l| !l.is_empty())
+}
+
+/// Extract the records of a *split* per Hadoop's `LineRecordReader` rule:
+/// a non-first split discards everything through the first newline (the
+/// tail of a record owned by its predecessor — or a whole record that
+/// started exactly at the boundary), then consumes records as long as they
+/// *start at or before* the split end. Net effect: a record starting at
+/// offset `o` belongs to the split `[s, e)` with `s < o <= e` (offset 0 to
+/// the first split), so every record is owned exactly once for any split
+/// size.
+///
+/// `window` must hold the file bytes from `start` through at least the end
+/// of the last owned record (callers over-read past the split end).
+pub fn split_records(window: &[u8], start: u64, len: u64) -> Vec<&[u8]> {
+    let mut pos: usize = if start == 0 {
+        0
+    } else {
+        match window.iter().position(|&b| b == b'\n') {
+            Some(i) => i + 1,
+            None => return Vec::new(), // no record boundary in the window
+        }
+    };
+    let mut out = Vec::new();
+    while (pos as u64) <= len && pos < window.len() {
+        let rest = &window[pos..];
+        let (line, consumed) = match rest.iter().position(|&b| b == b'\n') {
+            Some(i) => (&rest[..i], i + 1),
+            None => (rest, rest.len()),
+        };
+        if !line.is_empty() {
+            out.push(line);
+        }
+        pos += consumed;
+    }
+    out
+}
+
+/// Binary codec for intermediate (map-output) data:
+/// `[key_len u32][val_len u32][key][value]`*.
+pub fn encode_kvs(kvs: &[KV]) -> Payload {
+    let total: usize = kvs
+        .iter()
+        .map(|kv| 8 + kv.key.len() + kv.value.len())
+        .sum();
+    let mut buf = Vec::with_capacity(total);
+    for kv in kvs {
+        buf.extend_from_slice(&(kv.key.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(kv.value.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&kv.key);
+        buf.extend_from_slice(&kv.value);
+    }
+    Payload::from_vec(buf)
+}
+
+/// Decode the binary intermediate format.
+pub fn decode_kvs(data: &Bytes) -> Vec<KV> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= data.len() {
+        let klen = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        pos += 8;
+        assert!(pos + klen + vlen <= data.len(), "torn intermediate record");
+        out.push(KV {
+            key: data[pos..pos + klen].to_vec(),
+            value: data[pos + klen..pos + klen + vlen].to_vec(),
+        });
+        pos += klen + vlen;
+    }
+    out
+}
+
+/// Sort records by key (then value, for determinism) and group equal keys:
+/// the merge step in front of `reduce`.
+pub fn sort_and_group(mut kvs: Vec<KV>) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
+    kvs.sort();
+    let mut out: Vec<(Vec<u8>, Vec<Vec<u8>>)> = Vec::new();
+    for kv in kvs {
+        match out.last_mut() {
+            Some((k, vals)) if *k == kv.key => vals.push(kv.value),
+            _ => out.push((kv.key, vec![kv.value])),
+        }
+    }
+    out
+}
+
+/// Render records as `key TAB value NL` text (job output format).
+pub fn to_text(kvs: &[KV]) -> Payload {
+    let total: usize = kvs
+        .iter()
+        .map(|kv| kv.key.len() + kv.value.len() + 2)
+        .sum();
+    let mut buf = Vec::with_capacity(total);
+    for kv in kvs {
+        buf.extend_from_slice(&kv.key);
+        buf.push(b'\t');
+        buf.extend_from_slice(&kv.value);
+        buf.push(b'\n');
+    }
+    Payload::from_vec(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab_splitting() {
+        assert_eq!(split_tab(b"k\tv"), (&b"k"[..], &b"v"[..]));
+        assert_eq!(split_tab(b"k\tv\tw"), (&b"k"[..], &b"v\tw"[..]));
+        assert_eq!(split_tab(b"plain"), (&b"plain"[..], &b""[..]));
+    }
+
+    #[test]
+    fn kv_codec_roundtrip() {
+        let kvs = vec![
+            KV::new("a", "1"),
+            KV::new("", ""),
+            KV::new("key with spaces", "value\twith\ttabs"),
+        ];
+        let enc = encode_kvs(&kvs);
+        let dec = decode_kvs(enc.bytes());
+        assert_eq!(dec, kvs);
+    }
+
+    #[test]
+    fn grouping_merges_equal_keys() {
+        let kvs = vec![
+            KV::new("b", "2"),
+            KV::new("a", "1"),
+            KV::new("b", "1"),
+            KV::new("a", "0"),
+        ];
+        let grouped = sort_and_group(kvs);
+        assert_eq!(
+            grouped,
+            vec![
+                (b"a".to_vec(), vec![b"0".to_vec(), b"1".to_vec()]),
+                (b"b".to_vec(), vec![b"1".to_vec(), b"2".to_vec()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn split_records_cover_file_exactly_once() {
+        // The Hadoop invariant: any split size covers every record exactly
+        // once across all splits.
+        let file = b"one\ntwo\nthree\nfour\nfive\nsix7890\nlast";
+        for split_len in [5u64, 7, 10, 13, 100] {
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            let mut start = 0u64;
+            while start < file.len() as u64 {
+                let len = split_len.min(file.len() as u64 - start);
+                let window = &file[start as usize..];
+                for r in split_records(window, start, len) {
+                    got.push(r.to_vec());
+                }
+                start += len;
+            }
+            let want: Vec<Vec<u8>> = lines(file).map(|l| l.to_vec()).collect();
+            assert_eq!(got, want, "split_len={split_len}");
+        }
+    }
+
+    #[test]
+    fn text_rendering() {
+        let out = to_text(&[KV::new("k", "v"), KV::new("x", "y")]);
+        assert_eq!(out.bytes().as_ref(), b"k\tv\nx\ty\n");
+    }
+}

@@ -1,0 +1,111 @@
+//! Map-output storage and shuffle serving.
+//!
+//! Completed map tasks leave their partitioned, sorted output on the local
+//! node (in Hadoop: local disk files served by the tasktracker's HTTP
+//! server). Reducers *pull* their partition from every map's node; the
+//! network cost of each pull is charged as a map-node→reduce-node transfer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fabric::{NodeId, Payload, Proc};
+use parking_lot::Mutex;
+
+/// Key of one map-output partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentKey {
+    pub job: u64,
+    pub map_task: u32,
+    pub partition: u32,
+}
+
+struct Segment {
+    host: NodeId,
+    data: Payload,
+}
+
+/// Cluster-wide registry of map outputs (the aggregate of all tasktrackers'
+/// local output stores; lookups are free, data movement is charged).
+#[derive(Default)]
+pub struct MapOutputRegistry {
+    segments: Mutex<HashMap<SegmentKey, Segment>>,
+}
+
+impl MapOutputRegistry {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Store a partition produced by a map task on `host`.
+    pub fn publish(&self, key: SegmentKey, host: NodeId, data: Payload) {
+        let mut seg = self.segments.lock();
+        let prev = seg.insert(key, Segment { host, data });
+        debug_assert!(prev.is_none(), "map output {key:?} published twice");
+    }
+
+    /// Fetch a partition into the calling reducer's node (charges the
+    /// transfer). Node-local fetches ride the loopback.
+    pub fn fetch(&self, p: &Proc, key: SegmentKey) -> Option<Payload> {
+        let (host, data) = {
+            let seg = self.segments.lock();
+            let s = seg.get(&key)?;
+            (s.host, s.data.clone())
+        };
+        p.transfer(host, p.node(), data.len());
+        Some(data)
+    }
+
+    /// Size of one partition without fetching it.
+    pub fn segment_len(&self, key: &SegmentKey) -> Option<u64> {
+        self.segments.lock().get(key).map(|s| s.data.len())
+    }
+
+    /// Drop all segments of a finished job (Hadoop cleans map outputs after
+    /// job completion).
+    pub fn drop_job(&self, job: u64) {
+        self.segments.lock().retain(|k, _| k.job != job);
+    }
+
+    /// Total bytes currently held (diagnostics).
+    pub fn total_bytes(&self) -> u64 {
+        self.segments.lock().values().map(|s| s.data.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{ClusterSpec, Fabric};
+
+    #[test]
+    fn publish_fetch_drop() {
+        let fx = Fabric::sim(ClusterSpec::tiny(3));
+        let reg = MapOutputRegistry::new();
+        let reg2 = reg.clone();
+        let h = fx.spawn(NodeId(2), "reducer", move |p| {
+            let k = SegmentKey {
+                job: 1,
+                map_task: 0,
+                partition: 3,
+            };
+            reg2.publish(k, NodeId(1), Payload::from_vec(vec![7; 100]));
+            assert_eq!(reg2.segment_len(&k), Some(100));
+            let got = reg2.fetch(p, k).unwrap();
+            assert_eq!(got.len(), 100);
+            assert!(reg2
+                .fetch(
+                    p,
+                    SegmentKey {
+                        job: 1,
+                        map_task: 9,
+                        partition: 0
+                    }
+                )
+                .is_none());
+            reg2.drop_job(1);
+            assert_eq!(reg2.total_bytes(), 0);
+        });
+        fx.run();
+        h.take().unwrap();
+    }
+}

@@ -1,0 +1,365 @@
+//! Task execution: the work a tasktracker performs for one map or reduce
+//! task, against any [`dfs::FileSystem`].
+
+use std::sync::Arc;
+
+use dfs::{DfsPath, FileSystem};
+use fabric::{run_parallel, NodeId, Payload, Proc};
+
+use crate::api::{partition_for, KV};
+use crate::job::{JobCtx, OutputMode};
+use crate::record::{decode_kvs, encode_kvs, sort_and_group, split_records, to_text};
+use crate::shuffle::{MapOutputRegistry, SegmentKey};
+
+/// Assignment of one input split to a map task.
+#[derive(Clone)]
+pub struct MapTaskSpec {
+    pub job: Arc<JobCtx>,
+    pub task_id: u32,
+    pub file: DfsPath,
+    pub offset: u64,
+    pub len: u64,
+    /// Nodes holding the split's block (for locality accounting).
+    pub hosts: Vec<NodeId>,
+}
+
+/// Assignment of one partition to a reduce task.
+#[derive(Clone)]
+pub struct ReduceTaskSpec {
+    pub job: Arc<JobCtx>,
+    pub partition: u32,
+    /// Number of map tasks whose output must be fetched.
+    pub map_count: u32,
+}
+
+/// How far past the split end the reader looks for the record delimiter per
+/// extension round.
+const LOOKAHEAD: u64 = 64 * 1024;
+
+/// Execute a map task. Returns an error string on failure (the jobtracker
+/// turns it into a loud job failure).
+pub fn run_map_task(
+    p: &Proc,
+    fs: &Arc<dyn FileSystem>,
+    registry: &Arc<MapOutputRegistry>,
+    spec: &MapTaskSpec,
+) -> Result<(), String> {
+    let ctx = &spec.job;
+    let conf = &ctx.conf;
+    let r = conf.num_reducers;
+    let counters = &ctx.counters;
+
+    if spec.hosts.contains(&p.node()) {
+        counters.add(&counters.data_local_maps, 1);
+    } else {
+        counters.add(&counters.remote_maps, 1);
+    }
+
+    let mut reader = fs
+        .open(p, &spec.file)
+        .map_err(|e| format!("map open {}: {e}", spec.file))?;
+    let file_len = reader.len();
+    let end = (spec.offset + spec.len).min(file_len);
+    let split_len = end.saturating_sub(spec.offset);
+    counters.add(&counters.map_input_bytes, split_len);
+
+    let partitions: Vec<Payload> = if let Some(profile) = conf.ghost {
+        // Profile mode: charge the read, the CPU, and emit sized ghosts.
+        let data = reader
+            .read_at(p, spec.offset, split_len)
+            .map_err(|e| format!("map read: {e}"))?;
+        debug_assert_eq!(data.len(), split_len);
+        let records = split_len / profile.input_record_bytes.max(1);
+        counters.add(&counters.map_input_records, records);
+        p.compute(
+            p.node(),
+            (split_len as f64 * profile.map_cpu_per_byte) as u64,
+        );
+        let out_total = (split_len as f64 * profile.map_output_ratio) as u64;
+        counters.add(&counters.map_output_bytes, out_total);
+        counters.add(
+            &counters.map_output_records,
+            (out_total as f64 / profile.input_record_bytes.max(1) as f64) as u64,
+        );
+        let base = out_total / r as u64;
+        let extra = (out_total % r as u64) as u32;
+        (0..r)
+            .map(|i| Payload::ghost(base + u64::from(i < extra)))
+            .collect()
+    } else {
+        // Real mode: honor record boundaries across splits (read a window
+        // that extends past the split end until a newline or EOF).
+        let mut parts = vec![reader
+            .read_at(p, spec.offset, split_len)
+            .map_err(|e| format!("map read: {e}"))?];
+        let mut probe = end;
+        'extend: while probe < file_len {
+            let n = LOOKAHEAD.min(file_len - probe);
+            let chunk = reader
+                .read_at(p, probe, n)
+                .map_err(|e| format!("map lookahead: {e}"))?;
+            let has_newline = chunk.bytes().contains(&b'\n');
+            parts.push(chunk);
+            probe += n;
+            if has_newline {
+                break 'extend;
+            }
+        }
+        let window = Payload::concat(&parts);
+        let window = window.bytes();
+
+        let mut buffers: Vec<Vec<KV>> = (0..r).map(|_| Vec::new()).collect();
+        let mut in_records = 0u64;
+        let mut out_records = 0u64;
+        let mut out_bytes = 0u64;
+        for line in split_records(window, spec.offset, spec.len) {
+            in_records += 1;
+            let (k, v) = crate::record::split_tab(line);
+            conf.user.mapper.map(k, v, &mut |kv: KV| {
+                out_records += 1;
+                out_bytes += kv.encoded_len();
+                buffers[partition_for(&kv.key, r) as usize].push(kv);
+            });
+        }
+        counters.add(&counters.map_input_records, in_records);
+        counters.add(&counters.map_output_records, out_records);
+        counters.add(&counters.map_output_bytes, out_bytes);
+
+        buffers
+            .into_iter()
+            .map(|mut buf| {
+                buf.sort();
+                if let Some(combiner) = &conf.user.combiner {
+                    let grouped = sort_and_group(buf);
+                    let mut combined = Vec::new();
+                    for (key, values) in grouped {
+                        let mut it = values.iter().map(|v| v.as_slice());
+                        combiner.reduce(&key, &mut it, &mut |kv| combined.push(kv));
+                    }
+                    combined.sort();
+                    encode_kvs(&combined)
+                } else {
+                    encode_kvs(&buf)
+                }
+            })
+            .collect()
+    };
+
+    for (i, data) in partitions.into_iter().enumerate() {
+        registry.publish(
+            SegmentKey {
+                job: ctx.id,
+                map_task: spec.task_id,
+                partition: i as u32,
+            },
+            p.node(),
+            data,
+        );
+    }
+    Ok(())
+}
+
+/// Execute a reduce task: shuffle, merge, reduce, commit output.
+pub fn run_reduce_task(
+    p: &Proc,
+    fs: &Arc<dyn FileSystem>,
+    registry: &Arc<MapOutputRegistry>,
+    spec: &ReduceTaskSpec,
+) -> Result<(), String> {
+    let ctx = &spec.job;
+    let conf = &ctx.conf;
+    let counters = &ctx.counters;
+
+    // Shuffle: pull this partition from every map output, in parallel
+    // (Hadoop's parallel fetchers).
+    type Fetch = Option<Payload>;
+    let mut tasks: Vec<Box<dyn FnOnce(&Proc) -> Fetch + Send>> =
+        Vec::with_capacity(spec.map_count as usize);
+    for m in 0..spec.map_count {
+        let reg = registry.clone();
+        let key = SegmentKey {
+            job: ctx.id,
+            map_task: m,
+            partition: spec.partition,
+        };
+        tasks.push(Box::new(move |wp: &Proc| reg.fetch(wp, key)));
+    }
+    let mut segments = Vec::with_capacity(tasks.len());
+    for (m, seg) in run_parallel(p, "shuffle", tasks).into_iter().enumerate() {
+        let seg = seg.ok_or_else(|| {
+            format!(
+                "reduce {} missing map output {m} of job {}",
+                spec.partition, ctx.id
+            )
+        })?;
+        counters.add(&counters.shuffle_bytes, seg.len());
+        segments.push(seg);
+    }
+
+    // Merge + reduce.
+    let output: Payload = if let Some(profile) = conf.ghost {
+        let shuffled: u64 = segments.iter().map(Payload::len).sum();
+        p.compute(
+            p.node(),
+            (shuffled as f64 * profile.reduce_cpu_per_byte) as u64,
+        );
+        let out = (shuffled as f64 * profile.reduce_output_ratio) as u64;
+        counters.add(
+            &counters.reduce_input_records,
+            shuffled / profile.input_record_bytes.max(1),
+        );
+        counters.add(&counters.reduce_output_bytes, out);
+        Payload::ghost(out)
+    } else {
+        let mut all: Vec<KV> = Vec::new();
+        for seg in &segments {
+            all.extend(decode_kvs(seg.bytes()));
+        }
+        counters.add(&counters.reduce_input_records, all.len() as u64);
+        let grouped = sort_and_group(all);
+        let mut out_records = Vec::new();
+        for (key, values) in grouped {
+            let mut it = values.iter().map(|v| v.as_slice());
+            conf.user
+                .reducer
+                .reduce(&key, &mut it, &mut |kv| out_records.push(kv));
+        }
+        counters.add(&counters.reduce_output_records, out_records.len() as u64);
+        let payload = to_text(&out_records);
+        counters.add(&counters.reduce_output_bytes, payload.len());
+        payload
+    };
+
+    // Commit.
+    match conf.output_mode {
+        OutputMode::PerReducerFiles => {
+            // Original Hadoop (paper Figure 1): unique temp file, then rename
+            // into the output directory.
+            let tmp = conf.temp_part_file(spec.partition);
+            let mut w = fs
+                .create(p, &tmp)
+                .map_err(|e| format!("reduce create {tmp}: {e}"))?;
+            w.write(p, output).map_err(|e| format!("reduce write: {e}"))?;
+            w.close(p).map_err(|e| format!("reduce close: {e}"))?;
+            fs.rename(p, &tmp, &conf.part_file(spec.partition))
+                .map_err(|e| format!("reduce commit rename: {e}"))?;
+        }
+        OutputMode::SharedAppendFile => {
+            // Modified Hadoop (paper Figure 2): append to the single shared
+            // output file — atomically, so concurrent reducers cannot tear
+            // each other's records. Skip the append entirely for empty
+            // outputs.
+            if !output.is_empty() {
+                let target = conf.shared_output_file();
+                fs.append_all(p, &target, output)
+                    .map_err(|e| format!("reduce append {target}: {e}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Mapper, Reducer, UserFns};
+    use crate::job::{JobConf, JobCounters};
+    use bsfs::Bsfs;
+    use fabric::{ClusterSpec, Fabric};
+
+    struct IdentityMap;
+    impl Mapper for IdentityMap {
+        fn map(&self, k: &[u8], v: &[u8], out: &mut dyn FnMut(KV)) {
+            out(KV::new(k.to_vec(), v.to_vec()));
+        }
+    }
+    struct ConcatReduce;
+    impl Reducer for ConcatReduce {
+        fn reduce(
+            &self,
+            key: &[u8],
+            values: &mut dyn Iterator<Item = &[u8]>,
+            out: &mut dyn FnMut(KV),
+        ) {
+            let joined: Vec<u8> = values.collect::<Vec<_>>().join(&b","[..]);
+            out(KV::new(key.to_vec(), joined));
+        }
+    }
+
+    #[test]
+    fn map_then_reduce_end_to_end_single_tasks() {
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let fs = Bsfs::deploy(
+            &fx,
+            blobseer::BlobSeerConfig::test_small(4096),
+            blobseer::Layout::compact(fx.spec()),
+        )
+        .unwrap();
+        let h = fx.spawn(NodeId(0), "driver", move |p| {
+            let fs: Arc<dyn FileSystem> = Arc::new(fs);
+            fs.write_file(
+                p,
+                &DfsPath::new("/in").unwrap(),
+                Payload::from_vec(b"b\t2\na\t1\nb\t3\n".to_vec()),
+            )
+            .unwrap();
+            fs.mkdirs(p, &DfsPath::new("/out").unwrap()).unwrap();
+            let conf = JobConf {
+                name: "unit".into(),
+                inputs: vec![DfsPath::new("/in").unwrap()],
+                output_dir: DfsPath::new("/out").unwrap(),
+                num_reducers: 1,
+                output_mode: OutputMode::PerReducerFiles,
+                user: UserFns {
+                    mapper: Arc::new(IdentityMap),
+                    reducer: Arc::new(ConcatReduce),
+                    combiner: None,
+                },
+                ghost: None,
+            };
+            let ctx = Arc::new(JobCtx {
+                id: 1,
+                conf,
+                counters: Arc::new(JobCounters::default()),
+            });
+            let registry = MapOutputRegistry::new();
+            run_map_task(
+                p,
+                &fs,
+                &registry,
+                &MapTaskSpec {
+                    job: ctx.clone(),
+                    task_id: 0,
+                    file: DfsPath::new("/in").unwrap(),
+                    offset: 0,
+                    len: 14,
+                    hosts: vec![],
+                },
+            )
+            .unwrap();
+            run_reduce_task(
+                p,
+                &fs,
+                &registry,
+                &ReduceTaskSpec {
+                    job: ctx.clone(),
+                    partition: 0,
+                    map_count: 1,
+                },
+            )
+            .unwrap();
+            let out = fs
+                .read_file(p, &DfsPath::new("/out/part-00000").unwrap())
+                .unwrap();
+            assert_eq!(out.bytes().as_ref(), b"a\t1\nb\t2,3\n");
+            assert_eq!(
+                ctx.counters
+                    .map_input_records
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                3
+            );
+        });
+        fx.run();
+        h.take().unwrap();
+    }
+}

@@ -1,0 +1,280 @@
+//! Full-cluster Map/Reduce integration tests: jobtracker + tasktrackers +
+//! real jobs over BSFS and the HDFS baseline, in both output modes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use blobseer::{BlobSeerConfig, Layout};
+use bsfs::Bsfs;
+use dfs::{DfsPath, FileSystem};
+use fabric::{ClusterSpec, Fabric, NodeId, Payload, Proc};
+use hdfs_sim::{HdfsConfig, HdfsLayout, HdfsSim};
+use mapreduce::{JobConf, MrCluster, MrConfig, OutputMode, UserFns, KV};
+
+fn d(s: &str) -> DfsPath {
+    DfsPath::new(s).unwrap()
+}
+
+/// Classic wordcount user functions.
+fn wordcount() -> UserFns {
+    let mapper = |_k: &[u8], v: &[u8], out: &mut dyn FnMut(KV)| {
+        // Input format: key = line (no tab); count words of the whole line.
+        for w in _k
+            .split(|&b| b == b' ')
+            .chain(v.split(|&b| b == b' '))
+            .filter(|w| !w.is_empty())
+        {
+            out(KV::new(w.to_vec(), b"1".to_vec()));
+        }
+    };
+    let reducer = |key: &[u8], values: &mut dyn Iterator<Item = &[u8]>, out: &mut dyn FnMut(KV)| {
+        let total: u64 = values
+            .map(|v| std::str::from_utf8(v).unwrap().parse::<u64>().unwrap())
+            .sum();
+        out(KV::new(key.to_vec(), total.to_string().into_bytes()));
+    };
+    UserFns {
+        mapper: Arc::new(mapper),
+        reducer: Arc::new(reducer),
+        combiner: Some(Arc::new(reducer)),
+    }
+}
+
+const CORPUS: &str = "the quick brown fox\njumps over the lazy dog\nthe dog barks\nfox and dog run\nthe end\n";
+
+/// Expected wordcount of `CORPUS`.
+fn expected_counts() -> HashMap<String, u64> {
+    let mut m = HashMap::new();
+    for w in CORPUS.split_whitespace() {
+        *m.entry(w.to_string()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Parse `word TAB count` output text into a map.
+fn parse_counts(text: &[u8]) -> HashMap<String, u64> {
+    let mut m = HashMap::new();
+    for line in text.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+        let tab = line.iter().position(|&b| b == b'\t').expect("tab");
+        let word = String::from_utf8(line[..tab].to_vec()).unwrap();
+        let count: u64 = std::str::from_utf8(&line[tab + 1..]).unwrap().parse().unwrap();
+        let prev = m.insert(word.clone(), count);
+        assert!(prev.is_none(), "word {word} appears twice in output");
+    }
+    m
+}
+
+fn run_wordcount(
+    fs: Arc<dyn FileSystem>,
+    fx: &Fabric,
+    mode: OutputMode,
+    reducers: u32,
+) -> mapreduce::JobResult {
+    let mr = MrCluster::start(fx, fs.clone(), MrConfig::compact(fx.spec()));
+    let fs2 = fs.clone();
+    let mr2 = mr.clone();
+    let driver = fx.spawn(NodeId(0), "driver", move |p: &Proc| {
+        // Small blocks so the corpus makes several splits.
+        fs2.write_file(p, &d("/input/corpus"), Payload::from_vec(CORPUS.into()))
+            .unwrap();
+        let job = JobConf {
+            name: format!("wordcount-{}", mode.label()),
+            inputs: vec![d("/input/corpus")],
+            output_dir: d("/out"),
+            num_reducers: reducers,
+            output_mode: mode,
+            user: wordcount(),
+            ghost: None,
+        };
+        let handle = mr2.submit(job);
+        let result = handle.wait(p);
+        mr2.shutdown();
+        result
+    });
+    fx.run();
+    driver.take().unwrap()
+}
+
+fn read_all_output(fs: Arc<dyn FileSystem>, fx: &Fabric, mode: OutputMode) -> Vec<u8> {
+    let h = fx.spawn(NodeId(0), "reader", move |p: &Proc| {
+        let mut buf = Vec::new();
+        match mode {
+            OutputMode::SharedAppendFile => {
+                let data = fs.read_file(p, &d("/out/result")).unwrap();
+                buf.extend_from_slice(data.bytes());
+            }
+            OutputMode::PerReducerFiles => {
+                for st in fs.list(p, &d("/out")).unwrap() {
+                    if !st.is_dir {
+                        let data = fs.read_file(p, &st.path).unwrap();
+                        buf.extend_from_slice(data.bytes());
+                    }
+                }
+            }
+        }
+        buf
+    });
+    fx.run();
+    h.take().unwrap()
+}
+
+fn bsfs_fixture(block: u64) -> (Fabric, Arc<dyn FileSystem>, Bsfs) {
+    let fx = Fabric::sim(ClusterSpec::tiny(8));
+    let bsfs = Bsfs::deploy(
+        &fx,
+        BlobSeerConfig::test_small(block),
+        Layout::compact(fx.spec()),
+    )
+    .unwrap();
+    let fs: Arc<dyn FileSystem> = Arc::new(bsfs.clone());
+    (fx, fs, bsfs)
+}
+
+#[test]
+fn wordcount_on_bsfs_shared_append_single_output_file() {
+    let (fx, fs, _bsfs) = bsfs_fixture(32);
+    let result = run_wordcount(fs.clone(), &fx, OutputMode::SharedAppendFile, 4);
+    assert_eq!(result.reduces, 4);
+    assert!(result.maps > 1, "corpus should split into several maps");
+    // THE paper's point: a single logical output file.
+    assert_eq!(result.output_files, 1);
+    let out = read_all_output(fs, &fx, OutputMode::SharedAppendFile);
+    assert_eq!(parse_counts(&out), expected_counts());
+}
+
+#[test]
+fn wordcount_on_bsfs_per_reducer_files() {
+    let (fx, fs, _bsfs) = bsfs_fixture(32);
+    let result = run_wordcount(fs.clone(), &fx, OutputMode::PerReducerFiles, 4);
+    // Original Hadoop: one file per reducer.
+    assert_eq!(result.output_files, 4);
+    let out = read_all_output(fs, &fx, OutputMode::PerReducerFiles);
+    assert_eq!(parse_counts(&out), expected_counts());
+}
+
+#[test]
+fn wordcount_on_hdfs_per_reducer_files() {
+    let fx = Fabric::sim(ClusterSpec::tiny(8));
+    let hdfs = HdfsSim::deploy(
+        &fx,
+        HdfsConfig::test_small(32),
+        HdfsLayout::compact(fx.spec()),
+    );
+    let fs: Arc<dyn FileSystem> = Arc::new(hdfs);
+    let result = run_wordcount(fs.clone(), &fx, OutputMode::PerReducerFiles, 3);
+    assert_eq!(result.output_files, 3);
+    let out = read_all_output(fs, &fx, OutputMode::PerReducerFiles);
+    assert_eq!(parse_counts(&out), expected_counts());
+}
+
+#[test]
+#[should_panic(expected = "does not support the append operation")]
+fn shared_append_mode_on_hdfs_fails_loudly() {
+    // The whole premise of the paper: you cannot run the modified framework
+    // on stock HDFS.
+    let fx = Fabric::sim(ClusterSpec::tiny(8));
+    let hdfs = HdfsSim::deploy(
+        &fx,
+        HdfsConfig::test_small(32),
+        HdfsLayout::compact(fx.spec()),
+    );
+    let fs: Arc<dyn FileSystem> = Arc::new(hdfs);
+    run_wordcount(fs, &fx, OutputMode::SharedAppendFile, 2);
+}
+
+#[test]
+fn map_tasks_prefer_local_blocks() {
+    let (fx, fs, _bsfs) = bsfs_fixture(64);
+    // Write a many-block file, then run a job; with a tasktracker on every
+    // node, most maps should be data-local.
+    let result = run_wordcount(fs, &fx, OutputMode::PerReducerFiles, 2);
+    assert!(
+        result.data_local_maps > 0,
+        "locality scheduling never hit: local={} remote={}",
+        result.data_local_maps,
+        result.remote_maps
+    );
+    assert_eq!(result.data_local_maps + result.remote_maps, result.maps as u64);
+}
+
+#[test]
+fn two_jobs_run_concurrently() {
+    let (fx, fs, _bsfs) = bsfs_fixture(32);
+    let mr = MrCluster::start(&fx, fs.clone(), MrConfig::compact(fx.spec()));
+    let fs2 = fs.clone();
+    let mr2 = mr.clone();
+    let driver = fx.spawn(NodeId(0), "driver", move |p: &Proc| {
+        fs2.write_file(p, &d("/input/a"), Payload::from_vec(CORPUS.into()))
+            .unwrap();
+        fs2.write_file(p, &d("/input/b"), Payload::from_vec(CORPUS.into()))
+            .unwrap();
+        let mk = |name: &str, input: &str, out: &str| JobConf {
+            name: name.into(),
+            inputs: vec![d(input)],
+            output_dir: d(out),
+            num_reducers: 2,
+            output_mode: OutputMode::SharedAppendFile,
+            user: wordcount(),
+            ghost: None,
+        };
+        let h1 = mr2.submit(mk("job-a", "/input/a", "/out-a"));
+        let h2 = mr2.submit(mk("job-b", "/input/b", "/out-b"));
+        let r1 = h1.wait(p);
+        let r2 = h2.wait(p);
+        mr2.shutdown();
+        let out_a = fs2.read_file(p, &d("/out-a/result")).unwrap();
+        let out_b = fs2.read_file(p, &d("/out-b/result")).unwrap();
+        (r1, r2, out_a.bytes().to_vec(), out_b.bytes().to_vec())
+    });
+    fx.run();
+    let (r1, r2, out_a, out_b) = driver.take().unwrap();
+    assert_eq!(r1.output_files, 1);
+    assert_eq!(r2.output_files, 1);
+    assert_eq!(parse_counts(&out_a), expected_counts());
+    assert_eq!(parse_counts(&out_b), expected_counts());
+}
+
+#[test]
+fn ghost_job_at_paper_scale_smoke() {
+    // 270 nodes, paper layouts, ghost payloads: the full framework runs a
+    // profile-mode job end to end in simulation.
+    let fx = Fabric::sim(ClusterSpec::orsay_270());
+    let bsfs = Bsfs::deploy_paper(&fx, BlobSeerConfig::paper()).unwrap();
+    let fs: Arc<dyn FileSystem> = Arc::new(bsfs);
+    let mr = MrCluster::start(&fx, fs.clone(), MrConfig::paper(fx.spec()));
+    let fs2 = fs.clone();
+    let mr2 = mr.clone();
+    let driver = fx.spawn(NodeId(23), "driver", move |p: &Proc| {
+        // 320 MB ghost input = 5 blocks of 64 MB.
+        let mut w = fs2.create(p, &d("/in")).unwrap();
+        w.write(p, Payload::ghost(320 * 1024 * 1024)).unwrap();
+        w.close(p).unwrap();
+        let job = JobConf {
+            name: "ghost-smoke".into(),
+            inputs: vec![d("/in")],
+            output_dir: d("/out"),
+            num_reducers: 8,
+            output_mode: OutputMode::SharedAppendFile,
+            user: wordcount(), // unused in ghost mode
+            ghost: Some(mapreduce::GhostProfile {
+                input_record_bytes: 100,
+                map_output_ratio: 1.0,
+                map_cpu_per_byte: 2.0,
+                reduce_output_ratio: 1.0,
+                reduce_cpu_per_byte: 1.0,
+            }),
+        };
+        let result = mr2.submit(job).wait(p);
+        mr2.shutdown();
+        result
+    });
+    fx.run();
+    let r = driver.take().unwrap();
+    assert_eq!(r.maps, 5);
+    assert_eq!(r.output_files, 1);
+    assert_eq!(r.map_input_bytes, 320 * 1024 * 1024);
+    assert_eq!(r.shuffle_bytes, 320 * 1024 * 1024);
+    assert_eq!(r.reduce_output_bytes, 320 * 1024 * 1024);
+    assert!(r.elapsed_secs() > 1.0, "moving 3x320MB takes real time");
+    assert!(r.elapsed_secs() < 120.0, "took {}s", r.elapsed_secs());
+}

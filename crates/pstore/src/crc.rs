@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven. Implemented in-repo to keep
+//! the dependency set to the approved list.
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (matches zlib's `crc32(0, data)`).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_multi(&[data])
+}
+
+/// CRC-32 over the concatenation of several slices without copying.
+pub fn crc32_multi(parts: &[&[u8]]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn multi_equals_concat() {
+        let whole = crc32(b"hello world");
+        let parts = crc32_multi(&[b"hello", b" ", b"world"]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"the quick brown fox".to_vec();
+        let before = crc32(&data);
+        data[7] ^= 0x10;
+        assert_ne!(before, crc32(&data));
+    }
+}

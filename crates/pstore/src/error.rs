@@ -1,0 +1,50 @@
+//! Error type for the persistence layer.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::Store`] operations.
+#[derive(Debug)]
+pub enum PStoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A record failed its checksum or structural validation somewhere other
+    /// than the recoverable tail of the newest segment.
+    Corrupt {
+        segment: u64,
+        offset: u64,
+        detail: String,
+    },
+}
+
+impl fmt::Display for PStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PStoreError::Io(e) => write!(f, "pstore I/O error: {e}"),
+            PStoreError::Corrupt {
+                segment,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "pstore corruption in segment {segment} at offset {offset}: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PStoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PStoreError {
+    fn from(e: std::io::Error) -> Self {
+        PStoreError::Io(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, PStoreError>;

@@ -1,0 +1,25 @@
+//! `pstore` — an embedded, log-structured key/value store.
+//!
+//! BlobSeer "offers persistence through a BerkeleyDB layer" (paper §3.1.1):
+//! providers and the namespace manager keep their state in a local embedded
+//! database. This crate is that substitute: a crash-consistent,
+//! CRC-checksummed, append-only segmented log with an in-memory index,
+//! on-demand compaction and recovery-by-scan — the same design family as
+//! Bitcask/BDB's logs, small enough to audit.
+//!
+//! Guarantees:
+//! * `put`/`delete` are durable after [`Store::flush`] (or `fsync` mode);
+//! * recovery replays segments in order and stops at the first torn/corrupt
+//!   record (prefix consistency), discarding the damaged tail;
+//! * [`Store::compact`] rewrites live records and reclaims dead space while
+//!   preserving the latest value of every key.
+//!
+//! The store is `Sync`; all operations take `&self`.
+
+mod crc;
+mod error;
+mod store;
+
+pub use crc::crc32;
+pub use error::{PStoreError, Result};
+pub use store::{Store, StoreOptions, StoreStats};

@@ -1,0 +1,727 @@
+//! The store proper: segmented append-only log + in-memory index.
+//!
+//! Disk layout: a directory of `NNNNNNNN.seg` files written strictly
+//! append-only. Each record is
+//!
+//! ```text
+//! +-------+---------+---------+----------+----------+
+//! | crc32 | key_len | val_len | key      | value    |
+//! | u32le | u32le   | u32le   | key_len  | val_len  |
+//! +-------+---------+---------+----------+----------+
+//! ```
+//!
+//! with `val_len == u32::MAX` marking a tombstone (delete). The CRC covers
+//! everything after itself. The in-memory index maps keys to the segment and
+//! offset of their newest record; recovery rebuilds it by scanning segments
+//! in id order.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::crc::crc32_multi;
+use crate::error::{PStoreError, Result};
+
+const TOMBSTONE: u32 = u32::MAX;
+const HEADER: usize = 12; // crc + key_len + val_len
+
+/// Tunables for a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Rotate to a new segment once the active one exceeds this size.
+    pub max_segment_bytes: u64,
+    /// `fsync` after every write (slow, maximally durable). Default: rely on
+    /// explicit [`Store::flush`].
+    pub fsync_each_write: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            max_segment_bytes: 64 * 1024 * 1024,
+            fsync_each_write: false,
+        }
+    }
+}
+
+/// Occupancy counters (see [`Store::stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreStats {
+    /// Number of live keys.
+    pub keys: usize,
+    /// Bytes occupied by the newest record of each live key.
+    pub live_bytes: u64,
+    /// Total bytes across all segments, dead records included.
+    pub disk_bytes: u64,
+    /// Number of segment files.
+    pub segments: usize,
+}
+
+impl StoreStats {
+    /// Fraction of on-disk bytes not referenced by the index.
+    pub fn dead_ratio(&self) -> f64 {
+        if self.disk_bytes == 0 {
+            0.0
+        } else {
+            1.0 - (self.live_bytes as f64 / self.disk_bytes as f64)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Loc {
+    seg: u64,
+    offset: u64,
+    rec_len: u64,
+}
+
+struct Inner {
+    dir: PathBuf,
+    opts: StoreOptions,
+    index: HashMap<Vec<u8>, Loc>,
+    /// Read handles for sealed + active segments, keyed by id.
+    files: BTreeMap<u64, File>,
+    /// On-disk length per segment.
+    seg_len: BTreeMap<u64, u64>,
+    active: u64,
+    /// Bytes appended to the active segment not yet written to the file.
+    buf: Vec<u8>,
+    /// Bytes of the active segment already in the file.
+    flushed: u64,
+    live_bytes: u64,
+}
+
+/// An embedded log-structured KV store; see the crate docs.
+pub struct Store {
+    inner: Mutex<Inner>,
+}
+
+fn seg_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("{id:08}.seg"))
+}
+
+fn encode_record(out: &mut Vec<u8>, key: &[u8], val: Option<&[u8]>) -> u64 {
+    let key_len = (key.len() as u32).to_le_bytes();
+    let val_len = match val {
+        Some(v) => (v.len() as u32).to_le_bytes(),
+        None => TOMBSTONE.to_le_bytes(),
+    };
+    let crc = crc32_multi(&[&key_len, &val_len, key, val.unwrap_or(&[])]);
+    let start = out.len();
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&key_len);
+    out.extend_from_slice(&val_len);
+    out.extend_from_slice(key);
+    if let Some(v) = val {
+        out.extend_from_slice(v);
+    }
+    (out.len() - start) as u64
+}
+
+/// Parse one record at `data[pos..]`. Returns `(key, value, record_len)`
+/// where `value == None` is a tombstone, or `Err(detail)` for torn/corrupt
+/// data.
+#[allow(clippy::type_complexity)]
+fn parse_record(data: &[u8], pos: usize) -> std::result::Result<(&[u8], Option<&[u8]>, u64), String> {
+    if data.len() < pos + HEADER {
+        return Err("truncated header".into());
+    }
+    let crc = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+    let key_len = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap()) as usize;
+    let val_len_raw = u32::from_le_bytes(data[pos + 8..pos + 12].try_into().unwrap());
+    let val_len = if val_len_raw == TOMBSTONE {
+        0
+    } else {
+        val_len_raw as usize
+    };
+    let body = pos + HEADER;
+    let end = body
+        .checked_add(key_len)
+        .and_then(|x| x.checked_add(val_len))
+        .ok_or("absurd record length")?;
+    if data.len() < end {
+        return Err("truncated body".into());
+    }
+    let key = &data[body..body + key_len];
+    let val = &data[body + key_len..end];
+    let actual = crc32_multi(&[
+        &data[pos + 4..pos + 8],
+        &data[pos + 8..pos + 12],
+        key,
+        val,
+    ]);
+    if actual != crc {
+        return Err(format!("checksum mismatch (stored {crc:#x}, computed {actual:#x})"));
+    }
+    let value = if val_len_raw == TOMBSTONE { None } else { Some(val) };
+    Ok((key, value, (end - pos) as u64))
+}
+
+impl Store {
+    /// Open (or create) a store in `dir` with default options.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Store> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// Open (or create) a store in `dir`.
+    pub fn open_with(dir: impl AsRef<Path>, opts: StoreOptions) -> Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut ids: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".seg") {
+                if let Ok(id) = stem.parse::<u64>() {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+
+        let mut index = HashMap::new();
+        let mut files = BTreeMap::new();
+        let mut seg_len = BTreeMap::new();
+        let mut live_bytes = 0u64;
+        let newest = ids.last().copied();
+        for &id in &ids {
+            let path = seg_path(&dir, id);
+            let mut f = OpenOptions::new().read(true).append(true).open(&path)?;
+            let mut data = Vec::new();
+            f.read_to_end(&mut data)?;
+            let mut pos = 0usize;
+            while pos < data.len() {
+                match parse_record(&data, pos) {
+                    Ok((key, val, rec_len)) => {
+                        let old = if val.is_some() {
+                            index.insert(
+                                key.to_vec(),
+                                Loc {
+                                    seg: id,
+                                    offset: pos as u64,
+                                    rec_len,
+                                },
+                            )
+                        } else {
+                            index.remove(key)
+                        };
+                        if let Some(o) = old {
+                            live_bytes -= o.rec_len;
+                        }
+                        if val.is_some() {
+                            live_bytes += rec_len;
+                        }
+                        pos += rec_len as usize;
+                    }
+                    Err(detail) => {
+                        if Some(id) == newest {
+                            // Torn tail from a crash mid-append: discard it.
+                            f.set_len(pos as u64)?;
+                            data.truncate(pos);
+                            break;
+                        }
+                        return Err(PStoreError::Corrupt {
+                            segment: id,
+                            offset: pos as u64,
+                            detail,
+                        });
+                    }
+                }
+            }
+            seg_len.insert(id, data.len() as u64);
+            files.insert(id, f);
+        }
+
+        let active = match newest {
+            Some(id) => id,
+            None => {
+                let f = OpenOptions::new()
+                    .read(true)
+                    .append(true)
+                    .create(true)
+                    .open(seg_path(&dir, 0))?;
+                files.insert(0, f);
+                seg_len.insert(0, 0);
+                0
+            }
+        };
+        let flushed = seg_len[&active];
+        Ok(Store {
+            inner: Mutex::new(Inner {
+                dir,
+                opts,
+                index,
+                files,
+                seg_len,
+                active,
+                buf: Vec::new(),
+                flushed,
+                live_bytes,
+            }),
+        })
+    }
+
+    /// Insert or replace `key`.
+    pub fn put(&self, key: &[u8], val: &[u8]) -> Result<()> {
+        let mut g = self.inner.lock();
+        let inner = &mut *g;
+        inner.maybe_rotate()?;
+        let offset = inner.flushed + inner.buf.len() as u64;
+        let rec_len = encode_record(&mut inner.buf, key, Some(val));
+        let old = inner.index.insert(
+            key.to_vec(),
+            Loc {
+                seg: inner.active,
+                offset,
+                rec_len,
+            },
+        );
+        if let Some(o) = old {
+            inner.live_bytes -= o.rec_len;
+        }
+        inner.live_bytes += rec_len;
+        *inner.seg_len.get_mut(&inner.active).unwrap() = offset + rec_len;
+        if inner.opts.fsync_each_write {
+            inner.flush(true)?;
+        }
+        Ok(())
+    }
+
+    /// Fetch the newest value of `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut g = self.inner.lock();
+        let inner = &mut *g;
+        let Some(loc) = inner.index.get(key).copied() else {
+            return Ok(None);
+        };
+        let data = inner.read_record(loc)?;
+        let (k, v, _) = parse_record(&data, 0).map_err(|detail| PStoreError::Corrupt {
+            segment: loc.seg,
+            offset: loc.offset,
+            detail,
+        })?;
+        debug_assert_eq!(k, key);
+        Ok(v.map(|v| v.to_vec()))
+    }
+
+    /// Remove `key`; returns whether it existed.
+    pub fn delete(&self, key: &[u8]) -> Result<bool> {
+        let mut g = self.inner.lock();
+        let inner = &mut *g;
+        if !inner.index.contains_key(key) {
+            return Ok(false);
+        }
+        inner.maybe_rotate()?;
+        let offset = inner.flushed + inner.buf.len() as u64;
+        let rec_len = encode_record(&mut inner.buf, key, None);
+        if let Some(o) = inner.index.remove(key) {
+            inner.live_bytes -= o.rec_len;
+        }
+        *inner.seg_len.get_mut(&inner.active).unwrap() = offset + rec_len;
+        if inner.opts.fsync_each_write {
+            inner.flush(true)?;
+        }
+        Ok(true)
+    }
+
+    /// True when `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.inner.lock().index.contains_key(key)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    /// True when no keys are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All live keys (unordered).
+    pub fn keys(&self) -> Vec<Vec<u8>> {
+        self.inner.lock().index.keys().cloned().collect()
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, sorted by key.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let keys: Vec<Vec<u8>> = {
+            let g = self.inner.lock();
+            let mut ks: Vec<_> = g
+                .index
+                .keys()
+                .filter(|k| k.starts_with(prefix))
+                .cloned()
+                .collect();
+            ks.sort();
+            ks
+        };
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            if let Some(v) = self.get(&k)? {
+                out.push((k, v));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Write buffered records to disk and `fsync`.
+    pub fn flush(&self) -> Result<()> {
+        self.inner.lock().flush(true)
+    }
+
+    /// Occupancy counters.
+    pub fn stats(&self) -> StoreStats {
+        let g = self.inner.lock();
+        StoreStats {
+            keys: g.index.len(),
+            live_bytes: g.live_bytes,
+            disk_bytes: g.seg_len.values().sum(),
+            segments: g.seg_len.len(),
+        }
+    }
+
+    /// Rewrite all live records into fresh segments and delete the old ones,
+    /// reclaiming space held by overwritten/deleted records.
+    pub fn compact(&self) -> Result<()> {
+        let mut g = self.inner.lock();
+        let inner = &mut *g;
+        inner.flush(false)?;
+
+        // Stream live records into fresh segments, oldest location first so
+        // relative age is preserved.
+        let mut locs: Vec<(Vec<u8>, Loc)> =
+            inner.index.iter().map(|(k, l)| (k.clone(), *l)).collect();
+        locs.sort_by_key(|(_, l)| (l.seg, l.offset));
+
+        let old_ids: Vec<u64> = inner.seg_len.keys().copied().collect();
+        let first_new = inner.active + 1;
+        let mut new_index: HashMap<Vec<u8>, Loc> = HashMap::with_capacity(locs.len());
+        let mut new_files = BTreeMap::new();
+        let mut new_lens = BTreeMap::new();
+        let mut cur = first_new;
+        let mut cur_file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(seg_path(&inner.dir, cur))?;
+        let mut cur_len = 0u64;
+        let mut live = 0u64;
+        let mut buf = Vec::new();
+        for (key, loc) in locs {
+            let data = inner.read_record(loc)?;
+            let (_, val, _) = parse_record(&data, 0).map_err(|detail| PStoreError::Corrupt {
+                segment: loc.seg,
+                offset: loc.offset,
+                detail,
+            })?;
+            buf.clear();
+            let rec_len = encode_record(&mut buf, &key, val);
+            if cur_len > 0 && cur_len + rec_len > inner.opts.max_segment_bytes {
+                cur_file.sync_all()?;
+                new_files.insert(cur, cur_file);
+                new_lens.insert(cur, cur_len);
+                cur += 1;
+                cur_file = OpenOptions::new()
+                    .read(true)
+                    .append(true)
+                    .create(true)
+                    .open(seg_path(&inner.dir, cur))?;
+                cur_len = 0;
+            }
+            cur_file.write_all(&buf)?;
+            new_index.insert(
+                key,
+                Loc {
+                    seg: cur,
+                    offset: cur_len,
+                    rec_len,
+                },
+            );
+            cur_len += rec_len;
+            live += rec_len;
+        }
+        cur_file.sync_all()?;
+        new_files.insert(cur, cur_file);
+        new_lens.insert(cur, cur_len);
+
+        inner.index = new_index;
+        inner.files = new_files;
+        inner.seg_len = new_lens;
+        inner.active = cur;
+        inner.buf.clear();
+        inner.flushed = cur_len;
+        inner.live_bytes = live;
+        for id in old_ids {
+            let _ = std::fs::remove_file(seg_path(&inner.dir, id));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Store {
+    /// Clean close: write out buffered records (crash safety before this
+    /// point is covered by explicit `flush`/fsync mode plus recovery).
+    fn drop(&mut self) {
+        let _ = self.inner.lock().flush(false);
+    }
+}
+
+impl Inner {
+    fn flush(&mut self, sync: bool) -> Result<()> {
+        if !self.buf.is_empty() {
+            let f = self.files.get_mut(&self.active).unwrap();
+            f.write_all(&self.buf)?;
+            self.flushed += self.buf.len() as u64;
+            self.buf.clear();
+            if sync {
+                f.sync_all()?;
+            }
+        } else if sync {
+            self.files.get_mut(&self.active).unwrap().sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn maybe_rotate(&mut self) -> Result<()> {
+        let active_len = self.flushed + self.buf.len() as u64;
+        if active_len < self.opts.max_segment_bytes {
+            return Ok(());
+        }
+        self.flush(true)?;
+        let id = self.active + 1;
+        let f = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(seg_path(&self.dir, id))?;
+        self.files.insert(id, f);
+        self.seg_len.insert(id, 0);
+        self.active = id;
+        self.flushed = 0;
+        Ok(())
+    }
+
+    /// Read the raw bytes of the record at `loc`, serving from the write
+    /// buffer when it has not been flushed yet.
+    fn read_record(&mut self, loc: Loc) -> Result<Vec<u8>> {
+        if loc.seg == self.active && loc.offset >= self.flushed {
+            let start = (loc.offset - self.flushed) as usize;
+            return Ok(self.buf[start..start + loc.rec_len as usize].to_vec());
+        }
+        let f = self.files.get(&loc.seg).expect("segment file missing");
+        let mut out = vec![0u8; loc.rec_len as usize];
+        f.read_exact_at(&mut out, loc.offset)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static N: AtomicU64 = AtomicU64::new(0);
+            let p = std::env::temp_dir().join(format!(
+                "pstore-{tag}-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&p);
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let td = TempDir::new("basic");
+        let s = Store::open(&td.0).unwrap();
+        assert!(s.is_empty());
+        s.put(b"alpha", b"1").unwrap();
+        s.put(b"beta", b"2").unwrap();
+        assert_eq!(s.get(b"alpha").unwrap().unwrap(), b"1");
+        s.put(b"alpha", b"updated").unwrap();
+        assert_eq!(s.get(b"alpha").unwrap().unwrap(), b"updated");
+        assert!(s.delete(b"beta").unwrap());
+        assert!(!s.delete(b"beta").unwrap());
+        assert_eq!(s.get(b"beta").unwrap(), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let td = TempDir::new("reopen");
+        {
+            let s = Store::open(&td.0).unwrap();
+            for i in 0..100u32 {
+                s.put(format!("k{i}").as_bytes(), &i.to_le_bytes()).unwrap();
+            }
+            s.delete(b"k42").unwrap();
+            s.flush().unwrap();
+        }
+        let s = Store::open(&td.0).unwrap();
+        assert_eq!(s.len(), 99);
+        assert_eq!(s.get(b"k7").unwrap().unwrap(), 7u32.to_le_bytes());
+        assert_eq!(s.get(b"k42").unwrap(), None);
+    }
+
+    #[test]
+    fn unflushed_reads_come_from_buffer() {
+        let td = TempDir::new("buffer");
+        let s = Store::open(&td.0).unwrap();
+        s.put(b"hot", b"unflushed-value").unwrap();
+        assert_eq!(s.get(b"hot").unwrap().unwrap(), b"unflushed-value");
+    }
+
+    #[test]
+    fn rotates_segments() {
+        let td = TempDir::new("rotate");
+        let opts = StoreOptions {
+            max_segment_bytes: 256,
+            ..Default::default()
+        };
+        let s = Store::open_with(&td.0, opts.clone()).unwrap();
+        for i in 0..50u32 {
+            s.put(format!("key-{i}").as_bytes(), &[7u8; 64]).unwrap();
+        }
+        s.flush().unwrap();
+        assert!(s.stats().segments > 1, "{:?}", s.stats());
+        drop(s);
+        let s = Store::open_with(&td.0, opts).unwrap();
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.get(b"key-49").unwrap().unwrap(), vec![7u8; 64]);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_on_recovery() {
+        let td = TempDir::new("torn");
+        {
+            let s = Store::open(&td.0).unwrap();
+            s.put(b"good", b"value").unwrap();
+            s.put(b"torn", b"this record will be cut in half").unwrap();
+            s.flush().unwrap();
+        }
+        // Chop bytes off the end, simulating a crash mid-append.
+        let path = seg_path(&td.0, 0);
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 10).unwrap();
+        drop(f);
+        let s = Store::open(&td.0).unwrap();
+        assert_eq!(s.get(b"good").unwrap().unwrap(), b"value");
+        assert_eq!(s.get(b"torn").unwrap(), None);
+        // The store remains writable after tail repair.
+        s.put(b"after", b"crash").unwrap();
+        s.flush().unwrap();
+        drop(s);
+        let s = Store::open(&td.0).unwrap();
+        assert_eq!(s.get(b"after").unwrap().unwrap(), b"crash");
+    }
+
+    #[test]
+    fn corruption_in_sealed_segment_is_an_error() {
+        let td = TempDir::new("corrupt");
+        let opts = StoreOptions {
+            max_segment_bytes: 64,
+            ..Default::default()
+        };
+        {
+            let s = Store::open_with(&td.0, opts.clone()).unwrap();
+            for i in 0..20u32 {
+                s.put(format!("k{i}").as_bytes(), &[0u8; 32]).unwrap();
+            }
+            s.flush().unwrap();
+            assert!(s.stats().segments >= 3);
+        }
+        // Flip a byte in the middle of the first (sealed) segment.
+        let path = seg_path(&td.0, 0);
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        std::fs::write(&path, data).unwrap();
+        match Store::open_with(&td.0, opts) {
+            Err(PStoreError::Corrupt { segment: 0, .. }) => {}
+            Err(other) => panic!("expected segment-0 corruption error, got {other}"),
+            Ok(_) => panic!("expected corruption error, store opened cleanly"),
+        }
+    }
+
+    #[test]
+    fn compaction_reclaims_space_and_preserves_data() {
+        let td = TempDir::new("compact");
+        let opts = StoreOptions {
+            max_segment_bytes: 1024,
+            ..Default::default()
+        };
+        let s = Store::open_with(&td.0, opts.clone()).unwrap();
+        for round in 0..10u32 {
+            for i in 0..20u32 {
+                s.put(format!("k{i}").as_bytes(), format!("r{round}-{i}").as_bytes())
+                    .unwrap();
+            }
+        }
+        s.delete(b"k0").unwrap();
+        let before = s.stats();
+        assert!(before.dead_ratio() > 0.5, "{before:?}");
+        s.compact().unwrap();
+        let after = s.stats();
+        assert!(after.disk_bytes < before.disk_bytes / 2, "{after:?}");
+        assert!(after.dead_ratio() < 0.01);
+        assert_eq!(s.get(b"k0").unwrap(), None);
+        for i in 1..20u32 {
+            assert_eq!(
+                s.get(format!("k{i}").as_bytes()).unwrap().unwrap(),
+                format!("r9-{i}").as_bytes()
+            );
+        }
+        // And it survives reopen after compaction.
+        drop(s);
+        let s = Store::open_with(&td.0, opts).unwrap();
+        assert_eq!(s.len(), 19);
+        assert_eq!(s.get(b"k19").unwrap().unwrap(), b"r9-19");
+    }
+
+    #[test]
+    fn scan_prefix_is_sorted_and_filtered() {
+        let td = TempDir::new("scan");
+        let s = Store::open(&td.0).unwrap();
+        s.put(b"blob/2", b"two").unwrap();
+        s.put(b"blob/1", b"one").unwrap();
+        s.put(b"file/1", b"other").unwrap();
+        let got = s.scan_prefix(b"blob/").unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (b"blob/1".to_vec(), b"one".to_vec()),
+                (b"blob/2".to_vec(), b"two".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_binary_values() {
+        let td = TempDir::new("binary");
+        let s = Store::open(&td.0).unwrap();
+        s.put(b"", b"empty-key").unwrap();
+        s.put(b"zero", b"").unwrap();
+        let blob: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        s.put(b"bin", &blob).unwrap();
+        assert_eq!(s.get(b"").unwrap().unwrap(), b"empty-key");
+        assert_eq!(s.get(b"zero").unwrap().unwrap(), b"");
+        assert_eq!(s.get(b"bin").unwrap().unwrap(), blob);
+    }
+}

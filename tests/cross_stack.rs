@@ -1,0 +1,201 @@
+//! Root-level integration tests spanning every crate: the complete paper
+//! pipeline (workload generator → MapReduce → BSFS → BlobSeer → fabric) in
+//! one process, plus whole-stack determinism and failure injection.
+
+use std::sync::Arc;
+
+use blobseer_repro::testbed;
+use dfs::{DfsPath, FileSystem};
+use fabric::{ClusterSpec, Fabric, NodeId, Payload, Proc};
+use mapreduce::{JobConf, MrCluster, MrConfig, OutputMode};
+
+fn d(s: &str) -> DfsPath {
+    DfsPath::new(s).unwrap()
+}
+
+/// The full paper scenario at miniature scale with REAL bytes, in the
+/// deterministic simulator: generate Last.fm-like inputs, run the data join
+/// with shared-append output on BSFS, verify against the oracle and check
+/// the file count.
+fn full_stack_run(seed: u64) -> (Vec<String>, u64, u64) {
+    let fx = Fabric::sim_seeded(ClusterSpec::tiny(12), seed);
+    let bsfs = bsfs::Bsfs::deploy(
+        &fx,
+        blobseer::BlobSeerConfig::test_small(2048),
+        blobseer::Layout::compact(fx.spec()),
+    )
+    .unwrap();
+    let fs: Arc<dyn FileSystem> = Arc::new(bsfs);
+    let mr = MrCluster::start(&fx, fs.clone(), MrConfig::compact(fx.spec()));
+    let fs2 = fs.clone();
+    let mr2 = mr.clone();
+    let h = fx.spawn(NodeId(0), "driver", move |p: &Proc| {
+        let spec = workloads::lastfm::LastFmSpec {
+            records_a: 400,
+            records_b: 300,
+            distinct_keys: 80,
+            overlap: 0.5,
+            seed: 11,
+        };
+        let (a, b) = workloads::lastfm::write_inputs(&*fs2, p, &d("/in"), &spec).unwrap();
+        let job = JobConf {
+            name: "join".into(),
+            inputs: vec![a, b],
+            output_dir: d("/out"),
+            num_reducers: 3,
+            output_mode: OutputMode::SharedAppendFile,
+            user: workloads::datajoin::user_fns(),
+            ghost: None,
+        };
+        let result = mr2.submit(job).wait(p);
+        let out = fs2.read_file(p, &d("/out/result")).unwrap();
+        mr2.shutdown();
+        (out.bytes().to_vec(), result.output_files)
+    });
+    fx.run();
+    let (bytes, files) = h.take().unwrap();
+    let mut lines: Vec<String> = bytes
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .map(|l| String::from_utf8(l.to_vec()).unwrap())
+        .collect();
+    lines.sort();
+    let events = fx.stats().events;
+    (lines, files, events)
+}
+
+#[test]
+fn whole_paper_pipeline_matches_oracle() {
+    let (lines, files, _) = full_stack_run(99);
+    let spec = workloads::lastfm::LastFmSpec {
+        records_a: 400,
+        records_b: 300,
+        distinct_keys: 80,
+        overlap: 0.5,
+        seed: 11,
+    };
+    let oracle = workloads::datajoin::reference_join(
+        &workloads::lastfm::generate(&spec, 0),
+        &workloads::lastfm::generate(&spec, 1),
+    );
+    assert!(!oracle.is_empty());
+    assert_eq!(lines, oracle);
+    assert_eq!(files, 1);
+}
+
+#[test]
+fn whole_stack_simulation_is_deterministic() {
+    // Same seed -> byte-identical results AND identical event counts; the
+    // virtual experiment is exactly reproducible.
+    let a = full_stack_run(1234);
+    let b = full_stack_run(1234);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2, "event counts must match exactly");
+}
+
+#[test]
+fn replicated_bsfs_survives_provider_loss_under_mapreduce() {
+    // Kill a provider mid-workflow: with replication 2, the job's input
+    // remains readable and the job completes.
+    let fx = Fabric::sim(ClusterSpec::tiny(10));
+    let bsfs = bsfs::Bsfs::deploy(
+        &fx,
+        blobseer::BlobSeerConfig::test_small(1024).with_replication(2),
+        blobseer::Layout::compact(fx.spec()),
+    )
+    .unwrap();
+    let store = bsfs.store().clone();
+    let fs: Arc<dyn FileSystem> = Arc::new(bsfs);
+    let mr = MrCluster::start(&fx, fs.clone(), MrConfig::compact(fx.spec()));
+    let fs2 = fs.clone();
+    let mr2 = mr.clone();
+    let h = fx.spawn(NodeId(0), "driver", move |p: &Proc| {
+        let text: String = (0..500).map(|i| format!("w{} common words\n", i % 7)).collect();
+        fs2.write_file(p, &d("/in/text"), Payload::from_vec(text.into_bytes()))
+            .unwrap();
+        // Take down one provider before the job runs.
+        store.kill_provider(3);
+        let job = JobConf {
+            name: "wc-under-failure".into(),
+            inputs: vec![d("/in/text")],
+            output_dir: d("/out"),
+            num_reducers: 2,
+            output_mode: OutputMode::SharedAppendFile,
+            user: workloads::wordcount::user_fns(),
+            ghost: None,
+        };
+        let result = mr2.submit(job).wait(p);
+        let out = fs2.read_file(p, &d("/out/result")).unwrap().bytes().to_vec();
+        mr2.shutdown();
+        (result.output_files, out)
+    });
+    fx.run();
+    let (files, out) = h.take().unwrap();
+    assert_eq!(files, 1);
+    assert!(!out.is_empty());
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.lines().any(|l| l.starts_with("common\t500")));
+}
+
+#[test]
+fn live_and_sim_modes_agree_on_results() {
+    // The same functional scenario produces identical data in live and sim
+    // modes (timing differs; bytes must not).
+    let run = |fx: Fabric| -> u64 {
+        let (_, fsb) = if fx.is_sim() {
+            let b = bsfs::Bsfs::deploy(
+                &fx,
+                blobseer::BlobSeerConfig::test_small(256),
+                blobseer::Layout::compact(fx.spec()),
+            )
+            .unwrap();
+            (fx.clone(), b)
+        } else {
+            let b = bsfs::Bsfs::deploy(
+                &fx,
+                blobseer::BlobSeerConfig::test_small(256),
+                blobseer::Layout::compact(fx.spec()),
+            )
+            .unwrap();
+            (fx.clone(), b)
+        };
+        let h = fx.spawn(NodeId(0), "driver", move |p: &Proc| {
+            let path = d("/data");
+            let mut w = fsb.create(p, &path).unwrap();
+            for i in 0..50u32 {
+                w.write(p, Payload::from_vec(format!("record-{i:04}\n").into_bytes()))
+                    .unwrap();
+            }
+            w.close(p).unwrap();
+            fsb.append_all(p, &path, Payload::from("tail\n")).unwrap();
+            fsb.read_file(p, &path).unwrap().fingerprint()
+        });
+        fx.run();
+        h.take().unwrap()
+    };
+    let sim = run(Fabric::sim(ClusterSpec::tiny(4)));
+    let live = run(Fabric::live(ClusterSpec::tiny(4)));
+    assert_eq!(sim, live);
+}
+
+#[test]
+fn testbed_helpers_build_working_worlds() {
+    let (fx, fs) = testbed::live_bsfs(3, 1024);
+    let h = fx.spawn(NodeId(0), "driver", move |p: &Proc| {
+        fs.write_file(p, &d("/x"), Payload::from("hello")).unwrap();
+        assert!(fs.supports_append());
+        fs.status(p, &d("/x")).unwrap().len
+    });
+    fx.run();
+    assert_eq!(h.take().unwrap(), 5);
+
+    let (fx, fs) = testbed::live_hdfs(3, 1024);
+    let h = fx.spawn(NodeId(0), "driver", move |p: &Proc| {
+        fs.write_file(p, &d("/x"), Payload::from("hello")).unwrap();
+        assert!(!fs.supports_append());
+        fs.status(p, &d("/x")).unwrap().len
+    });
+    fx.run();
+    assert_eq!(h.take().unwrap(), 5);
+}
