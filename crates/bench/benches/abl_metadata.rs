@@ -13,7 +13,8 @@ fn main() {
     for &n_meta in &[1u32, 5, 20, 64] {
         let spec = ClusterSpec::orsay_270();
         let layout = Layout::paper_with_meta(&spec, n_meta);
-        let (fx, fs) = paper_bsfs_with_layout(9200 + n_meta as u64, BlobSeerConfig::paper(), layout);
+        let (fx, fs) =
+            paper_bsfs_with_layout(9200 + n_meta as u64, BlobSeerConfig::paper(), layout);
         let t = fig3_point_on(&fx, &fs, 128);
         let dht = fs.store().metadata_dht();
         let max_server_nodes = dht

@@ -25,7 +25,12 @@ fn main() {
     }
     print_table(
         "Ablation A2: replication factor vs append throughput (64 appenders x 64 MB)",
-        &["replicas", "per-client MB/s", "slowdown vs r=1", "bytes stored"],
+        &[
+            "replicas",
+            "per-client MB/s",
+            "slowdown vs r=1",
+            "bytes stored",
+        ],
         &rows,
     );
     println!(

@@ -85,8 +85,7 @@ fn bench_meta(c: &mut Criterion) {
         };
         b.iter(|| {
             let mut fetch = |k: &NodeKey| store.get(k).cloned();
-            let hits =
-                collect_leaves(&mut fetch, BlobId(1), &snap, 0, snap.total_bytes).unwrap();
+            let hits = collect_leaves(&mut fetch, BlobId(1), &snap, 0, snap.total_bytes).unwrap();
             black_box(hits.len())
         });
     });

@@ -50,7 +50,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -114,13 +117,17 @@ pub fn fig3_point_on(fx: &Fabric, fs: &Bsfs, n_clients: u32) -> f64 {
         let g = start_gate.clone();
         let t2 = times.clone();
         let f2 = file.clone();
-        fx.spawn(provider_node(i as usize), format!("appender{i}"), move |p| {
-            g.wait(p);
-            let chunk = fs2.default_block_size();
-            let t0 = p.now();
-            fs2.append_all(p, &f2, Payload::ghost(chunk)).unwrap();
-            t2.lock().push(p.now() - t0);
-        });
+        fx.spawn(
+            provider_node(i as usize),
+            format!("appender{i}"),
+            move |p| {
+                g.wait(p);
+                let chunk = fs2.default_block_size();
+                let t0 = p.now();
+                fs2.append_all(p, &f2, Payload::ghost(chunk)).unwrap();
+                t2.lock().push(p.now() - t0);
+            },
+        );
     }
     fx.run();
     let times = times.lock();

@@ -57,9 +57,7 @@ impl BsfsWriter {
             self.pending.push(buffered.slice(flush_len, rest_len));
         }
         self.pending_len = rest_len;
-        self.client
-            .append(p, self.blob, head)
-            .map_err(to_fs_err)?;
+        self.client.append(p, self.blob, head).map_err(to_fs_err)?;
         Ok(())
     }
 }

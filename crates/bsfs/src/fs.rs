@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use blobseer::{BlobSeer, BlobSeerConfig, Layout};
-use dfs::{BlockLocation, DfsPath, FileReader, FileStatus, FileSystem, FileWriter, FsError, FsResult};
+use dfs::{
+    BlockLocation, DfsPath, FileReader, FileStatus, FileSystem, FileWriter, FsError, FsResult,
+};
 use fabric::{Fabric, NodeId, Payload, Proc};
 
 use crate::file::{to_fs_err, BsfsReader, BsfsWriter};

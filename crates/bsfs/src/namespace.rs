@@ -161,11 +161,7 @@ impl NamespaceManager {
             Self::mkdirs_locked(&mut st, &parent)?;
         }
         // Move src and (for directories) its whole subtree.
-        let to_move: Vec<DfsPath> = st
-            .keys()
-            .filter(|k| k.starts_with(src))
-            .cloned()
-            .collect();
+        let to_move: Vec<DfsPath> = st.keys().filter(|k| k.starts_with(src)).cloned().collect();
         for old in to_move {
             let entry = st.remove(&old).expect("key just listed");
             let new = old.rebase(src, dst).expect("subtree paths rebase");
@@ -281,7 +277,8 @@ mod tests {
         with_proc(|p| {
             let ns = NamespaceManager::new(NodeId(1), 64, 0);
             ns.create_file(p, &d("/x/one"), BlobId(1), 100).unwrap();
-            ns.create_file(p, &d("/x/deep/two"), BlobId(2), 100).unwrap();
+            ns.create_file(p, &d("/x/deep/two"), BlobId(2), 100)
+                .unwrap();
             ns.rename(p, &d("/x"), &d("/y")).unwrap();
             assert!(ns.lookup(p, &d("/y/one")).is_ok());
             assert!(ns.lookup(p, &d("/y/deep/two")).is_ok());
@@ -317,7 +314,8 @@ mod tests {
             let ns = NamespaceManager::new(NodeId(1), 64, 0);
             ns.create_file(p, &d("/dir/b"), BlobId(1), 100).unwrap();
             ns.create_file(p, &d("/dir/a"), BlobId(2), 100).unwrap();
-            ns.create_file(p, &d("/dir/sub/deep"), BlobId(3), 100).unwrap();
+            ns.create_file(p, &d("/dir/sub/deep"), BlobId(3), 100)
+                .unwrap();
             let names: Vec<String> = ns
                 .list(p, &d("/dir"))
                 .unwrap()

@@ -25,7 +25,9 @@ fn deploy_sim(nodes: u32, block: u64) -> (Fabric, Bsfs) {
 }
 
 fn pattern(len: usize, tag: u8) -> Vec<u8> {
-    (0..len).map(|i| tag.wrapping_add((i % 249) as u8)).collect()
+    (0..len)
+        .map(|i| tag.wrapping_add((i % 249) as u8))
+        .collect()
 }
 
 #[test]
@@ -130,7 +132,11 @@ fn concurrent_appenders_to_one_shared_file() {
         let mut seen = std::collections::HashSet::new();
         for chunk in bytes.chunks(block) {
             let tag = chunk[0];
-            assert_eq!(chunk, &pattern(block, tag)[..], "block with tag {tag} corrupted");
+            assert_eq!(
+                chunk,
+                &pattern(block, tag)[..],
+                "block with tag {tag} corrupted"
+            );
             assert!(seen.insert(tag), "tag {tag} duplicated");
         }
         assert_eq!(seen.len(), n * per_appender);
@@ -183,12 +189,8 @@ fn block_locations_enable_locality() {
             assert_eq!(l.hosts.len(), 1); // replication = 1
         }
         // Locations must point at actual providers.
-        let provider_nodes: std::collections::HashSet<_> = fs
-            .store()
-            .providers()
-            .iter()
-            .map(|pr| pr.node())
-            .collect();
+        let provider_nodes: std::collections::HashSet<_> =
+            fs.store().providers().iter().map(|pr| pr.node()).collect();
         for l in &locs {
             assert!(provider_nodes.contains(&l.hosts[0]));
         }

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use fabric::{run_parallel, NodeId, Payload, Proc};
+use fabric::{run_parallel, NodeId, Payload, Proc, TaskFn};
 use parking_lot::Mutex;
 use rand::Rng;
 
@@ -101,10 +101,10 @@ impl BlobClient {
             None => UpdateKind::Append,
             Some(o) => UpdateKind::WriteAt { offset: o },
         };
-        let (desc, catch_up) = self
-            .svc
-            .vm
-            .assign(p, blob, kind, nbytes, manifest.clone(), known)?;
+        let (desc, catch_up) =
+            self.svc
+                .vm
+                .assign(p, blob, kind, nbytes, manifest.clone(), known)?;
         let before = {
             // The cache may be shared by concurrent updaters of this client;
             // merge idempotently by version index. Every response covers all
@@ -142,10 +142,7 @@ impl BlobClient {
 
     fn store_pages(&self, p: &Proc, chunks: &[Payload], ps: u64) -> BlobResult<Vec<PageRef>> {
         let repl = self.svc.config.replication;
-        let placements = self
-            .svc
-            .pm
-            .allocate(p, chunks.len(), repl, ps, &[])?;
+        let placements = self.svc.pm.allocate(p, chunks.len(), repl, ps, &[])?;
         let ids: Vec<PageId> = chunks
             .iter()
             .map(|_| {
@@ -155,8 +152,7 @@ impl BlobClient {
             .collect();
 
         type PageResult = BlobResult<PageRef>;
-        let mut tasks: Vec<Box<dyn FnOnce(&Proc) -> PageResult + Send>> =
-            Vec::with_capacity(chunks.len());
+        let mut tasks: Vec<TaskFn<PageResult>> = Vec::with_capacity(chunks.len());
         for ((chunk, id), providers) in chunks.iter().zip(&ids).zip(placements) {
             let chunk = chunk.clone();
             let id = *id;
@@ -198,8 +194,7 @@ impl BlobClient {
         }
         let hits = self.leaves(p, blob, snap, offset, offset + len)?;
         type PartResult = BlobResult<Payload>;
-        let mut tasks: Vec<Box<dyn FnOnce(&Proc) -> PartResult + Send>> =
-            Vec::with_capacity(hits.len());
+        let mut tasks: Vec<TaskFn<PartResult>> = Vec::with_capacity(hits.len());
         for hit in hits {
             let svc = self.svc.clone();
             let (a, b) = (
@@ -302,7 +297,9 @@ fn store_one_page(
                     attempts += 1;
                     if attempts > 3 {
                         return Err(BlobError::PageUnavailable {
-                            detail: format!("could not place page {id:?} after {attempts} attempts"),
+                            detail: format!(
+                                "could not place page {id:?} after {attempts} attempts"
+                            ),
                         });
                     }
                     let mut exclude = dead.clone();

@@ -105,10 +105,8 @@ impl BlobSeer {
             };
             providers.push(Arc::new(prov));
         }
-        let provider_map: HashMap<NodeId, Arc<Provider>> = providers
-            .iter()
-            .map(|pr| (pr.node(), pr.clone()))
-            .collect();
+        let provider_map: HashMap<NodeId, Arc<Provider>> =
+            providers.iter().map(|pr| (pr.node(), pr.clone())).collect();
         if provider_map.len() != providers.len() {
             return Err(BlobError::Persistence(
                 "duplicate provider nodes in layout".into(),
@@ -197,7 +195,12 @@ impl BlobSeer {
     /// Spread of provider loads: (min, max) stored bytes — used by the
     /// load-balancing tests and benches.
     pub fn load_spread(&self) -> (u64, u64) {
-        let loads: Vec<u64> = self.svc.providers.iter().map(|p| p.stored_bytes()).collect();
+        let loads: Vec<u64> = self
+            .svc
+            .providers
+            .iter()
+            .map(|p| p.stored_bytes())
+            .collect();
         (
             loads.iter().copied().min().unwrap_or(0),
             loads.iter().copied().max().unwrap_or(0),
@@ -215,7 +218,7 @@ mod tests {
         let l = Layout::paper(&spec);
         assert_eq!(l.meta.len(), 20);
         assert_eq!(l.providers.len(), 247); // 270 - vm - pm - namespace - 20 meta
-        // No overlap between service nodes and provider nodes.
+                                            // No overlap between service nodes and provider nodes.
         assert!(!l.providers.contains(&l.vm));
         assert!(!l.providers.contains(&l.pm));
         assert!(!l.providers.contains(&l.namespace));

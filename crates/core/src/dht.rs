@@ -60,7 +60,10 @@ impl MetaServer {
 
     /// (puts, gets) served.
     pub fn op_counts(&self) -> (u64, u64) {
-        (self.puts.load(Ordering::Relaxed), self.gets.load(Ordering::Relaxed))
+        (
+            self.puts.load(Ordering::Relaxed),
+            self.gets.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -188,7 +191,9 @@ mod tests {
 
     fn dht(n: u32) -> MetaDht {
         MetaDht::new(
-            (0..n).map(|i| Arc::new(MetaServer::new(NodeId(i)))).collect(),
+            (0..n)
+                .map(|i| Arc::new(MetaServer::new(NodeId(i))))
+                .collect(),
             0,
         )
     }

@@ -137,7 +137,10 @@ fn build_node(
     lo: u64,
     hi: u64,
 ) {
-    debug_assert!(new.touches_range(lo, hi), "only nodes on the write path are built");
+    debug_assert!(
+        new.touches_range(lo, hi),
+        "only nodes on the write path are built"
+    );
     let key = NodeKey {
         blob,
         version: new.version,
@@ -395,7 +398,10 @@ mod tests {
         fn overwrite(&mut self, page_lo: u64, data: &[u8]) -> Version {
             let (tp, tb) = self.total();
             let byte_lo = page_lo * PS; // valid only below the short tail, asserted below
-            assert!(byte_lo + data.len() as u64 <= tb, "test uses interior overwrites");
+            assert!(
+                byte_lo + data.len() as u64 <= tb,
+                "test uses interior overwrites"
+            );
             assert_eq!(data.len() as u64 % PS, 0, "interior overwrite keeps layout");
             let manifest = self.store_pages(data);
             let v = self.descs.len() as Version + 1;

@@ -57,8 +57,7 @@ impl Provider {
     /// Provider backed by the BerkeleyDB-substitute [`pstore::Store`]
     /// (live mode with real bytes only).
     pub fn new_persistent(node: NodeId, dir: &std::path::Path) -> BlobResult<Self> {
-        let store =
-            pstore::Store::open(dir).map_err(|e| BlobError::Persistence(e.to_string()))?;
+        let store = pstore::Store::open(dir).map_err(|e| BlobError::Persistence(e.to_string()))?;
         Ok(Provider {
             node,
             alive: AtomicBool::new(true),
@@ -213,9 +212,7 @@ mod tests {
     use super::*;
     use fabric::{ClusterSpec, Fabric};
 
-    fn with_proc<T: Send + 'static>(
-        f: impl FnOnce(&Proc) -> T + Send + 'static,
-    ) -> T {
+    fn with_proc<T: Send + 'static>(f: impl FnOnce(&Proc) -> T + Send + 'static) -> T {
         let fx = Fabric::sim(ClusterSpec::tiny(4));
         let h = fx.spawn(NodeId(0), "t", f);
         fx.run();
@@ -242,7 +239,8 @@ mod tests {
     fn ghost_pages_are_stored_by_size() {
         with_proc(|p| {
             let prov = Provider::new_mem(NodeId(1));
-            prov.put_page(p, PageId(1, 1), Payload::ghost(1 << 20)).unwrap();
+            prov.put_page(p, PageId(1, 1), Payload::ghost(1 << 20))
+                .unwrap();
             assert_eq!(prov.stored_bytes(), 1 << 20);
             assert_eq!(prov.get_page(p, PageId(1, 1)).unwrap().len(), 1 << 20);
         });
@@ -284,7 +282,8 @@ mod tests {
             let prov = Provider::new_mem(NodeId(1));
             prov.reserve(1000);
             assert_eq!(prov.load_estimate(), 1000);
-            prov.put_page(p, PageId(1, 1), Payload::ghost(1000)).unwrap();
+            prov.put_page(p, PageId(1, 1), Payload::ghost(1000))
+                .unwrap();
             assert_eq!(prov.load_estimate(), 1000); // reserved released, stored added
             prov.unreserve(5000); // over-release saturates at zero
             assert_eq!(prov.load_estimate(), 1000);

@@ -159,7 +159,9 @@ mod tests {
     use fabric::{ClusterSpec, Fabric};
 
     fn providers(n: u32) -> Vec<Arc<Provider>> {
-        (0..n).map(|i| Arc::new(Provider::new_mem(NodeId(i)))).collect()
+        (0..n)
+            .map(|i| Arc::new(Provider::new_mem(NodeId(i))))
+            .collect()
     }
 
     fn with_proc<T: Send + 'static>(f: impl FnOnce(&Proc) -> T + Send + 'static) -> T {
@@ -213,12 +215,7 @@ mod tests {
         with_proc(|p| {
             let provs = providers(4);
             provs[1].kill();
-            let pm = ProviderManager::new(
-                NodeId(0),
-                provs.clone(),
-                AllocStrategy::LeastLoaded,
-                64,
-            );
+            let pm = ProviderManager::new(NodeId(0), provs.clone(), AllocStrategy::LeastLoaded, 64);
             for _ in 0..8 {
                 let a = pm.allocate(p, 1, 1, 10, &[NodeId(2)]).unwrap();
                 let n = a[0][0].node().0;

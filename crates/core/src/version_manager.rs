@@ -215,7 +215,7 @@ impl VersionManager {
                 } else {
                     // Interior overwrite: must replace whole existing pages
                     // with an identical layout.
-                    if nbytes % ps != 0 {
+                    if !nbytes.is_multiple_of(ps) {
                         return Err(BlobError::UnalignedWrite {
                             detail: format!(
                                 "interior overwrite of {nbytes} B is not a multiple of the {ps} B page size"
@@ -427,9 +427,7 @@ impl VersionManager {
             };
             meta.assigned_at
                 .iter()
-                .filter(|&(v, t)| {
-                    now.saturating_sub(*t) > timeout && !meta.committed.contains(v)
-                })
+                .filter(|&(v, t)| now.saturating_sub(*t) > timeout && !meta.committed.contains(v))
                 .map(|(v, _)| *v)
                 .collect()
         };
@@ -452,10 +450,7 @@ mod tests {
     const PS: u64 = 100;
 
     fn setup(fx: &Fabric) -> Arc<VersionManager> {
-        let dht = Arc::new(MetaDht::new(
-            vec![Arc::new(MetaServer::new(NodeId(1)))],
-            0,
-        ));
+        let dht = Arc::new(MetaDht::new(vec![Arc::new(MetaServer::new(NodeId(1)))], 0));
         Arc::new(VersionManager::new(
             NodeId(0),
             fx.clone(),
@@ -611,12 +606,26 @@ mod tests {
 
             // Invalid: offset not a boundary.
             assert!(matches!(
-                vm2.assign(p, blob, UpdateKind::WriteAt { offset: 150 }, 100, manifest(1, 3, 100), 2),
+                vm2.assign(
+                    p,
+                    blob,
+                    UpdateKind::WriteAt { offset: 150 },
+                    100,
+                    manifest(1, 3, 100),
+                    2
+                ),
                 Err(BlobError::UnalignedWrite { .. })
             ));
             // Invalid: interior length not page-multiple.
             assert!(matches!(
-                vm2.assign(p, blob, UpdateKind::WriteAt { offset: 0 }, 150, manifest(2, 4, 50), 2),
+                vm2.assign(
+                    p,
+                    blob,
+                    UpdateKind::WriteAt { offset: 0 },
+                    150,
+                    manifest(2, 4, 50),
+                    2
+                ),
                 Err(BlobError::UnalignedWrite { .. })
             ));
             // Valid: tail-extending write from a boundary.

@@ -39,7 +39,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn pattern(len: u64, tag: u8) -> Vec<u8> {
-    (0..len).map(|i| tag.wrapping_add((i % 253) as u8)).collect()
+    (0..len)
+        .map(|i| tag.wrapping_add((i % 253) as u8))
+        .collect()
 }
 
 proptest! {

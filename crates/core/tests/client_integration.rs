@@ -6,11 +6,13 @@
 use std::sync::Arc;
 
 use blobseer::{AllocStrategy, BlobSeer, BlobSeerConfig, Layout};
-use fabric::{ClusterSpec, Fabric, NodeId, Payload, Proc};
+use fabric::{ClusterSpec, Fabric, NodeId, Payload};
 use parking_lot::Mutex;
 
 fn pattern(len: usize, tag: u8) -> Vec<u8> {
-    (0..len).map(|i| tag.wrapping_add((i % 251) as u8)).collect()
+    (0..len)
+        .map(|i| tag.wrapping_add((i % 251) as u8))
+        .collect()
 }
 
 fn sim_deploy(nodes: u32, page_size: u64) -> (Fabric, BlobSeer) {
@@ -109,9 +111,14 @@ fn concurrent_appenders_all_land_atomically() {
             let at = j * block;
             let slice = &bytes[at..at + block];
             let tag = slice[0];
-            let i = (0..n).find(|&i| pattern(block, i as u8 * 31 + 1)[0] == tag)
+            let i = (0..n)
+                .find(|&i| pattern(block, i as u8 * 31 + 1)[0] == tag)
                 .expect("block starts with a known tag");
-            assert_eq!(slice, &pattern(block, i as u8 * 31 + 1)[..], "block {j} intact");
+            assert_eq!(
+                slice,
+                &pattern(block, i as u8 * 31 + 1)[..],
+                "block {j} intact"
+            );
             assert!(seen.insert(i), "block {i} appeared twice");
         }
         assert_eq!(seen.len(), n);
@@ -222,7 +229,9 @@ fn overwrite_creates_isolated_snapshots() {
         let base = pattern(400, 1);
         c.append(p, blob, Payload::from_vec(base.clone())).unwrap();
         let patch = pattern(200, 200);
-        let v2 = c.write(p, blob, 100, Payload::from_vec(patch.clone())).unwrap();
+        let v2 = c
+            .write(p, blob, 100, Payload::from_vec(patch.clone()))
+            .unwrap();
         assert_eq!(v2, 2);
         let mut want = base.clone();
         want[100..300].copy_from_slice(&patch);
@@ -282,7 +291,8 @@ fn page_locations_expose_distribution() {
     let h = fx.spawn(NodeId(0), "driver", move |p| {
         let c = bs2.client();
         let blob = c.create(p, None);
-        c.append(p, blob, Payload::from_vec(pattern(850, 3))).unwrap();
+        c.append(p, blob, Payload::from_vec(pattern(850, 3)))
+            .unwrap();
         let locs = c.page_locations(p, blob, None, 0, 850).unwrap();
         assert_eq!(locs.len(), 9); // 8 full + 1 short page
         assert_eq!(locs[8].byte_len, 50);
@@ -294,7 +304,10 @@ fn page_locations_expose_distribution() {
         assert_eq!(locs[0].byte_off, 200);
         // Load balancing: no provider got everything.
         let (min, max) = bs2.load_spread();
-        assert!(max < 850, "one provider hoarded all pages (min={min}, max={max})");
+        assert!(
+            max < 850,
+            "one provider hoarded all pages (min={min}, max={max})"
+        );
     });
     fx.run();
     h.take().unwrap();

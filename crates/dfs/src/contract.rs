@@ -16,7 +16,11 @@ fn p(s: &str) -> DfsPath {
 }
 
 fn bytes(len: usize, tag: u8) -> Payload {
-    Payload::from_vec((0..len).map(|i| tag.wrapping_add((i % 247) as u8)).collect())
+    Payload::from_vec(
+        (0..len)
+            .map(|i| tag.wrapping_add((i % 247) as u8))
+            .collect(),
+    )
 }
 
 /// Run the common-behaviour suite against `fs`. Panics on any violation.
@@ -123,7 +127,8 @@ pub fn exercise_filesystem(fs: &dyn FileSystem, proc_: &Proc) {
     // --- file counting (the paper's "file-count problem" metric) -----------
     fs.mkdirs(prc, &p("/count/deep")).unwrap();
     fs.write_file(prc, &p("/count/x"), bytes(1, 2)).unwrap();
-    fs.write_file(prc, &p("/count/deep/y"), bytes(1, 2)).unwrap();
+    fs.write_file(prc, &p("/count/deep/y"), bytes(1, 2))
+        .unwrap();
     assert_eq!(fs.count_files(prc, &p("/count")).unwrap(), 2);
 
     // --- block locations -----------------------------------------------------
@@ -143,7 +148,11 @@ pub fn exercise_filesystem(fs: &dyn FileSystem, proc_: &Proc) {
         w.write(prc, bytes(500, 42)).unwrap();
         w.close(prc).unwrap();
         assert_eq!(fs.status(prc, &p("/a/file1")).unwrap().len, 10_500);
-        let tail = fs.open(prc, &p("/a/file1")).unwrap().read_at(prc, 10_000, 500).unwrap();
+        let tail = fs
+            .open(prc, &p("/a/file1"))
+            .unwrap()
+            .read_at(prc, 10_000, 500)
+            .unwrap();
         assert_eq!(tail.fingerprint(), bytes(500, 42).fingerprint());
         // Appending to a missing file fails.
         assert!(matches!(

@@ -174,7 +174,10 @@ mod tests {
             DfsPath::root()
         );
         assert!(DfsPath::root().parent().is_none());
-        assert_eq!(p.components().collect::<Vec<_>>(), vec!["data", "out", "part-0"]);
+        assert_eq!(
+            p.components().collect::<Vec<_>>(),
+            vec!["data", "out", "part-0"]
+        );
     }
 
     #[test]
@@ -183,7 +186,9 @@ mod tests {
         assert!(DfsPath::new("/data/out/part-0").unwrap().starts_with(&dir));
         assert!(DfsPath::new("/data/out").unwrap().starts_with(&dir));
         assert!(!DfsPath::new("/data/output").unwrap().starts_with(&dir));
-        assert!(DfsPath::new("/anything").unwrap().starts_with(&DfsPath::root()));
+        assert!(DfsPath::new("/anything")
+            .unwrap()
+            .starts_with(&DfsPath::root()));
     }
 
     #[test]

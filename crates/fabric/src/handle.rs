@@ -392,15 +392,14 @@ impl Proc {
     }
 }
 
+/// A boxed unit of work for [`run_parallel`].
+pub type TaskFn<R> = Box<dyn FnOnce(&Proc) -> R + Send>;
+
 /// Run `tasks` concurrently as sibling processes of `p` on the same node,
 /// blocking until all complete; results come back in task order. A single
 /// task runs inline (no spawn overhead). This is the building block for
 /// client-side parallel I/O (parallel page writes/fetches, shuffle fans).
-pub fn run_parallel<R: Send + 'static>(
-    p: &Proc,
-    label: &str,
-    tasks: Vec<Box<dyn FnOnce(&Proc) -> R + Send>>,
-) -> Vec<R> {
+pub fn run_parallel<R: Send + 'static>(p: &Proc, label: &str, tasks: Vec<TaskFn<R>>) -> Vec<R> {
     let n = tasks.len();
     if n == 0 {
         return Vec::new();
@@ -412,9 +411,10 @@ pub fn run_parallel<R: Send + 'static>(
     let q: crate::sync::Queue<(usize, R)> = p.fabric().queue();
     for (i, t) in tasks.into_iter().enumerate() {
         let q2 = q.clone();
-        p.fabric().spawn(p.node(), format!("{label}#{i}"), move |wp| {
-            q2.send((i, t(wp)));
-        });
+        p.fabric()
+            .spawn(p.node(), format!("{label}#{i}"), move |wp| {
+                q2.send((i, t(wp)));
+            });
     }
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for _ in 0..n {

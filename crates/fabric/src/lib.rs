@@ -40,7 +40,7 @@ pub mod topology;
 
 mod parker;
 
-pub use handle::{run_parallel, Fabric, JoinHandle, Proc};
+pub use handle::{run_parallel, Fabric, JoinHandle, Proc, TaskFn};
 pub use payload::Payload;
 pub use stats::FabricStats;
 pub use time::{ns_to_secs, secs_to_ns, SimTime, MICROS, MILLIS, SECS};
@@ -49,8 +49,8 @@ pub use topology::{ClusterSpec, NodeId};
 /// Convenience prelude for downstream crates.
 pub mod prelude {
     pub use crate::sync::{Gate, Queue};
-    pub use crate::{run_parallel,
-        ns_to_secs, secs_to_ns, ClusterSpec, Fabric, FabricStats, JoinHandle, NodeId, Payload,
-        Proc, SimTime, MICROS, MILLIS, SECS,
+    pub use crate::{
+        ns_to_secs, run_parallel, secs_to_ns, ClusterSpec, Fabric, FabricStats, JoinHandle, NodeId,
+        Payload, Proc, SimTime, MICROS, MILLIS, SECS,
     };
 }

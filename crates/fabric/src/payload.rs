@@ -195,7 +195,10 @@ mod tests {
         let a = Payload::from_vec(b"aaa".to_vec());
         let b = Payload::from_vec(b"aab".to_vec());
         assert_ne!(a.fingerprint(), b.fingerprint());
-        assert_eq!(a.fingerprint(), Payload::from_vec(b"aaa".to_vec()).fingerprint());
+        assert_eq!(
+            a.fingerprint(),
+            Payload::from_vec(b"aaa".to_vec()).fingerprint()
+        );
         assert_ne!(Payload::ghost(3).fingerprint(), a.fingerprint());
     }
 }

@@ -194,7 +194,11 @@ impl SimCore {
     ) -> R {
         let mut st = self.state.lock();
         let p = st.procs.get_mut(&pid).expect("blocking unknown process");
-        debug_assert_eq!(p.state, ProcState::Runnable, "process must be running to block");
+        debug_assert_eq!(
+            p.state,
+            ProcState::Runnable,
+            "process must be running to block"
+        );
         p.block_gen += 1;
         p.state = ProcState::Blocked(reason);
         let gen = p.block_gen;
@@ -287,7 +291,11 @@ impl SimCore {
     /// Process panicked; the panic is re-raised from `run()`.
     pub fn proc_panicked(&self, pid: u64, msg: String) {
         let mut st = self.state.lock();
-        let name = st.procs.get(&pid).map(|p| p.name.clone()).unwrap_or_default();
+        let name = st
+            .procs
+            .get(&pid)
+            .map(|p| p.name.clone())
+            .unwrap_or_default();
         st.panics.push(format!("process '{name}' panicked: {msg}"));
         self.finish_inner(&mut st, pid);
     }
@@ -350,11 +358,13 @@ impl SimCore {
                     continue;
                 }
                 let share = (st.scratch_cap[r as usize] / nf as f64).max(0.0);
-                if best.map_or(true, |(_, s)| share < s) {
+                if best.is_none_or(|(_, s)| share < s) {
                     best = Some((r, share));
                 }
             }
-            let Some((bottleneck, share)) = best else { break };
+            let Some((bottleneck, share)) = best else {
+                break;
+            };
             // Freeze all unfrozen flows crossing the bottleneck.
             let flow_ids: Vec<u64> = st.res_flows[bottleneck as usize]
                 .iter()
@@ -390,7 +400,13 @@ impl SimCore {
             } else {
                 now + ((f.remaining / rate) * 1e9).ceil() as u64
             };
-            to_push.push((eta, EvKind::FlowDone { flow: id, gen: f.gen }));
+            to_push.push((
+                eta,
+                EvKind::FlowDone {
+                    flow: id,
+                    gen: f.gen,
+                },
+            ));
         }
         for (t, k) in to_push {
             Self::push_event(st, t, k);
@@ -414,9 +430,7 @@ impl SimCore {
     /// Is this event still meaningful?
     fn event_valid(st: &SimState, ev: &Ev) -> bool {
         match ev.kind {
-            EvKind::FlowDone { flow, gen } => {
-                st.flows.get(&flow).is_some_and(|f| f.gen == gen)
-            }
+            EvKind::FlowDone { flow, gen } => st.flows.get(&flow).is_some_and(|f| f.gen == gen),
             EvKind::Wake { proc, gen } => st
                 .procs
                 .get(&proc)
@@ -449,9 +463,10 @@ impl SimCore {
                             .procs
                             .values()
                             .filter_map(|p| match p.state {
-                                ProcState::Blocked(r) => {
-                                    Some(format!("  - '{}' on {} blocked on {}\n", p.name, p.node, r))
-                                }
+                                ProcState::Blocked(r) => Some(format!(
+                                    "  - '{}' on {} blocked on {}\n",
+                                    p.name, p.node, r
+                                )),
                                 _ => None,
                             })
                             .collect();
@@ -559,10 +574,7 @@ mod tests {
         });
         core.run();
         let t = *done.lock();
-        assert!(
-            (t as f64 - 1e9).abs() < 2.0e3,
-            "expected ~1e9 ns, got {t}"
-        );
+        assert!((t as f64 - 1e9).abs() < 2.0e3, "expected ~1e9 ns, got {t}");
     }
 
     #[test]

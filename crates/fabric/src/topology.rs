@@ -205,13 +205,22 @@ mod tests {
     fn capacities_match_kinds() {
         let spec = ClusterSpec::tiny(2);
         let n = NodeId(1);
-        assert_eq!(spec.capacity(spec.resource(n, ResourceKind::Tx)), spec.nic_bw);
-        assert_eq!(spec.capacity(spec.resource(n, ResourceKind::Rx)), spec.nic_bw);
+        assert_eq!(
+            spec.capacity(spec.resource(n, ResourceKind::Tx)),
+            spec.nic_bw
+        );
+        assert_eq!(
+            spec.capacity(spec.resource(n, ResourceKind::Rx)),
+            spec.nic_bw
+        );
         assert_eq!(
             spec.capacity(spec.resource(n, ResourceKind::Disk)),
             spec.disk_bw
         );
-        assert_eq!(spec.capacity(spec.resource(n, ResourceKind::Cpu)), spec.cpu_ops);
+        assert_eq!(
+            spec.capacity(spec.resource(n, ResourceKind::Cpu)),
+            spec.cpu_ops
+        );
         assert_eq!(
             spec.capacity(spec.resource(n, ResourceKind::Loopback)),
             spec.loopback_bw

@@ -187,7 +187,10 @@ fn equal_sharers_get_equal_rates() {
         let expect = spec.latency_ns as f64 + 50_000_000.0 * n_flows as f64 / spec.nic_bw * 1e9;
         for &t in times.iter() {
             let err = (t as f64 - expect).abs() / expect;
-            assert!(err < 0.001, "{n_flows} sharers: took {t}, expected ~{expect}");
+            assert!(
+                err < 0.001,
+                "{n_flows} sharers: took {t}, expected ~{expect}"
+            );
         }
     }
 }

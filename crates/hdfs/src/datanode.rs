@@ -70,12 +70,10 @@ impl Datanode {
         if !self.is_alive() {
             return Err(FsError::Storage(format!("datanode {} is down", self.node)));
         }
-        let data = self
-            .blocks
-            .lock()
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| FsError::Storage(format!("block {id} not on datanode {}", self.node)))?;
+        let data =
+            self.blocks.lock().get(&id).cloned().ok_or_else(|| {
+                FsError::Storage(format!("block {id} not on datanode {}", self.node))
+            })?;
         p.transfer(self.node, p.node(), data.len());
         Ok(data)
     }
@@ -99,7 +97,8 @@ mod tests {
         let fx = Fabric::sim(ClusterSpec::tiny(2));
         let h = fx.spawn(NodeId(0), "t", |p| {
             let dn = Datanode::new(NodeId(1));
-            dn.store_replica(7, Payload::from_vec(vec![1, 2, 3])).unwrap();
+            dn.store_replica(7, Payload::from_vec(vec![1, 2, 3]))
+                .unwrap();
             assert_eq!(dn.stored_bytes(), 3);
             assert_eq!(dn.read_block(p, 7).unwrap().bytes().as_ref(), &[1, 2, 3]);
             assert!(dn.read_block(p, 8).is_err());

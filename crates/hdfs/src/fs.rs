@@ -285,7 +285,8 @@ impl FileReader for HdfsReader {
         if self.pos >= self.total || len == 0 {
             return Ok(Payload::empty());
         }
-        let cached = matches!(&self.cache, Some((s, d)) if self.pos >= *s && self.pos < s + d.len());
+        let cached =
+            matches!(&self.cache, Some((s, d)) if self.pos >= *s && self.pos < s + d.len());
         if !cached {
             // Readahead: fetch the whole chunk containing `pos` (paper §2.2).
             let idx = match self.offsets.binary_search(&self.pos) {

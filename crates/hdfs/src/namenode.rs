@@ -157,9 +157,7 @@ impl Namenode {
         match entry {
             NnEntry::Dir => Err(FsError::IsADirectory(path.clone())),
             NnEntry::File {
-                blocks,
-                lease: cur,
-                ..
+                blocks, lease: cur, ..
             } => {
                 if *cur != Some(lease) {
                     return Err(FsError::LeaseConflict(path.clone()));
@@ -192,7 +190,9 @@ impl Namenode {
             .ok_or_else(|| FsError::NotFound(path.clone()))?;
         match entry {
             NnEntry::Dir => Err(FsError::IsADirectory(path.clone())),
-            NnEntry::File { blocks, lease: cur, .. } => {
+            NnEntry::File {
+                blocks, lease: cur, ..
+            } => {
                 if *cur != Some(lease) {
                     return Err(FsError::LeaseConflict(path.clone()));
                 }

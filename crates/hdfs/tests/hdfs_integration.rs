@@ -10,7 +10,9 @@ fn d(s: &str) -> DfsPath {
 }
 
 fn pattern(len: usize, tag: u8) -> Vec<u8> {
-    (0..len).map(|i| tag.wrapping_add((i % 241) as u8)).collect()
+    (0..len)
+        .map(|i| tag.wrapping_add((i % 241) as u8))
+        .collect()
 }
 
 fn deploy(nodes: u32, block: u64) -> (Fabric, HdfsSim) {

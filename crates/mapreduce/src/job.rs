@@ -136,13 +136,7 @@ mod tests {
             fn map(&self, _: &[u8], _: &[u8], _: &mut dyn FnMut(KV)) {}
         }
         impl crate::api::Reducer for Nop {
-            fn reduce(
-                &self,
-                _: &[u8],
-                _: &mut dyn Iterator<Item = &[u8]>,
-                _: &mut dyn FnMut(KV),
-            ) {
-            }
+            fn reduce(&self, _: &[u8], _: &mut dyn Iterator<Item = &[u8]>, _: &mut dyn FnMut(KV)) {}
         }
         UserFns {
             mapper: Arc::new(Nop),

@@ -60,10 +60,7 @@ pub fn split_records(window: &[u8], start: u64, len: u64) -> Vec<&[u8]> {
 /// Binary codec for intermediate (map-output) data:
 /// `[key_len u32][val_len u32][key][value]`*.
 pub fn encode_kvs(kvs: &[KV]) -> Payload {
-    let total: usize = kvs
-        .iter()
-        .map(|kv| 8 + kv.key.len() + kv.value.len())
-        .sum();
+    let total: usize = kvs.iter().map(|kv| 8 + kv.key.len() + kv.value.len()).sum();
     let mut buf = Vec::with_capacity(total);
     for kv in kvs {
         buf.extend_from_slice(&(kv.key.len() as u32).to_le_bytes());
@@ -108,10 +105,7 @@ pub fn sort_and_group(mut kvs: Vec<KV>) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
 
 /// Render records as `key TAB value NL` text (job output format).
 pub fn to_text(kvs: &[KV]) -> Payload {
-    let total: usize = kvs
-        .iter()
-        .map(|kv| kv.key.len() + kv.value.len() + 2)
-        .sum();
+    let total: usize = kvs.iter().map(|kv| kv.key.len() + kv.value.len() + 2).sum();
     let mut buf = Vec::with_capacity(total);
     for kv in kvs {
         buf.extend_from_slice(&kv.key);

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use dfs::{DfsPath, FileSystem};
-use fabric::{run_parallel, NodeId, Payload, Proc};
+use fabric::{run_parallel, NodeId, Payload, Proc, TaskFn};
 
 use crate::api::{partition_for, KV};
 use crate::job::{JobCtx, OutputMode};
@@ -173,8 +173,7 @@ pub fn run_reduce_task(
     // Shuffle: pull this partition from every map output, in parallel
     // (Hadoop's parallel fetchers).
     type Fetch = Option<Payload>;
-    let mut tasks: Vec<Box<dyn FnOnce(&Proc) -> Fetch + Send>> =
-        Vec::with_capacity(spec.map_count as usize);
+    let mut tasks: Vec<TaskFn<Fetch>> = Vec::with_capacity(spec.map_count as usize);
     for m in 0..spec.map_count {
         let reg = registry.clone();
         let key = SegmentKey {
@@ -239,7 +238,8 @@ pub fn run_reduce_task(
             let mut w = fs
                 .create(p, &tmp)
                 .map_err(|e| format!("reduce create {tmp}: {e}"))?;
-            w.write(p, output).map_err(|e| format!("reduce write: {e}"))?;
+            w.write(p, output)
+                .map_err(|e| format!("reduce write: {e}"))?;
             w.close(p).map_err(|e| format!("reduce close: {e}"))?;
             fs.rename(p, &tmp, &conf.part_file(spec.partition))
                 .map_err(|e| format!("reduce commit rename: {e}"))?;

@@ -248,8 +248,7 @@ impl MrCluster {
                             // hoarding several co-located compute-heavy maps.
                             let now = p.now();
                             let mut maps_this_hb = 0u32;
-                            while free_map > 0 && maps_this_hb == 0 && !st.pending_maps.is_empty()
-                            {
+                            while free_map > 0 && maps_this_hb == 0 && !st.pending_maps.is_empty() {
                                 let local = st
                                     .pending_maps
                                     .iter()
@@ -257,11 +256,11 @@ impl MrCluster {
                                 let idx = match local {
                                     Some(i) => i,
                                     None => {
-                                        let Some(i) = st.pending_maps.iter().position(
-                                            |(_, since)| {
+                                        let Some(i) =
+                                            st.pending_maps.iter().position(|(_, since)| {
                                                 now.saturating_sub(*since) > locality_delay
-                                            },
-                                        ) else {
+                                            })
+                                        else {
                                             break; // all held for local takers
                                         };
                                         i
@@ -421,7 +420,8 @@ fn plan_job(
         let mut w = fs
             .create(p, &shared)
             .map_err(|e| format!("create shared output {shared}: {e}"))?;
-        w.close(p).map_err(|e| format!("close shared output: {e}"))?;
+        w.close(p)
+            .map_err(|e| format!("close shared output: {e}"))?;
     }
 
     let ctx = Arc::new(JobCtx {

@@ -40,7 +40,8 @@ fn wordcount() -> UserFns {
     }
 }
 
-const CORPUS: &str = "the quick brown fox\njumps over the lazy dog\nthe dog barks\nfox and dog run\nthe end\n";
+const CORPUS: &str =
+    "the quick brown fox\njumps over the lazy dog\nthe dog barks\nfox and dog run\nthe end\n";
 
 /// Expected wordcount of `CORPUS`.
 fn expected_counts() -> HashMap<String, u64> {
@@ -57,7 +58,10 @@ fn parse_counts(text: &[u8]) -> HashMap<String, u64> {
     for line in text.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
         let tab = line.iter().position(|&b| b == b'\t').expect("tab");
         let word = String::from_utf8(line[..tab].to_vec()).unwrap();
-        let count: u64 = std::str::from_utf8(&line[tab + 1..]).unwrap().parse().unwrap();
+        let count: u64 = std::str::from_utf8(&line[tab + 1..])
+            .unwrap()
+            .parse()
+            .unwrap();
         let prev = m.insert(word.clone(), count);
         assert!(prev.is_none(), "word {word} appears twice in output");
     }
@@ -194,7 +198,10 @@ fn map_tasks_prefer_local_blocks() {
         result.data_local_maps,
         result.remote_maps
     );
-    assert_eq!(result.data_local_maps + result.remote_maps, result.maps as u64);
+    assert_eq!(
+        result.data_local_maps + result.remote_maps,
+        result.maps as u64
+    );
 }
 
 #[test]

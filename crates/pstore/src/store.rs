@@ -126,7 +126,10 @@ fn encode_record(out: &mut Vec<u8>, key: &[u8], val: Option<&[u8]>) -> u64 {
 /// where `value == None` is a tombstone, or `Err(detail)` for torn/corrupt
 /// data.
 #[allow(clippy::type_complexity)]
-fn parse_record(data: &[u8], pos: usize) -> std::result::Result<(&[u8], Option<&[u8]>, u64), String> {
+fn parse_record(
+    data: &[u8],
+    pos: usize,
+) -> std::result::Result<(&[u8], Option<&[u8]>, u64), String> {
     if data.len() < pos + HEADER {
         return Err("truncated header".into());
     }
@@ -148,16 +151,17 @@ fn parse_record(data: &[u8], pos: usize) -> std::result::Result<(&[u8], Option<&
     }
     let key = &data[body..body + key_len];
     let val = &data[body + key_len..end];
-    let actual = crc32_multi(&[
-        &data[pos + 4..pos + 8],
-        &data[pos + 8..pos + 12],
-        key,
-        val,
-    ]);
+    let actual = crc32_multi(&[&data[pos + 4..pos + 8], &data[pos + 8..pos + 12], key, val]);
     if actual != crc {
-        return Err(format!("checksum mismatch (stored {crc:#x}, computed {actual:#x})"));
+        return Err(format!(
+            "checksum mismatch (stored {crc:#x}, computed {actual:#x})"
+        ));
     }
-    let value = if val_len_raw == TOMBSTONE { None } else { Some(val) };
+    let value = if val_len_raw == TOMBSTONE {
+        None
+    } else {
+        Some(val)
+    };
     Ok((key, value, (end - pos) as u64))
 }
 
@@ -670,8 +674,11 @@ mod tests {
         let s = Store::open_with(&td.0, opts.clone()).unwrap();
         for round in 0..10u32 {
             for i in 0..20u32 {
-                s.put(format!("k{i}").as_bytes(), format!("r{round}-{i}").as_bytes())
-                    .unwrap();
+                s.put(
+                    format!("k{i}").as_bytes(),
+                    format!("r{round}-{i}").as_bytes(),
+                )
+                .unwrap();
             }
         }
         s.delete(b"k0").unwrap();

@@ -1,0 +1,414 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! This build environment has no access to a cargo registry, so the subset
+//! of the proptest API this workspace uses is re-implemented here:
+//! strategies (`any`, ranges, tuples, `Just`, `prop_map`, `prop_oneof!`,
+//! `prop::collection::vec`), the `proptest!` test macro with
+//! `#![proptest_config(..)]`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest, deliberate for a vendored shim:
+//! - **No shrinking.** A failing case reports its seed so it can be replayed
+//!   (generation is deterministic per `(test, case)` pair), but it is not
+//!   minimized.
+//! - **No persistence files**, no fork, no timeout handling.
+
+use rand::rngs::StdRng;
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Runner configuration (subset of `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Accepted for source compatibility; unused (no shrinking here).
+        pub max_shrink_iters: u32,
+        /// Accepted for source compatibility; unused.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    /// A failed property (what `prop_assert!` returns).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub mod strategy {
+    use super::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe core (`generate`) plus `Sized`-only combinators, so
+    /// strategies can be boxed for `prop_oneof!`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase for heterogeneous collections (`prop_oneof!`).
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform over the type's standard distribution (`any::<T>()`).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// `any::<T>()` — uniform over all values of `T` (unit interval for
+    /// floats).
+    pub fn any<T: rand::Standard>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: rand::UniformSample + Copy> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident/$idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A / 0);
+    impl_tuple_strategy!(A / 0, B / 1);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+    /// Weighted choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new_weighted(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with length drawn from `len` and elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.start..self.len.end);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` path used inside `proptest!` bodies
+/// (`prop::collection::vec(..)`).
+pub mod prop {
+    pub use super::collection;
+}
+
+pub mod prelude {
+    pub use super::strategy::{any, Just, Strategy};
+    pub use super::test_runner::{ProptestConfig, TestCaseError};
+    pub use super::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-(test, case) seed so failures are replayable.
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ ((case as u64) << 1 | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Generation-only analogue of `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let seed = $crate::__rt::case_seed(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let mut rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(seed);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {case}/{} (seed {seed:#x}) failed: {e}",
+                            cfg.cases,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted one-of strategy: `prop_oneof![3 => a, 1 => b]` (unweighted arms
+/// default to weight 1).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// `assert!` that fails the current proptest case via `Err` rather than a
+/// bare panic (so the harness can attach the case seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`,\n right: `{:?}`",
+            l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`,\n right: `{:?}`: {}",
+            l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`,\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Put(u8),
+        Del,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples(v in (0u8..10, 1u32..5).prop_map(|(a, b)| (a, b)), n in 0u64..100) {
+            prop_assert!(v.0 < 10);
+            prop_assert!((1..5).contains(&v.1));
+            prop_assert!(n < 100, "n = {} out of range", n);
+        }
+
+        #[test]
+        fn oneof_vec_and_just(ops in prop::collection::vec(
+            prop_oneof![3 => any::<u8>().prop_map(Op::Put), 1 => Just(Op::Del)],
+            1..20,
+        )) {
+            prop_assert!(!ops.is_empty() && ops.len() < 20);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        use crate::__rt::{case_seed, SeedableRng, StdRng};
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(any::<u64>(), 1..50);
+        let seed = case_seed("some::test", 7);
+        let a = strat.generate(&mut StdRng::seed_from_u64(seed));
+        let b = strat.generate(&mut StdRng::seed_from_u64(seed));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failing_case_reports_seed() {
+        let err = (|| -> Result<(), TestCaseError> {
+            prop_assert_eq!(1 + 1, 3, "math broke");
+            Ok(())
+        })()
+        .unwrap_err();
+        assert!(err.to_string().contains("math broke"));
+    }
+}

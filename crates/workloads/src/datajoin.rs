@@ -172,6 +172,9 @@ mod tests {
         let input = 2.0 * 320.0 * 1024.0 * 1024.0;
         let output = input * p.map_output_ratio * p.reduce_output_ratio;
         let gb = output / (1024.0 * 1024.0 * 1024.0);
-        assert!((6.0..6.6).contains(&gb), "join output {gb:.2} GB, paper says 6.3 GB");
+        assert!(
+            (6.0..6.6).contains(&gb),
+            "join output {gb:.2} GB, paper says 6.3 GB"
+        );
     }
 }

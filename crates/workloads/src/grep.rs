@@ -24,10 +24,7 @@ impl mapreduce::Mapper for GrepMapper {
 }
 
 fn contains(haystack: &[u8], needle: &[u8]) -> bool {
-    !needle.is_empty()
-        && haystack
-            .windows(needle.len())
-            .any(|w| w == needle)
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 struct GrepReducer;

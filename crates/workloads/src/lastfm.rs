@@ -40,7 +40,7 @@ impl Default for LastFmSpec {
             records_b: 4_000,
             distinct_keys: 1_000,
             overlap: 0.5,
-            seed: 0x1A57_F0,
+            seed: 0x001A_57F0,
         }
     }
 }
@@ -73,7 +73,11 @@ pub fn generate(spec: &LastFmSpec, side: u8) -> Vec<Record> {
     assert!(spec.distinct_keys > 0);
     assert!((0.0..=1.0).contains(&spec.overlap));
     let mut rng = StdRng::seed_from_u64(spec.seed ^ (side as u64 + 1).wrapping_mul(0x9E37));
-    let n = if side == 0 { spec.records_a } else { spec.records_b };
+    let n = if side == 0 {
+        spec.records_a
+    } else {
+        spec.records_b
+    };
     let tag = if side == 0 { "a" } else { "b" };
     (0..n)
         .map(|_| {
@@ -157,7 +161,10 @@ mod tests {
             ..Default::default()
         };
         let text = to_text(&generate(&spec, 0));
-        let lines: Vec<&[u8]> = text.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+        let lines: Vec<&[u8]> = text
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .collect();
         assert_eq!(lines.len(), 50);
         for l in lines {
             assert_eq!(l.iter().filter(|&&b| b == b'\t').count(), 1);

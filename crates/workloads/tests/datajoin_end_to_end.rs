@@ -30,7 +30,12 @@ fn spec() -> LastFmSpec {
 }
 
 /// Run data join via the framework; return the sorted output lines.
-fn run_join(fx: &Fabric, fs: Arc<dyn FileSystem>, mode: OutputMode, reducers: u32) -> (Vec<String>, mapreduce::JobResult) {
+fn run_join(
+    fx: &Fabric,
+    fs: Arc<dyn FileSystem>,
+    mode: OutputMode,
+    reducers: u32,
+) -> (Vec<String>, mapreduce::JobResult) {
     let mr = MrCluster::start(fx, fs.clone(), MrConfig::compact(fx.spec()));
     let fs2 = fs.clone();
     let mr2 = mr.clone();

@@ -94,7 +94,10 @@ fn main() {
     );
 
     // Same join either way, and the oracle agrees.
-    assert_eq!(hdfs_lines, bsfs_lines, "both modes must compute the same join");
+    assert_eq!(
+        hdfs_lines, bsfs_lines,
+        "both modes must compute the same join"
+    );
     let oracle = workloads::datajoin::reference_join(
         &lastfm::generate(&spec(), 0),
         &lastfm::generate(&spec(), 1),

@@ -20,16 +20,25 @@ fn main() {
         w.write(p, Payload::from("first line\n")).unwrap();
         w.write(p, Payload::from("second line\n")).unwrap();
         w.close(p).unwrap();
-        println!("created {path} ({} bytes)", fs2.status(p, &path).unwrap().len);
+        println!(
+            "created {path} ({} bytes)",
+            fs2.status(p, &path).unwrap().len
+        );
 
         // Append — the operation HDFS of the era refused.
         fs2.append_all(p, &path, Payload::from("appended line\n"))
             .unwrap();
-        println!("appended; file is now {} bytes", fs2.status(p, &path).unwrap().len);
+        println!(
+            "appended; file is now {} bytes",
+            fs2.status(p, &path).unwrap().len
+        );
 
         // Read it back.
         let content = fs2.read_file(p, &path).unwrap();
-        print!("--- {path} ---\n{}", String::from_utf8_lossy(content.bytes()));
+        print!(
+            "--- {path} ---\n{}",
+            String::from_utf8_lossy(content.bytes())
+        );
 
         // Versioning: the BLOB behind the file keeps every snapshot.
         let blob = fs2.blob_of(p, &path).unwrap();

@@ -111,7 +111,9 @@ fn replicated_bsfs_survives_provider_loss_under_mapreduce() {
     let fs2 = fs.clone();
     let mr2 = mr.clone();
     let h = fx.spawn(NodeId(0), "driver", move |p: &Proc| {
-        let text: String = (0..500).map(|i| format!("w{} common words\n", i % 7)).collect();
+        let text: String = (0..500)
+            .map(|i| format!("w{} common words\n", i % 7))
+            .collect();
         fs2.write_file(p, &d("/in/text"), Payload::from_vec(text.into_bytes()))
             .unwrap();
         // Take down one provider before the job runs.
@@ -126,7 +128,11 @@ fn replicated_bsfs_survives_provider_loss_under_mapreduce() {
             ghost: None,
         };
         let result = mr2.submit(job).wait(p);
-        let out = fs2.read_file(p, &d("/out/result")).unwrap().bytes().to_vec();
+        let out = fs2
+            .read_file(p, &d("/out/result"))
+            .unwrap()
+            .bytes()
+            .to_vec();
         mr2.shutdown();
         (result.output_files, out)
     });
@@ -143,29 +149,23 @@ fn live_and_sim_modes_agree_on_results() {
     // The same functional scenario produces identical data in live and sim
     // modes (timing differs; bytes must not).
     let run = |fx: Fabric| -> u64 {
-        let (_, fsb) = if fx.is_sim() {
-            let b = bsfs::Bsfs::deploy(
-                &fx,
-                blobseer::BlobSeerConfig::test_small(256),
-                blobseer::Layout::compact(fx.spec()),
-            )
-            .unwrap();
-            (fx.clone(), b)
-        } else {
-            let b = bsfs::Bsfs::deploy(
-                &fx,
-                blobseer::BlobSeerConfig::test_small(256),
-                blobseer::Layout::compact(fx.spec()),
-            )
-            .unwrap();
-            (fx.clone(), b)
-        };
+        // Bsfs::deploy handles both sim and live fabrics; the scenario is
+        // identical either way.
+        let fsb = bsfs::Bsfs::deploy(
+            &fx,
+            blobseer::BlobSeerConfig::test_small(256),
+            blobseer::Layout::compact(fx.spec()),
+        )
+        .unwrap();
         let h = fx.spawn(NodeId(0), "driver", move |p: &Proc| {
             let path = d("/data");
             let mut w = fsb.create(p, &path).unwrap();
             for i in 0..50u32 {
-                w.write(p, Payload::from_vec(format!("record-{i:04}\n").into_bytes()))
-                    .unwrap();
+                w.write(
+                    p,
+                    Payload::from_vec(format!("record-{i:04}\n").into_bytes()),
+                )
+                .unwrap();
             }
             w.close(p).unwrap();
             fsb.append_all(p, &path, Payload::from("tail\n")).unwrap();
