@@ -5,17 +5,18 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use blobseer::meta::{collect_leaves, plan_write, NodeBody, NodeKey, PageRef, SnapshotInfo};
-use blobseer::{BlobId, PageId, WriteDesc, WriteKind};
+use blobseer::{BlobId, DescIndex, PageId, WriteDesc, WriteKind};
 use fabric::NodeId;
 use std::collections::HashMap;
 
 const PS: u64 = 64 * 1024;
 
-/// Build a history of `n` appends of 3 pages each; returns descriptors and
-/// the complete node store.
-fn history(n: u64) -> (Vec<WriteDesc>, HashMap<NodeKey, NodeBody>) {
+/// Build a history of `n` appends of 3 pages each; returns descriptors, the
+/// incrementally-maintained descriptor index, and the complete node store.
+fn history(n: u64) -> (Vec<WriteDesc>, DescIndex, HashMap<NodeKey, NodeBody>) {
     let blob = BlobId(1);
     let mut descs: Vec<WriteDesc> = Vec::new();
+    let mut ix = DescIndex::new(PS);
     let mut store = HashMap::new();
     for v in 1..=n {
         let (tp, tb) = descs
@@ -40,38 +41,49 @@ fn history(n: u64) -> (Vec<WriteDesc>, HashMap<NodeKey, NodeBody>) {
                 providers: vec![NodeId((v % 200) as u32)],
             })
             .collect();
-        for (key, body) in plan_write(blob, &descs, &desc, PS, &manifest) {
+        ix.apply(&desc);
+        for (key, body) in plan_write(blob, &ix, &desc, &manifest) {
             store.insert(key, body);
         }
         descs.push(desc);
     }
-    (descs, store)
+    (descs, ix, store)
 }
 
 fn bench_meta(c: &mut Criterion) {
-    let (descs, store) = history(512);
+    let (descs, ix, store) = history(512);
     let last = *descs.last().unwrap();
+    let manifest: Vec<PageRef> = (0..3)
+        .map(|i| PageRef {
+            id: PageId(9999, i),
+            byte_len: PS,
+            providers: vec![NodeId(7)],
+        })
+        .collect();
+    let next = WriteDesc {
+        version: last.version + 1,
+        kind: WriteKind::Append,
+        page_lo: last.total_pages,
+        page_hi: last.total_pages + 3,
+        byte_lo: last.total_bytes,
+        byte_hi: last.total_bytes + 3 * PS,
+        total_pages: last.total_pages + 3,
+        total_bytes: last.total_bytes + 3 * PS,
+    };
+
+    c.bench_function("meta/index_apply_snapshot_after_512_versions", |b| {
+        b.iter(|| {
+            let mut ix2 = black_box(&ix).clone();
+            ix2.apply(&next);
+            black_box(ix2.version())
+        });
+    });
 
     c.bench_function("meta/plan_append_after_512_versions", |b| {
-        let manifest: Vec<PageRef> = (0..3)
-            .map(|i| PageRef {
-                id: PageId(9999, i),
-                byte_len: PS,
-                providers: vec![NodeId(7)],
-            })
-            .collect();
-        let next = WriteDesc {
-            version: last.version + 1,
-            kind: WriteKind::Append,
-            page_lo: last.total_pages,
-            page_hi: last.total_pages + 3,
-            byte_lo: last.total_bytes,
-            byte_hi: last.total_bytes + 3 * PS,
-            total_pages: last.total_pages + 3,
-            total_bytes: last.total_bytes + 3 * PS,
-        };
+        let mut ix_next = ix.clone();
+        ix_next.apply(&next);
         b.iter(|| {
-            let nodes = plan_write(BlobId(1), black_box(&descs), &next, PS, &manifest);
+            let nodes = plan_write(BlobId(1), black_box(&ix_next), &next, &manifest);
             black_box(nodes.len())
         });
     });
@@ -84,7 +96,8 @@ fn bench_meta(c: &mut Criterion) {
             page_size: PS,
         };
         b.iter(|| {
-            let mut fetch = |k: &NodeKey| store.get(k).cloned();
+            let mut fetch =
+                |keys: &[NodeKey]| Ok(keys.iter().map(|k| store.get(k).cloned()).collect());
             let hits = collect_leaves(&mut fetch, BlobId(1), &snap, 0, snap.total_bytes).unwrap();
             black_box(hits.len())
         });
@@ -99,7 +112,8 @@ fn bench_meta(c: &mut Criterion) {
         };
         let off = snap.total_bytes / 2;
         b.iter(|| {
-            let mut fetch = |k: &NodeKey| store.get(k).cloned();
+            let mut fetch =
+                |keys: &[NodeKey]| Ok(keys.iter().map(|k| store.get(k).cloned()).collect());
             let hits = collect_leaves(&mut fetch, BlobId(1), &snap, off, off + 100).unwrap();
             black_box(hits.len())
         });

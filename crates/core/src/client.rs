@@ -2,12 +2,13 @@
 //! of the provider manager, providers, metadata DHT and version manager.
 //!
 //! Writes (paper §3.1.2): split into pages → store pages on providers *in
-//! parallel* → obtain a version + descriptor catch-up from the version
-//! manager → write the metadata tree → commit. Reads: snapshot lookup →
-//! descend the version's segment tree → fetch pages (in parallel, with
-//! replica failover) → assemble.
+//! parallel* → obtain a version + descriptor-index snapshot from the version
+//! manager → write the metadata tree (batched, one RPC per metadata server)
+//! → commit. Reads: snapshot lookup → breadth-first descent of the version's
+//! segment tree (one batched DHT round per level) → fetch pages (in
+//! parallel, with replica failover) → assemble.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use fabric::{run_parallel, NodeId, Payload, Proc, TaskFn};
@@ -15,6 +16,7 @@ use parking_lot::Mutex;
 use rand::Rng;
 
 use crate::cluster::Services;
+use crate::desc_index::DescIndex;
 use crate::error::{BlobError, BlobResult};
 use crate::meta::{collect_leaves, plan_write, LeafHit, PageRef, SnapshotInfo};
 use crate::provider::Provider;
@@ -31,11 +33,12 @@ pub struct PageLocation {
     pub hosts: Vec<NodeId>,
 }
 
-/// A client handle; cheap to create, one per logical client. Caches write
-/// descriptors per BLOB so the version manager only ships deltas.
+/// A client handle; cheap to create, one per logical client. Caches the
+/// freshest descriptor-index snapshot per BLOB so the version manager only
+/// ships descriptor deltas past the cached watermark.
 pub struct BlobClient {
     svc: Arc<Services>,
-    desc_cache: Mutex<HashMap<BlobId, Vec<crate::types::WriteDesc>>>,
+    desc_cache: Mutex<HashMap<BlobId, DescIndex>>,
     page_size_cache: Mutex<HashMap<BlobId, u64>>,
 }
 
@@ -93,44 +96,39 @@ impl BlobClient {
         let chunks = data.chunks(ps);
 
         // Step 1: store pages on providers, fully in parallel.
-        let manifest = self.store_pages(p, &chunks, ps)?;
+        let manifest = Arc::new(self.store_pages(p, &chunks)?);
 
-        // Step 2: get a version and any descriptors we have not seen.
-        let known = self.desc_cache.lock().get(&blob).map_or(0, |v| v.len()) as Version;
+        // Step 2: get a version plus an index snapshot pinned at it. The VM
+        // only ships (and charges for) descriptors after the cached
+        // watermark; the snapshot itself is an O(1) Arc share.
+        let known = self
+            .desc_cache
+            .lock()
+            .get(&blob)
+            .map_or(0, |ix| ix.version());
         let kind = match offset {
             None => UpdateKind::Append,
             Some(o) => UpdateKind::WriteAt { offset: o },
         };
-        let (desc, catch_up) =
-            self.svc
-                .vm
-                .assign(p, blob, kind, nbytes, manifest.clone(), known)?;
-        let before = {
-            // The cache may be shared by concurrent updaters of this client;
-            // merge idempotently by version index. Every response covers all
-            // versions after the `known` watermark it was asked with, so the
-            // cache can never develop gaps.
+        let (desc, index) = self
+            .svc
+            .vm
+            .assign(p, blob, kind, nbytes, manifest.clone(), known)?;
+        {
+            // Concurrent updaters of this client race to refresh the cache;
+            // snapshots are cumulative, so the highest version wins.
             let mut cache = self.desc_cache.lock();
-            let entry = cache.entry(blob).or_default();
-            for d in catch_up.iter().chain(std::iter::once(&desc)) {
-                let idx = (d.version - 1) as usize;
-                match idx.cmp(&entry.len()) {
-                    std::cmp::Ordering::Equal => entry.push(*d),
-                    std::cmp::Ordering::Less => {
-                        debug_assert_eq!(entry[idx], *d, "descriptor cache divergence")
-                    }
-                    std::cmp::Ordering::Greater => {
-                        unreachable!("descriptor gap: {} > {}", d.version, entry.len())
-                    }
-                }
+            let entry = cache.entry(blob).or_insert_with(|| index.clone());
+            if entry.version() < index.version() {
+                *entry = index.clone();
             }
-            entry[..(desc.version - 1) as usize].to_vec()
-        };
-
-        // Step 3: write the metadata tree.
-        for (key, body) in plan_write(blob, &before, &desc, ps, &manifest) {
-            self.svc.dht.put(p, key, body)?;
         }
+
+        // Step 3: write the metadata tree, batched — one RPC per metadata
+        // server instead of one per node.
+        self.svc
+            .dht
+            .put_batch(p, plan_write(blob, &index, &desc, &manifest))?;
 
         // Step 4: commit; optionally wait for publication (read-your-writes).
         self.svc.vm.commit(p, blob, desc.version)?;
@@ -140,9 +138,12 @@ impl BlobClient {
         Ok(desc.version)
     }
 
-    fn store_pages(&self, p: &Proc, chunks: &[Payload], ps: u64) -> BlobResult<Vec<PageRef>> {
+    fn store_pages(&self, p: &Proc, chunks: &[Payload]) -> BlobResult<Vec<PageRef>> {
         let repl = self.svc.config.replication;
-        let placements = self.svc.pm.allocate(p, chunks.len(), repl, ps, &[])?;
+        // Reserve exact per-chunk byte counts (the tail chunk may be short),
+        // so the release paths — which hand back `chunk.len()` — balance.
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.len()).collect();
+        let placements = self.svc.pm.allocate(p, &sizes, repl, &[])?;
         let ids: Vec<PageId> = chunks
             .iter()
             .map(|_| {
@@ -219,8 +220,10 @@ impl BlobClient {
         byte_lo: u64,
         byte_hi: u64,
     ) -> BlobResult<Vec<LeafHit>> {
+        // Breadth-first descent: one batched DHT round per tree level, one
+        // RPC per (level, server) pair.
         let dht = &self.svc.dht;
-        let mut fetch = |k: &crate::meta::NodeKey| dht.get(p, k).ok().flatten();
+        let mut fetch = |keys: &[crate::meta::NodeKey]| dht.get_batch(p, keys);
         collect_leaves(&mut fetch, blob, snap, byte_lo, byte_hi)
     }
 
@@ -281,10 +284,14 @@ fn store_one_page(
     chunk: Payload,
     providers: Vec<Arc<Provider>>,
 ) -> BlobResult<PageRef> {
-    let mut placed: Vec<NodeId> = Vec::with_capacity(providers.len());
+    // Every provider in `providers` (and every failover replacement) holds a
+    // capacity reservation until its replica lands; on any early exit the
+    // unfulfilled reservations must be handed back or the dead/unused
+    // providers stay inflated forever in the least-loaded policy's eyes.
+    let mut pending: VecDeque<Arc<Provider>> = providers.into();
+    let mut placed: Vec<NodeId> = Vec::with_capacity(pending.len());
     let mut dead: Vec<NodeId> = Vec::new();
-    for prov in providers {
-        let mut target = prov;
+    while let Some(mut target) = pending.pop_front() {
         let mut attempts = 0;
         loop {
             match target.put_page(p, id, chunk.clone()) {
@@ -293,9 +300,15 @@ fn store_one_page(
                     break;
                 }
                 Err(BlobError::ProviderDown { node }) => {
+                    // The reservation for this replica is stranded on the
+                    // dead provider; release it before failing over.
+                    svc.pm.release(p, &target, chunk.len());
                     dead.push(NodeId(node));
                     attempts += 1;
                     if attempts > 3 {
+                        for pr in &pending {
+                            svc.pm.release(p, pr, chunk.len());
+                        }
                         return Err(BlobError::PageUnavailable {
                             detail: format!(
                                 "could not place page {id:?} after {attempts} attempts"
@@ -304,10 +317,30 @@ fn store_one_page(
                     }
                     let mut exclude = dead.clone();
                     exclude.extend(placed.iter().copied());
-                    target = svc.pm.any_alive(p, &exclude)?;
-                    target.reserve(chunk.len());
+                    // Also exclude this page's still-pending replica targets,
+                    // or the replacement could collide with one of them and
+                    // leave two "replicas" on a single provider.
+                    exclude.extend(pending.iter().map(|pr| pr.node()));
+                    match svc.pm.any_alive(p, &exclude) {
+                        Ok(next) => {
+                            target = next;
+                            target.reserve(chunk.len());
+                        }
+                        Err(e) => {
+                            for pr in &pending {
+                                svc.pm.release(p, pr, chunk.len());
+                            }
+                            return Err(e);
+                        }
+                    }
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    svc.pm.release(p, &target, chunk.len());
+                    for pr in &pending {
+                        svc.pm.release(p, pr, chunk.len());
+                    }
+                    return Err(e);
+                }
             }
         }
     }

@@ -24,6 +24,8 @@ pub struct MetaServer {
     nodes: Mutex<HashMap<NodeKey, NodeBody>>,
     puts: AtomicU64,
     gets: AtomicU64,
+    put_rpcs: AtomicU64,
+    get_rpcs: AtomicU64,
 }
 
 impl MetaServer {
@@ -34,6 +36,8 @@ impl MetaServer {
             nodes: Mutex::new(HashMap::new()),
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),
+            put_rpcs: AtomicU64::new(0),
+            get_rpcs: AtomicU64::new(0),
         }
     }
 
@@ -58,11 +62,21 @@ impl MetaServer {
         self.nodes.lock().len()
     }
 
-    /// (puts, gets) served.
+    /// (puts, gets) served — counted per *node*, however the nodes were
+    /// shipped (a batch of k nodes counts k).
     pub fn op_counts(&self) -> (u64, u64) {
         (
             self.puts.load(Ordering::Relaxed),
             self.gets.load(Ordering::Relaxed),
+        )
+    }
+
+    /// (put, get) wire round-trips served — a batch counts once. The gap
+    /// between [`Self::op_counts`] and this is the batching win.
+    pub fn rpc_counts(&self) -> (u64, u64) {
+        (
+            self.put_rpcs.load(Ordering::Relaxed),
+            self.get_rpcs.load(Ordering::Relaxed),
         )
     }
 }
@@ -97,10 +111,13 @@ impl MetaDht {
         }
     }
 
+    fn server_index(&self, key: &NodeKey) -> usize {
+        (hash_key(key) % self.servers.len() as u64) as usize
+    }
+
     /// The server responsible for `key`.
     pub fn server_for(&self, key: &NodeKey) -> &Arc<MetaServer> {
-        let i = (hash_key(key) % self.servers.len() as u64) as usize;
-        &self.servers[i]
+        &self.servers[self.server_index(key)]
     }
 
     pub fn servers(&self) -> &[Arc<MetaServer>] {
@@ -112,44 +129,99 @@ impl MetaDht {
     /// force-completed version whose original writer later finishes) are
     /// harmless.
     pub fn put(&self, p: &Proc, key: NodeKey, body: NodeBody) -> BlobResult<()> {
-        let server = self.server_for(&key);
-        if !server.is_alive() {
-            return Err(BlobError::ProviderDown {
-                node: server.node.0,
-            });
+        self.put_batch(p, vec![(key, body)])
+    }
+
+    /// Store many tree nodes, grouped by responsible server: one costed RPC
+    /// per server carries that server's whole share, instead of one
+    /// round-trip per node. This is what keeps a writer's step-3 metadata
+    /// publish at O(servers) wire latency regardless of tree-path length.
+    ///
+    /// Node writes are idempotent (see [`Self::put`]), so partial
+    /// application when a server is down mid-batch is harmless: a retry or
+    /// force-complete simply rewrites the same content.
+    pub fn put_batch(&self, p: &Proc, nodes: Vec<(NodeKey, NodeBody)>) -> BlobResult<()> {
+        let mut groups: Vec<Vec<(NodeKey, NodeBody)>> =
+            (0..self.servers.len()).map(|_| Vec::new()).collect();
+        for (key, body) in nodes {
+            groups[self.server_index(&key)].push((key, body));
         }
-        p.rpc(server.node, body.encoded_size() + 40, 16);
-        if self.server_cpu_ops > 0 {
-            p.compute(server.node, self.server_cpu_ops);
+        for (i, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let server = &self.servers[i];
+            if !server.is_alive() {
+                return Err(BlobError::ProviderDown {
+                    node: server.node.0,
+                });
+            }
+            let req: u64 = group.iter().map(|(_, b)| b.encoded_size() + 40).sum();
+            p.rpc(server.node, req, 16);
+            if self.server_cpu_ops > 0 {
+                p.compute(server.node, self.server_cpu_ops * group.len() as u64);
+            }
+            server.put_rpcs.fetch_add(1, Ordering::Relaxed);
+            server.puts.fetch_add(group.len() as u64, Ordering::Relaxed);
+            let mut stored = server.nodes.lock();
+            for (key, body) in group {
+                if let Some(prev) = stored.get(&key) {
+                    debug_assert_eq!(
+                        prev, &body,
+                        "metadata node {key:?} rewritten with different content"
+                    );
+                }
+                stored.insert(key, body);
+            }
         }
-        server.puts.fetch_add(1, Ordering::Relaxed);
-        let mut nodes = server.nodes.lock();
-        if let Some(prev) = nodes.get(&key) {
-            debug_assert_eq!(
-                prev, &body,
-                "metadata node {key:?} rewritten with different content"
-            );
-        }
-        nodes.insert(key, body);
         Ok(())
     }
 
     /// Fetch a tree node.
     pub fn get(&self, p: &Proc, key: &NodeKey) -> BlobResult<Option<NodeBody>> {
-        let server = self.server_for(key);
-        if !server.is_alive() {
-            return Err(BlobError::ProviderDown {
-                node: server.node.0,
-            });
+        Ok(self
+            .get_batch(p, std::slice::from_ref(key))?
+            .pop()
+            .expect("one answer per key"))
+    }
+
+    /// Fetch many tree nodes in responsible-server groups (one costed RPC
+    /// per server touched). `out[i]` answers `keys[i]`. The breadth-first
+    /// read path ([`crate::meta::collect_leaves`]) calls this once per tree
+    /// level.
+    pub fn get_batch(&self, p: &Proc, keys: &[NodeKey]) -> BlobResult<Vec<Option<NodeBody>>> {
+        let mut out: Vec<Option<NodeBody>> = vec![None; keys.len()];
+        let mut groups: Vec<Vec<usize>> = (0..self.servers.len()).map(|_| Vec::new()).collect();
+        for (i, key) in keys.iter().enumerate() {
+            groups[self.server_index(key)].push(i);
         }
-        server.gets.fetch_add(1, Ordering::Relaxed);
-        let body = server.nodes.lock().get(key).cloned();
-        let resp = body.as_ref().map_or(16, |b| b.encoded_size() + 16);
-        p.rpc(server.node, 56, resp);
-        if self.server_cpu_ops > 0 {
-            p.compute(server.node, self.server_cpu_ops);
+        for (si, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let server = &self.servers[si];
+            if !server.is_alive() {
+                return Err(BlobError::ProviderDown {
+                    node: server.node.0,
+                });
+            }
+            server.get_rpcs.fetch_add(1, Ordering::Relaxed);
+            server.gets.fetch_add(group.len() as u64, Ordering::Relaxed);
+            let mut resp = 0u64;
+            {
+                let stored = server.nodes.lock();
+                for &i in &group {
+                    let body = stored.get(&keys[i]).cloned();
+                    resp += body.as_ref().map_or(16, |b| b.encoded_size() + 16);
+                    out[i] = body;
+                }
+            }
+            p.rpc(server.node, 56 * group.len() as u64, resp);
+            if self.server_cpu_ops > 0 {
+                p.compute(server.node, self.server_cpu_ops * group.len() as u64);
+            }
         }
-        Ok(body)
+        Ok(out)
     }
 
     /// Total nodes across all servers.
@@ -244,6 +316,46 @@ mod tests {
             ));
             d.servers()[0].revive();
             d.put(p, key(1, 0, 1), leaf(1)).unwrap();
+        });
+    }
+
+    #[test]
+    fn batches_issue_one_rpc_per_server() {
+        with_proc(|p| {
+            let d = dht(4);
+            let items: Vec<(NodeKey, NodeBody)> =
+                (1..64u64).map(|v| (key(v, 0, 1), leaf(v))).collect();
+            let n = items.len() as u64;
+            d.put_batch(p, items.clone()).unwrap();
+            let put_rpcs: u64 = d.servers().iter().map(|s| s.rpc_counts().0).sum();
+            let puts: u64 = d.servers().iter().map(|s| s.op_counts().0).sum();
+            assert_eq!(puts, n, "every node stored");
+            assert!(put_rpcs <= 4, "one wire RPC per server, got {put_rpcs}");
+
+            let keys: Vec<NodeKey> = items.iter().map(|(k, _)| *k).collect();
+            let got = d.get_batch(p, &keys).unwrap();
+            assert_eq!(got.len(), keys.len());
+            for (i, body) in got.iter().enumerate() {
+                assert_eq!(body.as_ref(), Some(&items[i].1), "answer order preserved");
+            }
+            assert_eq!(d.get_batch(p, &[key(999, 0, 1)]).unwrap(), vec![None]);
+            let get_rpcs: u64 = d.servers().iter().map(|s| s.rpc_counts().1).sum();
+            assert!(get_rpcs <= 5, "batched gets, got {get_rpcs} RPCs");
+        });
+    }
+
+    #[test]
+    fn empty_batches_are_free() {
+        with_proc(|p| {
+            let d = dht(3);
+            d.put_batch(p, Vec::new()).unwrap();
+            assert_eq!(d.get_batch(p, &[]).unwrap(), Vec::<Option<NodeBody>>::new());
+            let rpcs: u64 = d
+                .servers()
+                .iter()
+                .map(|s| s.rpc_counts().0 + s.rpc_counts().1)
+                .sum();
+            assert_eq!(rpcs, 0);
         });
     }
 

@@ -28,6 +28,7 @@
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod desc_index;
 pub mod dht;
 pub mod error;
 pub mod meta;
@@ -39,6 +40,7 @@ pub mod version_manager;
 pub use client::{BlobClient, PageLocation};
 pub use cluster::{BlobSeer, Layout};
 pub use config::{AllocStrategy, BlobSeerConfig};
+pub use desc_index::DescIndex;
 pub use error::{BlobError, BlobResult};
 pub use meta::{PageRef, SnapshotInfo};
 pub use types::{BlobId, PageId, Version, WriteDesc, WriteKind};

@@ -25,10 +25,9 @@
 
 use fabric::NodeId;
 
+use crate::desc_index::DescIndex;
 use crate::error::{BlobError, BlobResult};
-use crate::types::{
-    byte_len_of_range, latest_toucher, tree_span, BlobId, PageId, Version, WriteDesc,
-};
+use crate::types::{tree_span, BlobId, PageId, Version, WriteDesc};
 
 /// Deterministic identity of a metadata tree node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,18 +97,22 @@ pub struct LeafHit {
     pub page: PageRef,
 }
 
-/// Compute every metadata node version `new.version` must publish, given the
-/// descriptor history of all previously *assigned* versions (committed or
-/// not), the new descriptor, and the manifest of freshly-written pages
-/// (`manifest[i]` describes page `new.page_lo + i`).
+/// Compute every metadata node version `new.version` must publish, given an
+/// immutable descriptor-index snapshot that *includes* the new version
+/// (`ix.version() == new.version` — the version manager hands exactly this
+/// snapshot out at `assign` time), the new descriptor, and the manifest of
+/// freshly-written pages (`manifest[i]` describes page `new.page_lo + i`).
+///
+/// Every subtree query (`byte_len_of_range`, `latest_toucher`) is O(log)
+/// against the index, so planning costs O((pages written + tree depth)·log)
+/// regardless of how many versions precede this one.
 ///
 /// Nodes are returned leaves-first so that writing them in order never
 /// publishes a parent before its children.
 pub fn plan_write(
     blob: BlobId,
-    descs_before: &[WriteDesc],
+    ix: &DescIndex,
     new: &WriteDesc,
-    page_size: u64,
     manifest: &[PageRef],
 ) -> Vec<(NodeKey, NodeBody)> {
     assert_eq!(
@@ -117,22 +120,22 @@ pub fn plan_write(
         new.page_count(),
         "manifest must describe exactly the written pages"
     );
-    let mut all = Vec::with_capacity(descs_before.len() + 1);
-    all.extend_from_slice(descs_before);
-    all.push(*new);
+    assert_eq!(
+        ix.version(),
+        new.version,
+        "the index snapshot must be pinned at the new version"
+    );
     let span = tree_span(new.total_pages);
     let mut out = Vec::new();
-    build_node(&mut out, blob, &all, new, page_size, manifest, 0, span);
+    build_node(&mut out, blob, ix, new, manifest, 0, span);
     out
 }
 
-#[allow(clippy::too_many_arguments)]
 fn build_node(
     out: &mut Vec<(NodeKey, NodeBody)>,
     blob: BlobId,
-    all: &[WriteDesc],
+    ix: &DescIndex,
     new: &WriteDesc,
-    page_size: u64,
     manifest: &[PageRef],
     lo: u64,
     hi: u64,
@@ -153,26 +156,25 @@ fn build_node(
         return;
     }
     let mid = lo + (hi - lo) / 2;
-    let left = child_ref(out, blob, all, new, page_size, manifest, lo, mid);
-    let right = child_ref(out, blob, all, new, page_size, manifest, mid, hi);
+    let left = child_ref(out, blob, ix, new, manifest, lo, mid);
+    let right = child_ref(out, blob, ix, new, manifest, mid, hi);
     out.push((key, NodeBody::Inner { left, right }));
 }
 
-#[allow(clippy::too_many_arguments)]
 fn child_ref(
     out: &mut Vec<(NodeKey, NodeBody)>,
     blob: BlobId,
-    all: &[WriteDesc],
+    ix: &DescIndex,
     new: &WriteDesc,
-    page_size: u64,
     manifest: &[PageRef],
     lo: u64,
     hi: u64,
 ) -> Option<ChildRef> {
-    let byte_len = byte_len_of_range(all, new.version, page_size, lo, hi)
-        .expect("descriptor history covers the new version");
+    let byte_len = ix
+        .byte_len_of_range(lo, hi)
+        .expect("index snapshot covers the new version");
     if new.touches_range(lo, hi) {
-        build_node(out, blob, all, new, page_size, manifest, lo, hi);
+        build_node(out, blob, ix, new, manifest, lo, hi);
         Some(ChildRef {
             version: new.version,
             page_lo: lo,
@@ -186,10 +188,11 @@ fn child_ref(
         // Untouched, existing subtree: reference the newest version whose
         // write path crosses it. Its node is guaranteed to exist by the
         // time this version publishes (see crate::version_manager).
-        let w = latest_toucher(all, new.version, lo, hi)
+        let version = ix
+            .latest_toucher(lo, hi)
             .expect("pages below total_pages have a writer");
         Some(ChildRef {
-            version: w.version,
+            version,
             page_lo: lo,
             page_hi: hi,
             byte_len,
@@ -221,12 +224,21 @@ impl SnapshotInfo {
     }
 }
 
+/// Batch node resolver used by [`collect_leaves`]: answers `keys[i]` at
+/// `out[i]` (`None` = node not stored). The DHT-backed implementation is
+/// [`crate::dht::MetaDht::get_batch`].
+pub type BatchFetch<'a> = dyn FnMut(&[NodeKey]) -> BlobResult<Vec<Option<NodeBody>>> + 'a;
+
 /// Walk the tree of `snap` and collect the leaves overlapping the byte range
-/// `[byte_lo, byte_hi)`, left to right. `fetch` resolves node keys (the DHT
-/// lookup); a missing node is a hard error — it means the version was not
-/// published or metadata was lost.
+/// `[byte_lo, byte_hi)`, left to right.
+///
+/// The descent is breadth-first: each tree level's surviving children are
+/// resolved through a single `fetch` call, so a DHT-backed fetch (see
+/// [`crate::dht::MetaDht::get_batch`]) issues one RPC per (level, server)
+/// pair instead of one per node. A missing node is a hard error — it means
+/// the version was not published or metadata was lost.
 pub fn collect_leaves(
-    fetch: &mut dyn FnMut(&NodeKey) -> Option<NodeBody>,
+    fetch: &mut BatchFetch<'_>,
     blob: BlobId,
     snap: &SnapshotInfo,
     byte_lo: u64,
@@ -250,65 +262,58 @@ pub fn collect_leaves(
             size: 0,
         });
     };
-    walk(fetch, &root, 0, byte_lo, byte_hi, &mut hits)?;
-    Ok(hits)
-}
-
-fn walk(
-    fetch: &mut dyn FnMut(&NodeKey) -> Option<NodeBody>,
-    key: &NodeKey,
-    node_byte_start: u64,
-    byte_lo: u64,
-    byte_hi: u64,
-    hits: &mut Vec<LeafHit>,
-) -> BlobResult<()> {
-    let body = fetch(key).ok_or(BlobError::MetadataMissing {
-        blob: key.blob,
-        version: key.version,
-        page_lo: key.page_lo,
-        page_hi: key.page_hi,
-    })?;
-    match body {
-        NodeBody::Leaf(page) => {
-            debug_assert!(key.is_leaf());
-            hits.push(LeafHit {
-                page_index: key.page_lo,
-                blob_byte_off: node_byte_start,
-                page,
-            });
-        }
-        NodeBody::Inner { left, right } => {
-            let left_len = left.as_ref().map_or(0, |c| c.byte_len);
-            if let Some(l) = left {
-                let (a, b) = (node_byte_start, node_byte_start + l.byte_len);
-                if a < byte_hi && byte_lo < b {
-                    let k = NodeKey {
-                        blob: key.blob,
-                        version: l.version,
-                        page_lo: l.page_lo,
-                        page_hi: l.page_hi,
-                    };
-                    walk(fetch, &k, a, byte_lo, byte_hi, hits)?;
+    // (key, byte offset of the node's first byte in the BLOB), kept in
+    // left-to-right order; leaves all sit at the bottom level, so hits come
+    // out ordered.
+    let mut frontier: Vec<(NodeKey, u64)> = vec![(root, 0)];
+    while !frontier.is_empty() {
+        let keys: Vec<NodeKey> = frontier.iter().map(|(k, _)| *k).collect();
+        let bodies = fetch(&keys)?;
+        // Hard invariant (not debug-only): a short answer would silently
+        // truncate the zip below and drop whole subtrees from the read.
+        assert_eq!(bodies.len(), keys.len(), "fetch must answer every key");
+        let mut next = Vec::new();
+        for ((key, node_byte_start), body) in frontier.into_iter().zip(bodies) {
+            let body = body.ok_or(BlobError::MetadataMissing {
+                blob: key.blob,
+                version: key.version,
+                page_lo: key.page_lo,
+                page_hi: key.page_hi,
+            })?;
+            match body {
+                NodeBody::Leaf(page) => {
+                    debug_assert!(key.is_leaf());
+                    hits.push(LeafHit {
+                        page_index: key.page_lo,
+                        blob_byte_off: node_byte_start,
+                        page,
+                    });
                 }
-            }
-            if let Some(r) = right {
-                let (a, b) = (
-                    node_byte_start + left_len,
-                    node_byte_start + left_len + r.byte_len,
-                );
-                if a < byte_hi && byte_lo < b {
-                    let k = NodeKey {
-                        blob: key.blob,
-                        version: r.version,
-                        page_lo: r.page_lo,
-                        page_hi: r.page_hi,
-                    };
-                    walk(fetch, &k, a, byte_lo, byte_hi, hits)?;
+                NodeBody::Inner { left, right } => {
+                    let left_len = left.as_ref().map_or(0, |c| c.byte_len);
+                    for (child, start) in
+                        [(left, node_byte_start), (right, node_byte_start + left_len)]
+                    {
+                        let Some(c) = child else { continue };
+                        let (a, b) = (start, start + c.byte_len);
+                        if a < byte_hi && byte_lo < b {
+                            next.push((
+                                NodeKey {
+                                    blob: key.blob,
+                                    version: c.version,
+                                    page_lo: c.page_lo,
+                                    page_hi: c.page_hi,
+                                },
+                                a,
+                            ));
+                        }
+                    }
                 }
             }
         }
+        frontier = next;
     }
-    Ok(())
+    Ok(hits)
 }
 
 #[cfg(test)]
@@ -325,6 +330,7 @@ mod tests {
     struct Harness {
         blob: BlobId,
         descs: Vec<WriteDesc>,
+        ix: DescIndex,
         nodes: HashMap<NodeKey, NodeBody>,
         pages: HashMap<PageId, Vec<u8>>,
         snapshots: Vec<Vec<u8>>, // snapshots[v] = content at version v
@@ -336,6 +342,7 @@ mod tests {
             Harness {
                 blob: BlobId(7),
                 descs: Vec::new(),
+                ix: DescIndex::new(PS),
                 nodes: HashMap::new(),
                 pages: HashMap::new(),
                 snapshots: vec![Vec::new()],
@@ -380,7 +387,8 @@ mod tests {
                 total_pages: tp + manifest.len() as u64,
                 total_bytes: tb + data.len() as u64,
             };
-            let nodes = plan_write(self.blob, &self.descs, &desc, PS, &manifest);
+            self.ix.apply(&desc);
+            let nodes = plan_write(self.blob, &self.ix, &desc, &manifest);
             for (k, b) in nodes {
                 assert!(
                     self.nodes.insert(k, b).is_none(),
@@ -415,7 +423,8 @@ mod tests {
                 total_pages: tp,
                 total_bytes: tb,
             };
-            let nodes = plan_write(self.blob, &self.descs, &desc, PS, &manifest);
+            self.ix.apply(&desc);
+            let nodes = plan_write(self.blob, &self.ix, &desc, &manifest);
             for (k, b) in nodes {
                 self.nodes.insert(k, b);
             }
@@ -439,7 +448,8 @@ mod tests {
                 total_bytes: d.total_bytes,
                 page_size: PS,
             };
-            let mut fetch = |k: &NodeKey| self.nodes.get(k).cloned();
+            let mut fetch =
+                |keys: &[NodeKey]| Ok(keys.iter().map(|k| self.nodes.get(k).cloned()).collect());
             let hits = collect_leaves(&mut fetch, self.blob, &snap, off, off + len).unwrap();
             let mut out = Vec::new();
             for h in &hits {
@@ -561,9 +571,14 @@ mod tests {
             total_pages: 5,
             total_bytes: 500,
         };
-        // B plans first (sees only descriptors), then A plans.
-        let b_nodes = plan_write(blob, &[d1], &d2, PS, &b_pages);
-        let a_nodes = plan_write(blob, &[], &d1, PS, &a_pages);
+        // B plans first (sees only descriptors), then A plans. Each builds
+        // its index snapshot from the descriptors alone.
+        let mut ix_a = DescIndex::new(PS);
+        ix_a.apply(&d1);
+        let mut ix_b = ix_a.clone();
+        ix_b.apply(&d2);
+        let b_nodes = plan_write(blob, &ix_b, &d2, &b_pages);
+        let a_nodes = plan_write(blob, &ix_a, &d1, &a_pages);
         let mut store: HashMap<NodeKey, NodeBody> = HashMap::new();
         for (k, v) in b_nodes.into_iter().chain(a_nodes) {
             store.insert(k, v);
@@ -575,7 +590,7 @@ mod tests {
             total_bytes: 500,
             page_size: PS,
         };
-        let mut fetch = |k: &NodeKey| store.get(k).cloned();
+        let mut fetch = |keys: &[NodeKey]| Ok(keys.iter().map(|k| store.get(k).cloned()).collect());
         let hits = collect_leaves(&mut fetch, blob, &snap, 0, 500).unwrap();
         assert_eq!(hits.len(), 5);
         assert_eq!(hits[0].page.id, PageId(1, 0));
@@ -594,7 +609,8 @@ mod tests {
             total_bytes: 100,
             page_size: PS,
         };
-        let mut fetch = |k: &NodeKey| h.nodes.get(k).cloned();
+        let mut fetch =
+            |keys: &[NodeKey]| Ok(keys.iter().map(|k| h.nodes.get(k).cloned()).collect());
         let err = collect_leaves(&mut fetch, h.blob, &snap, 50, 151).unwrap_err();
         assert!(matches!(err, BlobError::OutOfBounds { .. }));
     }
@@ -609,7 +625,7 @@ mod tests {
             total_bytes: 300,
             page_size: PS,
         };
-        let mut fetch = |_: &NodeKey| None;
+        let mut fetch = |keys: &[NodeKey]| Ok(vec![None; keys.len()]);
         let err = collect_leaves(&mut fetch, h.blob, &snap, 0, 10).unwrap_err();
         assert!(matches!(err, BlobError::MetadataMissing { .. }));
     }
@@ -629,7 +645,9 @@ mod tests {
             total_pages: 5,
             total_bytes: 500,
         };
-        let nodes = plan_write(h.blob, &[], &desc, PS, &manifest);
+        let mut ix = DescIndex::new(PS);
+        ix.apply(&desc);
+        let nodes = plan_write(h.blob, &ix, &desc, &manifest);
         let mut seen = std::collections::HashSet::new();
         for (k, b) in &nodes {
             if let NodeBody::Inner { left, right } = b {

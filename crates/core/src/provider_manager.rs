@@ -48,16 +48,18 @@ impl ProviderManager {
         &self.providers
     }
 
-    /// Choose `replication` distinct providers for each of `n_pages` pages of
-    /// `bytes_per_page` bytes. `exclude` removes nodes observed failing by
-    /// the caller (retry paths). Reserves the planned bytes on each chosen
-    /// provider so concurrent allocations spread out.
+    /// Choose `replication` distinct providers for each page, where
+    /// `page_bytes[i]` is the exact byte count page `i` will store (tail
+    /// pages may be short). `exclude` removes nodes observed failing by the
+    /// caller (retry paths). Reserves exactly the planned bytes on each
+    /// chosen provider so concurrent allocations spread out — and so every
+    /// later `unreserve`/[`Self::release`] (which hand back actual page
+    /// bytes) balances to zero.
     pub fn allocate(
         &self,
         p: &Proc,
-        n_pages: usize,
+        page_bytes: &[u64],
         replication: usize,
-        bytes_per_page: u64,
         exclude: &[NodeId],
     ) -> BlobResult<Vec<Vec<Arc<Provider>>>> {
         p.rpc(self.node, self.ctl_msg_bytes, self.ctl_msg_bytes);
@@ -70,11 +72,11 @@ impl ProviderManager {
         if candidates.len() < replication {
             return Err(BlobError::NoProviders);
         }
-        let mut out = Vec::with_capacity(n_pages);
-        for _ in 0..n_pages {
+        let mut out = Vec::with_capacity(page_bytes.len());
+        for &bytes in page_bytes {
             let chosen = self.pick(p, &mut candidates, replication);
             for pr in &chosen {
-                pr.reserve(bytes_per_page);
+                pr.reserve(bytes);
             }
             out.push(chosen);
         }
@@ -137,6 +139,16 @@ impl ProviderManager {
         }
     }
 
+    /// Hand back a reservation taken by [`Self::allocate`] (or a failover
+    /// `reserve`) that will never be fulfilled — the target died before the
+    /// page landed, or the write was abandoned. Without this, failover
+    /// permanently inflates the dead provider's load estimate and the
+    /// deployment's capacity accounting never balances again.
+    pub fn release(&self, p: &Proc, provider: &Arc<Provider>, bytes: u64) {
+        p.rpc(self.node, self.ctl_msg_bytes, self.ctl_msg_bytes);
+        provider.unreserve(bytes);
+    }
+
     /// A uniformly random *alive* provider (used by retry paths wanting a
     /// fresh target).
     pub fn any_alive(&self, p: &Proc, exclude: &[NodeId]) -> BlobResult<Arc<Provider>> {
@@ -175,7 +187,7 @@ mod tests {
     fn round_robin_cycles() {
         with_proc(|p| {
             let pm = ProviderManager::new(NodeId(0), providers(3), AllocStrategy::RoundRobin, 64);
-            let a = pm.allocate(p, 4, 1, 100, &[]).unwrap();
+            let a = pm.allocate(p, &[100; 4], 1, &[]).unwrap();
             let nodes: Vec<u32> = a.iter().map(|r| r[0].node().0).collect();
             assert_eq!(nodes, vec![0, 1, 2, 0]);
         });
@@ -189,7 +201,7 @@ mod tests {
             // distinct providers thanks to reservations.
             let mut nodes = std::collections::HashSet::new();
             for _ in 0..4 {
-                let a = pm.allocate(p, 1, 1, 1000, &[]).unwrap();
+                let a = pm.allocate(p, &[1000], 1, &[]).unwrap();
                 nodes.insert(a[0][0].node().0);
             }
             assert_eq!(nodes.len(), 4);
@@ -197,10 +209,26 @@ mod tests {
     }
 
     #[test]
+    fn reservations_match_exact_page_bytes() {
+        with_proc(|p| {
+            let provs = providers(2);
+            let pm = ProviderManager::new(NodeId(0), provs.clone(), AllocStrategy::RoundRobin, 64);
+            // A full page plus a short 37 B tail: exactly 137 B reserved in
+            // total, so releasing actual page bytes balances to zero.
+            let placements = pm.allocate(p, &[100, 37], 1, &[]).unwrap();
+            let reserved: u64 = provs.iter().map(|pr| pr.load_estimate()).sum();
+            assert_eq!(reserved, 137);
+            pm.release(p, &placements[0][0], 100);
+            pm.release(p, &placements[1][0], 37);
+            assert_eq!(provs.iter().map(|pr| pr.load_estimate()).sum::<u64>(), 0);
+        });
+    }
+
+    #[test]
     fn replication_yields_distinct_nodes() {
         with_proc(|p| {
             let pm = ProviderManager::new(NodeId(0), providers(5), AllocStrategy::LeastLoaded, 64);
-            let a = pm.allocate(p, 3, 3, 100, &[]).unwrap();
+            let a = pm.allocate(p, &[100; 3], 3, &[]).unwrap();
             for replicas in &a {
                 let mut ns: Vec<u32> = replicas.iter().map(|r| r.node().0).collect();
                 ns.sort_unstable();
@@ -217,7 +245,7 @@ mod tests {
             provs[1].kill();
             let pm = ProviderManager::new(NodeId(0), provs.clone(), AllocStrategy::LeastLoaded, 64);
             for _ in 0..8 {
-                let a = pm.allocate(p, 1, 1, 10, &[NodeId(2)]).unwrap();
+                let a = pm.allocate(p, &[10], 1, &[NodeId(2)]).unwrap();
                 let n = a[0][0].node().0;
                 assert!(n != 1 && n != 2, "picked dead or excluded provider {n}");
             }
@@ -231,7 +259,7 @@ mod tests {
             provs[0].kill();
             let pm = ProviderManager::new(NodeId(0), provs, AllocStrategy::Random, 64);
             assert!(matches!(
-                pm.allocate(p, 1, 2, 10, &[]),
+                pm.allocate(p, &[10], 2, &[]),
                 Err(BlobError::NoProviders)
             ));
         });
@@ -242,7 +270,7 @@ mod tests {
         with_proc(|p| {
             // p runs on node 0 and a provider lives there.
             let pm = ProviderManager::new(NodeId(7), providers(4), AllocStrategy::LocalFirst, 64);
-            let a = pm.allocate(p, 2, 2, 10, &[]).unwrap();
+            let a = pm.allocate(p, &[10; 2], 2, &[]).unwrap();
             for replicas in &a {
                 assert_eq!(replicas[0].node(), NodeId(0), "primary should be local");
                 assert_ne!(replicas[1].node(), NodeId(0));

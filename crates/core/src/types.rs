@@ -97,8 +97,18 @@ pub fn tree_span(total_pages: u64) -> u64 {
 
 /// The version that last wrote `page`, looking at descriptors with
 /// `version <= up_to`. `descs` must be ordered by version ascending.
-/// Returns `None` when the page does not exist at `up_to`.
+/// Returns `None` when the page does not exist at `up_to` (tail-replacing
+/// writes may shrink the page count, so existence is checked against the
+/// snapshot's total, not just against who ever touched the page).
+///
+/// These scan functions are O(V); they are the historical-version fallback
+/// and the oracle the property tests hold [`crate::desc_index::DescIndex`]
+/// (the O(log) latest-version index) against.
 pub fn owner_of_page(descs: &[WriteDesc], up_to: Version, page: u64) -> Option<&WriteDesc> {
+    let cur = descs.iter().rev().find(|d| d.version <= up_to)?;
+    if page >= cur.total_pages {
+        return None;
+    }
     descs
         .iter()
         .rev()
@@ -106,8 +116,15 @@ pub fn owner_of_page(descs: &[WriteDesc], up_to: Version, page: u64) -> Option<&
         .find(|d| d.touches_page(page))
 }
 
-/// The latest version `<= up_to` that wrote any page in `[lo, hi)`.
+/// The latest version `<= up_to` that wrote any *live* page in `[lo, hi)`
+/// (the range is clamped to the snapshot's page count, mirroring
+/// [`owner_of_page`]'s existence rule).
 pub fn latest_toucher(descs: &[WriteDesc], up_to: Version, lo: u64, hi: u64) -> Option<&WriteDesc> {
+    let cur = descs.iter().rev().find(|d| d.version <= up_to)?;
+    let hi = hi.min(cur.total_pages);
+    if lo >= hi {
+        return None;
+    }
     descs
         .iter()
         .rev()
@@ -154,6 +171,35 @@ pub fn byte_len_of_range(
     let a = byte_offset_of_page(descs, up_to, page_size, lo)?;
     let b = byte_offset_of_page(descs, up_to, page_size, hi)?;
     Some(b - a)
+}
+
+/// Locate the page index whose byte offset is exactly `offset`
+/// (`total_pages` for `offset == total_bytes`). Page start offsets are
+/// strictly increasing, so binary search works. O(V·log) — the scan-based
+/// oracle twin of [`crate::desc_index::DescIndex::page_at_boundary`].
+pub fn page_at_boundary(
+    descs: &[WriteDesc],
+    up_to: Version,
+    page_size: u64,
+    offset: u64,
+) -> Option<u64> {
+    let total = descs.iter().rev().find(|d| d.version <= up_to)?.total_pages;
+    let (mut lo, mut hi) = (0u64, total);
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        let off = byte_offset_of_page(descs, up_to, page_size, mid)?;
+        match off.cmp(&offset) {
+            std::cmp::Ordering::Equal => return Some(mid),
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => {
+                if mid == 0 {
+                    return None;
+                }
+                hi = mid - 1;
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -238,6 +284,46 @@ mod tests {
         // At version 1 the blob is 250 bytes / 3 pages.
         assert_eq!(byte_offset_of_page(&h, 1, ps, 3), Some(250));
         assert_eq!(byte_offset_of_page(&h, 1, ps, 4), None);
+    }
+
+    #[test]
+    fn shrunk_pages_are_not_owned() {
+        // Tail-replacing writes may reduce the page count; pages beyond the
+        // new total must not resolve to their pre-shrink writers.
+        // v1: pages [0,100), [100,130); v2: page [130,200); v3 replaces the
+        // tail from offset 100 with one full page -> 2 pages, 200 bytes.
+        let h = vec![
+            d(1, 0, 2, 0, 130, 2, 130),
+            d(2, 2, 3, 130, 200, 3, 200),
+            WriteDesc {
+                version: 3,
+                kind: WriteKind::Write,
+                page_lo: 1,
+                page_hi: 2,
+                byte_lo: 100,
+                byte_hi: 200,
+                total_pages: 2,
+                total_bytes: 200,
+            },
+        ];
+        assert!(owner_of_page(&h, 3, 2).is_none());
+        assert_eq!(owner_of_page(&h, 2, 2).unwrap().version, 2);
+        assert!(latest_toucher(&h, 3, 2, 4).is_none());
+        assert_eq!(latest_toucher(&h, 3, 1, 4).unwrap().version, 3);
+    }
+
+    #[test]
+    fn boundary_lookup_round_trips_offsets() {
+        let h = history();
+        let ps = 100;
+        for page in 0..=6 {
+            let off = byte_offset_of_page(&h, 3, ps, page).unwrap();
+            assert_eq!(page_at_boundary(&h, 3, ps, off), Some(page));
+        }
+        assert_eq!(page_at_boundary(&h, 3, ps, 125), None); // mid-page
+        assert_eq!(page_at_boundary(&h, 3, ps, 501), None); // past EOF
+        assert_eq!(page_at_boundary(&h, 1, ps, 250), Some(3));
+        assert_eq!(page_at_boundary(&[], 1, ps, 0), None); // empty BLOB
     }
 
     #[test]

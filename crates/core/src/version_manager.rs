@@ -29,10 +29,15 @@ use fabric::sync::Gate;
 use fabric::{Fabric, NodeId, Proc, SimTime};
 use parking_lot::Mutex;
 
+use crate::desc_index::DescIndex;
 use crate::dht::MetaDht;
 use crate::error::{BlobError, BlobResult};
 use crate::meta::{plan_write, PageRef, SnapshotInfo};
-use crate::types::{byte_offset_of_page, BlobId, Version, WriteDesc, WriteKind};
+use crate::types::{BlobId, Version, WriteDesc, WriteKind};
+
+/// Modeled wire size of one [`WriteDesc`] in the `assign` response — the VM
+/// ships the caller every descriptor after its `known` watermark.
+const DESC_WIRE_BYTES: u64 = 48;
 
 /// A write request presented to [`VersionManager::assign`].
 #[derive(Debug, Clone, Copy)]
@@ -44,17 +49,30 @@ pub enum UpdateKind {
     WriteAt { offset: u64 },
 }
 
+/// Everything the VM retains about an assigned-but-unpublished version.
+struct PendingWrite {
+    /// The writer's page manifest, shared (not copied) for force-complete.
+    manifest: Arc<Vec<PageRef>>,
+    /// Descriptor-index snapshot pinned at exactly this version — an O(1)
+    /// clone of the persistent tree, so force-complete can rebuild the
+    /// writer's exact metadata plan without copying any history.
+    index: DescIndex,
+    assigned_at: SimTime,
+    gate: Gate,
+}
+
 struct BlobMeta {
     page_size: u64,
     /// Descriptors of every *assigned* version, dense: `descs[v-1]`.
     descs: Vec<WriteDesc>,
-    /// Manifests of not-yet-published versions (kept for force-complete).
-    manifests: HashMap<Version, Vec<PageRef>>,
+    /// Incrementally-maintained descriptor index over `descs` — answers all
+    /// latest-version queries in O(log) and snapshots in O(1).
+    index: DescIndex,
+    /// Assigned but not yet published versions (kept for force-complete).
+    pending: HashMap<Version, PendingWrite>,
     /// Committed but not yet published (publication is strictly in order).
     committed: BTreeSet<Version>,
     published: Version,
-    assigned_at: HashMap<Version, SimTime>,
-    gates: HashMap<Version, Gate>,
 }
 
 struct VmState {
@@ -118,16 +136,16 @@ impl VersionManager {
         let mut st = self.state.lock();
         let id = BlobId(st.next_blob);
         st.next_blob += 1;
+        let ps = page_size.unwrap_or(self.default_page_size);
         st.blobs.insert(
             id,
             BlobMeta {
-                page_size: page_size.unwrap_or(self.default_page_size),
+                page_size: ps,
                 descs: Vec::new(),
-                manifests: HashMap::new(),
+                index: DescIndex::new(ps),
+                pending: HashMap::new(),
                 committed: BTreeSet::new(),
                 published: 0,
-                assigned_at: HashMap::new(),
-                gates: HashMap::new(),
             },
         );
         id
@@ -144,141 +162,139 @@ impl VersionManager {
     }
 
     /// Step 2 of the write protocol: reserve a version for an update of
-    /// `nbytes` described by `manifest`, and return its descriptor plus all
-    /// descriptors the caller has not seen yet (`known` = highest version it
-    /// has). The new version stays invisible until committed and all its
-    /// predecessors published.
+    /// `nbytes` described by `manifest`, and return its descriptor plus an
+    /// immutable descriptor-index snapshot pinned at the new version. The
+    /// snapshot is an O(1) `Arc` share of the VM's persistent index — no
+    /// history is copied — while the modeled wire cost still covers every
+    /// descriptor after the caller's `known` watermark. The new version
+    /// stays invisible until committed and all its predecessors published.
     pub fn assign(
         &self,
         p: &Proc,
         blob: BlobId,
         kind: UpdateKind,
         nbytes: u64,
-        manifest: Vec<PageRef>,
+        manifest: Arc<Vec<PageRef>>,
         known: Version,
-    ) -> BlobResult<(WriteDesc, Vec<WriteDesc>)> {
-        self.charge(p);
+    ) -> BlobResult<(WriteDesc, DescIndex)> {
         self.reap_expired(p, blob)?;
-        if nbytes == 0 {
-            return Err(BlobError::EmptyWrite);
-        }
         let now = self.fabric.now();
-        let mut st = self.state.lock();
-        let meta = st.blobs.get_mut(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
-        let ps = meta.page_size;
-        let k_pages = nbytes.div_ceil(ps);
-        if manifest.len() as u64 != k_pages {
-            return Err(BlobError::UnalignedWrite {
-                detail: format!(
-                    "manifest has {} pages but {} bytes need {} pages of {}",
-                    manifest.len(),
-                    nbytes,
-                    k_pages,
-                    ps
-                ),
-            });
-        }
-        let (cur_pages, cur_bytes) = meta
-            .descs
-            .last()
-            .map(|d| (d.total_pages, d.total_bytes))
-            .unwrap_or((0, 0));
-        let version = meta.descs.len() as Version + 1;
-        let desc = match kind {
-            UpdateKind::Append => WriteDesc {
-                version,
-                kind: WriteKind::Append,
-                page_lo: cur_pages,
-                page_hi: cur_pages + k_pages,
-                byte_lo: cur_bytes,
-                byte_hi: cur_bytes + nbytes,
-                total_pages: cur_pages + k_pages,
-                total_bytes: cur_bytes + nbytes,
-            },
-            UpdateKind::WriteAt { offset } => {
-                let page_lo = Self::page_at_boundary(&meta.descs, version - 1, ps, offset)
-                    .ok_or_else(|| BlobError::UnalignedWrite {
-                        detail: format!("offset {offset} is not an existing page boundary"),
+        let result: BlobResult<(WriteDesc, DescIndex, u64)> = (|| {
+            if nbytes == 0 {
+                return Err(BlobError::EmptyWrite);
+            }
+            let mut st = self.state.lock();
+            let meta = st.blobs.get_mut(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
+            let ps = meta.page_size;
+            let k_pages = nbytes.div_ceil(ps);
+            if manifest.len() as u64 != k_pages {
+                return Err(BlobError::UnalignedWrite {
+                    detail: format!(
+                        "manifest has {} pages but {} bytes need {} pages of {}",
+                        manifest.len(),
+                        nbytes,
+                        k_pages,
+                        ps
+                    ),
+                });
+            }
+            let (cur_pages, cur_bytes) = meta
+                .descs
+                .last()
+                .map(|d| (d.total_pages, d.total_bytes))
+                .unwrap_or((0, 0));
+            let version = meta.descs.len() as Version + 1;
+            let desc = match kind {
+                UpdateKind::Append => WriteDesc {
+                    version,
+                    kind: WriteKind::Append,
+                    page_lo: cur_pages,
+                    page_hi: cur_pages + k_pages,
+                    byte_lo: cur_bytes,
+                    byte_hi: cur_bytes + nbytes,
+                    total_pages: cur_pages + k_pages,
+                    total_bytes: cur_bytes + nbytes,
+                },
+                UpdateKind::WriteAt { offset } => {
+                    // `meta.index` is still at version - 1 here, so these are
+                    // O(log) lookups against the pre-update snapshot.
+                    let page_lo = meta.index.page_at_boundary(offset).ok_or_else(|| {
+                        BlobError::UnalignedWrite {
+                            detail: format!("offset {offset} is not an existing page boundary"),
+                        }
                     })?;
-                if offset + nbytes >= cur_bytes {
-                    // Tail-replacing / extending write.
-                    WriteDesc {
-                        version,
-                        kind: WriteKind::Write,
-                        page_lo,
-                        page_hi: page_lo + k_pages,
-                        byte_lo: offset,
-                        byte_hi: offset + nbytes,
-                        total_pages: page_lo + k_pages,
-                        total_bytes: offset + nbytes,
-                    }
-                } else {
-                    // Interior overwrite: must replace whole existing pages
-                    // with an identical layout.
-                    if !nbytes.is_multiple_of(ps) {
-                        return Err(BlobError::UnalignedWrite {
-                            detail: format!(
-                                "interior overwrite of {nbytes} B is not a multiple of the {ps} B page size"
-                            ),
-                        });
-                    }
-                    let end_page = page_lo + k_pages;
-                    let end_off = byte_offset_of_page(&meta.descs, version - 1, ps, end_page);
-                    if end_off != Some(offset + nbytes) {
-                        return Err(BlobError::UnalignedWrite {
-                            detail: format!(
-                                "overwrite end {} does not coincide with page boundary {end_page}",
-                                offset + nbytes
-                            ),
-                        });
-                    }
-                    WriteDesc {
-                        version,
-                        kind: WriteKind::Write,
-                        page_lo,
-                        page_hi: end_page,
-                        byte_lo: offset,
-                        byte_hi: offset + nbytes,
-                        total_pages: cur_pages,
-                        total_bytes: cur_bytes,
+                    if offset + nbytes >= cur_bytes {
+                        // Tail-replacing / extending write.
+                        WriteDesc {
+                            version,
+                            kind: WriteKind::Write,
+                            page_lo,
+                            page_hi: page_lo + k_pages,
+                            byte_lo: offset,
+                            byte_hi: offset + nbytes,
+                            total_pages: page_lo + k_pages,
+                            total_bytes: offset + nbytes,
+                        }
+                    } else {
+                        // Interior overwrite: must replace whole existing pages
+                        // with an identical layout.
+                        if !nbytes.is_multiple_of(ps) {
+                            return Err(BlobError::UnalignedWrite {
+                                detail: format!(
+                                    "interior overwrite of {nbytes} B is not a multiple of the {ps} B page size"
+                                ),
+                            });
+                        }
+                        let end_page = page_lo + k_pages;
+                        if meta.index.byte_offset_of_page(end_page) != Some(offset + nbytes) {
+                            return Err(BlobError::UnalignedWrite {
+                                detail: format!(
+                                    "overwrite end {} does not coincide with page boundary {end_page}",
+                                    offset + nbytes
+                                ),
+                            });
+                        }
+                        WriteDesc {
+                            version,
+                            kind: WriteKind::Write,
+                            page_lo,
+                            page_hi: end_page,
+                            byte_lo: offset,
+                            byte_hi: offset + nbytes,
+                            total_pages: cur_pages,
+                            total_bytes: cur_bytes,
+                        }
                     }
                 }
-            }
-        };
-        let catch_up = meta.descs[known as usize..].to_vec();
-        meta.descs.push(desc);
-        meta.manifests.insert(version, manifest);
-        meta.assigned_at.insert(version, now);
-        meta.gates.insert(version, self.fabric.gate());
-        Ok((desc, catch_up))
-    }
-
-    /// Locate the page index whose byte offset is exactly `offset`
-    /// (`total_pages` for `offset == total_bytes`). Page start offsets are
-    /// strictly increasing, so binary search works.
-    fn page_at_boundary(
-        descs: &[WriteDesc],
-        up_to: Version,
-        page_size: u64,
-        offset: u64,
-    ) -> Option<u64> {
-        let total = descs.iter().rev().find(|d| d.version <= up_to)?.total_pages;
-        let (mut lo, mut hi) = (0u64, total);
-        while lo <= hi {
-            let mid = lo + (hi - lo) / 2;
-            let off = byte_offset_of_page(descs, up_to, page_size, mid)?;
-            match off.cmp(&offset) {
-                std::cmp::Ordering::Equal => return Some(mid),
-                std::cmp::Ordering::Less => lo = mid + 1,
-                std::cmp::Ordering::Greater => {
-                    if mid == 0 {
-                        return None;
-                    }
-                    hi = mid - 1;
-                }
-            }
+            };
+            let unseen = (version).saturating_sub(known);
+            meta.descs.push(desc);
+            meta.index.apply(&desc);
+            let index = meta.index.clone();
+            meta.pending.insert(
+                version,
+                PendingWrite {
+                    manifest,
+                    index: index.clone(),
+                    assigned_at: now,
+                    gate: self.fabric.gate(),
+                },
+            );
+            Ok((desc, index, unseen))
+        })();
+        // One request/response exchange: the descriptor delta rides the
+        // assign response (the caller learns every version after its `known`
+        // watermark and pays for it on the wire, even though the in-process
+        // hand-off is an Arc share). Errors pay the plain control exchange.
+        let delta = result
+            .as_ref()
+            .map_or(0, |(_, _, unseen)| unseen * DESC_WIRE_BYTES);
+        p.rpc(self.node, self.ctl_msg_bytes, self.ctl_msg_bytes + delta);
+        if self.vm_cpu_ops > 0 {
+            p.compute(self.node, self.vm_cpu_ops);
         }
-        None
+        let (desc, index, _) = result?;
+        Ok((desc, index))
     }
 
     /// Step 4: the writer finished storing its metadata. Publishes the
@@ -302,11 +318,8 @@ impl VersionManager {
         meta.committed.insert(version);
         while meta.committed.remove(&(meta.published + 1)) {
             meta.published += 1;
-            let v = meta.published;
-            meta.manifests.remove(&v);
-            meta.assigned_at.remove(&v);
-            if let Some(gate) = meta.gates.remove(&v) {
-                gate.set();
+            if let Some(pw) = meta.pending.remove(&meta.published) {
+                pw.gate.set();
             }
         }
     }
@@ -323,9 +336,9 @@ impl VersionManager {
             if version > meta.descs.len() as Version {
                 return Err(BlobError::NoSuchVersion { blob, version });
             }
-            meta.gates
+            meta.pending
                 .get(&version)
-                .cloned()
+                .map(|pw| pw.gate.clone())
                 .expect("unpublished assigned version has a gate")
         };
         gate.wait(p);
@@ -379,12 +392,13 @@ impl VersionManager {
     }
 
     /// Complete a version on behalf of its (presumably dead) writer: build
-    /// and store its metadata tree from the manifest it handed over at
-    /// `assign` time, then commit it. Idempotent; concurrent invocations and
+    /// and store its metadata tree from the manifest and pinned index
+    /// snapshot it handed over at `assign` time (both `Arc` shares — no
+    /// history copy), then commit it. Idempotent; concurrent invocations and
     /// races with a resurrected writer are harmless because node writes are
     /// idempotent.
     pub fn force_complete(&self, p: &Proc, blob: BlobId, version: Version) -> BlobResult<()> {
-        let (desc, before, manifest, ps) = {
+        let (desc, index, manifest) = {
             let st = self.state.lock();
             let meta = st.blobs.get(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
             if version <= meta.published || meta.committed.contains(&version) {
@@ -393,18 +407,18 @@ impl VersionManager {
             if version > meta.descs.len() as Version {
                 return Err(BlobError::NoSuchVersion { blob, version });
             }
-            let manifest = meta
-                .manifests
+            let pw = meta
+                .pending
                 .get(&version)
-                .cloned()
-                .expect("pending version keeps its manifest");
-            let desc = meta.descs[version as usize - 1];
-            let before = meta.descs[..version as usize - 1].to_vec();
-            (desc, before, manifest, meta.page_size)
+                .expect("pending version keeps its manifest and index snapshot");
+            (
+                meta.descs[version as usize - 1],
+                pw.index.clone(),
+                pw.manifest.clone(),
+            )
         };
-        for (key, body) in plan_write(blob, &before, &desc, ps, &manifest) {
-            self.dht.put(p, key, body)?;
-        }
+        self.dht
+            .put_batch(p, plan_write(blob, &index, &desc, &manifest))?;
         let mut st = self.state.lock();
         if let Some(meta) = st.blobs.get_mut(&blob) {
             Self::commit_inner(meta, version);
@@ -425,9 +439,11 @@ impl VersionManager {
             let Some(meta) = st.blobs.get(&blob) else {
                 return Ok(());
             };
-            meta.assigned_at
+            meta.pending
                 .iter()
-                .filter(|&(v, t)| now.saturating_sub(*t) > timeout && !meta.committed.contains(v))
+                .filter(|&(v, pw)| {
+                    now.saturating_sub(pw.assigned_at) > timeout && !meta.committed.contains(v)
+                })
                 .map(|(v, _)| *v)
                 .collect()
         };
@@ -462,14 +478,16 @@ mod tests {
         ))
     }
 
-    fn manifest(n: u64, tag: u64, last_len: u64) -> Vec<PageRef> {
-        (0..n)
-            .map(|i| PageRef {
-                id: PageId(tag, i),
-                byte_len: if i == n - 1 { last_len } else { PS },
-                providers: vec![NodeId(2)],
-            })
-            .collect()
+    fn manifest(n: u64, tag: u64, last_len: u64) -> Arc<Vec<PageRef>> {
+        Arc::new(
+            (0..n)
+                .map(|i| PageRef {
+                    id: PageId(tag, i),
+                    byte_len: if i == n - 1 { last_len } else { PS },
+                    providers: vec![NodeId(2)],
+                })
+                .collect(),
+        )
     }
 
     fn with_proc<T: Send + 'static>(f: impl FnOnce(&Proc) -> T + Send + 'static) -> T {
@@ -488,18 +506,24 @@ mod tests {
         let vm2 = vm.clone();
         let h = fx.spawn(NodeId(3), "t", move |p| {
             let blob = vm2.create_blob(p, None);
-            let (d1, c1) = vm2
+            let (d1, ix1) = vm2
                 .assign(p, blob, UpdateKind::Append, 250, manifest(3, 1, 50), 0)
                 .unwrap();
             assert_eq!(d1.version, 1);
-            assert!(c1.is_empty());
-            let (d2, c2) = vm2
+            assert_eq!(ix1.version(), 1); // snapshot pinned at the new version
+            assert_eq!(ix1.total_bytes(), 250);
+            let (d2, ix2) = vm2
                 .assign(p, blob, UpdateKind::Append, 100, manifest(1, 2, 100), 0)
                 .unwrap();
             assert_eq!(d2.version, 2);
-            assert_eq!(c2.len(), 1); // catch-up includes v1
+            assert_eq!(ix2.version(), 2); // snapshot covers v1 and v2
+            assert_eq!(ix2.owner_of_page(0), Some(1));
+            assert_eq!(ix2.owner_of_page(3), Some(2));
             assert_eq!(d2.byte_lo, 250);
             assert_eq!(d2.page_lo, 3);
+            // ix1 is immutable: v2's assignment did not leak into it.
+            assert_eq!(ix1.version(), 1);
+            assert_eq!(ix1.owner_of_page(3), None);
 
             // Committing v2 first publishes nothing.
             vm2.commit(p, blob, 2).unwrap();
@@ -686,7 +710,7 @@ mod tests {
         let h = fx.spawn(NodeId(3), "t", move |p| {
             let blob = vm2.create_blob(p, None);
             assert!(matches!(
-                vm2.assign(p, blob, UpdateKind::Append, 0, vec![], 0),
+                vm2.assign(p, blob, UpdateKind::Append, 0, Arc::new(vec![]), 0),
                 Err(BlobError::EmptyWrite)
             ));
         });

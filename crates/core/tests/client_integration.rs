@@ -220,6 +220,98 @@ fn writes_fail_over_to_healthy_providers() {
 }
 
 #[test]
+fn failover_releases_reservations_on_dead_providers() {
+    // A provider that dies *after* the provider manager reserved capacity on
+    // it but *before* the page lands keeps its reservation forever unless
+    // the failover path hands it back. Kill the allocated provider while the
+    // client's transfer is in flight, let the write fail over, and require
+    // the capacity books to balance: every provider's load estimate must
+    // equal its stored bytes afterwards.
+    const PAGE: u64 = 4 * 1024 * 1024;
+    let fx = Fabric::sim(ClusterSpec::tiny(3));
+    // Providers on remote nodes only, so the page transfer takes modeled
+    // time and the kill can land mid-flight.
+    let layout = Layout {
+        vm: NodeId(0),
+        pm: NodeId(0),
+        namespace: NodeId(0),
+        meta: vec![NodeId(0)],
+        providers: vec![NodeId(1), NodeId(2)],
+    };
+    let config = BlobSeerConfig::test_small(PAGE).with_alloc(AllocStrategy::RoundRobin);
+    let bs = BlobSeer::deploy(&fx, config, layout).unwrap();
+    let bs_writer = bs.clone();
+    let writer = fx.spawn(NodeId(0), "writer", move |p| {
+        let c = bs_writer.client();
+        let blob = c.create(p, None);
+        // One 4 MB page: round-robin allocates provider 0 (node 1); the
+        // killer takes it down mid-transfer and the write must fail over.
+        c.append(p, blob, Payload::ghost(PAGE)).unwrap();
+        assert_eq!(bs_writer.providers()[0].stored_pages(), 0);
+        assert_eq!(bs_writer.providers()[1].stored_pages(), 1);
+    });
+    let bs_killer = bs.clone();
+    fx.spawn(NodeId(2), "killer", move |p| {
+        // Well inside the multi-ms transfer window, well after allocation.
+        p.sleep(5 * fabric::MILLIS);
+        bs_killer.providers()[0].kill();
+    });
+    fx.run();
+    writer.take().unwrap();
+    for (i, pr) in bs.providers().iter().enumerate() {
+        assert_eq!(
+            pr.load_estimate(),
+            pr.stored_bytes(),
+            "provider {i} has stranded reservations after failover"
+        );
+    }
+}
+
+#[test]
+fn abandoned_writes_release_all_reservations() {
+    // When every provider dies mid-write the append must fail loudly AND
+    // hand back each reservation it was still holding. The payload is NOT
+    // page-aligned: the short tail chunk pins the reservation units (exact
+    // chunk bytes, not whole pages) across allocate/release.
+    const PAGE: u64 = 4 * 1024 * 1024;
+    let fx = Fabric::sim(ClusterSpec::tiny(3));
+    let layout = Layout {
+        vm: NodeId(0),
+        pm: NodeId(0),
+        namespace: NodeId(0),
+        meta: vec![NodeId(0)],
+        providers: vec![NodeId(1), NodeId(2)],
+    };
+    let config = BlobSeerConfig::test_small(PAGE).with_alloc(AllocStrategy::RoundRobin);
+    let bs = BlobSeer::deploy(&fx, config, layout).unwrap();
+    let bs_writer = bs.clone();
+    let writer = fx.spawn(NodeId(0), "writer", move |p| {
+        let c = bs_writer.client();
+        let blob = c.create(p, None);
+        // One full page plus a 1000 B tail; the big transfer dies mid-flight
+        // (the tail may land before the kill — that replica is then stored
+        // and correctly unreserved).
+        assert!(c.append(p, blob, Payload::ghost(PAGE + 1000)).is_err());
+    });
+    let bs_killer = bs.clone();
+    fx.spawn(NodeId(0), "killer", move |p| {
+        p.sleep(5 * fabric::MILLIS);
+        for pr in bs_killer.providers() {
+            pr.kill();
+        }
+    });
+    fx.run();
+    writer.take().unwrap();
+    for (i, pr) in bs.providers().iter().enumerate() {
+        assert_eq!(
+            pr.load_estimate(),
+            pr.stored_bytes(),
+            "provider {i} has stranded reservations after an abandoned write"
+        );
+    }
+}
+
+#[test]
 fn overwrite_creates_isolated_snapshots() {
     let (fx, bs) = sim_deploy(4, 100);
     let bs2 = bs.clone();

@@ -1,0 +1,209 @@
+//! Property test: the O(log) descriptor index (`DescIndex`) must agree
+//! *exactly* with the retained linear-scan oracle in `blobseer::types` —
+//! for every query, at every version ceiling of a randomized
+//! append/overwrite interleaving. Snapshots are persistent, so the ceiling
+//! sweep just keeps the O(1) clone taken after each applied descriptor.
+
+use blobseer::types::{
+    byte_len_of_range, byte_offset_of_page, latest_toucher, owner_of_page, page_at_boundary,
+};
+use blobseer::{DescIndex, Version, WriteDesc, WriteKind};
+use proptest::prelude::*;
+
+const PS: u64 = 10;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Append `pages - 1` full pages plus a tail of `tail` bytes.
+    Append { pages: u64, tail: u64 },
+    /// Overwrite `pages` whole interior pages starting at page `page`
+    /// (reduced modulo the layout; skipped when the layout forbids it).
+    Interior { page: u64, pages: u64 },
+    /// Replace the tail from the boundary of page `page` onward with
+    /// `extra` bytes beyond the minimum, ending in a `tail`-byte page.
+    TailReplace { page: u64, extra: u64, tail: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u64..4, 1u64..PS + 1).prop_map(|(pages, tail)| Op::Append { pages, tail }),
+        2 => (any::<u64>(), 1u64..3).prop_map(|(page, pages)| Op::Interior { page, pages }),
+        2 => (any::<u64>(), 0u64..3, 1u64..PS + 1)
+            .prop_map(|(page, extra, tail)| Op::TailReplace { page, extra, tail }),
+    ]
+}
+
+/// Reference page layout: byte length of each live page, in order.
+struct Layout {
+    page_lens: Vec<u64>,
+}
+
+impl Layout {
+    fn total_bytes(&self) -> u64 {
+        self.page_lens.iter().sum()
+    }
+
+    fn offset_of(&self, page: usize) -> u64 {
+        self.page_lens[..page].iter().sum()
+    }
+
+    fn push_bytes(&mut self, mut n: u64) {
+        while n > 0 {
+            let take = n.min(PS);
+            self.page_lens.push(take);
+            n -= take;
+        }
+    }
+}
+
+/// Build the next descriptor for `op` against the current layout, mutating
+/// the layout to match; `None` when the op is invalid for this history (the
+/// version manager would reject it) and must be skipped.
+fn build_desc(op: &Op, version: Version, layout: &mut Layout) -> Option<WriteDesc> {
+    let tp = layout.page_lens.len() as u64;
+    let tb = layout.total_bytes();
+    match *op {
+        Op::Append { pages, tail } => {
+            let nbytes = (pages - 1) * PS + tail;
+            let d = WriteDesc {
+                version,
+                kind: WriteKind::Append,
+                page_lo: tp,
+                page_hi: tp + pages,
+                byte_lo: tb,
+                byte_hi: tb + nbytes,
+                total_pages: tp + pages,
+                total_bytes: tb + nbytes,
+            };
+            layout.push_bytes(nbytes);
+            Some(d)
+        }
+        Op::Interior { page, pages } => {
+            if tp == 0 {
+                return None;
+            }
+            let start = (page % tp) as usize;
+            let k = (pages as usize).min(layout.page_lens.len() - start);
+            if k == 0 || start + k >= layout.page_lens.len() {
+                return None; // would be a tail replace, not interior
+            }
+            if layout.page_lens[start..start + k].iter().any(|&l| l != PS) {
+                return None; // interior overwrites must keep the layout
+            }
+            let off = layout.offset_of(start);
+            Some(WriteDesc {
+                version,
+                kind: WriteKind::Write,
+                page_lo: start as u64,
+                page_hi: (start + k) as u64,
+                byte_lo: off,
+                byte_hi: off + k as u64 * PS,
+                total_pages: tp,
+                total_bytes: tb,
+            })
+        }
+        Op::TailReplace { page, extra, tail } => {
+            if tp == 0 {
+                return None;
+            }
+            let start = (page % tp) as usize;
+            let off = layout.offset_of(start);
+            // Minimum bytes to still cover the old end, then round the
+            // requested shape up to it: `extra` full pages plus a short
+            // tail, at least (tb - off).
+            let min = tb - off;
+            let mut nbytes = extra * PS + tail;
+            if nbytes < min {
+                nbytes = min.div_ceil(PS) * PS + tail;
+            }
+            let k = nbytes.div_ceil(PS);
+            let d = WriteDesc {
+                version,
+                kind: WriteKind::Write,
+                page_lo: start as u64,
+                page_hi: start as u64 + k,
+                byte_lo: off,
+                byte_hi: off + nbytes,
+                total_pages: start as u64 + k,
+                total_bytes: off + nbytes,
+            };
+            layout.page_lens.truncate(start);
+            layout.push_bytes(nbytes);
+            Some(d)
+        }
+    }
+}
+
+/// Compare every indexed query against the scan oracle at `ix.version()`.
+fn assert_index_matches_oracle(ix: &DescIndex, descs: &[WriteDesc]) {
+    let v = ix.version();
+    let tp = ix.total_pages();
+    let tb = ix.total_bytes();
+    for page in 0..tp + 2 {
+        prop_assert_eq_std(
+            ix.owner_of_page(page),
+            owner_of_page(descs, v, page).map(|d| d.version),
+            &format!("owner_of_page({page}) at v{v}"),
+        );
+        prop_assert_eq_std(
+            ix.byte_offset_of_page(page),
+            byte_offset_of_page(descs, v, PS, page),
+            &format!("byte_offset_of_page({page}) at v{v}"),
+        );
+    }
+    for lo in 0..=tp {
+        for hi in lo..=tp + 2 {
+            prop_assert_eq_std(
+                ix.latest_toucher(lo, hi),
+                latest_toucher(descs, v, lo, hi).map(|d| d.version),
+                &format!("latest_toucher({lo}, {hi}) at v{v}"),
+            );
+            prop_assert_eq_std(
+                ix.byte_len_of_range(lo, hi),
+                byte_len_of_range(descs, v, PS, lo, hi),
+                &format!("byte_len_of_range({lo}, {hi}) at v{v}"),
+            );
+        }
+    }
+    for off in 0..tb + 2 {
+        prop_assert_eq_std(
+            ix.page_at_boundary(off),
+            page_at_boundary(descs, v, PS, off),
+            &format!("page_at_boundary({off}) at v{v}"),
+        );
+    }
+}
+
+fn prop_assert_eq_std<T: PartialEq + std::fmt::Debug>(got: T, want: T, what: &str) {
+    assert_eq!(got, want, "{what} diverged from the scan oracle");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn indexed_queries_match_scan_oracle_at_every_ceiling(
+        ops in prop::collection::vec(op_strategy(), 1..16)
+    ) {
+        let mut descs: Vec<WriteDesc> = Vec::new();
+        let mut ix = DescIndex::new(PS);
+        let mut layout = Layout { page_lens: Vec::new() };
+        // snapshots[i] is the persistent index pinned at version i + 1.
+        let mut snapshots: Vec<DescIndex> = Vec::new();
+        for op in &ops {
+            let version = descs.len() as Version + 1;
+            let Some(d) = build_desc(op, version, &mut layout) else { continue };
+            descs.push(d);
+            ix.apply(&d);
+            snapshots.push(ix.clone());
+            // Cross-check the reference layout against the index.
+            assert_eq!(ix.total_pages(), layout.page_lens.len() as u64);
+            assert_eq!(ix.total_bytes(), layout.total_bytes());
+        }
+        // Every version ceiling: the snapshot taken at version v must agree
+        // with the oracle scanning the *full* history up to v.
+        for snap in &snapshots {
+            assert_index_matches_oracle(snap, &descs);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Op-count regression tests for the metadata plane: pin the O(log) append
+//! path and the batched wire protocol with `MetaServer::op_counts` /
+//! `rpc_counts` and fabric stats, so a reintroduced O(V) scan or
+//! node-at-a-time RPC loop fails tier-1 tests instead of only bending bench
+//! curves.
+
+use blobseer::types::tree_span;
+use blobseer::{BlobSeer, BlobSeerConfig, Layout};
+use fabric::{ClusterSpec, Fabric, NodeId, Payload};
+
+const PS: u64 = 64;
+
+/// Levels of the metadata tree over `total_pages` pages (root included).
+fn tree_depth(total_pages: u64) -> u64 {
+    tree_span(total_pages).trailing_zeros() as u64 + 1
+}
+
+fn meta_layout(fx: &Fabric, n_meta: u32) -> Layout {
+    Layout {
+        vm: NodeId(0),
+        pm: NodeId(0),
+        namespace: NodeId(0),
+        meta: (0..n_meta).map(NodeId).collect(),
+        providers: fx.spec().all_nodes().collect(),
+    }
+}
+
+/// A 1 000-version append sequence issues per-append DHT puts bounded by the
+/// tree depth (not by V), exactly one put RPC per metadata server touched,
+/// and O(V·log V) total work — no O(V²).
+#[test]
+fn append_dht_puts_bounded_by_tree_depth() {
+    let fx = Fabric::sim(ClusterSpec::tiny(4));
+    let layout = meta_layout(&fx, 1);
+    let bs = BlobSeer::deploy(&fx, BlobSeerConfig::test_small(PS), layout).unwrap();
+    let bs2 = bs.clone();
+    let h = fx.spawn(NodeId(1), "appender", move |p| {
+        let c = bs2.client();
+        let blob = c.create(p, None);
+        let dht = bs2.metadata_dht().clone();
+        let puts = |d: &blobseer::dht::MetaDht| -> u64 {
+            d.servers().iter().map(|s| s.op_counts().0).sum()
+        };
+        let put_rpcs = |d: &blobseer::dht::MetaDht| -> u64 {
+            d.servers().iter().map(|s| s.rpc_counts().0).sum()
+        };
+        let mut prev_puts = 0u64;
+        let mut prev_rpcs = 0u64;
+        let mut total_bound = 0u64;
+        for v in 1..=1_000u64 {
+            c.append(p, blob, Payload::ghost(PS)).unwrap();
+            let now_puts = puts(&dht);
+            let now_rpcs = put_rpcs(&dht);
+            let depth = tree_depth(v); // one page per append => total_pages == v
+            let delta_puts = now_puts - prev_puts;
+            let delta_rpcs = now_rpcs - prev_rpcs;
+            assert!(
+                delta_puts <= 2 * depth,
+                "append v{v} issued {delta_puts} node puts, tree depth is {depth}"
+            );
+            assert_eq!(
+                delta_rpcs, 1,
+                "append v{v} must batch its metadata into one RPC per server, used {delta_rpcs}"
+            );
+            prev_puts = now_puts;
+            prev_rpcs = now_rpcs;
+            total_bound += 2 * depth;
+        }
+        // Aggregate guard against O(V²): 1 000 appends stay within the
+        // summed per-append depth bound (~11k), nowhere near V²/2 = 500k.
+        assert!(
+            prev_puts <= total_bound,
+            "total puts {prev_puts} exceed the O(V log V) bound {total_bound}"
+        );
+        prev_puts
+    });
+    fx.run();
+    let total = h.take().unwrap();
+    assert!(total >= 1_000, "every append stored at least its leaf");
+}
+
+/// The read path descends breadth-first: one batched metadata RPC per
+/// (tree level, server) pair, never one per node.
+#[test]
+fn reads_batch_one_rpc_per_level_per_server() {
+    let fx = Fabric::sim(ClusterSpec::tiny(8));
+    let n_meta = 4u32;
+    let layout = meta_layout(&fx, n_meta);
+    let bs = BlobSeer::deploy(&fx, BlobSeerConfig::test_small(PS), layout).unwrap();
+    let bs2 = bs.clone();
+    let h = fx.spawn(NodeId(1), "reader", move |p| {
+        let c = bs2.client();
+        let blob = c.create(p, None);
+        // One append of 64 full pages: a perfect 7-level tree (span 64).
+        c.append(p, blob, Payload::ghost(64 * PS)).unwrap();
+        let dht = bs2.metadata_dht().clone();
+        let counts = |d: &blobseer::dht::MetaDht| -> (u64, u64) {
+            d.servers().iter().fold((0, 0), |(g, r), s| {
+                (g + s.op_counts().1, r + s.rpc_counts().1)
+            })
+        };
+        let (gets0, rpcs0) = counts(&dht);
+        c.read(p, blob, None, 0, 64 * PS).unwrap();
+        let (gets1, rpcs1) = counts(&dht);
+        let levels = tree_depth(64); // 7
+        assert_eq!(
+            gets1 - gets0,
+            127,
+            "a full scan visits every node of the 64-leaf tree exactly once"
+        );
+        assert!(
+            rpcs1 - rpcs0 <= levels * n_meta as u64,
+            "full-tree read used {} get RPCs; bound is levels({levels}) x servers({n_meta})",
+            rpcs1 - rpcs0
+        );
+        // A point read touches one root-to-leaf path: one node per level,
+        // at most one RPC per level.
+        let (gets2, rpcs2) = counts(&dht);
+        c.read(p, blob, None, 10 * PS, PS).unwrap();
+        let (gets3, rpcs3) = counts(&dht);
+        assert_eq!(gets3 - gets2, levels, "point read fetches one path");
+        assert!(rpcs3 - rpcs2 <= levels);
+    });
+    fx.run();
+    h.take().unwrap();
+}
+
+/// Fabric-level guard: the per-append wire footprint (transfers issued
+/// through the simulated cluster) stays flat as history deepens — the
+/// hallmark of the indexed + batched metadata plane.
+#[test]
+fn append_wire_footprint_is_flat_in_history_depth() {
+    let fx = Fabric::sim(ClusterSpec::tiny(4));
+    let layout = meta_layout(&fx, 1);
+    let bs = BlobSeer::deploy(&fx, BlobSeerConfig::test_small(PS), layout).unwrap();
+    let bs2 = bs.clone();
+    let fx2 = fx.clone();
+    let h = fx.spawn(NodeId(1), "appender", move |p| {
+        let c = bs2.client();
+        let blob = c.create(p, None);
+        let window = |n: u64| {
+            let t0 = fx2.stats().transfers;
+            for _ in 0..n {
+                c.append(p, blob, Payload::ghost(PS)).unwrap();
+            }
+            (fx2.stats().transfers - t0) as f64 / n as f64
+        };
+        let early = window(64); // history depth 1..=64
+        let _ = window(436); // advance to depth 500
+        let late = window(64); // history depth 501..=564
+        (early, late)
+    });
+    fx.run();
+    let (early, late) = h.take().unwrap();
+    assert!(
+        late <= early * 1.5 + 1.0,
+        "transfers per append grew with history depth: {early:.1} -> {late:.1}"
+    );
+}
