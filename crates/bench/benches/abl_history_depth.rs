@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 
-use bench_suite::print_table;
+use bench_suite::{json_num, print_table};
 use blobseer::{BlobSeer, BlobSeerConfig, Layout};
 use fabric::{ClusterSpec, Fabric, NodeId, Payload};
 
@@ -162,8 +162,24 @@ fn main() {
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_history_depth.json"
     );
+    // Diff BEFORE overwriting: a regressed run must die with the committed
+    // baseline intact, not clobber it and pass on the next invocation. The
+    // fresh numbers land in a `.new` side file first (what CI uploads when
+    // the diff fails, so a deliberate re-record has the data) and are
+    // promoted onto the canonical path only after the diff passes.
+    let new_path = format!("{path}.new");
+    std::fs::write(&new_path, &json).expect("write fresh bench record");
+    match std::fs::read_to_string(path).ok() {
+        None => println!("\nno committed baseline found; this run records the first one"),
+        Some(base) => {
+            diff_series(&base, "append_series", &append_points);
+            diff_series(&base, "overwrite_series", &overwrite_points);
+            println!("\nbaseline diff passed: sim time and DHT puts within tolerance per depth");
+        }
+    }
     std::fs::write(path, &json).expect("write BENCH_history_depth.json");
-    println!("\nwrote {path}");
+    let _ = std::fs::remove_file(&new_path);
+    println!("wrote {path}");
 
     // Acceptance gates, flat (within 2x) from depth 100 to 10 000 instead
     // of the ~100x a linear rescan would cost. The hard 2x gates use the
@@ -211,6 +227,40 @@ fn main() {
         a10k.puts_per_op / a100.puts_per_op,
         per_node(a10k) / per_node(a100),
     );
+}
+
+/// Diff this run's DETERMINISTIC currencies (simulated wire time, DHT node
+/// puts — exact for a fixed seed) against the committed baseline series;
+/// wall-clock fields are recorded but never gated here. A legitimate cost
+/// change re-records the committed JSON deliberately.
+fn diff_series(base: &str, series: &str, pts: &[Point]) {
+    let start = base
+        .find(&format!("\"{series}\""))
+        .expect("baseline series");
+    let seg = &base[start..];
+    let seg = &seg[..seg.find(']').expect("series closes")];
+    for pt in pts {
+        let obj = seg
+            .split('{')
+            .find(|o| json_num(o, "depth") == Some(pt.depth as f64))
+            .unwrap_or_else(|| panic!("baseline {series} lacks depth {}", pt.depth));
+        let base_sim = json_num(obj, "sim_ns_per_op").expect("baseline sim_ns_per_op");
+        let base_puts = json_num(obj, "dht_puts_per_op").expect("baseline dht_puts_per_op");
+        assert!(
+            pt.sim_ns_per_op <= base_sim * 1.25,
+            "{series} depth {}: simulated cost regressed {:.0} -> {:.0} ns/op vs baseline",
+            pt.depth,
+            base_sim,
+            pt.sim_ns_per_op,
+        );
+        assert!(
+            pt.puts_per_op <= base_puts + 2.0,
+            "{series} depth {}: DHT puts regressed {:.2} -> {:.2} per op vs baseline",
+            pt.depth,
+            base_puts,
+            pt.puts_per_op,
+        );
+    }
 }
 
 fn series_json(pts: &[Point]) -> String {

@@ -8,26 +8,49 @@
 //! the single shared output file costs nothing; (b) both curves stay
 //! roughly constant because data join is computation-dominated; (c) BSFS
 //! leaves ONE file where HDFS leaves R.
+//!
+//! On top of the paper sweep, a *shuffle-stress* point (maps ≫ nodes, the
+//! regime fig6's 10-map workload never enters) measures the host-grouped
+//! shuffle: segments pulled vs wire transfers that carried them. Results
+//! land in `BENCH_fig6_shuffle.json` at the repo root; the committed copy
+//! is the baseline this driver diffs each run against (deterministic sim
+//! currencies only), so a data-plane regression fails the build.
 
-use bench_suite::{fig6_point, print_table, relative_spread, Fig6System};
+use bench_suite::{
+    fig6_point, fig6_shuffle_stress, json_num, print_table, relative_spread, Fig6System,
+};
+
+const BASELINE_TOLERANCE: f64 = 1.25;
 
 fn main() {
     let reducers = [1u32, 10, 25, 50, 100, 150, 200, 230];
     let mut rows = Vec::new();
     let mut hdfs_series = Vec::new();
     let mut bsfs_series = Vec::new();
+    let mut bsfs_transfers = Vec::new();
     for &r in &reducers {
-        let (hdfs_secs, hdfs_files) = fig6_point(Fig6System::HdfsPerReducer, r, 4000 + r as u64);
-        let (bsfs_secs, bsfs_files) = fig6_point(Fig6System::BsfsSharedAppend, r, 4000 + r as u64);
-        hdfs_series.push(hdfs_secs);
-        bsfs_series.push(bsfs_secs);
+        let hdfs = fig6_point(Fig6System::HdfsPerReducer, r, 4000 + r as u64);
+        let bsfs = fig6_point(Fig6System::BsfsSharedAppend, r, 4000 + r as u64);
+        hdfs_series.push(hdfs.secs);
+        bsfs_series.push(bsfs.secs);
+        bsfs_transfers.push(bsfs.shuffle_transfers);
+        assert_eq!(
+            bsfs.shuffle_segments,
+            10 * u64::from(r),
+            "every reducer pulls every map output"
+        );
+        assert!(
+            bsfs.shuffle_transfers <= bsfs.shuffle_segments,
+            "host grouping can never add transfers"
+        );
         rows.push(vec![
             r.to_string(),
-            format!("{hdfs_secs:.0}"),
-            format!("{bsfs_secs:.0}"),
-            format!("{:.3}", bsfs_secs / hdfs_secs),
-            hdfs_files.to_string(),
-            bsfs_files.to_string(),
+            format!("{:.0}", hdfs.secs),
+            format!("{:.0}", bsfs.secs),
+            format!("{:.3}", bsfs.secs / hdfs.secs),
+            hdfs.output_files.to_string(),
+            bsfs.output_files.to_string(),
+            format!("{}/{}", bsfs.shuffle_transfers, bsfs.shuffle_segments),
         ]);
     }
     print_table(
@@ -39,6 +62,7 @@ fn main() {
             "BSFS/HDFS",
             "HDFS files",
             "BSFS files",
+            "shuffle xfers/segs",
         ],
         &rows,
     );
@@ -65,4 +89,130 @@ fn main() {
         worst_ratio < 0.25,
         "append support should come at no extra cost; gap {worst_ratio:.2}"
     );
+
+    // Shuffle-stress point: 48 maps on 8 nodes, 8 reducers. fig6's own
+    // 10-map workload spreads across 247 tasktrackers, so host grouping
+    // only shows once maps outnumber nodes — here every reducer's 48 pulls
+    // collapse into at most 8 transfers.
+    let (maps, segments, transfers, stress_secs) = fig6_shuffle_stress(8, 48, 8, 4242);
+    let reduction = segments as f64 / transfers.max(1) as f64;
+    println!(
+        "\nshuffle stress ({maps} maps / 8 nodes / 8 reducers): {segments} segment pulls rode \
+         {transfers} host-grouped transfers ({reduction:.1}x fewer round-trips), {stress_secs:.1}s"
+    );
+    assert!(
+        transfers * 2 <= segments,
+        "with maps >> nodes the grouped shuffle must at least halve the round-trips: \
+         {transfers} transfers for {segments} segments"
+    );
+
+    // Record the run and diff the deterministic currencies against the
+    // committed baseline (virtual completion seconds and wire counts are
+    // exact for a fixed seed; wall clock never enters this file).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig6_shuffle.json");
+    let baseline = std::fs::read_to_string(path).ok();
+    let json = to_json(
+        &reducers,
+        &hdfs_series,
+        &bsfs_series,
+        &bsfs_transfers,
+        maps,
+        segments,
+        transfers,
+        stress_secs,
+    );
+    // Diff BEFORE overwriting: a regressed run must die with the committed
+    // baseline intact, not clobber it and pass on the next invocation. The
+    // fresh numbers land in a `.new` side file first (what CI uploads when
+    // the diff fails, so a deliberate re-record has the data) and are
+    // promoted onto the canonical path only after the diff passes.
+    let new_path = format!("{path}.new");
+    std::fs::write(&new_path, &json).expect("write fresh bench record");
+    match baseline {
+        None => println!("no committed baseline found; this run records the first one"),
+        Some(base) => diff_against_baseline(&base, &bsfs_series, segments, transfers),
+    }
+    std::fs::write(path, &json).expect("write BENCH_fig6_shuffle.json");
+    let _ = std::fs::remove_file(&new_path);
+    println!("wrote {path}");
+}
+
+/// Fail when this run regressed vs the committed baseline: BSFS completion
+/// time (sim-deterministic) per reducer sweep point, and the stress point's
+/// shuffle round-trips.
+fn diff_against_baseline(base: &str, bsfs_series: &[f64], segments: u64, transfers: u64) {
+    let Some(stress) = base.find("\"shuffle_stress\"").map(|i| &base[i..]) else {
+        println!("baseline predates the shuffle_stress record; skipping diff");
+        return;
+    };
+    let base_segments = json_num(stress, "segments").expect("baseline segments");
+    let base_transfers = json_num(stress, "transfers").expect("baseline transfers");
+    assert!(
+        (segments as f64 - base_segments).abs() < 0.5,
+        "stress workload changed: {segments} segments vs baseline {base_segments}"
+    );
+    assert!(
+        transfers as f64 <= base_transfers * BASELINE_TOLERANCE,
+        "shuffle round-trips regressed: {transfers} vs baseline {base_transfers}"
+    );
+    // BSFS completion seconds, pointwise.
+    let series = base
+        .find("\"bsfs_secs\"")
+        .map(|i| &base[i..])
+        .expect("baseline bsfs_secs");
+    let end = series.find(']').expect("series closes");
+    let base_secs: Vec<f64> = series[..end]
+        .split('[')
+        .nth(1)
+        .expect("series opens")
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .collect();
+    assert_eq!(
+        base_secs.len(),
+        bsfs_series.len(),
+        "baseline sweep shape changed; re-record BENCH_fig6_shuffle.json deliberately"
+    );
+    for (now, base) in bsfs_series.iter().zip(&base_secs) {
+        assert!(
+            *now <= base * BASELINE_TOLERANCE,
+            "BSFS fig6 completion regressed: {now:.1}s vs baseline {base:.1}s"
+        );
+    }
+    println!(
+        "baseline diff passed: transfers {transfers} <= {base_transfers} x {BASELINE_TOLERANCE}, \
+         completion within {BASELINE_TOLERANCE}x pointwise"
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    reducers: &[u32],
+    hdfs: &[f64],
+    bsfs: &[f64],
+    bsfs_transfers: &[u64],
+    maps: u32,
+    segments: u64,
+    transfers: u64,
+    stress_secs: f64,
+) -> String {
+    let fmt_f = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let fmt_u = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+    let fmt_r = |v: &[u32]| v.iter().map(u32::to_string).collect::<Vec<_>>().join(", ");
+    format!(
+        "{{\n  \"bench\": \"fig6_datajoin\",\n  \"reducers\": [{}],\n  \"hdfs_secs\": [{}],\n  \
+         \"bsfs_secs\": [{}],\n  \"bsfs_shuffle_transfers\": [{}],\n  \"shuffle_stress\": \
+         {{\"nodes\": 8, \"maps\": {maps}, \"reducers\": 8, \"segments\": {segments}, \
+         \"transfers\": {transfers}, \"round_trip_reduction\": {:.2}, \"secs\": {stress_secs:.1}}}\n}}\n",
+        fmt_r(reducers),
+        fmt_f(hdfs),
+        fmt_f(bsfs),
+        fmt_u(bsfs_transfers),
+        segments as f64 / transfers.max(1) as f64,
+    )
 }

@@ -227,10 +227,24 @@ pub enum Fig6System {
     BsfsSharedAppend,
 }
 
+/// One Figure 6 measurement, including the shuffle-wire observability the
+/// data-plane batching work added.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Point {
+    pub secs: f64,
+    pub output_files: u64,
+    pub shuffle_bytes: u64,
+    /// Map-output segments reducers pulled (maps × reducers).
+    pub shuffle_segments: u64,
+    /// Host-grouped wire transfers that carried them — one per
+    /// (map-node, reducer) pair.
+    pub shuffle_transfers: u64,
+}
+
 /// Figure 6 point: the data join application with ghost payloads calibrated
 /// to the paper's volumes (2×320 MB in, ≈6.3 GB out), on the 270-node
-/// cluster. Returns `(completion seconds, output file count)`.
-pub fn fig6_point(system: Fig6System, reducers: u32, seed: u64) -> (f64, u64) {
+/// cluster.
+pub fn fig6_point(system: Fig6System, reducers: u32, seed: u64) -> Fig6Point {
     let fx = Fabric::sim_seeded(ClusterSpec::orsay_270(), seed);
     let fs: Arc<dyn FileSystem> = match system {
         Fig6System::BsfsSharedAppend => {
@@ -269,7 +283,82 @@ pub fn fig6_point(system: Fig6System, reducers: u32, seed: u64) -> (f64, u64) {
     fx.run();
     let result = driver.take().unwrap();
     assert_eq!(result.maps, 10, "fixed input must make 10 map tasks");
-    (result.elapsed_secs(), result.output_files)
+    let (shuffle_segments, shuffle_transfers) = mr.registry().fetch_counts();
+    Fig6Point {
+        secs: result.elapsed_secs(),
+        output_files: result.output_files,
+        shuffle_bytes: result.shuffle_bytes,
+        shuffle_segments,
+        shuffle_transfers,
+    }
+}
+
+/// Shuffle-batching stress point: a data-join-profile job whose map count
+/// far exceeds the node count, the regime where Hadoop's per-segment pulls
+/// hurt most ("Only Aggressive Elephants are Fast Elephants"). Returns the
+/// measured (maps, segments pulled, host-grouped transfers, completion
+/// seconds) so the fig6 driver can report the round-trip reduction.
+pub fn fig6_shuffle_stress(
+    nodes: u32,
+    maps: u32,
+    reducers: u32,
+    seed: u64,
+) -> (u32, u64, u64, f64) {
+    const BLOCK: u64 = 1024 * 1024; // 1 MB blocks -> one map per MB of input
+    let fx = Fabric::sim_seeded(ClusterSpec::tiny(nodes), seed);
+    let fs: Arc<dyn FileSystem> = Arc::new(
+        Bsfs::deploy(
+            &fx,
+            BlobSeerConfig::test_small(BLOCK),
+            Layout::compact(fx.spec()),
+        )
+        .expect("bsfs"),
+    );
+    let mr = MrCluster::start(&fx, fs.clone(), MrConfig::compact(fx.spec()));
+    let fs2 = fs.clone();
+    let mr2 = mr.clone();
+    let driver = fx.spawn(NodeId(0), "driver", move |p| {
+        let mut w = fs2.create(p, &path("/in")).unwrap();
+        w.write(p, Payload::ghost(u64::from(maps) * BLOCK)).unwrap();
+        w.close(p).unwrap();
+        let job = JobConf {
+            name: "datajoin-shuffle-stress".into(),
+            inputs: vec![path("/in")],
+            output_dir: path("/out"),
+            num_reducers: reducers,
+            output_mode: OutputMode::SharedAppendFile,
+            user: workloads::datajoin::user_fns(),
+            ghost: Some(mapreduce::GhostProfile {
+                input_record_bytes: 32,
+                map_output_ratio: 1.0,
+                map_cpu_per_byte: 10.0, // shuffle-dominated on purpose
+                reduce_output_ratio: 1.0,
+                reduce_cpu_per_byte: 2.0,
+            }),
+        };
+        let result = mr2.submit(job).wait(p);
+        mr2.shutdown();
+        result
+    });
+    fx.run();
+    let result = driver.take().unwrap();
+    assert_eq!(result.maps, maps, "block count must fix the map count");
+    let (segments, transfers) = mr.registry().fetch_counts();
+    (result.maps, segments, transfers, result.elapsed_secs())
+}
+
+/// Extract the first numeric value following `"key":` in one of the flat
+/// JSON files the bench drivers emit. No JSON dependency exists offline;
+/// the files are our own fixed format, so a scan is sufficient (and any
+/// drift fails loudly as a missing baseline field).
+pub fn json_num(s: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = s.find(&pat)? + pat.len();
+    let rest = s[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Shape check helper: max relative spread of a series (0 = perfectly flat).

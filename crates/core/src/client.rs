@@ -1,14 +1,17 @@
 //! The BlobSeer client: implements the full write and read protocols on top
 //! of the provider manager, providers, metadata DHT and version manager.
 //!
-//! Writes (paper §3.1.2): split into pages → store pages on providers *in
-//! parallel* → obtain a version + descriptor-index snapshot from the version
-//! manager → write the metadata tree (batched, one RPC per metadata server)
-//! → commit. Reads: snapshot lookup → breadth-first descent of the version's
-//! segment tree (one batched DHT round per level) → fetch pages (in
-//! parallel, with replica failover) → assemble.
+//! Writes (paper §3.1.2): split into pages → store pages on providers — the
+//! page streams of one update are *grouped by target provider* into one
+//! batched `put_pages` per provider — → obtain a version + descriptor-index
+//! snapshot from the version manager → write the metadata tree (batched,
+//! one RPC per metadata server) → commit. Reads: snapshot lookup →
+//! breadth-first descent of the version's segment tree (one batched DHT
+//! round per level) → fetch pages, grouped by chosen replica into one
+//! batched `get_pages` per provider, with per-page replica failover for the
+//! subset that fails → assemble.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use fabric::{run_parallel, NodeId, Payload, Proc, TaskFn};
@@ -18,7 +21,7 @@ use rand::Rng;
 use crate::cluster::Services;
 use crate::desc_index::DescIndex;
 use crate::error::{BlobError, BlobResult};
-use crate::meta::{collect_leaves, plan_write, LeafHit, PageRef, SnapshotInfo};
+use crate::meta::{collect_leaves, plan_write, LeafHit, NodeBody, NodeKey, PageRef, SnapshotInfo};
 use crate::provider::Provider;
 use crate::types::{BlobId, PageId, Version};
 use crate::version_manager::UpdateKind;
@@ -114,15 +117,7 @@ impl BlobClient {
             .svc
             .vm
             .assign(p, blob, kind, nbytes, manifest.clone(), known)?;
-        {
-            // Concurrent updaters of this client race to refresh the cache;
-            // snapshots are cumulative, so the highest version wins.
-            let mut cache = self.desc_cache.lock();
-            let entry = cache.entry(blob).or_insert_with(|| index.clone());
-            if entry.version() < index.version() {
-                *entry = index.clone();
-            }
-        }
+        self.refresh_desc_cache(blob, &index);
 
         // Step 3: write the metadata tree, batched — one RPC per metadata
         // server instead of one per node.
@@ -152,18 +147,117 @@ impl BlobClient {
             })
             .collect();
 
-        type PageResult = BlobResult<PageRef>;
-        let mut tasks: Vec<TaskFn<PageResult>> = Vec::with_capacity(chunks.len());
-        for ((chunk, id), providers) in chunks.iter().zip(&ids).zip(placements) {
-            let chunk = chunk.clone();
-            let id = *id;
-            let svc = self.svc.clone();
+        // Group every (page, replica) stream by its target provider: one
+        // batched put_pages per provider carries that provider's whole share
+        // of the update, instead of one RPC per page-replica. BTreeMap keeps
+        // the grouping deterministic across runs.
+        let mut batches: BTreeMap<u32, (Arc<Provider>, Vec<usize>)> = BTreeMap::new();
+        for (i, replicas) in placements.iter().enumerate() {
+            for prov in replicas {
+                batches
+                    .entry(prov.node().0)
+                    .or_insert_with(|| (prov.clone(), Vec::new()))
+                    .1
+                    .push(i);
+            }
+        }
+        type BatchResult = (NodeId, Vec<(usize, BlobResult<()>)>);
+        let mut tasks: Vec<TaskFn<BatchResult>> = Vec::with_capacity(batches.len());
+        for (_, (prov, idxs)) in batches {
+            let pages: Vec<(PageId, Payload)> =
+                idxs.iter().map(|&i| (ids[i], chunks[i].clone())).collect();
             tasks.push(Box::new(move |wp: &Proc| {
-                store_one_page(wp, &svc, id, chunk, providers)
+                let node = prov.node();
+                let results = prov.put_pages(wp, pages);
+                (node, idxs.into_iter().zip(results).collect())
             }));
         }
-        let results = run_parallel(p, "page-write", tasks);
-        results.into_iter().collect()
+
+        // Collect per-(page, replica) outcomes. Failed streams hand their
+        // capacity reservation back immediately and queue for failover.
+        let mut landed: Vec<Vec<NodeId>> = vec![Vec::new(); chunks.len()];
+        let mut failures: Vec<(usize, Vec<NodeId>)> = Vec::new(); // (page, dead nodes)
+        for (node, results) in run_parallel(p, "page-write", tasks) {
+            for (i, res) in results {
+                match res {
+                    Ok(()) => landed[i].push(node),
+                    Err(_) => {
+                        self.svc
+                            .pm
+                            .release(p, &self.svc.provider_map[&node], chunks[i].len());
+                        match failures.iter_mut().find(|(pg, _)| *pg == i) {
+                            Some((_, dead)) => dead.push(node),
+                            None => failures.push((i, vec![node])),
+                        }
+                    }
+                }
+            }
+        }
+
+        // Failover, page by page: re-place each missing replica on a fresh
+        // provider, excluding nodes observed dead and replicas already
+        // holding this page (a replacement must not collide with them).
+        for (i, mut dead) in failures {
+            while landed[i].len() < repl {
+                let mut attempts = 1; // the batched stream already failed once
+                loop {
+                    let mut exclude = dead.clone();
+                    exclude.extend(landed[i].iter().copied());
+                    let target = self.svc.pm.any_alive(p, &exclude)?;
+                    target.reserve(chunks[i].len());
+                    match target.put_page(p, ids[i], chunks[i].clone()) {
+                        Ok(()) => {
+                            landed[i].push(target.node());
+                            break;
+                        }
+                        Err(BlobError::ProviderDown { node }) => {
+                            self.svc.pm.release(p, &target, chunks[i].len());
+                            dead.push(NodeId(node));
+                            attempts += 1;
+                            if attempts > 3 {
+                                return Err(BlobError::PageUnavailable {
+                                    detail: format!(
+                                        "could not place page {:?} after {attempts} attempts",
+                                        ids[i]
+                                    ),
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            self.svc.pm.release(p, &target, chunks[i].len());
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Emit manifests with replicas in allocation order (primary first),
+        // failover replacements after.
+        Ok(ids
+            .into_iter()
+            .zip(chunks)
+            .zip(placements)
+            .zip(landed)
+            .map(|(((id, chunk), replicas), landed)| {
+                let mut providers: Vec<NodeId> = replicas
+                    .iter()
+                    .map(|pr| pr.node())
+                    .filter(|n| landed.contains(n))
+                    .collect();
+                let replacements: Vec<NodeId> = landed
+                    .iter()
+                    .filter(|n| !providers.contains(n))
+                    .copied()
+                    .collect();
+                providers.extend(replacements);
+                PageRef {
+                    id,
+                    byte_len: chunk.len(),
+                    providers,
+                }
+            })
+            .collect())
     }
 
     /// Read `len` bytes at `offset` from `version` (`None` = latest
@@ -182,6 +276,11 @@ impl BlobClient {
 
     /// Read against an already-resolved snapshot (saves the VM round-trip;
     /// BSFS pins snapshots at open time).
+    ///
+    /// The requested range is clamped to the snapshot end, exactly like
+    /// [`Self::page_locations`]: a read at or past EOF returns a short
+    /// (possibly empty) payload instead of an error, and `offset + len`
+    /// cannot overflow.
     pub fn read_snapshot(
         &self,
         p: &Proc,
@@ -190,26 +289,50 @@ impl BlobClient {
         offset: u64,
         len: u64,
     ) -> BlobResult<Payload> {
-        if len == 0 {
+        let end = offset.saturating_add(len).min(snap.total_bytes);
+        if offset >= end {
             return Ok(Payload::empty());
         }
-        let hits = self.leaves(p, blob, snap, offset, offset + len)?;
-        type PartResult = BlobResult<Payload>;
-        let mut tasks: Vec<TaskFn<PartResult>> = Vec::with_capacity(hits.len());
-        for hit in hits {
+        let hits = self.leaves(p, blob, snap, offset, end)?;
+        // Choose one replica per page up front (local short-circuit first,
+        // random otherwise) and group the fetches by chosen provider: one
+        // batched get_pages RPC per provider moves its whole share of the
+        // range. Only the pages that fail inside a batch fall back to
+        // per-page replica failover.
+        let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, hit) in hits.iter().enumerate() {
+            groups.entry(pick_replica(p, hit)).or_default().push(i);
+        }
+        type GroupResult = Vec<(usize, BlobResult<Payload>)>;
+        let mut tasks: Vec<TaskFn<GroupResult>> = Vec::with_capacity(groups.len());
+        for (node, idxs) in groups {
+            let node = NodeId(node);
             let svc = self.svc.clone();
-            let (a, b) = (
-                offset.max(hit.blob_byte_off),
-                (offset + len).min(hit.blob_byte_off + hit.page.byte_len),
-            );
+            let group_hits: Vec<LeafHit> = idxs.iter().map(|&i| hits[i].clone()).collect();
             tasks.push(Box::new(move |wp: &Proc| {
-                let page = fetch_with_failover(wp, &svc, &hit)?;
-                Ok(page.slice(a - hit.blob_byte_off, b - a))
+                fetch_group(wp, &svc, node, &group_hits)
+                    .into_iter()
+                    .zip(idxs)
+                    .map(|(r, i)| (i, r))
+                    .collect()
             }));
         }
-        let parts: Vec<PartResult> = run_parallel(p, "page-read", tasks);
-        let parts: BlobResult<Vec<Payload>> = parts.into_iter().collect();
-        Ok(Payload::concat(&parts?))
+        let mut parts: Vec<Option<Payload>> = vec![None; hits.len()];
+        for group in run_parallel(p, "page-read", tasks) {
+            for (i, res) in group {
+                let hit = &hits[i];
+                let (a, b) = (
+                    offset.max(hit.blob_byte_off),
+                    end.min(hit.blob_byte_off + hit.page.byte_len),
+                );
+                parts[i] = Some(res?.slice(a - hit.blob_byte_off, b - a));
+            }
+        }
+        let parts: Vec<Payload> = parts
+            .into_iter()
+            .map(|o| o.expect("every page answered"))
+            .collect();
+        Ok(Payload::concat(&parts))
     }
 
     fn leaves(
@@ -249,6 +372,15 @@ impl BlobClient {
 
     /// Page→provider distribution for a byte range — the primitive the
     /// paper adds so the Hadoop scheduler can see data locality (§3.2).
+    ///
+    /// The offset→page mapping is answered *locally* from the client's
+    /// descriptor-index snapshot whenever one pinned at the queried version
+    /// is available (refreshing the cache with one descriptor-delta sync
+    /// from the version manager when the latest snapshot was asked for), so
+    /// only the leaf (provider-set) nodes are fetched from the DHT — in one
+    /// batched get per metadata server, with zero inner tree-node gets.
+    /// Historical versions fall back to the tree walk, which is the only
+    /// structure that can answer them.
     pub fn page_locations(
         &self,
         p: &Proc,
@@ -261,99 +393,170 @@ impl BlobClient {
         if len == 0 {
             return Ok(Vec::new());
         }
-        let end = (offset + len).min(snap.total_bytes);
+        let end = offset.saturating_add(len).min(snap.total_bytes);
         if offset >= end {
             return Ok(Vec::new());
         }
-        let hits = self.leaves(p, blob, &snap, offset, end)?;
-        Ok(hits
-            .into_iter()
-            .map(|h| PageLocation {
-                byte_off: h.blob_byte_off,
-                byte_len: h.page.byte_len,
-                hosts: h.page.providers,
+        let Some(ix) = self.index_at(p, blob, &snap, version.is_none())? else {
+            // Historical version (or a publication race): walk the tree.
+            let hits = self.leaves(p, blob, &snap, offset, end)?;
+            return Ok(hits
+                .into_iter()
+                .map(|h| PageLocation {
+                    byte_off: h.blob_byte_off,
+                    byte_len: h.page.byte_len,
+                    hosts: h.page.providers,
+                })
+                .collect());
+        };
+        // The index answers which pages overlap the range and who owns
+        // each (the owner version's tree is the one holding the live leaf);
+        // a single batched DHT get resolves every leaf's provider set.
+        let page_lo = ix.page_containing(offset).expect("offset below EOF");
+        let page_hi = ix.page_containing(end - 1).expect("end-1 below EOF") + 1;
+        let mut keys = Vec::with_capacity((page_hi - page_lo) as usize);
+        let mut byte_offs = Vec::with_capacity(keys.capacity());
+        for page in page_lo..page_hi {
+            let owner = ix.owner_of_page(page).expect("live page has an owner");
+            keys.push(NodeKey {
+                blob,
+                version: owner,
+                page_lo: page,
+                page_hi: page + 1,
+            });
+            byte_offs.push(
+                ix.byte_offset_of_page(page)
+                    .expect("live page has an offset"),
+            );
+        }
+        let bodies = self.svc.dht.get_batch(p, &keys)?;
+        keys.iter()
+            .zip(byte_offs)
+            .zip(bodies)
+            .map(|((key, byte_off), body)| match body {
+                Some(NodeBody::Leaf(pr)) => Ok(PageLocation {
+                    byte_off,
+                    byte_len: pr.byte_len,
+                    hosts: pr.providers,
+                }),
+                _ => Err(BlobError::MetadataMissing {
+                    blob: key.blob,
+                    version: key.version,
+                    page_lo: key.page_lo,
+                    page_hi: key.page_hi,
+                }),
             })
-            .collect())
+            .collect()
     }
-}
 
-fn store_one_page(
-    p: &Proc,
-    svc: &Arc<Services>,
-    id: PageId,
-    chunk: Payload,
-    providers: Vec<Arc<Provider>>,
-) -> BlobResult<PageRef> {
-    // Every provider in `providers` (and every failover replacement) holds a
-    // capacity reservation until its replica lands; on any early exit the
-    // unfulfilled reservations must be handed back or the dead/unused
-    // providers stay inflated forever in the least-loaded policy's eyes.
-    let mut pending: VecDeque<Arc<Provider>> = providers.into();
-    let mut placed: Vec<NodeId> = Vec::with_capacity(pending.len());
-    let mut dead: Vec<NodeId> = Vec::new();
-    while let Some(mut target) = pending.pop_front() {
-        let mut attempts = 0;
-        loop {
-            match target.put_page(p, id, chunk.clone()) {
-                Ok(()) => {
-                    placed.push(target.node());
-                    break;
-                }
-                Err(BlobError::ProviderDown { node }) => {
-                    // The reservation for this replica is stranded on the
-                    // dead provider; release it before failing over.
-                    svc.pm.release(p, &target, chunk.len());
-                    dead.push(NodeId(node));
-                    attempts += 1;
-                    if attempts > 3 {
-                        for pr in &pending {
-                            svc.pm.release(p, pr, chunk.len());
-                        }
-                        return Err(BlobError::PageUnavailable {
-                            detail: format!(
-                                "could not place page {id:?} after {attempts} attempts"
-                            ),
-                        });
-                    }
-                    let mut exclude = dead.clone();
-                    exclude.extend(placed.iter().copied());
-                    // Also exclude this page's still-pending replica targets,
-                    // or the replacement could collide with one of them and
-                    // leave two "replicas" on a single provider.
-                    exclude.extend(pending.iter().map(|pr| pr.node()));
-                    match svc.pm.any_alive(p, &exclude) {
-                        Ok(next) => {
-                            target = next;
-                            target.reserve(chunk.len());
-                        }
-                        Err(e) => {
-                            for pr in &pending {
-                                svc.pm.release(p, pr, chunk.len());
-                            }
-                            return Err(e);
-                        }
-                    }
-                }
-                Err(e) => {
-                    svc.pm.release(p, &target, chunk.len());
-                    for pr in &pending {
-                        svc.pm.release(p, pr, chunk.len());
-                    }
-                    return Err(e);
-                }
+    /// A descriptor-index snapshot pinned at exactly `snap.version`, if one
+    /// can be had: the cached one when fresh, else — only when the caller
+    /// asked for the latest snapshot — a one-RPC descriptor-delta sync from
+    /// the version manager. `None` means the caller must walk the tree.
+    fn index_at(
+        &self,
+        p: &Proc,
+        blob: BlobId,
+        snap: &SnapshotInfo,
+        latest_requested: bool,
+    ) -> BlobResult<Option<DescIndex>> {
+        if snap.version == 0 {
+            return Ok(None);
+        }
+        let known = {
+            let cache = self.desc_cache.lock();
+            match cache.get(&blob) {
+                Some(ix) if ix.version() == snap.version => return Ok(Some(ix.clone())),
+                Some(ix) => ix.version(),
+                None => 0,
             }
+        };
+        if !latest_requested {
+            return Ok(None);
+        }
+        let ix = self.svc.vm.sync_index(p, blob, known)?;
+        self.refresh_desc_cache(blob, &ix);
+        // A publication racing between the snapshot call and the sync can
+        // skew the two apart; then only the tree can answer.
+        Ok((ix.version() == snap.version).then_some(ix))
+    }
+
+    /// Install `ix` as the cached snapshot for `blob` unless a newer one is
+    /// already there: concurrent refreshers race, snapshots are cumulative,
+    /// so the highest version wins.
+    fn refresh_desc_cache(&self, blob: BlobId, ix: &DescIndex) {
+        let mut cache = self.desc_cache.lock();
+        let entry = cache.entry(blob).or_insert_with(|| ix.clone());
+        if entry.version() < ix.version() {
+            *entry = ix.clone();
         }
     }
-    Ok(PageRef {
-        id,
-        byte_len: chunk.len(),
-        providers: placed,
-    })
 }
 
-fn fetch_with_failover(p: &Proc, svc: &Arc<Services>, hit: &LeafHit) -> BlobResult<Payload> {
+/// Choose the replica a batched read pulls `hit` from: the local provider
+/// when one holds the page (short-circuit read), a uniformly random replica
+/// otherwise. Returns the raw node id; pages with no replicas group under
+/// `u32::MAX` and resolve to a loud failover error.
+fn pick_replica(p: &Proc, hit: &LeafHit) -> u32 {
+    let providers = &hit.page.providers;
+    if providers.contains(&p.node()) {
+        return p.node().0;
+    }
+    match providers.len() {
+        0 => u32::MAX,
+        1 => providers[0].0,
+        n => providers[p.rng().gen_range(0..n)].0,
+    }
+}
+
+/// Fetch a group of pages whose chosen replica is `node`, in one batched
+/// `get_pages` exchange. Pages the batch could not serve (or an unknown
+/// chosen node) fall back to per-page replica failover.
+fn fetch_group(
+    p: &Proc,
+    svc: &Arc<Services>,
+    node: NodeId,
+    hits: &[LeafHit],
+) -> Vec<BlobResult<Payload>> {
+    let Some(prov) = svc.provider_map.get(&node) else {
+        // The chosen replica is not a known provider (misrouted metadata or
+        // a page with no replicas at all): resolve page by page; failover
+        // reports the unknown nodes in its error detail.
+        return hits
+            .iter()
+            .map(|h| fetch_with_failover(p, svc, h, &[]))
+            .collect();
+    };
+    let ids: Vec<PageId> = hits.iter().map(|h| h.page.id).collect();
+    prov.get_pages(p, &ids)
+        .into_iter()
+        .zip(hits)
+        .map(|(res, hit)| match res {
+            Ok(data) => {
+                debug_assert_eq!(data.len(), hit.page.byte_len);
+                Ok(data)
+            }
+            // Only this page failed inside the batch: retry the remaining
+            // replicas, excluding the provider just tried.
+            Err(_) => fetch_with_failover(p, svc, hit, &[node]),
+        })
+        .collect()
+}
+
+fn fetch_with_failover(
+    p: &Proc,
+    svc: &Arc<Services>,
+    hit: &LeafHit,
+    exclude: &[NodeId],
+) -> BlobResult<Payload> {
     // Prefer a local replica (short-circuit read), then random order.
-    let mut order: Vec<NodeId> = hit.page.providers.clone();
+    let mut order: Vec<NodeId> = hit
+        .page
+        .providers
+        .iter()
+        .copied()
+        .filter(|n| !exclude.contains(n))
+        .collect();
     {
         let mut rng = p.rng();
         use rand::seq::SliceRandom;
@@ -362,11 +565,14 @@ fn fetch_with_failover(p: &Proc, svc: &Arc<Services>, hit: &LeafHit) -> BlobResu
     if let Some(i) = order.iter().position(|n| *n == p.node()) {
         order.swap(0, i);
     }
-    let mut last_err = BlobError::PageUnavailable {
-        detail: format!("page {:?} has no replicas", hit.page.id),
-    };
+    // Replica nodes the provider map cannot resolve: almost certainly
+    // misrouted/corrupt metadata, so they must show up in the diagnostics
+    // rather than being skipped silently.
+    let mut unknown: Vec<NodeId> = Vec::new();
+    let mut last_err: Option<BlobError> = None;
     for node in order {
         let Some(prov) = svc.provider_map.get(&node) else {
+            unknown.push(node);
             continue;
         };
         match prov.get_page(p, hit.page.id) {
@@ -374,10 +580,143 @@ fn fetch_with_failover(p: &Proc, svc: &Arc<Services>, hit: &LeafHit) -> BlobResu
                 debug_assert_eq!(data.len(), hit.page.byte_len);
                 return Ok(data);
             }
-            Err(e) => last_err = e,
+            Err(e) => last_err = Some(e),
         }
     }
-    Err(BlobError::PageUnavailable {
-        detail: format!("all replicas failed for page {:?}: {last_err}", hit.page.id),
-    })
+    let mut detail = match (&last_err, hit.page.providers.is_empty()) {
+        (_, true) => format!("page {:?} has no replicas", hit.page.id),
+        (Some(e), _) => format!(
+            "all replicas failed for page {:?}: last error: {e}",
+            hit.page.id
+        ),
+        (None, _) => format!("no reachable replica of page {:?} was tried", hit.page.id),
+    };
+    let join = |nodes: &[NodeId]| {
+        nodes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if !exclude.is_empty() {
+        detail.push_str(&format!(
+            "; batched fetch already failed on [{}]",
+            join(exclude)
+        ));
+    }
+    if !unknown.is_empty() {
+        detail.push_str(&format!(
+            "; replica nodes [{}] are not in the provider map (misrouted metadata?)",
+            join(&unknown)
+        ));
+    }
+    Err(BlobError::PageUnavailable { detail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Layout;
+    use crate::config::BlobSeerConfig;
+    use crate::dht::{MetaDht, MetaServer};
+    use crate::provider_manager::ProviderManager;
+    use crate::version_manager::VersionManager;
+    use fabric::{ClusterSpec, Fabric};
+
+    /// Hand-built service bundle whose provider map deliberately misses a
+    /// node, simulating misrouted/corrupt metadata.
+    fn services_with_unmapped_node(fx: &Fabric) -> Arc<Services> {
+        let providers: Vec<Arc<Provider>> = vec![Arc::new(Provider::new_mem(NodeId(1)))];
+        let provider_map: HashMap<NodeId, Arc<Provider>> =
+            providers.iter().map(|pr| (pr.node(), pr.clone())).collect();
+        let dht = Arc::new(MetaDht::new(vec![Arc::new(MetaServer::new(NodeId(0)))], 0));
+        let config = BlobSeerConfig::test_small(100);
+        Arc::new(Services {
+            vm: Arc::new(VersionManager::new(
+                NodeId(0),
+                fx.clone(),
+                dht.clone(),
+                100,
+                64,
+                0,
+                None,
+            )),
+            pm: Arc::new(ProviderManager::new(
+                NodeId(0),
+                providers.clone(),
+                config.alloc,
+                64,
+            )),
+            dht,
+            providers,
+            provider_map,
+            config,
+            layout: Layout::compact(fx.spec()),
+        })
+    }
+
+    #[test]
+    fn failover_error_surfaces_unknown_replica_nodes() {
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let svc = services_with_unmapped_node(&fx);
+        svc.providers[0].kill(); // the one known replica is down too
+        let h = fx.spawn(NodeId(0), "t", move |p| {
+            let hit = LeafHit {
+                page_index: 0,
+                blob_byte_off: 0,
+                page: PageRef {
+                    id: PageId(7, 7),
+                    byte_len: 10,
+                    // Node 9 is not in the provider map; node 1 is but dead.
+                    providers: vec![NodeId(9), NodeId(1)],
+                },
+            };
+            let msg = fetch_with_failover(p, &svc, &hit, &[])
+                .unwrap_err()
+                .to_string();
+            assert!(
+                msg.contains("not in the provider map"),
+                "unknown replicas must be diagnosable, got: {msg}"
+            );
+            assert!(
+                msg.contains("n9"),
+                "the unknown node id must be named: {msg}"
+            );
+            assert!(
+                msg.contains("down"),
+                "the dead replica's error must survive as last error: {msg}"
+            );
+            // Only unknown replicas: still a loud, specific diagnosis.
+            let hit2 = LeafHit {
+                page_index: 0,
+                blob_byte_off: 0,
+                page: PageRef {
+                    id: PageId(8, 8),
+                    byte_len: 10,
+                    providers: vec![NodeId(9)],
+                },
+            };
+            let msg2 = fetch_with_failover(p, &svc, &hit2, &[])
+                .unwrap_err()
+                .to_string();
+            assert!(msg2.contains("no reachable replica"), "got: {msg2}");
+            assert!(msg2.contains("not in the provider map"), "got: {msg2}");
+            // No replicas at all.
+            let hit3 = LeafHit {
+                page_index: 0,
+                blob_byte_off: 0,
+                page: PageRef {
+                    id: PageId(9, 9),
+                    byte_len: 10,
+                    providers: vec![],
+                },
+            };
+            let msg3 = fetch_with_failover(p, &svc, &hit3, &[])
+                .unwrap_err()
+                .to_string();
+            assert!(msg3.contains("no replicas"), "got: {msg3}");
+        });
+        fx.run();
+        h.take().unwrap();
+    }
 }

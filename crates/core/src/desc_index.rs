@@ -183,6 +183,39 @@ impl DescIndex {
         Some(self.byte_offset_of_page(hi)? - self.byte_offset_of_page(lo)?)
     }
 
+    /// Page whose byte range contains `offset`, or `None` when the BLOB is
+    /// empty or `offset >= total_bytes`. The interior-offset counterpart of
+    /// [`Self::page_at_boundary`]: this is what lets the client answer
+    /// offset→page mapping locally (index-backed `page_locations`) instead
+    /// of descending the DHT tree.
+    pub fn page_containing(&self, offset: u64) -> Option<u64> {
+        if self.version == 0 || offset >= self.total_bytes {
+            return None;
+        }
+        let (mut lo, mut hi) = (0u64, self.span);
+        let mut node = self.root.as_deref()?;
+        let mut rem = offset;
+        loop {
+            match &node.kind {
+                IxKind::Leaf => return Some(lo),
+                IxKind::Inner { left, right } => {
+                    let mid = lo + (hi - lo) / 2;
+                    let left_len = left.as_deref().map_or(0, |l| l.byte_len);
+                    if rem < left_len {
+                        node = left.as_deref()?;
+                        hi = mid;
+                    } else {
+                        // rem < node.byte_len throughout, so the right child
+                        // exists whenever this branch is taken.
+                        rem -= left_len;
+                        node = right.as_deref()?;
+                        lo = mid;
+                    }
+                }
+            }
+        }
+    }
+
     /// Page index whose byte offset is exactly `offset` (`total_pages` for
     /// `offset == total_bytes`), or `None` when `offset` is not a page
     /// boundary. Mirrors [`crate::types::page_at_boundary`].
@@ -391,6 +424,20 @@ mod tests {
                 page_at_boundary(descs, v, PS, off),
                 "page_at_boundary({off}) diverged at v{v}"
             );
+            // page_containing: the largest page whose byte offset is <= off
+            // (None at or past EOF).
+            let want = if off < ix.total_bytes() {
+                (0..tp)
+                    .rev()
+                    .find(|&pg| byte_offset_of_page(descs, v, PS, pg).unwrap() <= off)
+            } else {
+                None
+            };
+            assert_eq!(
+                ix.page_containing(off),
+                want,
+                "page_containing({off}) diverged at v{v}"
+            );
         }
     }
 
@@ -403,6 +450,7 @@ mod tests {
         assert_eq!(ix.byte_offset_of_page(0), None);
         assert_eq!(ix.byte_len_of_range(0, 1), None);
         assert_eq!(ix.page_at_boundary(0), None);
+        assert_eq!(ix.page_containing(0), None);
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! the provider-side disk I/O. Pages live either in memory (the
 //! configuration the paper benchmarks — BlobSeer persisted to BerkeleyDB
 //! asynchronously) or in a [`pstore::Store`].
+//!
+//! The wire protocol is *batched*, mirroring the metadata plane's
+//! [`crate::dht::MetaDht::put_batch`]/`get_batch`: [`Provider::put_pages`]
+//! and [`Provider::get_pages`] move N pages in one costed exchange per
+//! provider, with per-page error granularity so replica failover still works
+//! page by page. [`Provider::op_counts`] counts pages served,
+//! [`Provider::rpc_counts`] counts wire round-trips — the gap between the
+//! two is the batching win, and the data-plane regression tests pin it.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -32,7 +40,16 @@ pub struct Provider {
     /// Bytes promised to in-flight writes by the provider manager; lets the
     /// least-loaded policy spread concurrent writers before their data lands.
     reserved_bytes: AtomicU64,
+    put_ops: AtomicU64,
+    get_ops: AtomicU64,
+    put_rpcs: AtomicU64,
+    get_rpcs: AtomicU64,
 }
+
+/// Modeled per-page framing overhead riding a batched page transfer.
+const PAGE_HDR_BYTES: u64 = 32;
+/// Modeled wire size of one page id in a batched fetch request.
+const PAGE_REQ_BYTES: u64 = 16;
 
 fn page_key(id: PageId) -> [u8; 16] {
     let mut k = [0u8; 16];
@@ -42,30 +59,31 @@ fn page_key(id: PageId) -> [u8; 16] {
 }
 
 impl Provider {
-    /// In-memory provider on `node`.
-    pub fn new_mem(node: NodeId) -> Self {
+    fn with_backend(node: NodeId, backend: Backend) -> Self {
         Provider {
             node,
             alive: AtomicBool::new(true),
-            backend: Mutex::new(Backend::Mem(HashMap::new())),
+            backend: Mutex::new(backend),
             stored_bytes: AtomicU64::new(0),
             stored_pages: AtomicU64::new(0),
             reserved_bytes: AtomicU64::new(0),
+            put_ops: AtomicU64::new(0),
+            get_ops: AtomicU64::new(0),
+            put_rpcs: AtomicU64::new(0),
+            get_rpcs: AtomicU64::new(0),
         }
+    }
+
+    /// In-memory provider on `node`.
+    pub fn new_mem(node: NodeId) -> Self {
+        Self::with_backend(node, Backend::Mem(HashMap::new()))
     }
 
     /// Provider backed by the BerkeleyDB-substitute [`pstore::Store`]
     /// (live mode with real bytes only).
     pub fn new_persistent(node: NodeId, dir: &std::path::Path) -> BlobResult<Self> {
         let store = pstore::Store::open(dir).map_err(|e| BlobError::Persistence(e.to_string()))?;
-        Ok(Provider {
-            node,
-            alive: AtomicBool::new(true),
-            backend: Mutex::new(Backend::Persistent(store)),
-            stored_bytes: AtomicU64::new(0),
-            stored_pages: AtomicU64::new(0),
-            reserved_bytes: AtomicU64::new(0),
-        })
+        Ok(Self::with_backend(node, Backend::Persistent(store)))
     }
 
     /// The node hosting this provider.
@@ -123,78 +141,163 @@ impl Provider {
         }
     }
 
+    /// (put, get) operations served, counted per *page* however the pages
+    /// were shipped (a batch of k pages counts k).
+    pub fn op_counts(&self) -> (u64, u64) {
+        (
+            self.put_ops.load(Ordering::Relaxed),
+            self.get_ops.load(Ordering::Relaxed),
+        )
+    }
+
+    /// (put, get) wire round-trips served — a batch counts once. The gap
+    /// between [`Self::op_counts`] and this is the batching win.
+    pub fn rpc_counts(&self) -> (u64, u64) {
+        (
+            self.put_rpcs.load(Ordering::Relaxed),
+            self.get_rpcs.load(Ordering::Relaxed),
+        )
+    }
+
     /// Store a page. Charges the client→provider transfer and (if
     /// persistent) provider disk I/O. Fails when the provider is down.
     pub fn put_page(&self, p: &Proc, id: PageId, data: Payload) -> BlobResult<()> {
-        if !self.is_alive() {
-            return Err(BlobError::ProviderDown { node: self.node.0 });
+        self.put_pages(p, vec![(id, data)])
+            .pop()
+            .expect("one result per page")
+    }
+
+    /// Store a batch of pages in ONE costed wire exchange: a single bulk
+    /// client→provider stream carries every page (plus per-page framing),
+    /// instead of one round-trip per page. Results answer `pages[i]` at
+    /// `out[i]` — per-page granularity, so a caller can fail over only the
+    /// pages that did not land. Successful pages release their capacity
+    /// reservation here; the caller releases reservations of failed ones.
+    pub fn put_pages(&self, p: &Proc, pages: Vec<(PageId, Payload)>) -> Vec<BlobResult<()>> {
+        let n = pages.len();
+        if n == 0 {
+            return Vec::new();
         }
-        let len = data.len();
-        p.transfer(p.node(), self.node, len);
+        let all_down = || -> Vec<BlobResult<()>> {
+            (0..n)
+                .map(|_| Err(BlobError::ProviderDown { node: self.node.0 }))
+                .collect()
+        };
+        if !self.is_alive() {
+            return all_down();
+        }
+        self.put_rpcs.fetch_add(1, Ordering::Relaxed);
+        self.put_ops.fetch_add(n as u64, Ordering::Relaxed);
+        let total: u64 = pages.iter().map(|(_, d)| d.len()).sum();
+        p.transfer(p.node(), self.node, total + PAGE_HDR_BYTES * n as u64);
         // The transfer took (virtual) time; the provider may have died
-        // mid-stream.
+        // mid-stream — then nothing of the batch is acknowledged.
         if !self.is_alive() {
-            return Err(BlobError::ProviderDown { node: self.node.0 });
+            return all_down();
         }
-        {
+        let mut out = Vec::with_capacity(n);
+        let mut landed_bytes = 0u64;
+        let persistent = {
             let mut be = self.backend.lock();
-            match &mut *be {
-                Backend::Mem(m) => {
-                    if m.insert(id, data).is_none() {
-                        self.stored_pages.fetch_add(1, Ordering::Relaxed);
-                        self.stored_bytes.fetch_add(len, Ordering::Relaxed);
-                    }
-                }
-                Backend::Persistent(s) => {
-                    let bytes = match &data {
-                        Payload::Bytes(b) => b.as_ref(),
-                        Payload::Ghost(_) => {
-                            return Err(BlobError::Persistence(
-                                "persistent providers require real payload bytes".into(),
-                            ))
+            for (id, data) in pages {
+                let len = data.len();
+                let res = match &mut *be {
+                    Backend::Mem(m) => {
+                        if m.insert(id, data).is_none() {
+                            self.stored_pages.fetch_add(1, Ordering::Relaxed);
+                            self.stored_bytes.fetch_add(len, Ordering::Relaxed);
                         }
-                    };
-                    let existed = s.contains(&page_key(id));
-                    s.put(&page_key(id), bytes)
-                        .map_err(|e| BlobError::Persistence(e.to_string()))?;
-                    if !existed {
-                        self.stored_pages.fetch_add(1, Ordering::Relaxed);
-                        self.stored_bytes.fetch_add(len, Ordering::Relaxed);
+                        Ok(())
                     }
+                    Backend::Persistent(s) => match &data {
+                        Payload::Bytes(b) => {
+                            let existed = s.contains(&page_key(id));
+                            match s.put(&page_key(id), b.as_ref()) {
+                                Ok(()) => {
+                                    if !existed {
+                                        self.stored_pages.fetch_add(1, Ordering::Relaxed);
+                                        self.stored_bytes.fetch_add(len, Ordering::Relaxed);
+                                    }
+                                    Ok(())
+                                }
+                                Err(e) => Err(BlobError::Persistence(e.to_string())),
+                            }
+                        }
+                        Payload::Ghost(_) => Err(BlobError::Persistence(
+                            "persistent providers require real payload bytes".into(),
+                        )),
+                    },
+                };
+                if res.is_ok() {
+                    landed_bytes += len;
+                    self.unreserve(len);
                 }
+                out.push(res);
             }
+            matches!(&*be, Backend::Persistent(_))
+        };
+        if persistent {
+            p.disk_write(self.node, landed_bytes);
         }
-        if matches!(&*self.backend.lock(), Backend::Persistent(_)) {
-            p.disk_write(self.node, len);
-        }
-        self.unreserve(len);
-        Ok(())
+        out
     }
 
     /// Fetch a page. Charges the provider→client transfer (and provider disk
     /// read when persistent).
     pub fn get_page(&self, p: &Proc, id: PageId) -> BlobResult<Payload> {
+        self.get_pages(p, std::slice::from_ref(&id))
+            .pop()
+            .expect("one result per page")
+    }
+
+    /// Fetch a batch of pages in ONE costed wire exchange: the id list rides
+    /// a single request, and every page found comes back in a single bulk
+    /// provider→client stream. `out[i]` answers `ids[i]`; pages the provider
+    /// does not hold answer `PageUnavailable` individually, so replica
+    /// failover stays page-by-page.
+    pub fn get_pages(&self, p: &Proc, ids: &[PageId]) -> Vec<BlobResult<Payload>> {
+        let n = ids.len();
+        if n == 0 {
+            return Vec::new();
+        }
         if !self.is_alive() {
-            return Err(BlobError::ProviderDown { node: self.node.0 });
+            return (0..n)
+                .map(|_| Err(BlobError::ProviderDown { node: self.node.0 }))
+                .collect();
         }
-        let data = {
+        self.get_rpcs.fetch_add(1, Ordering::Relaxed);
+        self.get_ops.fetch_add(n as u64, Ordering::Relaxed);
+        p.transfer(p.node(), self.node, PAGE_REQ_BYTES * n as u64);
+        let mut out = Vec::with_capacity(n);
+        let mut found_bytes = 0u64;
+        let persistent = {
             let be = self.backend.lock();
-            match &*be {
-                Backend::Mem(m) => m.get(&id).cloned(),
-                Backend::Persistent(s) => s
-                    .get(&page_key(id))
-                    .map_err(|e| BlobError::Persistence(e.to_string()))?
-                    .map(Payload::from_vec),
+            for id in ids {
+                let data = match &*be {
+                    Backend::Mem(m) => Ok(m.get(id).cloned()),
+                    Backend::Persistent(s) => s
+                        .get(&page_key(*id))
+                        .map_err(|e| BlobError::Persistence(e.to_string()))
+                        .map(|b| b.map(Payload::from_vec)),
+                };
+                out.push(match data {
+                    Ok(Some(d)) => {
+                        found_bytes += d.len();
+                        Ok(d)
+                    }
+                    Ok(None) => Err(BlobError::PageUnavailable {
+                        detail: format!("page {id:?} not on provider {}", self.node),
+                    }),
+                    Err(e) => Err(e),
+                });
             }
+            matches!(&*be, Backend::Persistent(_))
         };
-        let data = data.ok_or_else(|| BlobError::PageUnavailable {
-            detail: format!("page {id:?} not on provider {}", self.node),
-        })?;
-        if matches!(&*self.backend.lock(), Backend::Persistent(_)) {
-            p.disk_read(self.node, data.len());
+        if persistent {
+            p.disk_read(self.node, found_bytes);
         }
-        p.transfer(self.node, p.node(), data.len());
-        Ok(data)
+        p.transfer(self.node, p.node(), found_bytes + PAGE_HDR_BYTES * n as u64);
+        out
     }
 
     /// Does the provider hold this page? (control query, uncosted)
@@ -287,6 +390,63 @@ mod tests {
             assert_eq!(prov.load_estimate(), 1000); // reserved released, stored added
             prov.unreserve(5000); // over-release saturates at zero
             assert_eq!(prov.load_estimate(), 1000);
+        });
+    }
+
+    #[test]
+    fn batched_puts_and_gets_cost_one_rpc() {
+        with_proc(|p| {
+            let prov = Provider::new_mem(NodeId(1));
+            let pages: Vec<(PageId, Payload)> = (0..16)
+                .map(|i| (PageId(1, i), Payload::ghost(100)))
+                .collect();
+            let ids: Vec<PageId> = pages.iter().map(|(id, _)| *id).collect();
+            let res = prov.put_pages(p, pages);
+            assert!(res.iter().all(Result::is_ok));
+            assert_eq!(prov.stored_pages(), 16);
+            assert_eq!(prov.op_counts(), (16, 0));
+            assert_eq!(prov.rpc_counts(), (1, 0), "16 puts ride one RPC");
+            let got = prov.get_pages(p, &ids);
+            assert_eq!(got.len(), 16);
+            for g in &got {
+                assert_eq!(g.as_ref().unwrap().len(), 100);
+            }
+            assert_eq!(prov.op_counts(), (16, 16));
+            assert_eq!(prov.rpc_counts(), (1, 1), "16 gets ride one RPC");
+        });
+    }
+
+    #[test]
+    fn batched_get_reports_missing_pages_individually() {
+        with_proc(|p| {
+            let prov = Provider::new_mem(NodeId(1));
+            prov.put_page(p, PageId(1, 1), Payload::ghost(10)).unwrap();
+            prov.put_page(p, PageId(1, 3), Payload::ghost(20)).unwrap();
+            let got = prov.get_pages(p, &[PageId(1, 1), PageId(1, 2), PageId(1, 3)]);
+            assert_eq!(got[0].as_ref().unwrap().len(), 10);
+            assert!(matches!(got[1], Err(BlobError::PageUnavailable { .. })));
+            assert_eq!(got[2].as_ref().unwrap().len(), 20);
+        });
+    }
+
+    #[test]
+    fn batched_put_to_dead_provider_fails_every_page() {
+        with_proc(|p| {
+            let prov = Provider::new_mem(NodeId(1));
+            prov.kill();
+            let res = prov.put_pages(
+                p,
+                vec![
+                    (PageId(1, 1), Payload::ghost(10)),
+                    (PageId(1, 2), Payload::ghost(10)),
+                ],
+            );
+            assert_eq!(res.len(), 2);
+            assert!(res
+                .iter()
+                .all(|r| matches!(r, Err(BlobError::ProviderDown { .. }))));
+            // A rejected batch never counts as a served round-trip.
+            assert_eq!(prov.rpc_counts(), (0, 0));
         });
     }
 

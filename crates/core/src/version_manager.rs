@@ -68,6 +68,10 @@ struct BlobMeta {
     /// Incrementally-maintained descriptor index over `descs` — answers all
     /// latest-version queries in O(log) and snapshots in O(1).
     index: DescIndex,
+    /// Index snapshot pinned at the latest *published* version — what
+    /// [`VersionManager::sync_index`] ships to readers, so their locality
+    /// queries never observe assigned-but-unpublished versions.
+    published_index: DescIndex,
     /// Assigned but not yet published versions (kept for force-complete).
     pending: HashMap<Version, PendingWrite>,
     /// Committed but not yet published (publication is strictly in order).
@@ -143,6 +147,7 @@ impl VersionManager {
                 page_size: ps,
                 descs: Vec::new(),
                 index: DescIndex::new(ps),
+                published_index: DescIndex::new(ps),
                 pending: HashMap::new(),
                 committed: BTreeSet::new(),
                 published: 0,
@@ -320,6 +325,9 @@ impl VersionManager {
             meta.published += 1;
             if let Some(pw) = meta.pending.remove(&meta.published) {
                 pw.gate.set();
+                // The pending write's snapshot is pinned at exactly the
+                // version that just published — an O(1) hand-off.
+                meta.published_index = pw.index;
             }
         }
     }
@@ -380,6 +388,32 @@ impl VersionManager {
     /// Latest published version.
     pub fn latest(&self, p: &Proc, blob: BlobId) -> BlobResult<Version> {
         Ok(self.snapshot(p, blob, None)?.version)
+    }
+
+    /// Ship the caller a descriptor-index snapshot pinned at the latest
+    /// *published* version (an O(1) `Arc` share in-process). The modeled
+    /// wire cost covers every descriptor past the caller's `known`
+    /// watermark, exactly like the delta that rides an [`Self::assign`]
+    /// response — this is how a read-only client gets an index fresh enough
+    /// to answer offset→page locality queries without walking the DHT tree.
+    pub fn sync_index(&self, p: &Proc, blob: BlobId, known: Version) -> BlobResult<DescIndex> {
+        let (index, unseen) = {
+            let st = self.state.lock();
+            let meta = st.blobs.get(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
+            (
+                meta.published_index.clone(),
+                meta.published.saturating_sub(known),
+            )
+        };
+        p.rpc(
+            self.node,
+            self.ctl_msg_bytes,
+            self.ctl_msg_bytes + unseen * DESC_WIRE_BYTES,
+        );
+        if self.vm_cpu_ops > 0 {
+            p.compute(self.node, self.vm_cpu_ops);
+        }
+        Ok(index)
     }
 
     /// Number of assigned-but-unpublished versions (diagnostics).
@@ -537,6 +571,38 @@ mod tests {
             // Historical snapshot.
             let s1 = vm2.snapshot(p, blob, Some(1)).unwrap();
             assert_eq!(s1.total_bytes, 250);
+        });
+        fx.run();
+        h.take().unwrap();
+    }
+
+    #[test]
+    fn sync_index_ships_published_snapshots_only() {
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let vm = setup(&fx);
+        let vm2 = vm.clone();
+        let h = fx.spawn(NodeId(3), "t", move |p| {
+            let blob = vm2.create_blob(p, None);
+            assert_eq!(vm2.sync_index(p, blob, 0).unwrap().version(), 0);
+            let (d1, _) = vm2
+                .assign(p, blob, UpdateKind::Append, 250, manifest(3, 1, 50), 0)
+                .unwrap();
+            // Assigned but unpublished: readers must not see it.
+            assert_eq!(vm2.sync_index(p, blob, 0).unwrap().version(), 0);
+            vm2.commit(p, blob, d1.version).unwrap();
+            let ix = vm2.sync_index(p, blob, 0).unwrap();
+            assert_eq!(ix.version(), 1);
+            assert_eq!(ix.total_bytes(), 250);
+            assert_eq!(ix.owner_of_page(2), Some(1));
+            let (d2, _) = vm2
+                .assign(p, blob, UpdateKind::Append, 100, manifest(1, 2, 100), 1)
+                .unwrap();
+            vm2.commit(p, blob, d2.version).unwrap();
+            assert_eq!(vm2.sync_index(p, blob, 1).unwrap().version(), 2);
+            assert!(matches!(
+                vm2.sync_index(p, BlobId(999), 0),
+                Err(BlobError::NoSuchBlob(_))
+            ));
         });
         fx.run();
         h.take().unwrap();

@@ -4,11 +4,26 @@
 //! node (in Hadoop: local disk files served by the tasktracker's HTTP
 //! server). Reducers *pull* their partition from every map's node; the
 //! network cost of each pull is charged as a map-node→reduce-node transfer.
+//!
+//! The fetch path is *batched by host*: [`MapOutputRegistry::fetch_many`]
+//! groups a reducer's segment pulls by the node that holds them and moves
+//! each group in ONE transfer per (map-node, reduce-node) pair — the same
+//! grouped-RPC pattern the storage client applies to page fetches. When
+//! several map tasks of a job ran on the same node (always the case once
+//! maps outnumber nodes), this collapses the per-segment round-trips that
+//! dominate Hadoop's shuffle ("Only Aggressive Elephants are Fast
+//! Elephants"). [`MapOutputRegistry::fetch_counts`] exposes (segments,
+//! host transfers) so tests can pin the batching.
+//!
+//! Publication is idempotent with last-writer-wins semantics: a re-executed
+//! or speculative map task simply replaces its earlier output, matching
+//! Hadoop's task re-run model.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use fabric::{NodeId, Payload, Proc};
+use fabric::{run_parallel, NodeId, Payload, Proc, TaskFn};
 use parking_lot::Mutex;
 
 /// Key of one map-output partition.
@@ -29,6 +44,13 @@ struct Segment {
 #[derive(Default)]
 pub struct MapOutputRegistry {
     segments: Mutex<HashMap<SegmentKey, Segment>>,
+    /// Segments served to reducers (one per key fetched).
+    fetched_segments: AtomicU64,
+    /// Host-grouped wire transfers that carried them (one per
+    /// (map-node, reduce-node) pair per fetch_many call).
+    fetch_transfers: AtomicU64,
+    /// Republished segments (re-executed / speculative map tasks).
+    republished: AtomicU64,
 }
 
 impl MapOutputRegistry {
@@ -36,28 +58,92 @@ impl MapOutputRegistry {
         Arc::new(Self::default())
     }
 
-    /// Store a partition produced by a map task on `host`.
+    /// Store a partition produced by a map task on `host`. Idempotent with
+    /// last-writer-wins semantics: a re-executed or speculative map task
+    /// replaces its earlier output (Hadoop re-run semantics) instead of
+    /// double-counting it.
     pub fn publish(&self, key: SegmentKey, host: NodeId, data: Payload) {
         let mut seg = self.segments.lock();
-        let prev = seg.insert(key, Segment { host, data });
-        debug_assert!(prev.is_none(), "map output {key:?} published twice");
+        if seg.insert(key, Segment { host, data }).is_some() {
+            self.republished.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Fetch a partition into the calling reducer's node (charges the
     /// transfer). Node-local fetches ride the loopback.
     pub fn fetch(&self, p: &Proc, key: SegmentKey) -> Option<Payload> {
-        let (host, data) = {
+        self.fetch_many(p, &[key])
+            .pop()
+            .expect("one answer per key")
+    }
+
+    /// Fetch many partitions, grouped by holding node: every group moves in
+    /// ONE (map-node → reduce-node) transfer carrying that host's whole
+    /// share, with the groups themselves fetched in parallel (Hadoop's
+    /// parallel fetchers, minus the per-segment round-trips). `out[i]`
+    /// answers `keys[i]`; unknown keys answer `None`.
+    pub fn fetch_many(&self, p: &Proc, keys: &[SegmentKey]) -> Vec<Option<Payload>> {
+        let mut out: Vec<Option<Payload>> = vec![None; keys.len()];
+        if keys.is_empty() {
+            return out;
+        }
+        // Resolve every key under one lock; data clones are cheap (ghosts
+        // or refcounted bytes) and movement is charged per host below.
+        // BTreeMap keeps the host grouping deterministic across runs.
+        let mut groups: std::collections::BTreeMap<u32, Vec<(usize, Payload)>> =
+            std::collections::BTreeMap::new();
+        {
             let seg = self.segments.lock();
-            let s = seg.get(&key)?;
-            (s.host, s.data.clone())
-        };
-        p.transfer(host, p.node(), data.len());
-        Some(data)
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(s) = seg.get(key) {
+                    groups
+                        .entry(s.host.0)
+                        .or_default()
+                        .push((i, s.data.clone()));
+                }
+            }
+        }
+        self.fetched_segments.fetch_add(
+            groups.values().map(|g| g.len() as u64).sum(),
+            Ordering::Relaxed,
+        );
+        self.fetch_transfers
+            .fetch_add(groups.len() as u64, Ordering::Relaxed);
+        type GroupResult = Vec<(usize, Payload)>;
+        let mut tasks: Vec<TaskFn<GroupResult>> = Vec::with_capacity(groups.len());
+        for (host, group) in groups {
+            tasks.push(Box::new(move |wp: &Proc| {
+                let total: u64 = group.iter().map(|(_, d)| d.len()).sum();
+                wp.transfer(NodeId(host), wp.node(), total);
+                group
+            }));
+        }
+        for group in run_parallel(p, "shuffle-fetch", tasks) {
+            for (i, data) in group {
+                out[i] = Some(data);
+            }
+        }
+        out
     }
 
     /// Size of one partition without fetching it.
     pub fn segment_len(&self, key: &SegmentKey) -> Option<u64> {
         self.segments.lock().get(key).map(|s| s.data.len())
+    }
+
+    /// (segments served, host-grouped transfers that carried them). The gap
+    /// is the shuffle-batching win; tests pin one transfer per
+    /// (map-node, reduce-node) pair.
+    pub fn fetch_counts(&self) -> (u64, u64) {
+        (
+            self.fetched_segments.load(Ordering::Relaxed),
+            self.fetch_transfers.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Segments that were published more than once (re-executed maps).
+    pub fn republished(&self) -> u64 {
+        self.republished.load(Ordering::Relaxed)
     }
 
     /// Drop all segments of a finished job (Hadoop cleans map outputs after
@@ -77,33 +163,81 @@ mod tests {
     use super::*;
     use fabric::{ClusterSpec, Fabric};
 
+    fn key(map_task: u32, partition: u32) -> SegmentKey {
+        SegmentKey {
+            job: 1,
+            map_task,
+            partition,
+        }
+    }
+
     #[test]
     fn publish_fetch_drop() {
         let fx = Fabric::sim(ClusterSpec::tiny(3));
         let reg = MapOutputRegistry::new();
         let reg2 = reg.clone();
         let h = fx.spawn(NodeId(2), "reducer", move |p| {
-            let k = SegmentKey {
-                job: 1,
-                map_task: 0,
-                partition: 3,
-            };
+            let k = key(0, 3);
             reg2.publish(k, NodeId(1), Payload::from_vec(vec![7; 100]));
             assert_eq!(reg2.segment_len(&k), Some(100));
             let got = reg2.fetch(p, k).unwrap();
             assert_eq!(got.len(), 100);
-            assert!(reg2
-                .fetch(
-                    p,
-                    SegmentKey {
-                        job: 1,
-                        map_task: 9,
-                        partition: 0
-                    }
-                )
-                .is_none());
+            assert!(reg2.fetch(p, key(9, 0)).is_none());
             reg2.drop_job(1);
             assert_eq!(reg2.total_bytes(), 0);
+        });
+        fx.run();
+        h.take().unwrap();
+    }
+
+    #[test]
+    fn republish_is_idempotent_last_writer_wins() {
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let reg = MapOutputRegistry::new();
+        let reg2 = reg.clone();
+        let h = fx.spawn(NodeId(3), "reducer", move |p| {
+            let k = key(0, 0);
+            // First attempt ran on node 1; the speculative re-execution on
+            // node 2 replaces it (different bytes — the re-run's output is
+            // authoritative).
+            reg2.publish(k, NodeId(1), Payload::from_vec(vec![1; 50]));
+            reg2.publish(k, NodeId(2), Payload::from_vec(vec![2; 70]));
+            assert_eq!(reg2.republished(), 1);
+            assert_eq!(reg2.total_bytes(), 70, "no double count on republish");
+            let got = reg2.fetch(p, k).unwrap();
+            assert_eq!(got.bytes().as_ref(), &[2u8; 70][..], "last writer wins");
+        });
+        fx.run();
+        h.take().unwrap();
+    }
+
+    #[test]
+    fn fetch_many_moves_one_transfer_per_host() {
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let reg = MapOutputRegistry::new();
+        let reg2 = reg.clone();
+        let fx2 = fx.clone();
+        let h = fx.spawn(NodeId(3), "reducer", move |p| {
+            // 6 map outputs on 2 distinct hosts.
+            for m in 0..6u32 {
+                reg2.publish(key(m, 0), NodeId(1 + m % 2), Payload::ghost(1_000_000));
+            }
+            let t0 = fx2.stats().transfers;
+            let keys: Vec<SegmentKey> = (0..6).map(|m| key(m, 0)).collect();
+            let got = reg2.fetch_many(p, &keys);
+            assert!(got
+                .iter()
+                .all(|g| g.as_ref().is_some_and(|d| d.len() == 1_000_000)));
+            let wire = fx2.stats().transfers - t0;
+            assert_eq!(
+                wire, 2,
+                "6 segments on 2 hosts must ride 2 transfers, used {wire}"
+            );
+            assert_eq!(reg2.fetch_counts(), (6, 2));
+            // Missing keys answer None without extra transfers.
+            let got = reg2.fetch_many(p, &[key(0, 0), key(99, 0)]);
+            assert!(got[0].is_some() && got[1].is_none());
+            assert_eq!(reg2.fetch_counts(), (7, 3));
         });
         fx.run();
         h.take().unwrap();

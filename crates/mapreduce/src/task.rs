@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use dfs::{DfsPath, FileSystem};
-use fabric::{run_parallel, NodeId, Payload, Proc, TaskFn};
+use fabric::{NodeId, Payload, Proc};
 
 use crate::api::{partition_for, KV};
 use crate::job::{JobCtx, OutputMode};
@@ -170,21 +170,19 @@ pub fn run_reduce_task(
     let conf = &ctx.conf;
     let counters = &ctx.counters;
 
-    // Shuffle: pull this partition from every map output, in parallel
-    // (Hadoop's parallel fetchers).
-    type Fetch = Option<Payload>;
-    let mut tasks: Vec<TaskFn<Fetch>> = Vec::with_capacity(spec.map_count as usize);
-    for m in 0..spec.map_count {
-        let reg = registry.clone();
-        let key = SegmentKey {
+    // Shuffle: pull this partition from every map output. The registry
+    // groups the pulls by map node — one transfer per (map-node, this
+    // reducer) pair, with the per-host groups moving in parallel (Hadoop's
+    // parallel fetchers, minus the per-segment round-trips).
+    let keys: Vec<SegmentKey> = (0..spec.map_count)
+        .map(|m| SegmentKey {
             job: ctx.id,
             map_task: m,
             partition: spec.partition,
-        };
-        tasks.push(Box::new(move |wp: &Proc| reg.fetch(wp, key)));
-    }
-    let mut segments = Vec::with_capacity(tasks.len());
-    for (m, seg) in run_parallel(p, "shuffle", tasks).into_iter().enumerate() {
+        })
+        .collect();
+    let mut segments = Vec::with_capacity(keys.len());
+    for (m, seg) in registry.fetch_many(p, &keys).into_iter().enumerate() {
         let seg = seg.ok_or_else(|| {
             format!(
                 "reduce {} missing map output {m} of job {}",
@@ -357,6 +355,83 @@ mod tests {
                     .map_input_records
                     .load(std::sync::atomic::Ordering::Relaxed),
                 3
+            );
+        });
+        fx.run();
+        h.take().unwrap();
+    }
+
+    /// A re-executed (or speculative) map task republished its output; the
+    /// reduce must see it exactly once — last-writer-wins, no panic, no
+    /// double-counted records (Hadoop's task re-run semantics).
+    #[test]
+    fn reexecuted_map_task_republishes_idempotently() {
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let fs = Bsfs::deploy(
+            &fx,
+            blobseer::BlobSeerConfig::test_small(4096),
+            blobseer::Layout::compact(fx.spec()),
+        )
+        .unwrap();
+        let h = fx.spawn(NodeId(0), "driver", move |p| {
+            let fs: Arc<dyn FileSystem> = Arc::new(fs);
+            fs.write_file(
+                p,
+                &DfsPath::new("/in").unwrap(),
+                Payload::from_vec(b"b\t2\na\t1\nb\t3\n".to_vec()),
+            )
+            .unwrap();
+            fs.mkdirs(p, &DfsPath::new("/out").unwrap()).unwrap();
+            let conf = JobConf {
+                name: "rerun".into(),
+                inputs: vec![DfsPath::new("/in").unwrap()],
+                output_dir: DfsPath::new("/out").unwrap(),
+                num_reducers: 1,
+                output_mode: OutputMode::PerReducerFiles,
+                user: UserFns {
+                    mapper: Arc::new(IdentityMap),
+                    reducer: Arc::new(ConcatReduce),
+                    combiner: None,
+                },
+                ghost: None,
+            };
+            let ctx = Arc::new(JobCtx {
+                id: 1,
+                conf,
+                counters: Arc::new(JobCounters::default()),
+            });
+            let registry = MapOutputRegistry::new();
+            let spec = MapTaskSpec {
+                job: ctx.clone(),
+                task_id: 0,
+                file: DfsPath::new("/in").unwrap(),
+                offset: 0,
+                len: 14,
+                hosts: vec![],
+            };
+            // The task runs twice — first attempt presumed lost, then the
+            // re-execution republishes the same segment.
+            run_map_task(p, &fs, &registry, &spec).unwrap();
+            run_map_task(p, &fs, &registry, &spec).unwrap();
+            assert_eq!(registry.republished(), 1);
+            run_reduce_task(
+                p,
+                &fs,
+                &registry,
+                &ReduceTaskSpec {
+                    job: ctx.clone(),
+                    partition: 0,
+                    map_count: 1,
+                },
+            )
+            .unwrap();
+            let out = fs
+                .read_file(p, &DfsPath::new("/out/part-00000").unwrap())
+                .unwrap();
+            assert_eq!(
+                out.bytes().as_ref(),
+                b"a\t1\nb\t2,3\n",
+                "republished output must not double-count records"
             );
         });
         fx.run();

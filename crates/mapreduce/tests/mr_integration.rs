@@ -204,6 +204,62 @@ fn map_tasks_prefer_local_blocks() {
     );
 }
 
+/// The shuffle pulls a reducer's segments grouped by map node: once maps
+/// outnumber nodes, the job-wide transfer count is bounded by
+/// (nodes that ran maps) × reducers, never maps × reducers.
+#[test]
+fn shuffle_moves_one_transfer_per_map_node_reducer_pair() {
+    let nodes = 2u32;
+    let fx = Fabric::sim(ClusterSpec::tiny(nodes));
+    let bsfs = Bsfs::deploy(
+        &fx,
+        BlobSeerConfig::test_small(8), // 8 B blocks -> ~11 maps on 2 nodes
+        Layout::compact(fx.spec()),
+    )
+    .unwrap();
+    let fs: Arc<dyn FileSystem> = Arc::new(bsfs);
+    let reducers = 2u32;
+    let mr = MrCluster::start(&fx, fs.clone(), MrConfig::compact(fx.spec()));
+    let fs2 = fs.clone();
+    let mr2 = mr.clone();
+    let driver = fx.spawn(NodeId(0), "driver", move |p: &Proc| {
+        fs2.write_file(p, &d("/input/corpus"), Payload::from_vec(CORPUS.into()))
+            .unwrap();
+        let job = JobConf {
+            name: "shuffle-pin".into(),
+            inputs: vec![d("/input/corpus")],
+            output_dir: d("/out"),
+            num_reducers: reducers,
+            output_mode: OutputMode::SharedAppendFile,
+            user: wordcount(),
+            ghost: None,
+        };
+        let result = mr2.submit(job).wait(p);
+        mr2.shutdown();
+        result
+    });
+    fx.run();
+    let result = driver.take().unwrap();
+    assert!(
+        result.maps > nodes,
+        "need more maps ({}) than nodes ({nodes}) to observe grouping",
+        result.maps
+    );
+    let (segments, transfers) = mr.registry().fetch_counts();
+    assert_eq!(
+        segments,
+        u64::from(result.maps) * u64::from(reducers),
+        "every reducer pulled every map output"
+    );
+    assert!(
+        transfers <= u64::from(nodes) * u64::from(reducers),
+        "shuffle must move one transfer per (map-node, reducer) pair: \
+         {transfers} transfers for {segments} segments on {nodes} nodes"
+    );
+    let out = read_all_output(fs, &fx, OutputMode::SharedAppendFile);
+    assert_eq!(parse_counts(&out), expected_counts());
+}
+
 #[test]
 fn two_jobs_run_concurrently() {
     let (fx, fs, _bsfs) = bsfs_fixture(32);
