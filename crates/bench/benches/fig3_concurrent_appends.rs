@@ -2,26 +2,55 @@
 //! the same file": N ∈ [1, 246] clients each append a 64 MB chunk to one
 //! shared file on the 270-node cluster; the paper reports that the average
 //! per-client throughput stays high as N grows.
+//!
+//! This is the figure the sharded version-manager control plane exists
+//! for: under N-way append concurrency the only serialization left is the
+//! protocol's own per-BLOB version ordering (plus the modeled VM CPU
+//! charge), never a VM-wide lock. The driver records its deterministic
+//! currencies — per-client MB/s, virtual completion seconds, wire
+//! transfers, DHT puts and put-RPCs, all exact for fixed seeds — into
+//! `BENCH_fig3_appends.json` at the repo root and diffs each run against
+//! the committed baseline, so a control-plane regression fails the build
+//! the same way A4 and fig6 regressions do.
 
-use bench_suite::{fig3_point, print_table, relative_spread};
+use bench_suite::{fig3_point, fig3_point_detail, json_series, print_table, relative_spread};
+
+const BASELINE_TOLERANCE: f64 = 1.25;
 
 fn main() {
     let clients = [1u32, 20, 40, 80, 120, 160, 200, 246];
     let reps = 3u64;
     let mut rows = Vec::new();
     let mut series = Vec::new();
+    let mut details = Vec::new();
     for &n in &clients {
-        let avg: f64 = (0..reps).map(|r| fig3_point(n, 1000 + r)).sum::<f64>() / reps as f64;
+        // Rep 0 carries the recorded deterministic currencies; the printed
+        // throughput averages all reps (each rep deterministic on its seed).
+        let d0 = fig3_point_detail(n, 1000);
+        let avg: f64 = (d0.per_client_mbps
+            + (1..reps).map(|r| fig3_point(n, 1000 + r)).sum::<f64>())
+            / reps as f64;
         series.push(avg);
+        details.push(d0);
         rows.push(vec![
             n.to_string(),
             format!("{avg:.1}"),
             format!("{:.1}", avg * n as f64),
+            format!("{:.1}", d0.sim_secs),
+            d0.transfers.to_string(),
+            format!("{}/{}", d0.dht_put_rpcs, d0.dht_puts),
         ]);
     }
     print_table(
         "Figure 3: concurrent appends to the same file (BSFS, 64 MB chunks, page = 64 MB)",
-        &["appenders", "per-client MB/s", "aggregate MB/s"],
+        &[
+            "appenders",
+            "per-client MB/s",
+            "aggregate MB/s",
+            "sim secs",
+            "transfers",
+            "put rpcs/nodes",
+        ],
         &rows,
     );
     let retention = series.last().unwrap() / series.first().unwrap();
@@ -35,4 +64,95 @@ fn main() {
         retention > 0.35,
         "append throughput collapsed under concurrency: retention {retention:.2}"
     );
+
+    // Record the run and diff the deterministic currencies against the
+    // committed baseline. Diff BEFORE overwriting: a regressed run must die
+    // with the committed baseline intact; the fresh numbers land in a
+    // `.new` side file (what CI uploads on failure, so a deliberate
+    // re-record has the data) and are promoted only after the diff passes.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig3_appends.json");
+    let json = to_json(&clients, &series, &details);
+    let new_path = format!("{path}.new");
+    std::fs::write(&new_path, &json).expect("write fresh bench record");
+    match std::fs::read_to_string(path).ok() {
+        None => println!("no committed baseline found; this run records the first one"),
+        Some(base) => diff_against_baseline(&base, &clients, &series, &details),
+    }
+    std::fs::write(path, &json).expect("write BENCH_fig3_appends.json");
+    let _ = std::fs::remove_file(&new_path);
+    println!("wrote {path}");
+}
+
+/// Fail when this run regressed vs the committed baseline, pointwise on the
+/// deterministic currencies: per-client throughput must not fall, and
+/// completion time / wire transfers / put round-trips must not grow, beyond
+/// tolerance. A legitimate cost change re-records the JSON deliberately.
+fn diff_against_baseline(
+    base: &str,
+    clients: &[u32],
+    series: &[f64],
+    details: &[bench_suite::Fig3Point],
+) {
+    let base_clients = json_series(base, "clients");
+    assert_eq!(
+        base_clients.len(),
+        clients.len(),
+        "baseline sweep shape changed; re-record BENCH_fig3_appends.json deliberately"
+    );
+    let base_mbps = json_series(base, "per_client_mbps");
+    let base_secs = json_series(base, "sim_secs");
+    let base_transfers = json_series(base, "transfers");
+    let base_rpcs = json_series(base, "dht_put_rpcs");
+    for (i, &n) in clients.iter().enumerate() {
+        assert!(
+            series[i] >= base_mbps[i] / BASELINE_TOLERANCE,
+            "N={n}: per-client throughput regressed {:.1} -> {:.1} MB/s vs baseline",
+            base_mbps[i],
+            series[i],
+        );
+        assert!(
+            details[i].sim_secs <= base_secs[i] * BASELINE_TOLERANCE,
+            "N={n}: completion regressed {:.1}s -> {:.1}s vs baseline",
+            base_secs[i],
+            details[i].sim_secs,
+        );
+        assert!(
+            (details[i].transfers as f64) <= base_transfers[i] * BASELINE_TOLERANCE,
+            "N={n}: wire transfers regressed {} -> {} vs baseline",
+            base_transfers[i],
+            details[i].transfers,
+        );
+        assert!(
+            (details[i].dht_put_rpcs as f64) <= base_rpcs[i] * BASELINE_TOLERANCE,
+            "N={n}: DHT put round-trips regressed {} -> {} vs baseline",
+            base_rpcs[i],
+            details[i].dht_put_rpcs,
+        );
+    }
+    println!(
+        "baseline diff passed: throughput, completion, transfers and put \
+         round-trips within {BASELINE_TOLERANCE}x pointwise"
+    );
+}
+
+fn to_json(clients: &[u32], series: &[f64], details: &[bench_suite::Fig3Point]) -> String {
+    let fmt_u32 = |v: &[u32]| v.iter().map(u32::to_string).collect::<Vec<_>>().join(", ");
+    let fmt_f = |v: Vec<f64>| {
+        v.iter()
+            .map(|x| format!("{x:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let fmt_u = |v: Vec<u64>| v.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+    format!(
+        "{{\n  \"bench\": \"fig3_concurrent_appends\",\n  \"clients\": [{}],\n  \
+         \"per_client_mbps\": [{}],\n  \"sim_secs\": [{}],\n  \"transfers\": [{}],\n  \
+         \"dht_puts\": [{}],\n  \"dht_put_rpcs\": [{}]\n}}\n",
+        fmt_u32(clients),
+        fmt_f(series.to_vec()),
+        fmt_f(details.iter().map(|d| d.sim_secs).collect()),
+        fmt_u(details.iter().map(|d| d.transfers).collect()),
+        fmt_u(details.iter().map(|d| d.dht_puts).collect()),
+        fmt_u(details.iter().map(|d| d.dht_put_rpcs).collect()),
+    )
 }

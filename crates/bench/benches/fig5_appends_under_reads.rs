@@ -2,6 +2,13 @@
 //! same file": 100 appenders (10 × 64 MB each) measure their average append
 //! throughput while 0→140 readers (10 × 64 MB each) scan the same file.
 //! The paper: appenders maintain their throughput as readers are added.
+//!
+//! Together with fig3 this is the measurement the sharded version-manager
+//! control plane answers to: reader traffic (snapshot lookups, index syncs,
+//! leaf fetches) and appender traffic (assign/commit) meet only at the
+//! per-BLOB state — there is no VM-wide lock for the mixed workload to
+//! queue on, so the isolation the paper credits to versioning is not
+//! undermined by an implementation-level serialization point.
 
 use bench_suite::{mixed_point, print_table, relative_spread};
 

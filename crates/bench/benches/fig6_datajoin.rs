@@ -17,7 +17,8 @@
 //! currencies only), so a data-plane regression fails the build.
 
 use bench_suite::{
-    fig6_point, fig6_shuffle_stress, json_num, print_table, relative_spread, Fig6System,
+    fig6_point, fig6_shuffle_stress, json_num, json_series, print_table, relative_spread,
+    Fig6System,
 };
 
 const BASELINE_TOLERANCE: f64 = 1.25;
@@ -156,18 +157,7 @@ fn diff_against_baseline(base: &str, bsfs_series: &[f64], segments: u64, transfe
         "shuffle round-trips regressed: {transfers} vs baseline {base_transfers}"
     );
     // BSFS completion seconds, pointwise.
-    let series = base
-        .find("\"bsfs_secs\"")
-        .map(|i| &base[i..])
-        .expect("baseline bsfs_secs");
-    let end = series.find(']').expect("series closes");
-    let base_secs: Vec<f64> = series[..end]
-        .split('[')
-        .nth(1)
-        .expect("series opens")
-        .split(',')
-        .filter_map(|v| v.trim().parse().ok())
-        .collect();
+    let base_secs = json_series(base, "bsfs_secs");
     assert_eq!(
         base_secs.len(),
         bsfs_series.len(),

@@ -97,6 +97,44 @@ pub fn fig3_point(n_clients: u32, seed: u64) -> f64 {
     fig3_point_on(&fx, &fs, n_clients)
 }
 
+/// One Figure 3 measurement with the deterministic sim currencies the
+/// control-plane baseline (`BENCH_fig3_appends.json`) records and diffs:
+/// everything here is exact for a fixed seed — wall clock never enters.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Point {
+    /// Average per-client append throughput, MB/s (virtual time).
+    pub per_client_mbps: f64,
+    /// Virtual completion time of the whole run, seconds.
+    pub sim_secs: f64,
+    /// Wire transfers issued across the run (every message counts).
+    pub transfers: u64,
+    /// Metadata tree-node puts across the DHT.
+    pub dht_puts: u64,
+    /// Put wire round-trips that carried them (batching win visible).
+    pub dht_put_rpcs: u64,
+}
+
+/// Figure 3 point plus the deterministic currencies of its run.
+pub fn fig3_point_detail(n_clients: u32, seed: u64) -> Fig3Point {
+    let (fx, fs) = paper_bsfs(seed);
+    let per_client_mbps = fig3_point_on(&fx, &fs, n_clients);
+    let (dht_puts, dht_put_rpcs) = fs
+        .store()
+        .metadata_dht()
+        .servers()
+        .iter()
+        .fold((0, 0), |(n, r), s| {
+            (n + s.op_counts().0, r + s.rpc_counts().0)
+        });
+    Fig3Point {
+        per_client_mbps,
+        sim_secs: fx.now() as f64 / 1e9,
+        transfers: fx.stats().transfers,
+        dht_puts,
+        dht_put_rpcs,
+    }
+}
+
 /// Figure 3 body against an existing deployment (used by ablations too).
 pub fn fig3_point_on(fx: &Fabric, fs: &Bsfs, n_clients: u32) -> f64 {
     let start_gate = fx.gate();
@@ -359,6 +397,24 @@ pub fn json_num(s: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Companion of [`json_num`] for series-shaped baseline fields: the numeric
+/// array following `"key":` in one of the flat JSON files the bench drivers
+/// emit. Panics when the key or its array is missing — a malformed baseline
+/// must fail the diff loudly, not pass it vacuously.
+pub fn json_series(s: &str, key: &str) -> Vec<f64> {
+    let at = s
+        .find(&format!("\"{key}\""))
+        .unwrap_or_else(|| panic!("baseline lacks {key}"));
+    let seg = &s[at..];
+    let seg = &seg[..seg.find(']').expect("series closes")];
+    seg.split('[')
+        .nth(1)
+        .expect("series opens")
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .collect()
 }
 
 /// Shape check helper: max relative spread of a series (0 = perfectly flat).

@@ -240,3 +240,134 @@ fn prefetch_serves_small_reads_from_cache() {
     fx.run();
     h.take().unwrap();
 }
+
+/// The namespace → blob mapping under *real* parallelism: in live mode
+/// (genuine OS threads, no one-proc-at-a-time scheduler) a horde of writers
+/// concurrently creates disjoint files and appends to them through the
+/// sharded version-manager control plane. Every file must map to its own
+/// BLOB, hold exactly its own bytes, and the shared-file appenders must
+/// still interleave at whole-append granularity.
+#[test]
+fn parallel_writers_disjoint_files_live_mode() {
+    const WRITERS: u32 = 12;
+    const APPENDS: usize = 6;
+    let fx = Fabric::live(ClusterSpec::tiny(4));
+    let fs = Bsfs::deploy(
+        &fx,
+        BlobSeerConfig::test_small(256),
+        Layout::compact(fx.spec()),
+    )
+    .unwrap();
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let fs2 = fs.clone();
+        handles.push(fx.spawn(
+            NodeId(w % 4),
+            format!("writer{w}"),
+            move |p: &Proc| -> (DfsPath, Vec<u8>) {
+                let path = d(&format!("/par/file-{w}"));
+                let mut want = Vec::new();
+                {
+                    let mut wtr = fs2.create(p, &path).unwrap();
+                    wtr.close(p).unwrap();
+                }
+                for a in 0..APPENDS {
+                    let chunk = pattern(100 + w as usize + a, w as u8);
+                    want.extend_from_slice(&chunk);
+                    fs2.append_all(p, &path, Payload::from_vec(chunk)).unwrap();
+                }
+                (path, want)
+            },
+        ));
+    }
+    fx.run();
+    let results: Vec<(DfsPath, Vec<u8>)> = handles.iter().map(|h| h.take().unwrap()).collect();
+    // Live worlds accept post-run spawns: verify from a fresh process after
+    // every writer has finished.
+    let fs2 = fs.clone();
+    let h = fx.spawn(NodeId(0), "verify", move |p: &Proc| {
+        let mut blobs = std::collections::HashSet::new();
+        for (path, want) in &results {
+            // Each file maps to a distinct BLOB...
+            assert!(
+                blobs.insert(fs2.blob_of(p, path).unwrap()),
+                "two files share a BLOB"
+            );
+            // ...whose published content is exactly what its writer sent.
+            let status = fs2.status(p, path).unwrap();
+            assert_eq!(status.len, want.len() as u64, "length of {path}");
+            let mut r = fs2.open(p, path).unwrap();
+            let got = r.read_at(p, 0, want.len() as u64).unwrap();
+            assert_eq!(got.bytes(), &want[..], "content of {path}");
+        }
+        results.len()
+    });
+    fx.run();
+    assert_eq!(h.take().unwrap(), WRITERS as usize);
+}
+
+/// Concurrent appenders to one shared file *and* private files at once, in
+/// live mode: per-BLOB ordering (dense versions on the shared file) must
+/// hold while disjoint files proceed independently on their own locks.
+#[test]
+fn parallel_shared_and_private_appends_live_mode() {
+    const WRITERS: u32 = 8;
+    let fx = Fabric::live(ClusterSpec::tiny(4));
+    let fs = Bsfs::deploy(
+        &fx,
+        BlobSeerConfig::test_small(256),
+        Layout::compact(fx.spec()),
+    )
+    .unwrap();
+    {
+        let fs2 = fs.clone();
+        fx.spawn(NodeId(0), "setup", move |p: &Proc| {
+            let mut w = fs2.create(p, &d("/shared")).unwrap();
+            w.close(p).unwrap();
+        });
+    }
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let fs2 = fs.clone();
+        handles.push(fx.spawn(NodeId(w % 4), format!("w{w}"), move |p: &Proc| {
+            // Live mode has no start barrier; create() on the shared path
+            // may race setup, so retry, bounded by elapsed time (an
+            // iteration bound would flake when a loaded machine deschedules
+            // the setup thread).
+            let t0 = p.now();
+            while fs2.status(p, &d("/shared")).is_err() {
+                assert!(
+                    p.now() - t0 < 10 * fabric::SECS,
+                    "setup never created /shared"
+                );
+                p.sleep(fabric::MILLIS);
+            }
+            let private = d(&format!("/private-{w}"));
+            let mut wtr = fs2.create(p, &private).unwrap();
+            wtr.close(p).unwrap();
+            fs2.append_all(p, &d("/shared"), Payload::from_vec(pattern(256, w as u8)))
+                .unwrap();
+            fs2.append_all(p, &private, Payload::from_vec(pattern(64, w as u8)))
+                .unwrap();
+        }));
+    }
+    fx.run();
+    for h in &handles {
+        h.take().unwrap();
+    }
+    let fs2 = fs.clone();
+    let h = fx.spawn(NodeId(0), "verify", move |p: &Proc| {
+        let shared_blob = fs2.blob_of(p, &d("/shared")).unwrap();
+        let latest = fs2.store().client().latest(p, shared_blob).unwrap();
+        assert_eq!(latest, WRITERS as u64, "shared-file versions are dense");
+        assert_eq!(
+            fs2.status(p, &d("/shared")).unwrap().len,
+            WRITERS as u64 * 256
+        );
+        for w in 0..WRITERS {
+            assert_eq!(fs2.status(p, &d(&format!("/private-{w}"))).unwrap().len, 64);
+        }
+    });
+    fx.run();
+    h.take().unwrap();
+}

@@ -5,11 +5,14 @@
 //! page streams of one update are *grouped by target provider* into one
 //! batched `put_pages` per provider — → obtain a version + descriptor-index
 //! snapshot from the version manager → write the metadata tree (batched,
-//! one RPC per metadata server) → commit. Reads: snapshot lookup →
-//! breadth-first descent of the version's segment tree (one batched DHT
-//! round per level) → fetch pages, grouped by chosen replica into one
-//! batched `get_pages` per provider, with per-page replica failover for the
-//! subset that fails → assemble.
+//! one RPC per metadata server) → commit. Reads: snapshot lookup → resolve
+//! the overlapped leaves — locally from a descriptor-index snapshot pinned
+//! at the read version when one is available (fresh-snapshot shortcut: one
+//! batched leaf get per metadata server, zero inner tree-node fetches), or
+//! by breadth-first descent of the version's segment tree (one batched DHT
+//! round per level) for historical versions — → fetch pages, grouped by
+//! chosen replica into one batched `get_pages` per provider, with per-page
+//! replica failover for the subset that fails → assemble.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -262,6 +265,14 @@ impl BlobClient {
 
     /// Read `len` bytes at `offset` from `version` (`None` = latest
     /// published snapshot).
+    ///
+    /// A read of the latest snapshot takes the fresh-snapshot shortcut: the
+    /// offset→page mapping is answered locally from the descriptor-index
+    /// cache (refreshed with one descriptor-delta sync when stale) and only
+    /// the leaf nodes are fetched from the DHT — the inner tree levels are
+    /// skipped entirely, the same shape [`Self::page_locations`] uses.
+    /// Historical versions keep the tree walk, the only structure that can
+    /// answer them.
     pub fn read(
         &self,
         p: &Proc,
@@ -271,7 +282,7 @@ impl BlobClient {
         len: u64,
     ) -> BlobResult<Payload> {
         let snap = self.svc.vm.snapshot(p, blob, version)?;
-        self.read_snapshot(p, blob, &snap, offset, len)
+        self.read_snapshot_inner(p, blob, &snap, offset, len, version.is_none())
     }
 
     /// Read against an already-resolved snapshot (saves the VM round-trip;
@@ -280,7 +291,11 @@ impl BlobClient {
     /// The requested range is clamped to the snapshot end, exactly like
     /// [`Self::page_locations`]: a read at or past EOF returns a short
     /// (possibly empty) payload instead of an error, and `offset + len`
-    /// cannot overflow.
+    /// cannot overflow. When the client's cached descriptor-index snapshot
+    /// is pinned at exactly `snap.version` (writers after their own append,
+    /// readers after a locality query), the leaf keys are computed locally
+    /// and the inner tree levels are never fetched; a pinned snapshot is
+    /// never *synced* for here, though, because `snap` may be historical.
     pub fn read_snapshot(
         &self,
         p: &Proc,
@@ -289,11 +304,26 @@ impl BlobClient {
         offset: u64,
         len: u64,
     ) -> BlobResult<Payload> {
+        self.read_snapshot_inner(p, blob, snap, offset, len, false)
+    }
+
+    fn read_snapshot_inner(
+        &self,
+        p: &Proc,
+        blob: BlobId,
+        snap: &SnapshotInfo,
+        offset: u64,
+        len: u64,
+        latest_requested: bool,
+    ) -> BlobResult<Payload> {
         let end = offset.saturating_add(len).min(snap.total_bytes);
         if offset >= end {
             return Ok(Payload::empty());
         }
-        let hits = self.leaves(p, blob, snap, offset, end)?;
+        let hits = match self.leaves_via_index(p, blob, snap, offset, end, latest_requested)? {
+            Some(hits) => hits,
+            None => self.leaves(p, blob, snap, offset, end)?,
+        };
         // Choose one replica per page up front (local short-circuit first,
         // random otherwise) and group the fetches by chosen provider: one
         // batched get_pages RPC per provider moves its whole share of the
@@ -350,6 +380,68 @@ impl BlobClient {
         collect_leaves(&mut fetch, blob, snap, byte_lo, byte_hi)
     }
 
+    /// The fresh-snapshot shortcut shared by [`Self::read`] and
+    /// [`Self::page_locations`]: when a descriptor-index snapshot pinned at
+    /// exactly `snap.version` is available, answer which pages overlap
+    /// `[byte_lo, byte_hi)` — and where each starts — locally, and fetch
+    /// *only* the leaf (provider-set) nodes in one batched DHT get per
+    /// metadata server: zero inner tree-node gets. `None` means no pinned
+    /// index can be had (historical version, empty BLOB, or a publication
+    /// race) and the caller must walk the tree.
+    ///
+    /// The caller clamps: requires `byte_lo < byte_hi <= snap.total_bytes`.
+    fn leaves_via_index(
+        &self,
+        p: &Proc,
+        blob: BlobId,
+        snap: &SnapshotInfo,
+        byte_lo: u64,
+        byte_hi: u64,
+        latest_requested: bool,
+    ) -> BlobResult<Option<Vec<LeafHit>>> {
+        let Some(ix) = self.index_at(p, blob, snap, latest_requested)? else {
+            return Ok(None);
+        };
+        // The index answers which pages overlap the range and who owns each
+        // (the owner version's tree is the one holding the live leaf).
+        let page_lo = ix.page_containing(byte_lo).expect("offset below EOF");
+        let page_hi = ix.page_containing(byte_hi - 1).expect("end-1 below EOF") + 1;
+        let mut keys = Vec::with_capacity((page_hi - page_lo) as usize);
+        let mut byte_offs = Vec::with_capacity(keys.capacity());
+        for page in page_lo..page_hi {
+            let owner = ix.owner_of_page(page).expect("live page has an owner");
+            keys.push(NodeKey {
+                blob,
+                version: owner,
+                page_lo: page,
+                page_hi: page + 1,
+            });
+            byte_offs.push(
+                ix.byte_offset_of_page(page)
+                    .expect("live page has an offset"),
+            );
+        }
+        let bodies = self.svc.dht.get_batch(p, &keys)?;
+        keys.iter()
+            .zip(byte_offs)
+            .zip(bodies)
+            .map(|((key, blob_byte_off), body)| match body {
+                Some(NodeBody::Leaf(page)) => Ok(LeafHit {
+                    page_index: key.page_lo,
+                    blob_byte_off,
+                    page,
+                }),
+                _ => Err(BlobError::MetadataMissing {
+                    blob: key.blob,
+                    version: key.version,
+                    page_lo: key.page_lo,
+                    page_hi: key.page_hi,
+                }),
+            })
+            .collect::<BlobResult<Vec<LeafHit>>>()
+            .map(Some)
+    }
+
     /// Snapshot facts for a version (`None` = latest published).
     pub fn snapshot(
         &self,
@@ -397,56 +489,19 @@ impl BlobClient {
         if offset >= end {
             return Ok(Vec::new());
         }
-        let Some(ix) = self.index_at(p, blob, &snap, version.is_none())? else {
+        let hits = match self.leaves_via_index(p, blob, &snap, offset, end, version.is_none())? {
+            Some(hits) => hits,
             // Historical version (or a publication race): walk the tree.
-            let hits = self.leaves(p, blob, &snap, offset, end)?;
-            return Ok(hits
-                .into_iter()
-                .map(|h| PageLocation {
-                    byte_off: h.blob_byte_off,
-                    byte_len: h.page.byte_len,
-                    hosts: h.page.providers,
-                })
-                .collect());
+            None => self.leaves(p, blob, &snap, offset, end)?,
         };
-        // The index answers which pages overlap the range and who owns
-        // each (the owner version's tree is the one holding the live leaf);
-        // a single batched DHT get resolves every leaf's provider set.
-        let page_lo = ix.page_containing(offset).expect("offset below EOF");
-        let page_hi = ix.page_containing(end - 1).expect("end-1 below EOF") + 1;
-        let mut keys = Vec::with_capacity((page_hi - page_lo) as usize);
-        let mut byte_offs = Vec::with_capacity(keys.capacity());
-        for page in page_lo..page_hi {
-            let owner = ix.owner_of_page(page).expect("live page has an owner");
-            keys.push(NodeKey {
-                blob,
-                version: owner,
-                page_lo: page,
-                page_hi: page + 1,
-            });
-            byte_offs.push(
-                ix.byte_offset_of_page(page)
-                    .expect("live page has an offset"),
-            );
-        }
-        let bodies = self.svc.dht.get_batch(p, &keys)?;
-        keys.iter()
-            .zip(byte_offs)
-            .zip(bodies)
-            .map(|((key, byte_off), body)| match body {
-                Some(NodeBody::Leaf(pr)) => Ok(PageLocation {
-                    byte_off,
-                    byte_len: pr.byte_len,
-                    hosts: pr.providers,
-                }),
-                _ => Err(BlobError::MetadataMissing {
-                    blob: key.blob,
-                    version: key.version,
-                    page_lo: key.page_lo,
-                    page_hi: key.page_hi,
-                }),
+        Ok(hits
+            .into_iter()
+            .map(|h| PageLocation {
+                byte_off: h.blob_byte_off,
+                byte_len: h.page.byte_len,
+                hosts: h.page.providers,
             })
-            .collect()
+            .collect())
     }
 
     /// A descriptor-index snapshot pinned at exactly `snap.version`, if one

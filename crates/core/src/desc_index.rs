@@ -216,6 +216,29 @@ impl DescIndex {
         }
     }
 
+    /// Count the tree nodes of this snapshot that are not already recorded
+    /// in `seen` (a set of node addresses), inserting every node visited.
+    /// Calling this across a family of snapshots measures their true
+    /// combined heap footprint: structurally-shared subtrees are counted
+    /// once no matter how many snapshots pin them, and a subtree whose root
+    /// was already seen is skipped entirely (its descendants are shared
+    /// too). This is the diagnostic behind the desc-index memory bound.
+    pub fn count_nodes(&self, seen: &mut std::collections::HashSet<usize>) -> usize {
+        fn walk(node: &Arc<IxNode>, seen: &mut std::collections::HashSet<usize>) -> usize {
+            if !seen.insert(Arc::as_ptr(node) as usize) {
+                return 0;
+            }
+            match &node.kind {
+                IxKind::Leaf => 1,
+                IxKind::Inner { left, right } => {
+                    1 + left.as_ref().map_or(0, |n| walk(n, seen))
+                        + right.as_ref().map_or(0, |n| walk(n, seen))
+                }
+            }
+        }
+        self.root.as_ref().map_or(0, |r| walk(r, seen))
+    }
+
     /// Page index whose byte offset is exactly `offset` (`total_pages` for
     /// `offset == total_bytes`), or `None` when `offset` is not a page
     /// boundary. Mirrors [`crate::types::page_at_boundary`].

@@ -34,6 +34,11 @@ pub enum BlobError {
     NoProviders,
     /// The version was aborted (writer failure) and will never publish.
     VersionAborted { blob: BlobId, version: Version },
+    /// A control-plane race was lost: the version's pending state vanished
+    /// (a concurrent reap/force-complete/commit interleaving carried it)
+    /// between two observations. Callers may re-check the published version
+    /// and retry; this is never a panic.
+    VersionRaced { blob: BlobId, version: Version },
     /// Local persistence failure.
     Persistence(String),
 }
@@ -66,6 +71,11 @@ impl fmt::Display for BlobError {
             BlobError::VersionAborted { blob, version } => {
                 write!(f, "{blob} version {version} was aborted")
             }
+            BlobError::VersionRaced { blob, version } => write!(
+                f,
+                "{blob} version {version}: pending state vanished to a concurrent \
+                 reap/commit; re-check the published version"
+            ),
             BlobError::Persistence(msg) => write!(f, "persistence layer: {msg}"),
         }
     }

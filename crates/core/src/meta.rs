@@ -22,12 +22,22 @@
 //! All functions here are pure: I/O (the metadata-provider DHT) is abstracted
 //! as a `fetch` closure, so the same code is exercised by in-memory unit
 //! tests and by the costed distributed path in [`crate::client`].
+//!
+//! This module also hosts [`BlobState`], the per-BLOB control-plane state
+//! machine that is the lock unit of the sharded
+//! [`crate::version_manager::VersionManager`]: like the tree planners above
+//! it performs no I/O — the version manager wraps one `Mutex<BlobState>` per
+//! BLOB and keeps RPC charging, DHT traffic and gate waits outside the lock.
 
-use fabric::NodeId;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+use fabric::sync::Gate;
+use fabric::{NodeId, SimTime};
 
 use crate::desc_index::DescIndex;
 use crate::error::{BlobError, BlobResult};
-use crate::types::{tree_span, BlobId, PageId, Version, WriteDesc};
+use crate::types::{tree_span, BlobId, PageId, UpdateKind, Version, WriteDesc, WriteKind};
 
 /// Deterministic identity of a metadata tree node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -224,6 +234,235 @@ impl SnapshotInfo {
     }
 }
 
+/// Everything the version manager retains about one assigned-but-unpublished
+/// version of a BLOB.
+pub(crate) struct PendingWrite {
+    /// The writer's page manifest, shared (not copied) for force-complete.
+    pub manifest: Arc<Vec<PageRef>>,
+    /// Descriptor-index snapshot pinned at exactly this version — an O(1)
+    /// clone of the persistent tree, so force-complete can rebuild the
+    /// writer's exact metadata plan without copying any history.
+    pub index: DescIndex,
+    pub assigned_at: SimTime,
+    pub gate: Gate,
+}
+
+/// Per-BLOB control-plane state: the **lock unit** of the sharded version
+/// manager. One `Mutex<BlobState>` guards exactly one BLOB, so operations on
+/// distinct BLOBs never contend; everything here is a pure state machine
+/// (no I/O, no RPC charging), which is what lets the version manager keep
+/// its critical sections down to the version-counter bump and state splice.
+pub(crate) struct BlobState {
+    /// Descriptors of every *assigned* version, dense: `descs[v-1]`.
+    pub descs: Vec<WriteDesc>,
+    /// Incrementally-maintained descriptor index over `descs` — answers all
+    /// latest-version queries in O(log) and snapshots in O(1).
+    pub index: DescIndex,
+    /// Index snapshot pinned at the latest *published* version — what
+    /// `VersionManager::sync_index` ships to readers, so their locality
+    /// queries never observe assigned-but-unpublished versions.
+    pub published_index: DescIndex,
+    /// Assigned but not yet published versions (kept for force-complete).
+    pub pending: HashMap<Version, PendingWrite>,
+    /// Versions in assignment order with their assignment times. Assignment
+    /// times are monotone, so the front is always the oldest deadline: the
+    /// common no-expiry reap check peeks one entry instead of scanning the
+    /// whole pending map. Entries whose version already committed or
+    /// published are discarded lazily.
+    reap_queue: VecDeque<(SimTime, Version)>,
+    /// Committed but not yet published (publication is strictly in order).
+    pub committed: BTreeSet<Version>,
+    pub published: Version,
+}
+
+impl BlobState {
+    pub fn new(page_size: u64) -> Self {
+        BlobState {
+            descs: Vec::new(),
+            index: DescIndex::new(page_size),
+            published_index: DescIndex::new(page_size),
+            pending: HashMap::new(),
+            reap_queue: VecDeque::new(),
+            committed: BTreeSet::new(),
+            published: 0,
+        }
+    }
+
+    pub fn page_size(&self) -> u64 {
+        self.index.page_size()
+    }
+
+    /// Highest assigned version (0 when nothing was ever assigned).
+    pub fn assigned(&self) -> Version {
+        self.descs.len() as Version
+    }
+
+    /// Compute the descriptor the next update would get. Pure read — the
+    /// caller splices it in with [`Self::admit`] under the same lock hold.
+    /// `k_pages` (= manifest length) is validated lock-free by the caller
+    /// against the immutable page size.
+    pub fn build_descriptor(
+        &self,
+        kind: UpdateKind,
+        nbytes: u64,
+        k_pages: u64,
+    ) -> BlobResult<WriteDesc> {
+        let ps = self.page_size();
+        let (cur_pages, cur_bytes) = self
+            .descs
+            .last()
+            .map(|d| (d.total_pages, d.total_bytes))
+            .unwrap_or((0, 0));
+        let version = self.assigned() + 1;
+        match kind {
+            UpdateKind::Append => Ok(WriteDesc {
+                version,
+                kind: WriteKind::Append,
+                page_lo: cur_pages,
+                page_hi: cur_pages + k_pages,
+                byte_lo: cur_bytes,
+                byte_hi: cur_bytes + nbytes,
+                total_pages: cur_pages + k_pages,
+                total_bytes: cur_bytes + nbytes,
+            }),
+            UpdateKind::WriteAt { offset } => {
+                // `self.index` is still at version - 1 here, so these are
+                // O(log) lookups against the pre-update snapshot.
+                let page_lo = self.index.page_at_boundary(offset).ok_or_else(|| {
+                    BlobError::UnalignedWrite {
+                        detail: format!("offset {offset} is not an existing page boundary"),
+                    }
+                })?;
+                if offset + nbytes >= cur_bytes {
+                    // Tail-replacing / extending write.
+                    Ok(WriteDesc {
+                        version,
+                        kind: WriteKind::Write,
+                        page_lo,
+                        page_hi: page_lo + k_pages,
+                        byte_lo: offset,
+                        byte_hi: offset + nbytes,
+                        total_pages: page_lo + k_pages,
+                        total_bytes: offset + nbytes,
+                    })
+                } else {
+                    // Interior overwrite: must replace whole existing pages
+                    // with an identical layout.
+                    if !nbytes.is_multiple_of(ps) {
+                        return Err(BlobError::UnalignedWrite {
+                            detail: format!(
+                                "interior overwrite of {nbytes} B is not a multiple of the {ps} B page size"
+                            ),
+                        });
+                    }
+                    let end_page = page_lo + k_pages;
+                    if self.index.byte_offset_of_page(end_page) != Some(offset + nbytes) {
+                        return Err(BlobError::UnalignedWrite {
+                            detail: format!(
+                                "overwrite end {} does not coincide with page boundary {end_page}",
+                                offset + nbytes
+                            ),
+                        });
+                    }
+                    Ok(WriteDesc {
+                        version,
+                        kind: WriteKind::Write,
+                        page_lo,
+                        page_hi: end_page,
+                        byte_lo: offset,
+                        byte_hi: offset + nbytes,
+                        total_pages: cur_pages,
+                        total_bytes: cur_bytes,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Splice an update built by [`Self::build_descriptor`] into the state:
+    /// bump the version counter, fold the descriptor into the index, and
+    /// park the pending write. Returns the index snapshot pinned at the new
+    /// version (an O(1) `Arc` share).
+    pub fn admit(
+        &mut self,
+        desc: WriteDesc,
+        manifest: Arc<Vec<PageRef>>,
+        assigned_at: SimTime,
+        gate: Gate,
+    ) -> DescIndex {
+        debug_assert_eq!(desc.version, self.assigned() + 1);
+        self.descs.push(desc);
+        self.index.apply(&desc);
+        let index = self.index.clone();
+        self.reap_queue.push_back((assigned_at, desc.version));
+        self.pending.insert(
+            desc.version,
+            PendingWrite {
+                manifest,
+                index: index.clone(),
+                assigned_at,
+                gate,
+            },
+        );
+        index
+    }
+
+    /// Mark `version` committed and publish every version that became
+    /// publishable (publication is strictly in order). Returns the gates of
+    /// newly-published versions so the caller can set them outside the lock.
+    pub fn commit(&mut self, version: Version) -> Vec<Gate> {
+        let mut gates = Vec::new();
+        if version <= self.published {
+            return gates;
+        }
+        self.committed.insert(version);
+        while self.committed.remove(&(self.published + 1)) {
+            self.published += 1;
+            if let Some(pw) = self.pending.remove(&self.published) {
+                gates.push(pw.gate);
+                // The pending write's snapshot is pinned at exactly the
+                // version that just published — an O(1) hand-off.
+                self.published_index = pw.index;
+            }
+        }
+        gates
+    }
+
+    /// Pop every version whose write timeout has expired, oldest first.
+    /// O(1) when nothing expired (the common case): assignment times are
+    /// monotone, so only the queue front is examined. Entries already
+    /// committed or published are dropped lazily — they can never need
+    /// reaping again.
+    pub fn take_expired(&mut self, now: SimTime, timeout: u64) -> Vec<Version> {
+        let mut out = Vec::new();
+        while let Some(&(at, v)) = self.reap_queue.front() {
+            if !self.pending.contains_key(&v) || self.committed.contains(&v) {
+                self.reap_queue.pop_front();
+                continue;
+            }
+            if now.saturating_sub(at) > timeout {
+                self.reap_queue.pop_front();
+                out.push(v);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Put versions taken by [`Self::take_expired`] back at the queue front
+    /// (in order), so a failed force-complete is retried on the next VM
+    /// interaction instead of being silently dropped. Versions that landed
+    /// (no longer pending) are skipped.
+    pub fn requeue_expired(&mut self, versions: &[Version]) {
+        for &v in versions.iter().rev() {
+            if let Some(pw) = self.pending.get(&v) {
+                self.reap_queue.push_front((pw.assigned_at, v));
+            }
+        }
+    }
+}
+
 /// Batch node resolver used by [`collect_leaves`]: answers `keys[i]` at
 /// `out[i]` (`None` = node not stored). The DHT-backed implementation is
 /// [`crate::dht::MetaDht::get_batch`].
@@ -319,8 +558,6 @@ pub fn collect_leaves(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::WriteKind;
-    use std::collections::HashMap;
 
     const PS: u64 = 100;
 
@@ -628,6 +865,75 @@ mod tests {
         let mut fetch = |keys: &[NodeKey]| Ok(vec![None; keys.len()]);
         let err = collect_leaves(&mut fetch, h.blob, &snap, 0, 10).unwrap_err();
         assert!(matches!(err, BlobError::MetadataMissing { .. }));
+    }
+
+    #[test]
+    fn blob_state_reap_queue_is_lazy_and_ordered() {
+        use fabric::{ClusterSpec, Fabric};
+        let fx = Fabric::sim(ClusterSpec::tiny(1));
+        let mut st = BlobState::new(PS);
+        let mani = |tag: u64| {
+            Arc::new(vec![PageRef {
+                id: PageId(tag, 0),
+                byte_len: PS,
+                providers: vec![NodeId(0)],
+            }])
+        };
+        // Three appends assigned at t = 10, 20, 30.
+        for (i, t) in [(1u64, 10u64), (2, 20), (3, 30)] {
+            let d = st.build_descriptor(UpdateKind::Append, PS, 1).unwrap();
+            assert_eq!(d.version, i);
+            st.admit(d, mani(i), t, fx.gate());
+        }
+        // Nothing expired yet: O(1) front peek, empty result.
+        assert!(st.take_expired(40, 100).is_empty());
+        // v1 and v2 expired; v3 not yet. Order is oldest-first.
+        assert_eq!(st.take_expired(125, 100), vec![1, 2]);
+        // Taken versions are gone from the queue until requeued.
+        assert!(st.take_expired(125, 100).is_empty());
+        st.requeue_expired(&[1, 2]);
+        // A committed version is skipped lazily, not force-completed.
+        let gates = st.commit(1);
+        assert_eq!(gates.len(), 1, "v1 publishes immediately");
+        assert_eq!(st.published, 1);
+        assert_eq!(st.take_expired(125, 100), vec![2]);
+        // Requeue skips versions that are no longer pending.
+        st.commit(2);
+        st.requeue_expired(&[2]);
+        // v3 eventually expires too (v2's stale entry is long gone).
+        assert_eq!(st.take_expired(131, 100), vec![3]);
+        // Publishing v3 hands the published index over at its version.
+        let gates = st.commit(3);
+        assert_eq!(gates.len(), 1);
+        assert_eq!(st.published_index.version(), 3);
+        assert!(st.pending.is_empty());
+    }
+
+    #[test]
+    fn blob_state_commit_out_of_order_returns_gates_in_publication_order() {
+        use fabric::{ClusterSpec, Fabric};
+        let fx = Fabric::sim(ClusterSpec::tiny(1));
+        let mut st = BlobState::new(PS);
+        let mani = |tag: u64| {
+            Arc::new(vec![PageRef {
+                id: PageId(tag, 0),
+                byte_len: PS,
+                providers: vec![NodeId(0)],
+            }])
+        };
+        for i in 1..=3u64 {
+            let d = st.build_descriptor(UpdateKind::Append, PS, 1).unwrap();
+            st.admit(d, mani(i), i * 10, fx.gate());
+        }
+        assert!(st.commit(3).is_empty(), "v3 waits for predecessors");
+        assert!(st.commit(2).is_empty(), "v2 waits for v1");
+        assert_eq!(st.published, 0);
+        let gates = st.commit(1);
+        assert_eq!(gates.len(), 3, "v1 unlocks the whole chain");
+        assert_eq!(st.published, 3);
+        assert_eq!(st.published_index.version(), 3);
+        // Idempotent re-commit of published versions is a no-op.
+        assert!(st.commit(2).is_empty());
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub enum WriteKind {
     Write,
 }
 
+/// A write request presented to the version manager's `assign`.
+#[derive(Debug, Clone, Copy)]
+pub enum UpdateKind {
+    /// Append `nbytes` at the end.
+    Append,
+    /// Overwrite starting at byte `offset` (must be an existing page
+    /// boundary; see crate docs for the alignment rules).
+    WriteAt { offset: u64 },
+}
+
 /// Summary of one committed or pending update, as recorded by the version
 /// manager and shipped to writers/readers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -21,67 +21,52 @@
 //! the VM can finish the job of a writer that crashes between steps 2 and 4
 //! ([`VersionManager::force_complete`] / lazy reaping with
 //! `write_timeout_ns`), so a dead client cannot stall publication forever.
+//!
+//! # Sharded control plane
+//!
+//! The paper's whole point is sustained throughput under heavy access
+//! concurrency, so serialization at the VM must only ever be the
+//! *protocol's* (per-BLOB version ordering), never an implementation
+//! artifact. The state is therefore two-level:
+//!
+//! * a registry (`RwLock<HashMap<BlobId, Arc<BlobSlot>>>`) handing out
+//!   per-BLOB slots — read-locked briefly on every operation, write-locked
+//!   only by `create_blob`;
+//! * one `Mutex<`[`BlobState`]`>` per BLOB — operations on distinct BLOBs
+//!   never contend.
+//!
+//! Within a blob, the lock covers only the version-counter bump and the
+//! state splice: wire charging, manifest validation (against the immutable
+//! page size), `plan_write` for force-complete, DHT traffic, and gate waits
+//! all run lock-free. No lock is ever held across a blocking fabric call,
+//! so the same code is safe in live mode where processes genuinely run in
+//! parallel.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use fabric::sync::Gate;
-use fabric::{Fabric, NodeId, Proc, SimTime};
-use parking_lot::Mutex;
+use fabric::{Fabric, NodeId, Proc};
+use parking_lot::{Mutex, RwLock};
 
 use crate::desc_index::DescIndex;
 use crate::dht::MetaDht;
 use crate::error::{BlobError, BlobResult};
-use crate::meta::{plan_write, PageRef, SnapshotInfo};
-use crate::types::{BlobId, Version, WriteDesc, WriteKind};
+use crate::meta::{plan_write, BlobState, PageRef, SnapshotInfo};
+use crate::types::{BlobId, Version, WriteDesc};
+
+pub use crate::types::UpdateKind;
 
 /// Modeled wire size of one [`WriteDesc`] in the `assign` response — the VM
 /// ships the caller every descriptor after its `known` watermark.
 const DESC_WIRE_BYTES: u64 = 48;
 
-/// A write request presented to [`VersionManager::assign`].
-#[derive(Debug, Clone, Copy)]
-pub enum UpdateKind {
-    /// Append `nbytes` at the end.
-    Append,
-    /// Overwrite starting at byte `offset` (must be an existing page
-    /// boundary; see crate docs for the alignment rules).
-    WriteAt { offset: u64 },
-}
-
-/// Everything the VM retains about an assigned-but-unpublished version.
-struct PendingWrite {
-    /// The writer's page manifest, shared (not copied) for force-complete.
-    manifest: Arc<Vec<PageRef>>,
-    /// Descriptor-index snapshot pinned at exactly this version — an O(1)
-    /// clone of the persistent tree, so force-complete can rebuild the
-    /// writer's exact metadata plan without copying any history.
-    index: DescIndex,
-    assigned_at: SimTime,
-    gate: Gate,
-}
-
-struct BlobMeta {
+/// One BLOB's slot in the sharded registry: the immutable facts live outside
+/// the lock (so `page_size_of` and manifest validation never take it), the
+/// mutable control-plane state inside.
+struct BlobSlot {
     page_size: u64,
-    /// Descriptors of every *assigned* version, dense: `descs[v-1]`.
-    descs: Vec<WriteDesc>,
-    /// Incrementally-maintained descriptor index over `descs` — answers all
-    /// latest-version queries in O(log) and snapshots in O(1).
-    index: DescIndex,
-    /// Index snapshot pinned at the latest *published* version — what
-    /// [`VersionManager::sync_index`] ships to readers, so their locality
-    /// queries never observe assigned-but-unpublished versions.
-    published_index: DescIndex,
-    /// Assigned but not yet published versions (kept for force-complete).
-    pending: HashMap<Version, PendingWrite>,
-    /// Committed but not yet published (publication is strictly in order).
-    committed: BTreeSet<Version>,
-    published: Version,
-}
-
-struct VmState {
-    blobs: HashMap<BlobId, BlobMeta>,
-    next_blob: u64,
+    state: Mutex<BlobState>,
 }
 
 /// The centralized version manager service.
@@ -95,7 +80,8 @@ pub struct VersionManager {
     vm_cpu_ops: u64,
     write_timeout_ns: Option<u64>,
     default_page_size: u64,
-    state: Mutex<VmState>,
+    next_blob: AtomicU64,
+    blobs: RwLock<HashMap<BlobId, Arc<BlobSlot>>>,
 }
 
 impl VersionManager {
@@ -116,10 +102,8 @@ impl VersionManager {
             vm_cpu_ops,
             write_timeout_ns,
             default_page_size,
-            state: Mutex::new(VmState {
-                blobs: HashMap::new(),
-                next_blob: 1,
-            }),
+            next_blob: AtomicU64::new(1),
+            blobs: RwLock::new(HashMap::new()),
         }
     }
 
@@ -134,36 +118,33 @@ impl VersionManager {
         }
     }
 
+    /// The registry slot for `blob`: a brief read lock on the registry, then
+    /// lock-free access to the immutable facts and the per-blob mutex.
+    fn slot(&self, blob: BlobId) -> BlobResult<Arc<BlobSlot>> {
+        self.blobs
+            .read()
+            .get(&blob)
+            .cloned()
+            .ok_or(BlobError::NoSuchBlob(blob))
+    }
+
     /// Create a BLOB with the given page size (or the deployment default).
     pub fn create_blob(&self, p: &Proc, page_size: Option<u64>) -> BlobId {
         self.charge(p);
-        let mut st = self.state.lock();
-        let id = BlobId(st.next_blob);
-        st.next_blob += 1;
+        let id = BlobId(self.next_blob.fetch_add(1, Ordering::Relaxed));
         let ps = page_size.unwrap_or(self.default_page_size);
-        st.blobs.insert(
-            id,
-            BlobMeta {
-                page_size: ps,
-                descs: Vec::new(),
-                index: DescIndex::new(ps),
-                published_index: DescIndex::new(ps),
-                pending: HashMap::new(),
-                committed: BTreeSet::new(),
-                published: 0,
-            },
-        );
+        let slot = Arc::new(BlobSlot {
+            page_size: ps,
+            state: Mutex::new(BlobState::new(ps)),
+        });
+        self.blobs.write().insert(id, slot);
         id
     }
 
-    /// Page size of a BLOB.
+    /// Page size of a BLOB. Immutable, so no per-blob lock is taken.
     pub fn page_size_of(&self, p: &Proc, blob: BlobId) -> BlobResult<u64> {
         self.charge(p);
-        let st = self.state.lock();
-        st.blobs
-            .get(&blob)
-            .map(|b| b.page_size)
-            .ok_or(BlobError::NoSuchBlob(blob))
+        Ok(self.slot(blob)?.page_size)
     }
 
     /// Step 2 of the write protocol: reserve a version for an update of
@@ -173,6 +154,11 @@ impl VersionManager {
     /// history is copied — while the modeled wire cost still covers every
     /// descriptor after the caller's `known` watermark. The new version
     /// stays invisible until committed and all its predecessors published.
+    ///
+    /// The per-blob lock is held only for the descriptor computation and
+    /// state splice; empty-write and manifest-shape validation run lock-free
+    /// against the immutable page size, and the wire charge happens after
+    /// the lock is released.
     pub fn assign(
         &self,
         p: &Proc,
@@ -183,15 +169,12 @@ impl VersionManager {
         known: Version,
     ) -> BlobResult<(WriteDesc, DescIndex)> {
         self.reap_expired(p, blob)?;
-        let now = self.fabric.now();
         let result: BlobResult<(WriteDesc, DescIndex, u64)> = (|| {
             if nbytes == 0 {
                 return Err(BlobError::EmptyWrite);
             }
-            let mut st = self.state.lock();
-            let meta = st.blobs.get_mut(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
-            let ps = meta.page_size;
-            let k_pages = nbytes.div_ceil(ps);
+            let slot = self.slot(blob)?;
+            let k_pages = nbytes.div_ceil(slot.page_size);
             if manifest.len() as u64 != k_pages {
                 return Err(BlobError::UnalignedWrite {
                     detail: format!(
@@ -199,92 +182,20 @@ impl VersionManager {
                         manifest.len(),
                         nbytes,
                         k_pages,
-                        ps
+                        slot.page_size
                     ),
                 });
             }
-            let (cur_pages, cur_bytes) = meta
-                .descs
-                .last()
-                .map(|d| (d.total_pages, d.total_bytes))
-                .unwrap_or((0, 0));
-            let version = meta.descs.len() as Version + 1;
-            let desc = match kind {
-                UpdateKind::Append => WriteDesc {
-                    version,
-                    kind: WriteKind::Append,
-                    page_lo: cur_pages,
-                    page_hi: cur_pages + k_pages,
-                    byte_lo: cur_bytes,
-                    byte_hi: cur_bytes + nbytes,
-                    total_pages: cur_pages + k_pages,
-                    total_bytes: cur_bytes + nbytes,
-                },
-                UpdateKind::WriteAt { offset } => {
-                    // `meta.index` is still at version - 1 here, so these are
-                    // O(log) lookups against the pre-update snapshot.
-                    let page_lo = meta.index.page_at_boundary(offset).ok_or_else(|| {
-                        BlobError::UnalignedWrite {
-                            detail: format!("offset {offset} is not an existing page boundary"),
-                        }
-                    })?;
-                    if offset + nbytes >= cur_bytes {
-                        // Tail-replacing / extending write.
-                        WriteDesc {
-                            version,
-                            kind: WriteKind::Write,
-                            page_lo,
-                            page_hi: page_lo + k_pages,
-                            byte_lo: offset,
-                            byte_hi: offset + nbytes,
-                            total_pages: page_lo + k_pages,
-                            total_bytes: offset + nbytes,
-                        }
-                    } else {
-                        // Interior overwrite: must replace whole existing pages
-                        // with an identical layout.
-                        if !nbytes.is_multiple_of(ps) {
-                            return Err(BlobError::UnalignedWrite {
-                                detail: format!(
-                                    "interior overwrite of {nbytes} B is not a multiple of the {ps} B page size"
-                                ),
-                            });
-                        }
-                        let end_page = page_lo + k_pages;
-                        if meta.index.byte_offset_of_page(end_page) != Some(offset + nbytes) {
-                            return Err(BlobError::UnalignedWrite {
-                                detail: format!(
-                                    "overwrite end {} does not coincide with page boundary {end_page}",
-                                    offset + nbytes
-                                ),
-                            });
-                        }
-                        WriteDesc {
-                            version,
-                            kind: WriteKind::Write,
-                            page_lo,
-                            page_hi: end_page,
-                            byte_lo: offset,
-                            byte_hi: offset + nbytes,
-                            total_pages: cur_pages,
-                            total_bytes: cur_bytes,
-                        }
-                    }
-                }
-            };
-            let unseen = (version).saturating_sub(known);
-            meta.descs.push(desc);
-            meta.index.apply(&desc);
-            let index = meta.index.clone();
-            meta.pending.insert(
-                version,
-                PendingWrite {
-                    manifest,
-                    index: index.clone(),
-                    assigned_at: now,
-                    gate: self.fabric.gate(),
-                },
-            );
+            let gate = self.fabric.gate();
+            let mut st = slot.state.lock();
+            // The assignment timestamp is read under the blob lock: the
+            // reap queue's O(1) front peek relies on per-blob monotone
+            // times, which a pre-lock read would break in live mode
+            // (preempted writer admits an older timestamp second).
+            let now = self.fabric.now();
+            let desc = st.build_descriptor(kind, nbytes, k_pages)?;
+            let unseen = desc.version.saturating_sub(known);
+            let index = st.admit(desc, manifest, now, gate);
             Ok((desc, index, unseen))
         })();
         // One request/response exchange: the descriptor delta rides the
@@ -307,47 +218,42 @@ impl VersionManager {
     pub fn commit(&self, p: &Proc, blob: BlobId, version: Version) -> BlobResult<()> {
         self.charge(p);
         self.reap_expired(p, blob)?;
-        let mut st = self.state.lock();
-        let meta = st.blobs.get_mut(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
-        if version > meta.descs.len() as Version {
-            return Err(BlobError::NoSuchVersion { blob, version });
+        let slot = self.slot(blob)?;
+        let gates = {
+            let mut st = slot.state.lock();
+            if version > st.assigned() {
+                return Err(BlobError::NoSuchVersion { blob, version });
+            }
+            st.commit(version)
+        };
+        // Waiters wake outside the per-blob lock.
+        for gate in gates {
+            gate.set();
         }
-        Self::commit_inner(meta, version);
         Ok(())
     }
 
-    fn commit_inner(meta: &mut BlobMeta, version: Version) {
-        if version <= meta.published {
-            return;
-        }
-        meta.committed.insert(version);
-        while meta.committed.remove(&(meta.published + 1)) {
-            meta.published += 1;
-            if let Some(pw) = meta.pending.remove(&meta.published) {
-                pw.gate.set();
-                // The pending write's snapshot is pinned at exactly the
-                // version that just published — an O(1) hand-off.
-                meta.published_index = pw.index;
-            }
-        }
-    }
-
     /// Block until `version` is published. Returns immediately when it
-    /// already is.
+    /// already is. The gate wait happens outside the per-blob lock; a
+    /// version whose pending state vanished to a concurrent reap/commit
+    /// race yields [`BlobError::VersionRaced`], never a panic.
     pub fn wait_published(&self, p: &Proc, blob: BlobId, version: Version) -> BlobResult<()> {
+        let slot = self.slot(blob)?;
         let gate = {
-            let st = self.state.lock();
-            let meta = st.blobs.get(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
-            if version <= meta.published {
+            let st = slot.state.lock();
+            if version <= st.published {
                 return Ok(());
             }
-            if version > meta.descs.len() as Version {
+            if version > st.assigned() {
                 return Err(BlobError::NoSuchVersion { blob, version });
             }
-            meta.pending
-                .get(&version)
-                .map(|pw| pw.gate.clone())
-                .expect("unpublished assigned version has a gate")
+            match st.pending.get(&version) {
+                Some(pw) => pw.gate.clone(),
+                // Unpublished-but-assigned versions keep their pending entry
+                // until publication; its absence means a concurrent
+                // force-complete/commit interleaving we lost — surface it.
+                None => return Err(BlobError::VersionRaced { blob, version }),
+            }
         };
         gate.wait(p);
         Ok(())
@@ -362,10 +268,10 @@ impl VersionManager {
         version: Option<Version>,
     ) -> BlobResult<SnapshotInfo> {
         self.charge(p);
-        let st = self.state.lock();
-        let meta = st.blobs.get(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
-        let v = version.unwrap_or(meta.published);
-        if v > meta.published {
+        let slot = self.slot(blob)?;
+        let st = slot.state.lock();
+        let v = version.unwrap_or(st.published);
+        if v > st.published {
             return Err(BlobError::NoSuchVersion { blob, version: v });
         }
         if v == 0 {
@@ -373,15 +279,15 @@ impl VersionManager {
                 version: 0,
                 total_pages: 0,
                 total_bytes: 0,
-                page_size: meta.page_size,
+                page_size: slot.page_size,
             });
         }
-        let d = &meta.descs[v as usize - 1];
+        let d = &st.descs[v as usize - 1];
         Ok(SnapshotInfo {
             version: v,
             total_pages: d.total_pages,
             total_bytes: d.total_bytes,
-            page_size: meta.page_size,
+            page_size: slot.page_size,
         })
     }
 
@@ -397,12 +303,12 @@ impl VersionManager {
     /// response — this is how a read-only client gets an index fresh enough
     /// to answer offset→page locality queries without walking the DHT tree.
     pub fn sync_index(&self, p: &Proc, blob: BlobId, known: Version) -> BlobResult<DescIndex> {
+        let slot = self.slot(blob)?;
         let (index, unseen) = {
-            let st = self.state.lock();
-            let meta = st.blobs.get(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
+            let st = slot.state.lock();
             (
-                meta.published_index.clone(),
-                meta.published.saturating_sub(known),
+                st.published_index.clone(),
+                st.published.saturating_sub(known),
             )
         };
         p.rpc(
@@ -418,11 +324,33 @@ impl VersionManager {
 
     /// Number of assigned-but-unpublished versions (diagnostics).
     pub fn pending_count(&self, blob: BlobId) -> usize {
-        let st = self.state.lock();
-        st.blobs
-            .get(&blob)
-            .map(|m| m.descs.len() - m.published as usize)
-            .unwrap_or(0)
+        match self.slot(blob) {
+            Ok(slot) => {
+                let st = slot.state.lock();
+                st.descs.len() - st.published as usize
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Memory-bound diagnostics: `(pending writes, distinct index nodes)`
+    /// retained by this blob's control plane — the live index, the published
+    /// index, and every pending write's pinned snapshot, with structurally
+    /// shared subtrees counted exactly once. This is the number the
+    /// desc-index memory-bound stress tests hold proportional to the live
+    /// pending count (× tree depth), not to pending × pages.
+    pub fn pending_footprint(&self, blob: BlobId) -> (usize, usize) {
+        let Ok(slot) = self.slot(blob) else {
+            return (0, 0);
+        };
+        let st = slot.state.lock();
+        let mut seen = HashSet::new();
+        let mut nodes = st.index.count_nodes(&mut seen);
+        nodes += st.published_index.count_nodes(&mut seen);
+        for pw in st.pending.values() {
+            nodes += pw.index.count_nodes(&mut seen);
+        }
+        (st.pending.len(), nodes)
     }
 
     /// Complete a version on behalf of its (presumably dead) writer: build
@@ -430,61 +358,67 @@ impl VersionManager {
     /// snapshot it handed over at `assign` time (both `Arc` shares — no
     /// history copy), then commit it. Idempotent; concurrent invocations and
     /// races with a resurrected writer are harmless because node writes are
-    /// idempotent.
+    /// idempotent. The planning and DHT traffic run with no lock held.
     pub fn force_complete(&self, p: &Proc, blob: BlobId, version: Version) -> BlobResult<()> {
+        let slot = self.slot(blob)?;
         let (desc, index, manifest) = {
-            let st = self.state.lock();
-            let meta = st.blobs.get(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
-            if version <= meta.published || meta.committed.contains(&version) {
+            let st = slot.state.lock();
+            if version <= st.published || st.committed.contains(&version) {
                 return Ok(());
             }
-            if version > meta.descs.len() as Version {
+            if version > st.assigned() {
                 return Err(BlobError::NoSuchVersion { blob, version });
             }
-            let pw = meta
-                .pending
-                .get(&version)
-                .expect("pending version keeps its manifest and index snapshot");
-            (
-                meta.descs[version as usize - 1],
-                pw.index.clone(),
-                pw.manifest.clone(),
-            )
+            match st.pending.get(&version) {
+                Some(pw) => (
+                    st.descs[version as usize - 1],
+                    pw.index.clone(),
+                    pw.manifest.clone(),
+                ),
+                // See wait_published: a lost reap/commit race is an error,
+                // not a panic.
+                None => return Err(BlobError::VersionRaced { blob, version }),
+            }
         };
         self.dht
             .put_batch(p, plan_write(blob, &index, &desc, &manifest))?;
-        let mut st = self.state.lock();
-        if let Some(meta) = st.blobs.get_mut(&blob) {
-            Self::commit_inner(meta, version);
+        let gates = {
+            let mut st = slot.state.lock();
+            st.commit(version)
+        };
+        for gate in gates {
+            gate.set();
         }
         Ok(())
     }
 
     /// Force-complete every pending version older than the configured write
     /// timeout. Called lazily from `assign`/`commit`; also usable directly
-    /// by tests and by an optional reaper daemon.
+    /// by tests and by an optional reaper daemon. The common no-expiry case
+    /// peeks one deadline-queue entry under the per-blob lock — O(1), never
+    /// a scan of the pending map.
     pub fn reap_expired(&self, p: &Proc, blob: BlobId) -> BlobResult<()> {
         let Some(timeout) = self.write_timeout_ns else {
             return Ok(());
         };
-        let now = self.fabric.now();
-        let expired: Vec<Version> = {
-            let st = self.state.lock();
-            let Some(meta) = st.blobs.get(&blob) else {
-                return Ok(());
-            };
-            meta.pending
-                .iter()
-                .filter(|&(v, pw)| {
-                    now.saturating_sub(pw.assigned_at) > timeout && !meta.committed.contains(v)
-                })
-                .map(|(v, _)| *v)
-                .collect()
+        let Ok(slot) = self.slot(blob) else {
+            return Ok(());
         };
-        let mut expired = expired;
-        expired.sort_unstable();
-        for v in expired {
-            self.force_complete(p, blob, v)?;
+        let now = self.fabric.now();
+        let expired = slot.state.lock().take_expired(now, timeout);
+        for (i, &v) in expired.iter().enumerate() {
+            // A concurrent force-completer racing us here is fine (node
+            // writes are idempotent, commit is too); VersionRaced means it
+            // already carried this version over the line.
+            match self.force_complete(p, blob, v) {
+                Ok(()) | Err(BlobError::VersionRaced { .. }) => {}
+                Err(e) => {
+                    // Requeue the unprocessed tail so the next interaction
+                    // retries instead of silently dropping the reap.
+                    slot.state.lock().requeue_expired(&expired[i..]);
+                    return Err(e);
+                }
+            }
         }
         Ok(())
     }
@@ -779,6 +713,68 @@ mod tests {
                 vm2.assign(p, blob, UpdateKind::Append, 0, Arc::new(vec![]), 0),
                 Err(BlobError::EmptyWrite)
             ));
+        });
+        fx.run();
+        h.take().unwrap();
+    }
+
+    #[test]
+    fn disjoint_blobs_use_disjoint_locks() {
+        // Operations on one blob proceed while another blob's state mutex is
+        // deliberately held hostage — the registry hands out independent
+        // per-blob locks, so nothing funnels through a global one.
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let vm = setup(&fx);
+        let vm2 = vm.clone();
+        let h = fx.spawn(NodeId(3), "t", move |p| {
+            let a = vm2.create_blob(p, None);
+            let b = vm2.create_blob(p, None);
+            let slot_a = vm2.slot(a).unwrap();
+            let _hostage = slot_a.state.lock();
+            // Every control-plane verb on b completes despite a's lock being
+            // held (a global lock would deadlock right here).
+            let (d, _) = vm2
+                .assign(p, b, UpdateKind::Append, 100, manifest(1, 7, 100), 0)
+                .unwrap();
+            vm2.commit(p, b, d.version).unwrap();
+            vm2.wait_published(p, b, d.version).unwrap();
+            assert_eq!(vm2.latest(p, b).unwrap(), 1);
+            assert_eq!(vm2.sync_index(p, b, 0).unwrap().version(), 1);
+        });
+        fx.run();
+        h.take().unwrap();
+    }
+
+    #[test]
+    fn reap_retries_after_metadata_outage() {
+        // A reap that fails mid-way (metadata server down) must keep the
+        // expired version queued and succeed on a later interaction, not
+        // silently drop it from the deadline queue.
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let server = Arc::new(MetaServer::new(NodeId(1)));
+        let dht = Arc::new(MetaDht::new(vec![server.clone()], 0));
+        let vm = Arc::new(VersionManager::new(
+            NodeId(0),
+            fx.clone(),
+            dht,
+            PS,
+            64,
+            0,
+            Some(1_000_000_000),
+        ));
+        let vm2 = vm.clone();
+        let h = fx.spawn(NodeId(3), "t", move |p| {
+            let blob = vm2.create_blob(p, None);
+            vm2.assign(p, blob, UpdateKind::Append, 100, manifest(1, 1, 100), 0)
+                .unwrap();
+            p.sleep(2_000_000_000);
+            server.kill();
+            assert!(vm2.reap_expired(p, blob).is_err());
+            assert_eq!(vm2.pending_count(blob), 1, "failed reap keeps the write");
+            server.revive();
+            vm2.reap_expired(p, blob).unwrap();
+            assert_eq!(vm2.latest(p, blob).unwrap(), 1);
+            assert_eq!(vm2.pending_count(blob), 0);
         });
         fx.run();
         h.take().unwrap();

@@ -79,8 +79,10 @@ fn append_dht_puts_bounded_by_tree_depth() {
     assert!(total >= 1_000, "every append stored at least its leaf");
 }
 
-/// The read path descends breadth-first: one batched metadata RPC per
-/// (tree level, server) pair, never one per node.
+/// Fresh-snapshot reads skip the inner tree levels entirely (leaf-only
+/// gets, batched per server); historical-version reads keep the
+/// breadth-first tree walk — one batched metadata RPC per (tree level,
+/// server) pair, never one per node.
 #[test]
 fn reads_batch_one_rpc_per_level_per_server() {
     let fx = Fabric::sim(ClusterSpec::tiny(8));
@@ -99,27 +101,64 @@ fn reads_batch_one_rpc_per_level_per_server() {
                 (g + s.op_counts().1, r + s.rpc_counts().1)
             })
         };
+        let levels = tree_depth(64); // 7
+
+        // The writer's cached index snapshot is pinned at the version it
+        // just wrote: a full fresh read fetches the 64 leaves and nothing
+        // else — zero inner tree-node gets.
         let (gets0, rpcs0) = counts(&dht);
         c.read(p, blob, None, 0, 64 * PS).unwrap();
         let (gets1, rpcs1) = counts(&dht);
-        let levels = tree_depth(64); // 7
         assert_eq!(
             gets1 - gets0,
-            127,
-            "a full scan visits every node of the 64-leaf tree exactly once"
+            64,
+            "a fresh full read fetches exactly the leaves, no inner nodes"
         );
         assert!(
-            rpcs1 - rpcs0 <= levels * n_meta as u64,
-            "full-tree read used {} get RPCs; bound is levels({levels}) x servers({n_meta})",
+            rpcs1 - rpcs0 <= n_meta as u64,
+            "leaf-only read used {} get RPCs; bound is one per server ({n_meta})",
             rpcs1 - rpcs0
         );
-        // A point read touches one root-to-leaf path: one node per level,
-        // at most one RPC per level.
+        // A fresh point read fetches exactly its one leaf.
         let (gets2, rpcs2) = counts(&dht);
         c.read(p, blob, None, 10 * PS, PS).unwrap();
         let (gets3, rpcs3) = counts(&dht);
-        assert_eq!(gets3 - gets2, levels, "point read fetches one path");
-        assert!(rpcs3 - rpcs2 <= levels);
+        assert_eq!(gets3 - gets2, 1, "fresh point read fetches one leaf");
+        assert!(rpcs3 - rpcs2 <= 1);
+
+        // A read-only client syncs the index once (a VM descriptor-delta
+        // RPC, not a DHT get) and then reads leaf-only too.
+        let ro = bs2.client();
+        let (gets4, rpcs4) = counts(&dht);
+        ro.read(p, blob, None, 0, 64 * PS).unwrap();
+        let (gets5, rpcs5) = counts(&dht);
+        assert_eq!(gets5 - gets4, 64, "synced read-only client is leaf-only");
+        assert!(rpcs5 - rpcs4 <= n_meta as u64);
+
+        // Historical versions can only be answered by the tree: a fresh
+        // client reading version 1 explicitly walks it breadth-first.
+        let hist = bs2.client();
+        let (gets6, rpcs6) = counts(&dht);
+        hist.read(p, blob, Some(1), 0, 64 * PS).unwrap();
+        let (gets7, rpcs7) = counts(&dht);
+        assert_eq!(
+            gets7 - gets6,
+            127,
+            "a historical full scan visits every node of the 64-leaf tree exactly once"
+        );
+        assert!(
+            rpcs7 - rpcs6 <= levels * n_meta as u64,
+            "full-tree read used {} get RPCs; bound is levels({levels}) x servers({n_meta})",
+            rpcs7 - rpcs6
+        );
+        // A historical point read touches one root-to-leaf path: one node
+        // per level, at most one RPC per level.
+        let hist2 = bs2.client();
+        let (gets8, rpcs8) = counts(&dht);
+        hist2.read(p, blob, Some(1), 10 * PS, PS).unwrap();
+        let (gets9, rpcs9) = counts(&dht);
+        assert_eq!(gets9 - gets8, levels, "point read fetches one path");
+        assert!(rpcs9 - rpcs8 <= levels);
     });
     fx.run();
     h.take().unwrap();
