@@ -185,6 +185,37 @@ pub fn mixed_point(
     append_chunks: u64,
     seed: u64,
 ) -> (f64, f64) {
+    let d = mixed_point_detail(readers, read_chunks, appenders, append_chunks, seed);
+    (d.read_mbps, d.append_mbps)
+}
+
+/// One mixed-workload measurement with the deterministic sim currencies the
+/// storage-plane baseline (`BENCH_fig5_mixed.json`) records and diffs:
+/// everything here is exact for a fixed seed — wall clock never enters.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedPoint {
+    /// Average per-reader throughput, MB/s (virtual time); 0 at readers=0.
+    pub read_mbps: f64,
+    /// Average per-appender throughput, MB/s (virtual time).
+    pub append_mbps: f64,
+    /// Virtual completion time of the whole run, seconds.
+    pub sim_secs: f64,
+    /// Wire transfers issued across the run (every message counts).
+    pub transfers: u64,
+    /// Provider put wire round-trips (the appenders' page streams).
+    pub put_rpcs: u64,
+    /// Provider get wire round-trips (the readers' batched fetches).
+    pub get_rpcs: u64,
+}
+
+/// Figures 4/5 point plus the deterministic currencies of its run.
+pub fn mixed_point_detail(
+    readers: u32,
+    read_chunks: u64,
+    appenders: u32,
+    append_chunks: u64,
+    seed: u64,
+) -> MixedPoint {
     let (fx, fs) = paper_bsfs(seed);
     let start_gate = fx.gate();
     let file = path("/bench/shared");
@@ -253,7 +284,18 @@ pub fn mixed_point(
     };
     let reads = read_times.lock().clone();
     let appends = append_times.lock().clone();
-    (avg(&reads, read_chunks), avg(&appends, append_chunks))
+    let (put_rpcs, get_rpcs) = fs.store().providers().iter().fold((0, 0), |(pu, ge), pr| {
+        let (p_, g_) = pr.rpc_counts();
+        (pu + p_, ge + g_)
+    });
+    MixedPoint {
+        read_mbps: avg(&reads, read_chunks),
+        append_mbps: avg(&appends, append_chunks),
+        sim_secs: fx.now() as f64 / 1e9,
+        transfers: fx.stats().transfers,
+        put_rpcs,
+        get_rpcs,
+    }
 }
 
 /// Which storage system a Figure 6 run uses.

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use blobseer::{BlobSeer, BlobSeerConfig, Layout};
+use blobseer::{BlobSeer, BlobSeerConfig, Layout, ReaperHandle};
 use dfs::{
     BlockLocation, DfsPath, FileReader, FileStatus, FileSystem, FileWriter, FsError, FsResult,
 };
@@ -57,6 +57,14 @@ impl Bsfs {
         &self.store
     }
 
+    /// Start the store's background reaper (expired pending writes, expired
+    /// provider leases, registry GC epochs) as an opt-in service — see
+    /// [`BlobSeer::start_reaper`]. Deployments that skip it keep the lazy
+    /// piggybacked reaping.
+    pub fn start_reaper(&self, fabric: &Fabric, interval_ns: u64) -> ReaperHandle {
+        self.store.start_reaper(fabric, interval_ns)
+    }
+
     /// The BLOB backing `path` (tests/diagnostics).
     pub fn blob_of(&self, p: &Proc, path: &DfsPath) -> FsResult<blobseer::BlobId> {
         match self.ns.lookup(p, path)? {
@@ -103,9 +111,16 @@ impl FileSystem for Bsfs {
     }
 
     fn delete(&self, p: &Proc, path: &DfsPath, recursive: bool) -> FsResult<bool> {
-        // BLOB ids of removed files are returned for garbage collection;
-        // BlobSeer keeps versions forever (as in the paper), so we drop them.
-        let (removed, _blobs) = self.ns.delete(p, path, recursive)?;
+        // Retire the backing BLOBs of every removed file: their registry
+        // slots become unreachable immediately and are dropped by a later
+        // epoch-based GC pass (run by the background reaper when enabled).
+        // Versions of *live* files are still kept forever, as in the paper —
+        // GC only ever follows a namespace delete.
+        let (removed, blobs) = self.ns.delete(p, path, recursive)?;
+        for blob in blobs {
+            // A double delete (e.g. racing clients) is not an FS error.
+            let _ = self.client.delete(p, blob);
+        }
         Ok(removed)
     }
 

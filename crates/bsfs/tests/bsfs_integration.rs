@@ -371,3 +371,127 @@ fn parallel_shared_and_private_appends_live_mode() {
     fx.run();
     h.take().unwrap();
 }
+
+/// Epoch-based registry GC end to end through the namespace: a deleted
+/// file's BLOB is unreachable the moment `delete` returns, its registry
+/// slot survives exactly one GC epoch (so in-flight holders of the slot
+/// `Arc` run out harmlessly), and live files are never disturbed — closing
+/// the ROADMAP's registry-growth item without touching the lock-free read
+/// path.
+#[test]
+fn deleted_files_retire_their_blob_slots_in_epochs() {
+    let (fx, fs) = deploy_sim(4, 4096);
+    let fs2 = fs.clone();
+    let driver = fx.spawn(NodeId(1), "driver", move |p| {
+        let vm = fs2.store().version_manager().clone();
+        for name in ["/gc/a", "/gc/b", "/gc/c"] {
+            let mut w = fs2.create(p, &d(name)).unwrap();
+            w.write(p, Payload::from_vec(pattern(100, 3))).unwrap();
+            w.close(p).unwrap();
+        }
+        assert_eq!(vm.registry_len(), 3);
+        let doomed = fs2.blob_of(p, &d("/gc/b")).unwrap();
+        assert!(fs2.delete(p, &d("/gc/b"), false).unwrap());
+        // The BLOB is unreachable immediately...
+        assert!(matches!(
+            fs2.store().client().latest(p, doomed),
+            Err(blobseer::BlobError::NoSuchBlob(_))
+        ));
+        // ...but its slot waits out one epoch before the sweep drops it.
+        assert_eq!(vm.registry_len(), 3);
+        assert_eq!(vm.gc_registry(), 0);
+        assert_eq!(vm.gc_registry(), 1);
+        assert_eq!(vm.registry_len(), 2);
+        // Recreating the path binds a fresh BLOB; the survivors are intact.
+        let mut w = fs2.create(p, &d("/gc/b")).unwrap();
+        w.close(p).unwrap();
+        assert_ne!(fs2.blob_of(p, &d("/gc/b")).unwrap(), doomed);
+        let mut r = fs2.open(p, &d("/gc/a")).unwrap();
+        assert_eq!(r.read_at(p, 0, 100).unwrap().bytes(), &pattern(100, 3)[..]);
+        // A recursive directory delete retires every file inside at once.
+        assert!(fs2.delete(p, &d("/gc"), true).unwrap());
+        vm.gc_registry();
+        assert_eq!(vm.gc_registry(), 3);
+        assert_eq!(vm.registry_len(), 0);
+    });
+    fx.run();
+    driver.take().unwrap();
+}
+
+/// Live-mode (real OS threads) storage-plane variant: concurrent writers
+/// drive the striped provider page maps and sharded metadata stripes in
+/// genuine parallelism while the background reaper reclaims a dead
+/// allocator's lease on the wall clock. Content, capacity books and the
+/// lease table all come out exact.
+#[test]
+fn live_mode_writers_and_reaper_reclaim_storage_plane() {
+    const WRITERS: u32 = 8;
+    const APPENDS: usize = 4;
+    // Generous wall-clock lease: a healthy writer thread must be able to
+    // finish allocate→store→settle well inside it even on a loaded CI
+    // runner, so only the deliberate corpse's lease ever expires.
+    let timeout = 500 * fabric::MILLIS;
+    let fx = Fabric::live(ClusterSpec::tiny(4));
+    let mut cfg = BlobSeerConfig::test_small(256);
+    cfg.write_timeout_ns = Some(timeout);
+    let fs = Bsfs::deploy(&fx, cfg, Layout::compact(fx.spec())).unwrap();
+    let reaper = fs.start_reaper(&fx, 25 * fabric::MILLIS);
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let fs2 = fs.clone();
+        handles.push(
+            fx.spawn(NodeId(w % 4), format!("writer{w}"), move |p: &Proc| {
+                let path = d(&format!("/live/f{w}"));
+                {
+                    let mut wtr = fs2.create(p, &path).unwrap();
+                    wtr.close(p).unwrap();
+                }
+                let mut total = 0u64;
+                for a in 0..APPENDS {
+                    let n = 100 + (w as usize * APPENDS + a);
+                    total += n as u64;
+                    fs2.append_all(p, &path, Payload::from_vec(vec![w as u8; n]))
+                        .unwrap();
+                }
+                (path, total)
+            }),
+        );
+    }
+    // A corpse that dies pre-page-store, concurrently with the writers.
+    let fs_corpse = fs.clone();
+    let corpse = fx.spawn(NodeId(0), "corpse", move |p: &Proc| {
+        let pm = fs_corpse.store().provider_manager().clone();
+        pm.allocate(p, &[(blobseer::PageId(0xDEAD, 0), 512)], 1, &[])
+            .unwrap();
+    });
+    let fs_check = fs.clone();
+    let driver = fx.spawn(NodeId(0), "driver", move |p: &Proc| {
+        let results: Vec<(DfsPath, u64)> = handles.iter().map(|h| h.join(p)).collect();
+        corpse.join(p);
+        for (path, total) in &results {
+            assert_eq!(fs_check.status(p, path).unwrap().len, *total);
+        }
+        // Give the reaper a few wall-clock ticks past the lease deadline.
+        p.sleep(2 * timeout);
+        let pm = fs_check.store().provider_manager();
+        assert_eq!(pm.outstanding_leases(), 0, "all leases settled or reaped");
+        // At least the corpse's lease expired and returned its 512 B. A
+        // writer thread descheduled past the (generous) deadline would add
+        // to these counters, so the bounds are >= rather than == — the
+        // token semantics of release keep the books exact either way.
+        let (expired, reclaimed) = pm.lease_reap_stats();
+        assert!(expired >= 1, "the corpse's lease must have expired");
+        assert!(reclaimed >= 512, "the corpse's 512 B must have returned");
+        for pr in fs_check.store().providers() {
+            assert_eq!(
+                pr.load_estimate(),
+                pr.stored_bytes(),
+                "live-mode books must balance after the reap"
+            );
+        }
+        reaper.stop();
+        results.len()
+    });
+    fx.run();
+    assert_eq!(driver.take().unwrap(), WRITERS as usize);
+}

@@ -26,6 +26,7 @@ use crate::desc_index::DescIndex;
 use crate::error::{BlobError, BlobResult};
 use crate::meta::{collect_leaves, plan_write, LeafHit, NodeBody, NodeKey, PageRef, SnapshotInfo};
 use crate::provider::Provider;
+use crate::provider_manager::LeaseId;
 use crate::types::{BlobId, PageId, Version};
 use crate::version_manager::UpdateKind;
 
@@ -138,10 +139,6 @@ impl BlobClient {
 
     fn store_pages(&self, p: &Proc, chunks: &[Payload]) -> BlobResult<Vec<PageRef>> {
         let repl = self.svc.config.replication;
-        // Reserve exact per-chunk byte counts (the tail chunk may be short),
-        // so the release paths — which hand back `chunk.len()` — balance.
-        let sizes: Vec<u64> = chunks.iter().map(|c| c.len()).collect();
-        let placements = self.svc.pm.allocate(p, &sizes, repl, &[])?;
         let ids: Vec<PageId> = chunks
             .iter()
             .map(|_| {
@@ -149,7 +146,65 @@ impl BlobClient {
                 PageId(rng.gen(), rng.gen())
             })
             .collect();
+        // Reserve exact per-chunk byte counts (the tail chunk may be short),
+        // so the release paths — which hand back `chunk.len()` — balance.
+        // Every reservation rides the returned lease: if this writer dies
+        // anywhere below, the provider manager's reaper reclaims whatever
+        // never became a stored page.
+        let pages: Vec<(PageId, u64)> = ids
+            .iter()
+            .zip(chunks)
+            .map(|(&id, c)| (id, c.len()))
+            .collect();
+        let (lease, placements) = self.svc.pm.allocate(p, &pages, repl, &[])?;
+        let landed = self.stream_pages(p, chunks, &ids, lease, &placements);
+        // However the stores ended, the lease is settled: landed pages
+        // consumed their reservations at the providers, failed ones were
+        // released inline — nothing is left for the reaper.
+        self.svc.pm.settle(p, lease);
+        let landed = landed?;
 
+        // Emit manifests with replicas in allocation order (primary first),
+        // failover replacements after.
+        Ok(ids
+            .into_iter()
+            .zip(chunks)
+            .zip(placements)
+            .zip(landed)
+            .map(|(((id, chunk), replicas), landed)| {
+                let mut providers: Vec<NodeId> = replicas
+                    .iter()
+                    .map(|pr| pr.node())
+                    .filter(|n| landed.contains(n))
+                    .collect();
+                let replacements: Vec<NodeId> = landed
+                    .iter()
+                    .filter(|n| !providers.contains(n))
+                    .copied()
+                    .collect();
+                providers.extend(replacements);
+                PageRef {
+                    id,
+                    byte_len: chunk.len(),
+                    providers,
+                }
+            })
+            .collect())
+    }
+
+    /// Step 1's data movement: stream every (page, replica) to its target
+    /// and fail over the subset that did not land. Returns, per page, the
+    /// nodes now holding it. Reservation bookkeeping is exact on every exit
+    /// path — the caller settles the lease afterwards.
+    fn stream_pages(
+        &self,
+        p: &Proc,
+        chunks: &[Payload],
+        ids: &[PageId],
+        lease: LeaseId,
+        placements: &[Vec<Arc<Provider>>],
+    ) -> BlobResult<Vec<Vec<NodeId>>> {
+        let repl = self.svc.config.replication;
         // Group every (page, replica) stream by its target provider: one
         // batched put_pages per provider carries that provider's whole share
         // of the update, instead of one RPC per page-replica. BTreeMap keeps
@@ -185,9 +240,13 @@ impl BlobClient {
                 match res {
                     Ok(()) => landed[i].push(node),
                     Err(_) => {
-                        self.svc
-                            .pm
-                            .release(p, &self.svc.provider_map[&node], chunks[i].len());
+                        self.svc.pm.release(
+                            p,
+                            lease,
+                            &self.svc.provider_map[&node],
+                            ids[i],
+                            chunks[i].len(),
+                        );
                         match failures.iter_mut().find(|(pg, _)| *pg == i) {
                             Some((_, dead)) => dead.push(node),
                             None => failures.push((i, vec![node])),
@@ -207,14 +266,20 @@ impl BlobClient {
                     let mut exclude = dead.clone();
                     exclude.extend(landed[i].iter().copied());
                     let target = self.svc.pm.any_alive(p, &exclude)?;
-                    target.reserve(chunks[i].len());
+                    // The replacement reservation inherits the write's
+                    // lease, keeping a mid-failover death reclaimable.
+                    self.svc
+                        .pm
+                        .adopt(p, lease, &target, ids[i], chunks[i].len());
                     match target.put_page(p, ids[i], chunks[i].clone()) {
                         Ok(()) => {
                             landed[i].push(target.node());
                             break;
                         }
                         Err(BlobError::ProviderDown { node }) => {
-                            self.svc.pm.release(p, &target, chunks[i].len());
+                            self.svc
+                                .pm
+                                .release(p, lease, &target, ids[i], chunks[i].len());
                             dead.push(NodeId(node));
                             attempts += 1;
                             if attempts > 3 {
@@ -227,40 +292,16 @@ impl BlobClient {
                             }
                         }
                         Err(e) => {
-                            self.svc.pm.release(p, &target, chunks[i].len());
+                            self.svc
+                                .pm
+                                .release(p, lease, &target, ids[i], chunks[i].len());
                             return Err(e);
                         }
                     }
                 }
             }
         }
-
-        // Emit manifests with replicas in allocation order (primary first),
-        // failover replacements after.
-        Ok(ids
-            .into_iter()
-            .zip(chunks)
-            .zip(placements)
-            .zip(landed)
-            .map(|(((id, chunk), replicas), landed)| {
-                let mut providers: Vec<NodeId> = replicas
-                    .iter()
-                    .map(|pr| pr.node())
-                    .filter(|n| landed.contains(n))
-                    .collect();
-                let replacements: Vec<NodeId> = landed
-                    .iter()
-                    .filter(|n| !providers.contains(n))
-                    .copied()
-                    .collect();
-                providers.extend(replacements);
-                PageRef {
-                    id,
-                    byte_len: chunk.len(),
-                    providers,
-                }
-            })
-            .collect())
+        Ok(landed)
     }
 
     /// Read `len` bytes at `offset` from `version` (`None` = latest
@@ -460,6 +501,19 @@ impl BlobClient {
     /// Latest published version number.
     pub fn latest(&self, p: &Proc, blob: BlobId) -> BlobResult<Version> {
         self.svc.vm.latest(p, blob)
+    }
+
+    /// Retire a BLOB: every subsequent operation on it answers
+    /// [`BlobError::NoSuchBlob`], its pending writes are abandoned (their
+    /// provider reservations fall to the lease reaper), and its registry
+    /// slot is dropped by a later epoch-based GC pass — see
+    /// [`crate::version_manager::VersionManager::gc_registry`]. BSFS calls
+    /// this when a file is deleted from the namespace.
+    pub fn delete(&self, p: &Proc, blob: BlobId) -> BlobResult<()> {
+        self.svc.vm.delete_blob(p, blob)?;
+        self.desc_cache.lock().remove(&blob);
+        self.page_size_cache.lock().remove(&blob);
+        Ok(())
     }
 
     /// Page→provider distribution for a byte range — the primitive the
@@ -698,9 +752,11 @@ mod tests {
             )),
             pm: Arc::new(ProviderManager::new(
                 NodeId(0),
+                fx.clone(),
                 providers.clone(),
                 config.alloc,
                 64,
+                None,
             )),
             dht,
             providers,

@@ -90,6 +90,26 @@ pub struct BlobSeer {
     svc: Arc<Services>,
 }
 
+/// Handle to a running background reaper (see [`BlobSeer::start_reaper`]).
+#[derive(Clone)]
+pub struct ReaperHandle {
+    stop: fabric::prelude::Gate,
+    ticks: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl ReaperHandle {
+    /// Ask the reaper to exit; it finishes its current sleep/sweep first.
+    /// Callable from any process or the coordinating thread. Idempotent.
+    pub fn stop(&self) {
+        self.stop.set();
+    }
+
+    /// Completed sweep count (diagnostics).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 impl BlobSeer {
     /// Deploy all services on `fabric` according to `layout`.
     pub fn deploy(fabric: &Fabric, config: BlobSeerConfig, layout: Layout) -> BlobResult<BlobSeer> {
@@ -120,9 +140,13 @@ impl BlobSeer {
         let dht = Arc::new(MetaDht::new(meta_servers, config.meta_cpu_ops));
         let pm = Arc::new(ProviderManager::new(
             layout.pm,
+            fabric.clone(),
             providers.clone(),
             config.alloc,
             config.ctl_msg_bytes,
+            // Reservation leases mirror the VM's write timeout: both sides
+            // of a write (version + capacity) expire on the same clock.
+            config.write_timeout_ns,
         ));
         let vm = Arc::new(VersionManager::new(
             layout.vm,
@@ -169,8 +193,48 @@ impl BlobSeer {
         &self.svc.vm
     }
 
+    pub fn provider_manager(&self) -> &Arc<ProviderManager> {
+        &self.svc.pm
+    }
+
     pub fn metadata_dht(&self) -> &Arc<MetaDht> {
         &self.svc.dht
+    }
+
+    /// Start the optional background reaper on the version-manager node:
+    /// every `interval_ns` it force-completes expired pending writes on
+    /// every BLOB (`VersionManager::reap_all`), reclaims expired provider
+    /// reservation leases (`ProviderManager::reap_expired_leases`) and runs
+    /// one registry GC epoch (`VersionManager::gc_registry`) — so dead
+    /// writers and deleted BLOBs are cleaned up without waiting for the next
+    /// `assign`/`commit`. Cheap per tick: both reap checks are O(1) front
+    /// peeks of deadline queues when nothing expired.
+    ///
+    /// The service runs until [`ReaperHandle::stop`]; in sim mode a driver
+    /// process must stop it once the workload is done, or virtual time never
+    /// runs out of events.
+    pub fn start_reaper(&self, fabric: &Fabric, interval_ns: u64) -> ReaperHandle {
+        assert!(interval_ns > 0, "reaper needs a positive interval");
+        let stop = fabric.gate();
+        let svc = self.svc.clone();
+        let stop2 = stop.clone();
+        let ticks = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let ticks2 = ticks.clone();
+        fabric.spawn(self.svc.layout.vm, "reaper", move |p| {
+            while !stop2.is_set() {
+                p.sleep(interval_ns);
+                if stop2.is_set() {
+                    break;
+                }
+                // A failed sweep (metadata outage mid-force-complete) keeps
+                // the blob's reap queue intact; the next tick retries.
+                let _ = svc.vm.reap_all(p);
+                svc.pm.reap_expired_leases(p);
+                svc.vm.gc_registry();
+                ticks2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        ReaperHandle { stop, ticks }
     }
 
     pub fn providers(&self) -> &[Arc<Provider>] {

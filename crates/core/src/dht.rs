@@ -12,16 +12,30 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fabric::{NodeId, Proc};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::error::{BlobError, BlobResult};
 use crate::meta::{NodeBody, NodeKey};
 
+/// Stripe count of one server's node map. Keys spread via the upper bits of
+/// the same FNV hash that routes them to a server (the lower bits picked the
+/// server, so within a server the upper bits stay uniform).
+const NODE_STRIPES: usize = 16;
+
+fn stripe_of(key: &NodeKey) -> usize {
+    ((hash_key(key) >> 32) % NODE_STRIPES as u64) as usize
+}
+
 /// One metadata server holding a shard of the tree-node space.
+///
+/// The node map is lock-striped (`RwLock<HashMap>` per stripe): a batched
+/// `get_batch` takes only read locks — concurrent readers never block each
+/// other — and a `put_batch` write-locks exactly the stripes its share of
+/// nodes hashes to, never the whole server for the whole batch.
 pub struct MetaServer {
     node: NodeId,
     alive: AtomicBool,
-    nodes: Mutex<HashMap<NodeKey, NodeBody>>,
+    nodes: Vec<RwLock<HashMap<NodeKey, NodeBody>>>,
     puts: AtomicU64,
     gets: AtomicU64,
     put_rpcs: AtomicU64,
@@ -33,7 +47,9 @@ impl MetaServer {
         MetaServer {
             node,
             alive: AtomicBool::new(true),
-            nodes: Mutex::new(HashMap::new()),
+            nodes: (0..NODE_STRIPES)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             puts: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             put_rpcs: AtomicU64::new(0),
@@ -59,7 +75,7 @@ impl MetaServer {
 
     /// Number of tree nodes stored on this server.
     pub fn node_count(&self) -> usize {
-        self.nodes.lock().len()
+        self.nodes.iter().map(|s| s.read().len()).sum()
     }
 
     /// (puts, gets) served — counted per *node*, however the nodes were
@@ -163,15 +179,27 @@ impl MetaDht {
             }
             server.put_rpcs.fetch_add(1, Ordering::Relaxed);
             server.puts.fetch_add(group.len() as u64, Ordering::Relaxed);
-            let mut stored = server.nodes.lock();
+            // Write-lock each touched stripe once for its share; untouched
+            // stripes (and their concurrent readers) are never blocked.
+            let mut by_stripe: Vec<Vec<(NodeKey, NodeBody)>> =
+                (0..NODE_STRIPES).map(|_| Vec::new()).collect();
             for (key, body) in group {
-                if let Some(prev) = stored.get(&key) {
-                    debug_assert_eq!(
-                        prev, &body,
-                        "metadata node {key:?} rewritten with different content"
-                    );
+                by_stripe[stripe_of(&key)].push((key, body));
+            }
+            for (si, share) in by_stripe.into_iter().enumerate() {
+                if share.is_empty() {
+                    continue;
                 }
-                stored.insert(key, body);
+                let mut stored = server.nodes[si].write();
+                for (key, body) in share {
+                    if let Some(prev) = stored.get(&key) {
+                        debug_assert_eq!(
+                            prev, &body,
+                            "metadata node {key:?} rewritten with different content"
+                        );
+                    }
+                    stored.insert(key, body);
+                }
             }
         }
         Ok(())
@@ -209,11 +237,23 @@ impl MetaDht {
             server.gets.fetch_add(group.len() as u64, Ordering::Relaxed);
             let mut resp = 0u64;
             {
-                let stored = server.nodes.lock();
+                // Read locks only, one per touched stripe: batched readers
+                // share every stripe and never block each other.
+                let mut by_stripe: Vec<Vec<usize>> =
+                    (0..NODE_STRIPES).map(|_| Vec::new()).collect();
                 for &i in &group {
-                    let body = stored.get(&keys[i]).cloned();
-                    resp += body.as_ref().map_or(16, |b| b.encoded_size() + 16);
-                    out[i] = body;
+                    by_stripe[stripe_of(&keys[i])].push(i);
+                }
+                for (si, idxs) in by_stripe.into_iter().enumerate() {
+                    if idxs.is_empty() {
+                        continue;
+                    }
+                    let stored = server.nodes[si].read();
+                    for i in idxs {
+                        let body = stored.get(&keys[i]).cloned();
+                        resp += body.as_ref().map_or(16, |b| b.encoded_size() + 16);
+                        out[i] = body;
+                    }
                 }
             }
             p.rpc(server.node, 56 * group.len() as u64, resp);

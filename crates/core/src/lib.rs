@@ -38,9 +38,10 @@ pub mod types;
 pub mod version_manager;
 
 pub use client::{BlobClient, PageLocation};
-pub use cluster::{BlobSeer, Layout};
+pub use cluster::{BlobSeer, Layout, ReaperHandle};
 pub use config::{AllocStrategy, BlobSeerConfig};
 pub use desc_index::DescIndex;
 pub use error::{BlobError, BlobResult};
 pub use meta::{PageRef, SnapshotInfo};
+pub use provider_manager::LeaseId;
 pub use types::{BlobId, PageId, Version, WriteDesc, WriteKind};

@@ -15,18 +15,41 @@
 //! page by page. [`Provider::op_counts`] counts pages served,
 //! [`Provider::rpc_counts`] counts wire round-trips — the gap between the
 //! two is the batching win, and the data-plane regression tests pin it.
+//!
+//! The page store is *lock-striped*: the in-memory backend is a fixed array
+//! of `RwLock<HashMap>` stripes keyed by page id, so concurrent `get_pages`
+//! / `put_pages` from distinct clients touch distinct stripes (or share a
+//! read lock) instead of funneling through one provider-wide mutex — in
+//! live mode N clients hitting one node genuinely proceed in parallel. The
+//! persistent backend ([`pstore::Store`]) is internally synchronized and
+//! needs no outer lock at all. All counters (`stored_*`, `op_counts`,
+//! `rpc_counts`, reservations) are atomics, so nothing about the accounting
+//! relies on a global lock either.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use fabric::{NodeId, Payload, Proc};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::error::{BlobError, BlobResult};
 use crate::types::PageId;
 
+/// Stripe count of the in-memory page map. Page ids are random 128-bit
+/// values, so a cheap xor spreads them uniformly; 16 stripes is plenty to
+/// decorrelate the handful of OS threads live mode runs per node.
+const MEM_STRIPES: usize = 16;
+
+fn stripe_of(id: PageId) -> usize {
+    ((id.0 ^ id.1.rotate_left(32)) % MEM_STRIPES as u64) as usize
+}
+
 enum Backend {
-    Mem(HashMap<PageId, Payload>),
+    /// Lock-striped in-memory page map (the configuration the paper
+    /// benchmarks).
+    Mem(Vec<RwLock<HashMap<PageId, Payload>>>),
+    /// BerkeleyDB-substitute store; internally synchronized (`put`/`get`
+    /// take `&self`), so no provider-level lock wraps it.
     Persistent(pstore::Store),
 }
 
@@ -34,7 +57,7 @@ enum Backend {
 pub struct Provider {
     node: NodeId,
     alive: AtomicBool,
-    backend: Mutex<Backend>,
+    backend: Backend,
     stored_bytes: AtomicU64,
     stored_pages: AtomicU64,
     /// Bytes promised to in-flight writes by the provider manager; lets the
@@ -63,7 +86,7 @@ impl Provider {
         Provider {
             node,
             alive: AtomicBool::new(true),
-            backend: Mutex::new(backend),
+            backend,
             stored_bytes: AtomicU64::new(0),
             stored_pages: AtomicU64::new(0),
             reserved_bytes: AtomicU64::new(0),
@@ -76,7 +99,8 @@ impl Provider {
 
     /// In-memory provider on `node`.
     pub fn new_mem(node: NodeId) -> Self {
-        Self::with_backend(node, Backend::Mem(HashMap::new()))
+        let stripes = (0..MEM_STRIPES).map(|_| RwLock::new(HashMap::new()));
+        Self::with_backend(node, Backend::Mem(stripes.collect()))
     }
 
     /// Provider backed by the BerkeleyDB-substitute [`pstore::Store`]
@@ -197,46 +221,48 @@ impl Provider {
         }
         let mut out = Vec::with_capacity(n);
         let mut landed_bytes = 0u64;
-        let persistent = {
-            let mut be = self.backend.lock();
-            for (id, data) in pages {
-                let len = data.len();
-                let res = match &mut *be {
-                    Backend::Mem(m) => {
-                        if m.insert(id, data).is_none() {
-                            self.stored_pages.fetch_add(1, Ordering::Relaxed);
-                            self.stored_bytes.fetch_add(len, Ordering::Relaxed);
-                        }
-                        Ok(())
+        for (id, data) in pages {
+            let len = data.len();
+            let res = match &self.backend {
+                Backend::Mem(stripes) => {
+                    // Only this page's stripe is write-locked; concurrent
+                    // batches for other stripes proceed in parallel.
+                    let mut m = stripes[stripe_of(id)].write();
+                    if m.insert(id, data).is_none() {
+                        self.stored_pages.fetch_add(1, Ordering::Relaxed);
+                        self.stored_bytes.fetch_add(len, Ordering::Relaxed);
                     }
-                    Backend::Persistent(s) => match &data {
-                        Payload::Bytes(b) => {
-                            let existed = s.contains(&page_key(id));
-                            match s.put(&page_key(id), b.as_ref()) {
-                                Ok(()) => {
-                                    if !existed {
-                                        self.stored_pages.fetch_add(1, Ordering::Relaxed);
-                                        self.stored_bytes.fetch_add(len, Ordering::Relaxed);
-                                    }
-                                    Ok(())
-                                }
-                                Err(e) => Err(BlobError::Persistence(e.to_string())),
-                            }
-                        }
-                        Payload::Ghost(_) => Err(BlobError::Persistence(
-                            "persistent providers require real payload bytes".into(),
-                        )),
-                    },
-                };
-                if res.is_ok() {
-                    landed_bytes += len;
-                    self.unreserve(len);
+                    Ok(())
                 }
-                out.push(res);
+                Backend::Persistent(s) => match &data {
+                    Payload::Bytes(b) => {
+                        let existed = s.contains(&page_key(id));
+                        match s.put(&page_key(id), b.as_ref()) {
+                            Ok(()) => {
+                                if !existed {
+                                    self.stored_pages.fetch_add(1, Ordering::Relaxed);
+                                    self.stored_bytes.fetch_add(len, Ordering::Relaxed);
+                                }
+                                Ok(())
+                            }
+                            Err(e) => Err(BlobError::Persistence(e.to_string())),
+                        }
+                    }
+                    Payload::Ghost(_) => Err(BlobError::Persistence(
+                        "persistent providers require real payload bytes".into(),
+                    )),
+                },
+            };
+            // A page that landed consumes its capacity reservation here —
+            // failed pages keep theirs for the caller to release, whatever
+            // mix of per-page successes and failures the batch produced.
+            if res.is_ok() {
+                landed_bytes += len;
+                self.unreserve(len);
             }
-            matches!(&*be, Backend::Persistent(_))
-        };
-        if persistent {
+            out.push(res);
+        }
+        if matches!(&self.backend, Backend::Persistent(_)) {
             p.disk_write(self.node, landed_bytes);
         }
         out
@@ -270,41 +296,40 @@ impl Provider {
         p.transfer(p.node(), self.node, PAGE_REQ_BYTES * n as u64);
         let mut out = Vec::with_capacity(n);
         let mut found_bytes = 0u64;
-        let persistent = {
-            let be = self.backend.lock();
-            for id in ids {
-                let data = match &*be {
-                    Backend::Mem(m) => Ok(m.get(id).cloned()),
-                    Backend::Persistent(s) => s
-                        .get(&page_key(*id))
-                        .map_err(|e| BlobError::Persistence(e.to_string()))
-                        .map(|b| b.map(Payload::from_vec)),
-                };
-                out.push(match data {
-                    Ok(Some(d)) => {
-                        found_bytes += d.len();
-                        Ok(d)
-                    }
-                    Ok(None) => Err(BlobError::PageUnavailable {
-                        detail: format!("page {id:?} not on provider {}", self.node),
-                    }),
-                    Err(e) => Err(e),
-                });
-            }
-            matches!(&*be, Backend::Persistent(_))
-        };
-        if persistent {
+        for id in ids {
+            let data = match &self.backend {
+                // Read lock on one stripe: concurrent readers of the same
+                // stripe share it, writers to other stripes never touch it.
+                Backend::Mem(stripes) => Ok(stripes[stripe_of(*id)].read().get(id).cloned()),
+                Backend::Persistent(s) => s
+                    .get(&page_key(*id))
+                    .map_err(|e| BlobError::Persistence(e.to_string()))
+                    .map(|b| b.map(Payload::from_vec)),
+            };
+            out.push(match data {
+                Ok(Some(d)) => {
+                    found_bytes += d.len();
+                    Ok(d)
+                }
+                Ok(None) => Err(BlobError::PageUnavailable {
+                    detail: format!("page {id:?} not on provider {}", self.node),
+                }),
+                Err(e) => Err(e),
+            });
+        }
+        if matches!(&self.backend, Backend::Persistent(_)) {
             p.disk_read(self.node, found_bytes);
         }
         p.transfer(self.node, p.node(), found_bytes + PAGE_HDR_BYTES * n as u64);
         out
     }
 
-    /// Does the provider hold this page? (control query, uncosted)
+    /// Does the provider hold this page? (control query, uncosted — also
+    /// answers while the provider is down: the lease reaper uses it to tell
+    /// consumed reservations from stranded ones)
     pub fn has_page(&self, id: PageId) -> bool {
-        let be = self.backend.lock();
-        match &*be {
-            Backend::Mem(m) => m.contains_key(&id),
+        match &self.backend {
+            Backend::Mem(stripes) => stripes[stripe_of(id)].read().contains_key(&id),
             Backend::Persistent(s) => s.contains(&page_key(id)),
         }
     }
@@ -448,6 +473,46 @@ mod tests {
             // A rejected batch never counts as a served round-trip.
             assert_eq!(prov.rpc_counts(), (0, 0));
         });
+    }
+
+    #[test]
+    fn partial_batch_failure_keeps_per_page_books_exact() {
+        // A batch that partially fails under the striped backend must keep
+        // the PR 2/3 contract bit-for-bit: failed pages answer their own
+        // error, landed pages consume exactly their reservation, and the
+        // failed pages' reservations stay for the caller to release. The
+        // persistent backend rejects ghosts per page, which makes a genuine
+        // intra-batch partial failure.
+        let dir = std::env::temp_dir().join(format!("prov-partial-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d2 = dir.clone();
+        with_proc(move |p| {
+            let prov = Provider::new_persistent(NodeId(1), &d2).unwrap();
+            prov.reserve(30); // 3 pages x 10 B, as the provider manager would
+            let res = prov.put_pages(
+                p,
+                vec![
+                    (PageId(1, 1), Payload::from_vec(vec![7u8; 10])),
+                    (PageId(1, 2), Payload::ghost(10)), // cannot persist
+                    (PageId(1, 3), Payload::from_vec(vec![9u8; 10])),
+                ],
+            );
+            assert!(res[0].is_ok());
+            assert!(matches!(res[1], Err(BlobError::Persistence(_))));
+            assert!(res[2].is_ok());
+            assert_eq!(prov.stored_pages(), 2, "only the landed pages count");
+            assert_eq!(prov.stored_bytes(), 20);
+            // Landed pages consumed 20 B of the reservation; the failed
+            // page's 10 B remain until the caller hands them back.
+            assert_eq!(prov.load_estimate(), 30);
+            prov.unreserve(10);
+            assert_eq!(prov.load_estimate(), prov.stored_bytes());
+            // Error granularity stayed per page: the batch still counted as
+            // one served round-trip.
+            assert_eq!(prov.rpc_counts(), (1, 0));
+            assert_eq!(prov.op_counts(), (3, 0));
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -43,7 +43,7 @@
 //! parallel.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fabric::{Fabric, NodeId, Proc};
@@ -63,10 +63,25 @@ const DESC_WIRE_BYTES: u64 = 48;
 
 /// One BLOB's slot in the sharded registry: the immutable facts live outside
 /// the lock (so `page_size_of` and manifest validation never take it), the
-/// mutable control-plane state inside.
+/// mutable control-plane state inside. `retired` flips when the BLOB is
+/// deleted — readers observe it without any registry write lock; the slot
+/// itself is dropped later by an epoch-based GC pass.
 struct BlobSlot {
     page_size: u64,
+    retired: AtomicBool,
     state: Mutex<BlobState>,
+}
+
+/// Registry garbage collection: retired slots are removed in *epochs*. A
+/// `delete_blob` records the current epoch; a GC pass removes only slots
+/// retired in an earlier epoch, then advances the epoch — so a slot survives
+/// at least one full pass after its retirement (operations that already
+/// fetched the `Arc` run out harmlessly) and the registry write lock is
+/// taken once per pass for the whole ready batch, never on the read path.
+#[derive(Default)]
+struct RegistryGc {
+    epoch: u64,
+    retired: Vec<(u64, BlobId)>,
 }
 
 /// The centralized version manager service.
@@ -82,6 +97,7 @@ pub struct VersionManager {
     default_page_size: u64,
     next_blob: AtomicU64,
     blobs: RwLock<HashMap<BlobId, Arc<BlobSlot>>>,
+    gc: Mutex<RegistryGc>,
 }
 
 impl VersionManager {
@@ -104,6 +120,7 @@ impl VersionManager {
             default_page_size,
             next_blob: AtomicU64::new(1),
             blobs: RwLock::new(HashMap::new()),
+            gc: Mutex::new(RegistryGc::default()),
         }
     }
 
@@ -119,13 +136,20 @@ impl VersionManager {
     }
 
     /// The registry slot for `blob`: a brief read lock on the registry, then
-    /// lock-free access to the immutable facts and the per-blob mutex.
+    /// lock-free access to the immutable facts and the per-blob mutex. A
+    /// retired (deleted) BLOB answers `NoSuchBlob` whether or not its slot
+    /// was already swept by the epoch GC.
     fn slot(&self, blob: BlobId) -> BlobResult<Arc<BlobSlot>> {
-        self.blobs
+        let slot = self
+            .blobs
             .read()
             .get(&blob)
             .cloned()
-            .ok_or(BlobError::NoSuchBlob(blob))
+            .ok_or(BlobError::NoSuchBlob(blob))?;
+        if slot.retired.load(Ordering::Acquire) {
+            return Err(BlobError::NoSuchBlob(blob));
+        }
+        Ok(slot)
     }
 
     /// Create a BLOB with the given page size (or the deployment default).
@@ -135,10 +159,101 @@ impl VersionManager {
         let ps = page_size.unwrap_or(self.default_page_size);
         let slot = Arc::new(BlobSlot {
             page_size: ps,
+            retired: AtomicBool::new(false),
             state: Mutex::new(BlobState::new(ps)),
         });
         self.blobs.write().insert(id, slot);
         id
+    }
+
+    /// Retire a BLOB (the namespace deleted its file). The slot flips to
+    /// retired — no registry write lock, so the lock-free read path is never
+    /// touched — and is recorded for a later [`Self::gc_registry`] pass.
+    /// Every subsequent operation answers `NoSuchBlob`; pending writes are
+    /// abandoned (their provider reservations fall to the lease reaper) and
+    /// their gates fire so parked [`Self::wait_published`] callers wake to a
+    /// typed `NoSuchBlob` instead of hanging on versions that can never
+    /// publish.
+    pub fn delete_blob(&self, p: &Proc, blob: BlobId) -> BlobResult<()> {
+        self.charge(p);
+        let slot = self.slot(blob)?;
+        slot.retired.store(true, Ordering::Release);
+        {
+            let mut gc = self.gc.lock();
+            let epoch = gc.epoch;
+            gc.retired.push((epoch, blob));
+        }
+        // The retired flag is set before the gates fire: a woken waiter
+        // re-checks it and reports the deletion. Waking happens outside the
+        // per-blob lock, like every other gate set.
+        let gates: Vec<_> = {
+            let st = slot.state.lock();
+            st.pending.values().map(|pw| pw.gate.clone()).collect()
+        };
+        for gate in gates {
+            gate.set();
+        }
+        Ok(())
+    }
+
+    /// One epoch-based GC pass over the registry: drop the slots of BLOBs
+    /// retired in an earlier epoch, then advance the epoch. A freshly
+    /// retired slot therefore survives exactly one pass before its memory is
+    /// reclaimed, and the registry write lock is taken once per pass for the
+    /// whole ready batch — the read path never pays for deletions. Returns
+    /// the number of slots dropped. Run by the background reaper, or
+    /// directly by tests.
+    pub fn gc_registry(&self) -> usize {
+        let ready: Vec<BlobId> = {
+            let mut gc = self.gc.lock();
+            let epoch = gc.epoch;
+            gc.epoch += 1;
+            let (ready, keep) = gc.retired.drain(..).partition(|&(e, _)| e < epoch);
+            gc.retired = keep;
+            ready.into_iter().map(|(_, b)| b).collect()
+        };
+        if !ready.is_empty() {
+            let mut reg = self.blobs.write();
+            for b in &ready {
+                reg.remove(b);
+            }
+        }
+        ready.len()
+    }
+
+    /// Number of registry slots currently held (live + retired-but-unswept).
+    /// Diagnostics for the GC tests.
+    pub fn registry_len(&self) -> usize {
+        self.blobs.read().len()
+    }
+
+    /// Ids of every live (non-retired) BLOB — the reaper's work list.
+    pub fn blob_ids(&self) -> Vec<BlobId> {
+        self.blobs
+            .read()
+            .iter()
+            .filter(|(_, s)| !s.retired.load(Ordering::Acquire))
+            .map(|(&b, _)| b)
+            .collect()
+    }
+
+    /// Reap every live BLOB (see [`Self::reap_expired`]): the background
+    /// reaper's per-tick sweep, so a blob whose writers all died and that
+    /// nobody touches again still publishes without waiting for the next
+    /// `assign`/`commit`. Every blob is attempted; the first error (e.g. a
+    /// metadata outage mid-force-complete — the affected blob keeps its
+    /// queue and retries next tick) is reported after the sweep.
+    pub fn reap_all(&self, p: &Proc) -> BlobResult<()> {
+        let mut first_err = None;
+        for blob in self.blob_ids() {
+            if let Err(e) = self.reap_expired(p, blob) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     /// Page size of a BLOB. Immutable, so no per-blob lock is taken.
@@ -236,7 +351,10 @@ impl VersionManager {
     /// Block until `version` is published. Returns immediately when it
     /// already is. The gate wait happens outside the per-blob lock; a
     /// version whose pending state vanished to a concurrent reap/commit
-    /// race yields [`BlobError::VersionRaced`], never a panic.
+    /// race yields [`BlobError::VersionRaced`], never a panic, and a BLOB
+    /// deleted while the caller was parked yields `NoSuchBlob` — deletion
+    /// fires every pending gate precisely so no waiter hangs on a version
+    /// that can never publish.
     pub fn wait_published(&self, p: &Proc, blob: BlobId, version: Version) -> BlobResult<()> {
         let slot = self.slot(blob)?;
         let gate = {
@@ -256,6 +374,9 @@ impl VersionManager {
             }
         };
         gate.wait(p);
+        if slot.retired.load(Ordering::Acquire) {
+            return Err(BlobError::NoSuchBlob(blob));
+        }
         Ok(())
     }
 

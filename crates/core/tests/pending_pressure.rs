@@ -156,9 +156,11 @@ fn provider_books_balance_after_mass_reap() {
         .collect();
     let pm = Arc::new(ProviderManager::new(
         NodeId(1),
+        fx.clone(),
         providers.clone(),
         AllocStrategy::LeastLoaded,
         64,
+        Some(timeout),
     ));
     let dht = Arc::new(MetaDht::new(vec![Arc::new(MetaServer::new(NodeId(1)))], 0));
     let vm = Arc::new(VersionManager::new(
@@ -177,9 +179,9 @@ fn provider_books_balance_after_mass_reap() {
         for w in 0..WRITERS {
             let blob = blobs[w as usize % BLOBS];
             // Step 1: store the page for real (consumes the reservation)...
-            let placements = pm.allocate(p, &[PS], 1, &[]).unwrap();
-            let target = placements[0][0].clone();
             let id = PageId(0xDEAD, w);
+            let (_, placements) = pm.allocate(p, &[(id, PS)], 1, &[]).unwrap();
+            let target = placements[0][0].clone();
             target.put_page(p, id, Payload::ghost(PS)).unwrap();
             // ...step 2: get a version assigned...
             let manifest = Arc::new(vec![PageRef {

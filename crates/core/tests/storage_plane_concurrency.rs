@@ -1,0 +1,333 @@
+//! Tier-1 pins for the sharded storage plane and the lease-governed
+//! writer-failure lifecycle — the mirror of `control_plane_concurrency`.
+//!
+//! PR 4 made the *control* plane shard per BLOB; these tests pin the same
+//! property for the plane that moves bytes:
+//!
+//! * **independence** — N writers streaming to N disjoint providers (and N
+//!   writers fanning into ONE provider) complete in sim-time within a small
+//!   constant factor of a single writer: no provider-wide mutex, no global
+//!   allocation lock, no shared books serialize them;
+//! * **lease lifecycle** — a writer that dies *between* provider allocation
+//!   and its page stores leaves zero stranded reservation bytes once its
+//!   lease expires, with the background reaper doing the reclaim (no
+//!   subsequent VM/PM interaction required); a writer that dies between
+//!   `assign` and `commit` publishes through the same reaper without any
+//!   control-plane interaction;
+//! * **registry GC** — deleted BLOBs retire their registry slots via
+//!   epoch-based retirement: immediately unreachable, swept one epoch
+//!   later, never a write lock on the read path.
+//!
+//! The live-mode (real OS threads) variants drive the same machinery
+//! through BSFS in `crates/bsfs/tests/bsfs_integration.rs`.
+
+use std::sync::Arc;
+
+use blobseer::meta::PageRef;
+use blobseer::version_manager::UpdateKind;
+use blobseer::{BlobError, BlobSeer, BlobSeerConfig, Layout, PageId};
+use fabric::{ClusterSpec, Fabric, NodeId, Payload};
+use parking_lot::Mutex;
+
+const PS: u64 = 4 * 1024; // below the small-message cutoff: page streams
+                          // cost latency only, so timing isolates the
+                          // storage plane from bandwidth sharing.
+
+fn config() -> BlobSeerConfig {
+    let mut cfg = BlobSeerConfig::test_small(PS);
+    // Zero modeled CPU charges: any sim-time growth with N can only come
+    // from an accidental shared bottleneck in the planes themselves.
+    cfg.vm_cpu_ops = 0;
+    cfg.meta_cpu_ops = 0;
+    cfg
+}
+
+/// Services on node 0, writers on nodes `1..=n_writers`, providers on their
+/// own dedicated nodes — every page stream is a uniform remote transfer.
+fn storage_deploy(n_writers: u32, n_providers: u32, cfg: BlobSeerConfig) -> (Fabric, BlobSeer) {
+    let nodes = 1 + n_writers + n_providers;
+    let fx = Fabric::sim(ClusterSpec::tiny(nodes));
+    let layout = Layout {
+        vm: NodeId(0),
+        pm: NodeId(0),
+        namespace: NodeId(0),
+        meta: vec![NodeId(0)],
+        providers: (1 + n_writers..nodes).map(NodeId).collect(),
+    };
+    let bs = BlobSeer::deploy(&fx, cfg, layout).unwrap();
+    (fx, bs)
+}
+
+/// Run `n` writers (each appending `appends` one-page updates to its own
+/// BLOB from its own node) against `n_providers` data providers; returns
+/// the slowest writer's elapsed sim-time ns.
+fn storage_write_time(n: u32, n_providers: u32, appends: u32) -> u64 {
+    let (fx, bs) = storage_deploy(n, n_providers, config());
+    let elapsed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..n {
+        let bs2 = bs.clone();
+        let t2 = elapsed.clone();
+        fx.spawn(NodeId(i + 1), format!("writer{i}"), move |p| {
+            let c = bs2.client();
+            let blob = c.create(p, None);
+            let t0 = p.now();
+            for _ in 0..appends {
+                c.append(p, blob, Payload::ghost(PS)).unwrap();
+            }
+            t2.lock().push(p.now() - t0);
+        });
+    }
+    fx.run();
+    let elapsed = elapsed.lock();
+    assert_eq!(elapsed.len(), n as usize);
+    elapsed.iter().copied().max().unwrap()
+}
+
+/// N writers on N disjoint providers complete in the same sim-time as one
+/// writer on one provider: allocation (atomic cursor, per-provider atomic
+/// books, lease splices) and the page stores themselves share no
+/// serializing resource across writers.
+#[test]
+fn disjoint_provider_writers_are_independent() {
+    let t1 = storage_write_time(1, 1, 8);
+    for n in [4u32, 16] {
+        let tn = storage_write_time(n, n, 8);
+        assert!(
+            tn as f64 <= t1 as f64 * 1.25,
+            "{n} writers on {n} disjoint providers took {tn} ns vs {t1} ns for one — \
+             the storage plane is serializing disjoint writers"
+        );
+    }
+}
+
+/// The same pin with every writer fanning into ONE provider: the striped
+/// page map (and atomic counters) keep the provider itself from becoming a
+/// lock bottleneck — with latency-only transfers, N-way fan-in costs the
+/// same sim-time as a single writer.
+#[test]
+fn single_provider_fanin_stays_unserialized() {
+    let t1 = storage_write_time(1, 1, 8);
+    for n in [4u32, 16] {
+        let tn = storage_write_time(n, 1, 8);
+        assert!(
+            tn as f64 <= t1 as f64 * 1.25,
+            "{n} writers fanning into one provider took {tn} ns vs {t1} ns for one — \
+             the provider serializes concurrent clients"
+        );
+    }
+}
+
+/// The acceptance pin for the stranded-reservation lease: a writer dies
+/// after `allocate` but before any page store. With the background reaper
+/// on, its lease expires and every reservation byte returns — with **no**
+/// subsequent VM or PM interaction from anyone. A second corpse whose page
+/// DID land proves the reaper tells consumed reservations from stranded
+/// ones.
+#[test]
+fn dead_writer_leaves_zero_stranded_bytes_once_lease_expires() {
+    let timeout = 300 * fabric::MILLIS;
+    let mut cfg = config();
+    cfg.write_timeout_ns = Some(timeout);
+    let (fx, bs) = storage_deploy(2, 3, cfg);
+    let reaper = bs.start_reaper(&fx, 100 * fabric::MILLIS);
+
+    // Corpse 1: allocates two pages, stores nothing, dies.
+    let bs1 = bs.clone();
+    let w1 = fx.spawn(NodeId(1), "corpse-prestore", move |p| {
+        let pm = bs1.provider_manager().clone();
+        let pages = [(PageId(0xDEAD, 1), PS), (PageId(0xDEAD, 2), 137)];
+        pm.allocate(p, &pages, 1, &[]).unwrap();
+        // dies here: no page store, no settle
+    });
+    // Corpse 2: allocates one page, stores it, then dies before settling.
+    let bs2 = bs.clone();
+    let w2 = fx.spawn(NodeId(2), "corpse-poststore", move |p| {
+        let pm = bs2.provider_manager().clone();
+        let id = PageId(0xDEAD, 3);
+        let (_, placements) = pm.allocate(p, &[(id, PS)], 1, &[]).unwrap();
+        placements[0][0]
+            .put_page(p, id, Payload::ghost(PS))
+            .unwrap();
+    });
+
+    let bs3 = bs.clone();
+    let driver = fx.spawn(NodeId(0), "driver", move |p| {
+        w1.join(p);
+        w2.join(p);
+        let reserved_before: u64 = bs3
+            .providers()
+            .iter()
+            .map(|pr| pr.load_estimate() - pr.stored_bytes())
+            .sum();
+        assert_eq!(
+            reserved_before,
+            PS + 137,
+            "both corpses' unconsumed reservations are outstanding pre-expiry"
+        );
+        // Nothing below touches the VM or PM: only the reaper may act.
+        p.sleep(2 * timeout);
+        let pm = bs3.provider_manager();
+        for (i, pr) in bs3.providers().iter().enumerate() {
+            assert_eq!(
+                pr.load_estimate(),
+                pr.stored_bytes(),
+                "provider {i} holds stranded reservation bytes after lease expiry"
+            );
+        }
+        let (expired, reclaimed) = pm.lease_reap_stats();
+        assert_eq!(expired, 2, "both corpses' leases expired");
+        assert_eq!(
+            reclaimed,
+            PS + 137,
+            "exactly the unlanded bytes were reclaimed (the landed page's \
+             reservation was consumed by its store)"
+        );
+        assert_eq!(pm.outstanding_leases(), 0);
+        reaper.stop();
+    });
+    fx.run();
+    driver.take().unwrap();
+}
+
+/// The reaper's control-plane half: a writer that dies between `assign` and
+/// `commit` publishes through the background sweep alone — no later
+/// `assign`/`commit` on the blob needed (`latest` never reaps).
+#[test]
+fn reaper_publishes_dead_writers_without_vm_interaction() {
+    let timeout = 300 * fabric::MILLIS;
+    let fx = Fabric::sim(ClusterSpec::tiny(4));
+    let mut cfg = config();
+    cfg.write_timeout_ns = Some(timeout);
+    let bs = BlobSeer::deploy(&fx, cfg, Layout::compact(fx.spec())).unwrap();
+    let reaper = bs.start_reaper(&fx, 100 * fabric::MILLIS);
+    let bs2 = bs.clone();
+    let driver = fx.spawn(NodeId(1), "driver", move |p| {
+        let vm = bs2.version_manager();
+        let blob = vm.create_blob(p, None);
+        let manifest = Arc::new(vec![PageRef {
+            id: PageId(7, 0),
+            byte_len: PS,
+            providers: vec![NodeId(2)],
+        }]);
+        vm.assign(p, blob, UpdateKind::Append, PS, manifest, 0)
+            .unwrap();
+        // The writer "dies". Wait out the timeout without any reaping
+        // interaction (snapshot/latest never piggyback a reap).
+        p.sleep(2 * timeout);
+        assert_eq!(
+            vm.latest(p, blob).unwrap(),
+            1,
+            "the background reaper must have force-completed the corpse"
+        );
+        assert_eq!(vm.pending_count(blob), 0);
+        reaper.stop();
+    });
+    fx.run();
+    driver.take().unwrap();
+}
+
+/// Deleting a BLOB with writers mid-protocol must strand no one: a waiter
+/// parked on a version that can now never publish (its predecessor's
+/// writer died, then the BLOB was deleted) wakes to a typed `NoSuchBlob`
+/// instead of hanging forever, and the straggler's late commit gets the
+/// same typed answer.
+#[test]
+fn delete_blob_fails_parked_waiters_instead_of_stranding_them() {
+    let fx = Fabric::sim(ClusterSpec::tiny(4));
+    let bs = BlobSeer::deploy(&fx, config(), Layout::compact(fx.spec())).unwrap();
+    let manifest = |tag: u64| {
+        Arc::new(vec![PageRef {
+            id: PageId(tag, 0),
+            byte_len: PS,
+            providers: vec![NodeId(2)],
+        }])
+    };
+    let bs_w = bs.clone();
+    let blob_cell: Arc<Mutex<Option<blobseer::BlobId>>> = Arc::new(Mutex::new(None));
+    let assigned = fx.gate();
+    let (b2, g2) = (blob_cell.clone(), assigned.clone());
+    let mani = manifest(1);
+    fx.spawn(NodeId(1), "setup", move |p| {
+        let vm = bs_w.version_manager();
+        let blob = vm.create_blob(p, None);
+        // v1's writer dies uncommitted; v2 commits but cannot publish
+        // behind it.
+        vm.assign(p, blob, UpdateKind::Append, PS, mani, 0).unwrap();
+        let (d2, _) = vm
+            .assign(p, blob, UpdateKind::Append, PS, manifest(2), 1)
+            .unwrap();
+        vm.commit(p, blob, d2.version).unwrap();
+        *b2.lock() = Some(blob);
+        g2.set();
+    });
+    // A waiter parks on v2 (unpublishable until v1 resolves).
+    let bs_waiter = bs.clone();
+    let (b3, g3) = (blob_cell.clone(), assigned.clone());
+    let waiter = fx.spawn(NodeId(2), "waiter", move |p| {
+        g3.wait(p);
+        let blob = b3.lock().unwrap();
+        bs_waiter.version_manager().wait_published(p, blob, 2)
+    });
+    // The file is deleted while the waiter is parked.
+    let bs_del = bs.clone();
+    let (b4, g4) = (blob_cell.clone(), assigned.clone());
+    fx.spawn(NodeId(3), "deleter", move |p| {
+        g4.wait(p);
+        p.sleep(50 * fabric::MILLIS);
+        let blob = b4.lock().unwrap();
+        let vm = bs_del.version_manager();
+        vm.delete_blob(p, blob).unwrap();
+        // The straggler's late commit answers typed, like every other verb.
+        assert!(matches!(
+            vm.commit(p, blob, 1),
+            Err(BlobError::NoSuchBlob(_))
+        ));
+    });
+    fx.run();
+    let woken = waiter.take().unwrap();
+    assert!(
+        matches!(woken, Err(BlobError::NoSuchBlob(_))),
+        "parked waiter must wake to NoSuchBlob on deletion, got {woken:?}"
+    );
+}
+
+/// Epoch-based registry GC at the version manager: a deleted BLOB is
+/// unreachable at once, its slot survives exactly one GC epoch before the
+/// sweep drops it, and live BLOBs are never disturbed (the read path takes
+/// no write lock for any of this).
+#[test]
+fn retired_blob_slots_are_swept_one_epoch_later() {
+    let fx = Fabric::sim(ClusterSpec::tiny(4));
+    let bs = BlobSeer::deploy(&fx, config(), Layout::compact(fx.spec())).unwrap();
+    let bs2 = bs.clone();
+    let driver = fx.spawn(NodeId(1), "driver", move |p| {
+        let vm = bs2.version_manager();
+        let c = bs2.client();
+        let keep = c.create(p, None);
+        let doomed = c.create(p, None);
+        c.append(p, keep, Payload::ghost(PS)).unwrap();
+        c.append(p, doomed, Payload::ghost(PS)).unwrap();
+        assert_eq!(vm.registry_len(), 2);
+
+        c.delete(p, doomed).unwrap();
+        // Immediately unreachable, for every verb...
+        assert!(matches!(c.latest(p, doomed), Err(BlobError::NoSuchBlob(_))));
+        assert!(matches!(
+            c.append(p, doomed, Payload::ghost(PS)),
+            Err(BlobError::NoSuchBlob(_))
+        ));
+        // ...but the slot waits for its epoch.
+        assert_eq!(vm.registry_len(), 2, "retired slot awaits its epoch");
+        assert_eq!(vm.gc_registry(), 0, "same-epoch slot survives one pass");
+        assert_eq!(vm.registry_len(), 2);
+        assert_eq!(vm.gc_registry(), 1, "one epoch old: swept");
+        assert_eq!(vm.registry_len(), 1);
+
+        // The live BLOB never noticed; double delete is a typed error.
+        assert_eq!(c.latest(p, keep).unwrap(), 1);
+        assert_eq!(c.read(p, keep, None, 0, PS).unwrap().len(), PS);
+        assert!(matches!(c.delete(p, doomed), Err(BlobError::NoSuchBlob(_))));
+    });
+    fx.run();
+    driver.take().unwrap();
+}
