@@ -61,8 +61,8 @@ impl Bsfs {
     /// provider leases, registry GC epochs) as an opt-in service — see
     /// [`BlobSeer::start_reaper`]. Deployments that skip it keep the lazy
     /// piggybacked reaping.
-    pub fn start_reaper(&self, fabric: &Fabric, interval_ns: u64) -> ReaperHandle {
-        self.store.start_reaper(fabric, interval_ns)
+    pub fn start_reaper(&self, fabric: &Fabric) -> ReaperHandle {
+        self.store.start_reaper(fabric)
     }
 
     /// The BLOB backing `path` (tests/diagnostics).

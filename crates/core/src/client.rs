@@ -748,7 +748,7 @@ mod tests {
                 100,
                 64,
                 0,
-                None,
+                crate::config::Timeouts::default().with_write_timeout(None),
             )),
             pm: Arc::new(ProviderManager::new(
                 NodeId(0),
@@ -763,6 +763,7 @@ mod tests {
             provider_map,
             config,
             layout: Layout::compact(fx.spec()),
+            reaper_paused: std::sync::atomic::AtomicBool::new(false),
         })
     }
 

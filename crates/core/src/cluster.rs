@@ -3,7 +3,8 @@
 //! one provider manager, one node for the namespace manager and 20 metadata
 //! providers. The remaining nodes are used as data providers."
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use fabric::{ClusterSpec, Fabric, NodeId};
@@ -12,6 +13,7 @@ use crate::client::BlobClient;
 use crate::config::BlobSeerConfig;
 use crate::dht::{MetaDht, MetaServer};
 use crate::error::{BlobError, BlobResult};
+use crate::fault::{Fault, FaultTarget};
 use crate::provider::Provider;
 use crate::provider_manager::ProviderManager;
 use crate::version_manager::VersionManager;
@@ -71,6 +73,53 @@ impl Layout {
             providers: (3 + n_meta..spec.nodes).map(NodeId).collect(),
         }
     }
+
+    /// Can this layout run on `spec` with `config`? Checked by
+    /// [`BlobSeer::deploy`]; generated topologies (chaos sweeps) probe the
+    /// impossible corners on purpose and want a typed rejection, not a panic
+    /// deep inside a service.
+    pub fn validate(&self, spec: &ClusterSpec, config: &BlobSeerConfig) -> BlobResult<()> {
+        spec.validate()
+            .map_err(|e| BlobError::InvalidTopology(e.to_string()))?;
+        if self.providers.is_empty() {
+            return Err(BlobError::InvalidTopology(
+                "deployment needs at least one data provider".into(),
+            ));
+        }
+        if self.meta.is_empty() {
+            return Err(BlobError::InvalidTopology(
+                "deployment needs at least one metadata provider".into(),
+            ));
+        }
+        if config.replication > self.providers.len() {
+            return Err(BlobError::InvalidTopology(format!(
+                "replication factor {} exceeds the {} data providers",
+                config.replication,
+                self.providers.len()
+            )));
+        }
+        let mut seen = HashSet::new();
+        for &n in &self.providers {
+            if !seen.insert(n) {
+                return Err(BlobError::InvalidTopology(format!(
+                    "duplicate provider node {n} in layout"
+                )));
+            }
+        }
+        for (role, node) in std::iter::once(("version manager", self.vm))
+            .chain([("provider manager", self.pm), ("namespace", self.namespace)])
+            .chain(self.meta.iter().map(|&n| ("metadata provider", n)))
+            .chain(self.providers.iter().map(|&n| ("data provider", n)))
+        {
+            if node.0 >= spec.nodes {
+                return Err(BlobError::InvalidTopology(format!(
+                    "{role} placed on {node} but the cluster has {} nodes",
+                    spec.nodes
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Shared service handles (one bundle per deployment).
@@ -82,6 +131,9 @@ pub struct Services {
     pub provider_map: HashMap<NodeId, Arc<Provider>>,
     pub config: BlobSeerConfig,
     pub layout: Layout,
+    /// Fault injection: while set, background-reaper sweeps are skipped
+    /// (the daemon is down); lazy reaping from request paths still runs.
+    pub reaper_paused: AtomicBool,
 }
 
 /// A deployed BlobSeer instance.
@@ -111,12 +163,11 @@ impl ReaperHandle {
 }
 
 impl BlobSeer {
-    /// Deploy all services on `fabric` according to `layout`.
+    /// Deploy all services on `fabric` according to `layout`. Impossible
+    /// topologies come back as [`BlobError::InvalidTopology`] (see
+    /// [`Layout::validate`]), never a panic.
     pub fn deploy(fabric: &Fabric, config: BlobSeerConfig, layout: Layout) -> BlobResult<BlobSeer> {
-        assert!(
-            !layout.providers.is_empty(),
-            "deployment needs at least one data provider"
-        );
+        layout.validate(fabric.spec(), &config)?;
         let mut providers = Vec::with_capacity(layout.providers.len());
         for (i, &node) in layout.providers.iter().enumerate() {
             let prov = match &config.persist_dir {
@@ -127,11 +178,6 @@ impl BlobSeer {
         }
         let provider_map: HashMap<NodeId, Arc<Provider>> =
             providers.iter().map(|pr| (pr.node(), pr.clone())).collect();
-        if provider_map.len() != providers.len() {
-            return Err(BlobError::Persistence(
-                "duplicate provider nodes in layout".into(),
-            ));
-        }
         let meta_servers: Vec<Arc<MetaServer>> = layout
             .meta
             .iter()
@@ -144,9 +190,10 @@ impl BlobSeer {
             providers.clone(),
             config.alloc,
             config.ctl_msg_bytes,
-            // Reservation leases mirror the VM's write timeout: both sides
-            // of a write (version + capacity) expire on the same clock.
-            config.write_timeout_ns,
+            // Reservation leases mirror the VM's write timeout unless the
+            // timeout section decouples them: both sides of a write
+            // (version + capacity) expire on the same clock.
+            config.timeouts.effective_lease_timeout_ns(),
         ));
         let vm = Arc::new(VersionManager::new(
             layout.vm,
@@ -155,7 +202,7 @@ impl BlobSeer {
             config.page_size,
             config.ctl_msg_bytes,
             config.vm_cpu_ops,
-            config.write_timeout_ns,
+            config.timeouts,
         ));
         Ok(BlobSeer {
             svc: Arc::new(Services {
@@ -166,6 +213,7 @@ impl BlobSeer {
                 provider_map,
                 config,
                 layout,
+                reaper_paused: AtomicBool::new(false),
             }),
         })
     }
@@ -202,18 +250,21 @@ impl BlobSeer {
     }
 
     /// Start the optional background reaper on the version-manager node:
-    /// every `interval_ns` it force-completes expired pending writes on
-    /// every BLOB (`VersionManager::reap_all`), reclaims expired provider
-    /// reservation leases (`ProviderManager::reap_expired_leases`) and runs
-    /// one registry GC epoch (`VersionManager::gc_registry`) — so dead
-    /// writers and deleted BLOBs are cleaned up without waiting for the next
-    /// `assign`/`commit`. Cheap per tick: both reap checks are O(1) front
-    /// peeks of deadline queues when nothing expired.
+    /// every `config.timeouts.reaper_interval_ns` it force-completes expired
+    /// pending writes on every BLOB (`VersionManager::reap_all`), reclaims
+    /// expired provider reservation leases
+    /// (`ProviderManager::reap_expired_leases`) and runs one registry GC
+    /// epoch (`VersionManager::gc_registry`) — so dead writers and deleted
+    /// BLOBs are cleaned up without waiting for the next `assign`/`commit`.
+    /// Cheap per tick: both reap checks are O(1) front peeks of deadline
+    /// queues when nothing expired.
     ///
     /// The service runs until [`ReaperHandle::stop`]; in sim mode a driver
     /// process must stop it once the workload is done, or virtual time never
-    /// runs out of events.
-    pub fn start_reaper(&self, fabric: &Fabric, interval_ns: u64) -> ReaperHandle {
+    /// runs out of events. While `inject(FaultTarget::Reaper, ..)` holds the
+    /// daemon down, ticks pass without sweeping.
+    pub fn start_reaper(&self, fabric: &Fabric) -> ReaperHandle {
+        let interval_ns = self.svc.config.timeouts.reaper_interval_ns;
         assert!(interval_ns > 0, "reaper needs a positive interval");
         let stop = fabric.gate();
         let svc = self.svc.clone();
@@ -225,6 +276,9 @@ impl BlobSeer {
                 p.sleep(interval_ns);
                 if stop2.is_set() {
                     break;
+                }
+                if svc.reaper_paused.load(Ordering::Acquire) {
+                    continue;
                 }
                 // A failed sweep (metadata outage mid-force-complete) keeps
                 // the blob's reap queue intact; the next tick retries.
@@ -241,14 +295,86 @@ impl BlobSeer {
         &self.svc.providers
     }
 
-    /// Failure injection: kill the i-th provider.
-    pub fn kill_provider(&self, i: usize) {
-        self.svc.providers[i].kill();
+    /// Inject `fault` into `target`. One surface for hand-written failure
+    /// tests and generated chaos schedules; see [`crate::fault`] for the
+    /// supported (target, fault) matrix. Unknown indices come back as
+    /// [`BlobError::NoSuchTarget`], unmodeled combinations as
+    /// [`BlobError::UnsupportedFault`]. Idempotent; undo with
+    /// [`Self::heal`].
+    pub fn inject(&self, target: FaultTarget, fault: Fault) -> BlobResult<()> {
+        match (target, fault) {
+            (FaultTarget::Provider(i), Fault::Crash) => {
+                self.provider_at(i)?.kill();
+                Ok(())
+            }
+            (FaultTarget::MetaServer(i), Fault::Crash) => {
+                self.meta_server_at(i)?.kill();
+                Ok(())
+            }
+            (FaultTarget::VersionManager, Fault::Pause) => {
+                self.svc.vm.set_paused(true);
+                Ok(())
+            }
+            (FaultTarget::VersionManager, Fault::Crash) => Err(BlobError::UnsupportedFault(
+                "version-manager crash needs the failover subsystem (roadmap); \
+                 use Fault::Pause to model an unresponsive VM"
+                    .into(),
+            )),
+            (FaultTarget::Reaper, Fault::Crash | Fault::Pause) => {
+                self.svc.reaper_paused.store(true, Ordering::Release);
+                Ok(())
+            }
+            (FaultTarget::Provider(_) | FaultTarget::MetaServer(_), Fault::Pause) => {
+                Err(BlobError::UnsupportedFault(format!(
+                    "{target} cannot pause: storage services model crash-stop \
+                     failures; use Fault::Crash"
+                )))
+            }
+        }
     }
 
-    /// Bring the i-th provider back.
-    pub fn revive_provider(&self, i: usize) {
-        self.svc.providers[i].revive();
+    /// Undo every fault injected into `target` (revive a crashed service,
+    /// resume a paused one). Idempotent; healing a target that was never
+    /// faulted is a no-op.
+    pub fn heal(&self, target: FaultTarget) -> BlobResult<()> {
+        match target {
+            FaultTarget::Provider(i) => self.provider_at(i)?.revive(),
+            FaultTarget::MetaServer(i) => self.meta_server_at(i)?.revive(),
+            FaultTarget::VersionManager => self.svc.vm.set_paused(false),
+            FaultTarget::Reaper => self.svc.reaper_paused.store(false, Ordering::Release),
+        }
+        Ok(())
+    }
+
+    /// Heal every possible target — chaos harnesses call this at the end of
+    /// a schedule so quiescence is always reached with a whole cluster.
+    pub fn heal_all(&self) {
+        for i in 0..self.svc.providers.len() {
+            let _ = self.heal(FaultTarget::Provider(i));
+        }
+        for i in 0..self.svc.dht.servers().len() {
+            let _ = self.heal(FaultTarget::MetaServer(i));
+        }
+        let _ = self.heal(FaultTarget::VersionManager);
+        let _ = self.heal(FaultTarget::Reaper);
+    }
+
+    fn provider_at(&self, i: usize) -> BlobResult<&Arc<Provider>> {
+        self.svc.providers.get(i).ok_or_else(|| {
+            BlobError::NoSuchTarget(format!(
+                "provider[{i}] (deployment has {})",
+                self.svc.providers.len()
+            ))
+        })
+    }
+
+    fn meta_server_at(&self, i: usize) -> BlobResult<&Arc<MetaServer>> {
+        self.svc.dht.servers().get(i).ok_or_else(|| {
+            BlobError::NoSuchTarget(format!(
+                "meta-server[{i}] (deployment has {})",
+                self.svc.dht.servers().len()
+            ))
+        })
     }
 
     /// Total bytes stored across providers (all replicas counted).

@@ -41,6 +41,18 @@ pub enum BlobError {
     VersionRaced { blob: BlobId, version: Version },
     /// Local persistence failure.
     Persistence(String),
+    /// A deployment was asked for that cannot work (no providers,
+    /// replication above the provider count, service nodes outside the
+    /// cluster, ...). Returned by `BlobSeer::deploy` instead of panicking
+    /// deep inside the engine — fault-schedule generators probe these
+    /// corners on purpose.
+    InvalidTopology(String),
+    /// `inject`/`heal` named a target index that does not exist in this
+    /// deployment.
+    NoSuchTarget(String),
+    /// The (target, fault) combination is not modeled (e.g. crashing the
+    /// version manager — failover is a separate roadmap item).
+    UnsupportedFault(String),
 }
 
 impl fmt::Display for BlobError {
@@ -77,6 +89,9 @@ impl fmt::Display for BlobError {
                  reap/commit; re-check the published version"
             ),
             BlobError::Persistence(msg) => write!(f, "persistence layer: {msg}"),
+            BlobError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            BlobError::NoSuchTarget(msg) => write!(f, "no such fault target: {msg}"),
+            BlobError::UnsupportedFault(msg) => write!(f, "unsupported fault: {msg}"),
         }
     }
 }

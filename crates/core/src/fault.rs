@@ -1,0 +1,68 @@
+//! Role-typed fault vocabulary for a deployed [`crate::BlobSeer`].
+//!
+//! Faults address services by *role*, not by raw handle or index-into-some-
+//! internal-vec: `inject(FaultTarget::Provider(3), Fault::Crash)` reads the
+//! same whether it comes from a hand-written regression test or a seeded
+//! chaos schedule, and a schedule rendered to text names exactly what it
+//! broke. Injection is always paired with [`crate::BlobSeer::heal`]; both
+//! are idempotent.
+//!
+//! Supported combinations (anything else is a typed
+//! [`crate::BlobError::UnsupportedFault`], never a panic):
+//!
+//! | target            | `Crash`                         | `Pause`                    |
+//! |-------------------|---------------------------------|----------------------------|
+//! | `Provider(i)`     | rejects stores/fetches          | —                          |
+//! | `MetaServer(i)`   | rejects tree-node puts/gets     | —                          |
+//! | `VersionManager`  | — (failover is a roadmap item)  | requests stall until heal  |
+//! | `Reaper`          | sweeps skipped until heal       | sweeps skipped until heal  |
+//!
+//! Network-level faults (delays, drops, partitions) live one layer down, on
+//! the fabric: see `fabric::NetFault`.
+
+use std::fmt;
+
+/// Which service of a deployment a fault addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// The i-th data provider (deployment order, same index space as
+    /// `BlobSeer::providers()`).
+    Provider(usize),
+    /// The i-th metadata server of the DHT.
+    MetaServer(usize),
+    /// The centralized version manager.
+    VersionManager,
+    /// The background reaper service (lazy reaping from request paths is
+    /// unaffected — this models the *daemon* dying, not the protocol).
+    Reaper,
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTarget::Provider(i) => write!(f, "provider[{i}]"),
+            FaultTarget::MetaServer(i) => write!(f, "meta-server[{i}]"),
+            FaultTarget::VersionManager => write!(f, "version-manager"),
+            FaultTarget::Reaper => write!(f, "reaper"),
+        }
+    }
+}
+
+/// What happens to the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The service fails: requests against it error until healed.
+    Crash,
+    /// The service freezes: requests against it stall until healed (a
+    /// GC pause, an overloaded box — the process is alive but mute).
+    Pause,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Crash => write!(f, "crash"),
+            Fault::Pause => write!(f, "pause"),
+        }
+    }
+}

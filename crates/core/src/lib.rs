@@ -31,6 +31,7 @@ pub mod config;
 pub mod desc_index;
 pub mod dht;
 pub mod error;
+pub mod fault;
 pub mod meta;
 pub mod provider;
 pub mod provider_manager;
@@ -39,9 +40,10 @@ pub mod version_manager;
 
 pub use client::{BlobClient, PageLocation};
 pub use cluster::{BlobSeer, Layout, ReaperHandle};
-pub use config::{AllocStrategy, BlobSeerConfig};
+pub use config::{AllocStrategy, BlobSeerConfig, Timeouts};
 pub use desc_index::DescIndex;
 pub use error::{BlobError, BlobResult};
+pub use fault::{Fault, FaultTarget};
 pub use meta::{PageRef, SnapshotInfo};
 pub use provider_manager::LeaseId;
 pub use types::{BlobId, PageId, Version, WriteDesc, WriteKind};

@@ -49,6 +49,7 @@ use std::sync::Arc;
 use fabric::{Fabric, NodeId, Proc};
 use parking_lot::{Mutex, RwLock};
 
+use crate::config::Timeouts;
 use crate::desc_index::DescIndex;
 use crate::dht::MetaDht;
 use crate::error::{BlobError, BlobResult};
@@ -94,6 +95,10 @@ pub struct VersionManager {
     /// point the paper calls "low overhead" and lets benches observe it.
     vm_cpu_ops: u64,
     write_timeout_ns: Option<u64>,
+    /// Fault injection: while set, every request stalls at entry (the VM is
+    /// alive but mute — a GC pause). Set via `BlobSeer::inject`.
+    paused: AtomicBool,
+    pause_poll_ns: u64,
     default_page_size: u64,
     next_blob: AtomicU64,
     blobs: RwLock<HashMap<BlobId, Arc<BlobSlot>>>,
@@ -108,7 +113,7 @@ impl VersionManager {
         default_page_size: u64,
         ctl_msg_bytes: u64,
         vm_cpu_ops: u64,
-        write_timeout_ns: Option<u64>,
+        timeouts: Timeouts,
     ) -> Self {
         VersionManager {
             node,
@@ -116,7 +121,9 @@ impl VersionManager {
             dht,
             ctl_msg_bytes,
             vm_cpu_ops,
-            write_timeout_ns,
+            write_timeout_ns: timeouts.write_timeout_ns,
+            paused: AtomicBool::new(false),
+            pause_poll_ns: timeouts.pause_poll_ns,
             default_page_size,
             next_blob: AtomicU64::new(1),
             blobs: RwLock::new(HashMap::new()),
@@ -126,6 +133,26 @@ impl VersionManager {
 
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Fault injection: freeze (`true`) or resume (`false`) the service.
+    /// While frozen, every request that reaches the VM stalls at entry until
+    /// the next poll after the heal. Idempotent.
+    pub fn set_paused(&self, paused: bool) {
+        self.paused.store(paused, Ordering::Release);
+    }
+
+    pub fn is_paused(&self) -> bool {
+        self.paused.load(Ordering::Acquire)
+    }
+
+    /// Entry gate of every request: a paused VM answers nothing, so the
+    /// caller's process sleeps in poll steps until the service is healed.
+    /// Deliberately *before* `charge` — a frozen service does not even ack.
+    fn pause_barrier(&self, p: &Proc) {
+        while self.paused.load(Ordering::Acquire) {
+            p.sleep(self.pause_poll_ns);
+        }
     }
 
     fn charge(&self, p: &Proc) {
@@ -154,6 +181,7 @@ impl VersionManager {
 
     /// Create a BLOB with the given page size (or the deployment default).
     pub fn create_blob(&self, p: &Proc, page_size: Option<u64>) -> BlobId {
+        self.pause_barrier(p);
         self.charge(p);
         let id = BlobId(self.next_blob.fetch_add(1, Ordering::Relaxed));
         let ps = page_size.unwrap_or(self.default_page_size);
@@ -175,6 +203,7 @@ impl VersionManager {
     /// typed `NoSuchBlob` instead of hanging on versions that can never
     /// publish.
     pub fn delete_blob(&self, p: &Proc, blob: BlobId) -> BlobResult<()> {
+        self.pause_barrier(p);
         self.charge(p);
         let slot = self.slot(blob)?;
         slot.retired.store(true, Ordering::Release);
@@ -228,13 +257,18 @@ impl VersionManager {
     }
 
     /// Ids of every live (non-retired) BLOB — the reaper's work list.
+    /// Sorted: callers sweep blobs (and issue any resulting DHT traffic) in
+    /// a deterministic order, never the registry map's iteration order.
     pub fn blob_ids(&self) -> Vec<BlobId> {
-        self.blobs
+        let mut ids: Vec<BlobId> = self
+            .blobs
             .read()
             .iter()
             .filter(|(_, s)| !s.retired.load(Ordering::Acquire))
             .map(|(&b, _)| b)
-            .collect()
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Reap every live BLOB (see [`Self::reap_expired`]): the background
@@ -258,6 +292,7 @@ impl VersionManager {
 
     /// Page size of a BLOB. Immutable, so no per-blob lock is taken.
     pub fn page_size_of(&self, p: &Proc, blob: BlobId) -> BlobResult<u64> {
+        self.pause_barrier(p);
         self.charge(p);
         Ok(self.slot(blob)?.page_size)
     }
@@ -283,6 +318,7 @@ impl VersionManager {
         manifest: Arc<Vec<PageRef>>,
         known: Version,
     ) -> BlobResult<(WriteDesc, DescIndex)> {
+        self.pause_barrier(p);
         self.reap_expired(p, blob)?;
         let result: BlobResult<(WriteDesc, DescIndex, u64)> = (|| {
             if nbytes == 0 {
@@ -331,6 +367,7 @@ impl VersionManager {
     /// Step 4: the writer finished storing its metadata. Publishes the
     /// version once all predecessors are published. Idempotent.
     pub fn commit(&self, p: &Proc, blob: BlobId, version: Version) -> BlobResult<()> {
+        self.pause_barrier(p);
         self.charge(p);
         self.reap_expired(p, blob)?;
         let slot = self.slot(blob)?;
@@ -356,6 +393,7 @@ impl VersionManager {
     /// fires every pending gate precisely so no waiter hangs on a version
     /// that can never publish.
     pub fn wait_published(&self, p: &Proc, blob: BlobId, version: Version) -> BlobResult<()> {
+        self.pause_barrier(p);
         let slot = self.slot(blob)?;
         let gate = {
             let st = slot.state.lock();
@@ -388,6 +426,7 @@ impl VersionManager {
         blob: BlobId,
         version: Option<Version>,
     ) -> BlobResult<SnapshotInfo> {
+        self.pause_barrier(p);
         self.charge(p);
         let slot = self.slot(blob)?;
         let st = slot.state.lock();
@@ -424,6 +463,7 @@ impl VersionManager {
     /// response — this is how a read-only client gets an index fresh enough
     /// to answer offset→page locality queries without walking the DHT tree.
     pub fn sync_index(&self, p: &Proc, blob: BlobId, known: Version) -> BlobResult<DescIndex> {
+        self.pause_barrier(p);
         let slot = self.slot(blob)?;
         let (index, unseen) = {
             let st = slot.state.lock();
@@ -481,6 +521,7 @@ impl VersionManager {
     /// races with a resurrected writer are harmless because node writes are
     /// idempotent. The planning and DHT traffic run with no lock held.
     pub fn force_complete(&self, p: &Proc, blob: BlobId, version: Version) -> BlobResult<()> {
+        self.pause_barrier(p);
         let slot = self.slot(blob)?;
         let (desc, index, manifest) = {
             let st = slot.state.lock();
@@ -519,6 +560,7 @@ impl VersionManager {
     /// peeks one deadline-queue entry under the per-blob lock — O(1), never
     /// a scan of the pending map.
     pub fn reap_expired(&self, p: &Proc, blob: BlobId) -> BlobResult<()> {
+        self.pause_barrier(p);
         let Some(timeout) = self.write_timeout_ns else {
             return Ok(());
         };
@@ -563,7 +605,7 @@ mod tests {
             PS,
             64,
             0,
-            Some(1_000_000_000),
+            Timeouts::default().with_write_timeout(Some(1_000_000_000)),
         ))
     }
 
@@ -881,7 +923,7 @@ mod tests {
             PS,
             64,
             0,
-            Some(1_000_000_000),
+            Timeouts::default().with_write_timeout(Some(1_000_000_000)),
         ));
         let vm2 = vm.clone();
         let h = fx.spawn(NodeId(3), "t", move |p| {

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use blobseer::{AllocStrategy, BlobSeer, BlobSeerConfig, Layout};
+use blobseer::{AllocStrategy, BlobSeer, BlobSeerConfig, Fault, FaultTarget, Layout};
 use fabric::{ClusterSpec, Fabric, NodeId, Payload};
 use parking_lot::Mutex;
 
@@ -199,9 +199,9 @@ fn writes_fail_over_to_healthy_providers() {
     let config = BlobSeerConfig::test_small(128).with_alloc(AllocStrategy::RoundRobin);
     let bs = BlobSeer::deploy(&fx, config, layout).unwrap();
     // Kill half the providers before any write.
-    bs.kill_provider(1);
-    bs.kill_provider(3);
-    bs.kill_provider(5);
+    bs.inject(FaultTarget::Provider(1), Fault::Crash).unwrap();
+    bs.inject(FaultTarget::Provider(3), Fault::Crash).unwrap();
+    bs.inject(FaultTarget::Provider(5), Fault::Crash).unwrap();
     let bs2 = bs.clone();
     let h = fx.spawn(NodeId(0), "driver", move |p| {
         let c = bs2.client();

@@ -127,9 +127,10 @@ fn single_provider_fanin_stays_unserialized() {
 fn dead_writer_leaves_zero_stranded_bytes_once_lease_expires() {
     let timeout = 300 * fabric::MILLIS;
     let mut cfg = config();
-    cfg.write_timeout_ns = Some(timeout);
+    cfg.timeouts.write_timeout_ns = Some(timeout);
+    cfg.timeouts.reaper_interval_ns = 100 * fabric::MILLIS;
     let (fx, bs) = storage_deploy(2, 3, cfg);
-    let reaper = bs.start_reaper(&fx, 100 * fabric::MILLIS);
+    let reaper = bs.start_reaper(&fx);
 
     // Corpse 1: allocates two pages, stores nothing, dies.
     let bs1 = bs.clone();
@@ -197,9 +198,10 @@ fn reaper_publishes_dead_writers_without_vm_interaction() {
     let timeout = 300 * fabric::MILLIS;
     let fx = Fabric::sim(ClusterSpec::tiny(4));
     let mut cfg = config();
-    cfg.write_timeout_ns = Some(timeout);
+    cfg.timeouts.write_timeout_ns = Some(timeout);
+    cfg.timeouts.reaper_interval_ns = 100 * fabric::MILLIS;
     let bs = BlobSeer::deploy(&fx, cfg, Layout::compact(fx.spec())).unwrap();
-    let reaper = bs.start_reaper(&fx, 100 * fabric::MILLIS);
+    let reaper = bs.start_reaper(&fx);
     let bs2 = bs.clone();
     let driver = fx.spawn(NodeId(1), "driver", move |p| {
         let vm = bs2.version_manager();

@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::live::LiveCore;
+use crate::net::NetFault;
 use crate::parker::Parker;
 use crate::sim::SimCore;
 use crate::stats::FabricStats;
@@ -210,6 +211,23 @@ impl Fabric {
             FabricInner::Live(c) => c.stats(),
         }
     }
+
+    /// Install a network-fault window ([`NetFault`]) in sim mode: matching
+    /// remote transfers starting inside the window pay its cost (extra
+    /// delay, a retransmission penalty, or a stall until a partition heals).
+    /// No-op in live mode, where real packets cannot be shaped.
+    pub fn inject_net_fault(&self, fault: NetFault) {
+        if let FabricInner::Sim(c) = &self.inner {
+            c.inject_net_fault(fault);
+        }
+    }
+
+    /// Remove every installed network fault (sim mode; no-op in live mode).
+    pub fn clear_net_faults(&self) {
+        if let FabricInner::Sim(c) = &self.inner {
+            c.clear_net_faults();
+        }
+    }
 }
 
 fn panic_msg(e: Box<dyn std::any::Any + Send>) -> String {
@@ -295,6 +313,10 @@ impl Proc {
                         c.flow(self.pid, &self.parker, &res, bytes as f64);
                     }
                 } else {
+                    let penalty = c.net_penalty(src, dst);
+                    if penalty > 0 {
+                        c.sleep(self.pid, &self.parker, penalty);
+                    }
                     c.sleep(self.pid, &self.parker, spec.latency_ns);
                     if bytes >= spec.small_msg_cutoff {
                         let mut res = vec![
@@ -323,14 +345,22 @@ impl Proc {
                 c.note_transfer(bytes);
                 let spec = &c.spec;
                 let mut res = Vec::with_capacity(nodes.len() * 2);
+                let mut penalty = 0u64;
                 for pair in nodes.windows(2) {
                     if pair[0] != pair[1] {
+                        // Cut-through pipeline: the whole chain stalls on the
+                        // worst-afflicted hop, it does not pay each hop's
+                        // penalty in sequence.
+                        penalty = penalty.max(c.net_penalty(pair[0], pair[1]));
                         res.push(spec.resource(pair[0], ResourceKind::Tx));
                         res.push(spec.resource(pair[1], ResourceKind::Rx));
                         if let Some(bp) = spec.backplane_resource() {
                             res.push(bp);
                         }
                     }
+                }
+                if penalty > 0 {
+                    c.sleep(self.pid, &self.parker, penalty);
                 }
                 let hops = res.len() as u64 / 2;
                 c.sleep(self.pid, &self.parker, spec.latency_ns * hops.max(1));
@@ -653,6 +683,110 @@ mod tests {
         let g = fx.gate();
         fx.spawn(NodeId(0), "stuck", move |p| g.wait(p));
         fx.run();
+    }
+
+    #[test]
+    fn net_delay_fault_slows_matching_transfers() {
+        let spec = ClusterSpec::tiny(3);
+        let lat = spec.latency_ns;
+        let fx = Fabric::sim(spec);
+        fx.inject_net_fault(crate::NetFault::delay(
+            0,
+            SECS,
+            crate::NodeSet::One(NodeId(0)),
+            crate::NodeSet::One(NodeId(1)),
+            7 * MILLIS,
+        ));
+        let hit = fx.spawn(NodeId(0), "hit", move |p| {
+            let start = p.now();
+            p.rpc(NodeId(1), 100, 100); // request matches, response doesn't
+            p.now() - start
+        });
+        let miss = fx.spawn(NodeId(2), "miss", move |p| {
+            let start = p.now();
+            p.send_to(NodeId(1), 100);
+            p.now() - start
+        });
+        fx.run();
+        assert_eq!(hit.take().unwrap(), 2 * lat + 7 * MILLIS);
+        assert_eq!(miss.take().unwrap(), lat);
+        assert_eq!(fx.stats().net_fault_hits, 1);
+    }
+
+    #[test]
+    fn net_partition_stalls_until_heal() {
+        let spec = ClusterSpec::tiny(2);
+        let lat = spec.latency_ns;
+        let fx = Fabric::sim(spec);
+        fx.inject_net_fault(crate::NetFault::partition(
+            0,
+            50 * MILLIS,
+            crate::NodeSet::One(NodeId(0)),
+            crate::NodeSet::One(NodeId(1)),
+        ));
+        // Both directions stall; a transfer started mid-window waits only
+        // for the remainder of the window.
+        let h = fx.spawn(NodeId(1), "cut", move |p| {
+            p.sleep(10 * MILLIS);
+            p.send_to(NodeId(0), 100);
+            let healed_at = p.now();
+            p.send_to(NodeId(0), 100); // window over: plain latency
+            (healed_at, p.now())
+        });
+        fx.run();
+        let (healed_at, after) = h.take().unwrap();
+        assert_eq!(healed_at, 50 * MILLIS + lat);
+        assert_eq!(after, healed_at + lat);
+    }
+
+    #[test]
+    fn net_drop_fault_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let fx = Fabric::sim_seeded(ClusterSpec::tiny(2), seed);
+            fx.inject_net_fault(crate::NetFault::drop(
+                0,
+                10 * SECS,
+                crate::NodeSet::Any,
+                crate::NodeSet::Any,
+                0.5,
+                MILLIS,
+            ));
+            let h = fx.spawn(NodeId(0), "lossy", move |p| {
+                for _ in 0..50 {
+                    p.send_to(NodeId(1), 100);
+                }
+                p.now()
+            });
+            fx.run();
+            (h.take().unwrap(), fx.stats().net_fault_hits)
+        };
+        let (t1, hits1) = run(7);
+        assert_eq!((t1, hits1), run(7));
+        assert!(hits1 > 0 && hits1 < 50, "p=0.5 over 50 sends, got {hits1}");
+        assert_ne!(run(8).1, hits1, "different seed, different losses");
+    }
+
+    #[test]
+    fn clear_net_faults_heals_immediately() {
+        let spec = ClusterSpec::tiny(2);
+        let lat = spec.latency_ns;
+        let fx = Fabric::sim(spec);
+        fx.inject_net_fault(crate::NetFault::delay(
+            0,
+            SECS,
+            crate::NodeSet::Any,
+            crate::NodeSet::Any,
+            MILLIS,
+        ));
+        fx.clear_net_faults();
+        let h = fx.spawn(NodeId(0), "fine", move |p| {
+            let start = p.now();
+            p.send_to(NodeId(1), 100);
+            p.now() - start
+        });
+        fx.run();
+        assert_eq!(h.take().unwrap(), lat);
+        assert_eq!(fx.stats().net_fault_hits, 0);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 pub mod handle;
 pub mod live;
+pub mod net;
 pub mod payload;
 pub mod sim;
 pub mod stats;
@@ -41,16 +42,17 @@ pub mod topology;
 mod parker;
 
 pub use handle::{run_parallel, Fabric, JoinHandle, Proc, TaskFn};
+pub use net::{NetFault, NetFaultKind, NodeSet};
 pub use payload::Payload;
 pub use stats::FabricStats;
 pub use time::{ns_to_secs, secs_to_ns, SimTime, MICROS, MILLIS, SECS};
-pub use topology::{ClusterSpec, NodeId};
+pub use topology::{ClusterSpec, NodeId, SpecError};
 
 /// Convenience prelude for downstream crates.
 pub mod prelude {
     pub use crate::sync::{Gate, Queue};
     pub use crate::{
-        ns_to_secs, run_parallel, secs_to_ns, ClusterSpec, Fabric, FabricStats, JoinHandle, NodeId,
-        Payload, Proc, SimTime, MICROS, MILLIS, SECS,
+        ns_to_secs, run_parallel, secs_to_ns, ClusterSpec, Fabric, FabricStats, JoinHandle,
+        NetFault, NetFaultKind, NodeId, NodeSet, Payload, Proc, SimTime, MICROS, MILLIS, SECS,
     };
 }

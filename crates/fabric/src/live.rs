@@ -103,6 +103,7 @@ impl LiveCore {
             bytes_requested: st.bytes_requested,
             events: 0,
             now_ns: self.now(),
+            net_fault_hits: 0,
         }
     }
 }

@@ -25,11 +25,18 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::net::{NetFault, NetFaultKind};
 use crate::parker::Parker;
 use crate::stats::FabricStats;
 use crate::time::SimTime;
 use crate::topology::{ClusterSpec, NodeId};
+
+/// Salt xor'd into the fabric seed for the network-fault RNG stream, so
+/// fault draws never perturb the per-process RNG streams.
+const NET_SALT: u64 = 0x4E45_545F_4641_554C; // "NET_FAUL"
 
 /// Reasons a process can be blocked — used in deadlock diagnostics.
 pub(crate) type BlockReason = &'static str;
@@ -109,6 +116,12 @@ struct SimState {
     // scratch buffers for recompute (reused to avoid per-event allocation)
     scratch_cap: Vec<f64>,
     scratch_nf: Vec<u32>,
+    /// Installed network-fault windows (expired ones are pruned lazily).
+    net_faults: Vec<NetFault>,
+    /// Dedicated RNG stream for Drop draws; decoupled from process RNGs so
+    /// installing faults never shifts workload randomness.
+    net_rng: StdRng,
+    net_fault_hits: u64,
 }
 
 pub(crate) struct SimCore {
@@ -145,6 +158,9 @@ impl SimCore {
                 running: false,
                 scratch_cap: vec![0.0; nres],
                 scratch_nf: vec![0; nres],
+                net_faults: Vec::new(),
+                net_rng: StdRng::seed_from_u64(seed ^ NET_SALT),
+                net_fault_hits: 0,
             }),
             engine_cv: Condvar::new(),
         })
@@ -280,6 +296,72 @@ impl SimCore {
         let mut st = self.state.lock();
         st.transfers += 1;
         st.bytes_requested += bytes as f64;
+    }
+
+    /// Install a network-fault window. Takes effect immediately; transfers
+    /// starting inside `[from_ns, until_ns)` that match the rule pay the
+    /// fault's cost.
+    pub fn inject_net_fault(&self, fault: NetFault) {
+        assert!(
+            fault.from_ns < fault.until_ns,
+            "net fault window is empty: [{}, {})",
+            fault.from_ns,
+            fault.until_ns
+        );
+        self.state.lock().net_faults.push(fault);
+    }
+
+    /// Remove every installed network fault (heal the network).
+    pub fn clear_net_faults(&self) {
+        self.state.lock().net_faults.clear();
+    }
+
+    /// Extra nanoseconds a transfer `src`→`dst` starting now must wait for
+    /// active network faults: partition stalls until the latest matching
+    /// window closes, then delay/drop penalties apply on top. Returns 0 when
+    /// no fault matches. Expired windows are pruned as a side effect.
+    pub fn net_penalty(&self, src: NodeId, dst: NodeId) -> u64 {
+        let mut st = self.state.lock();
+        if st.net_faults.is_empty() {
+            return 0;
+        }
+        let now = st.now;
+        st.net_faults.retain(|f| f.until_ns > now);
+        let mut stall_until: SimTime = 0;
+        let mut extra: u64 = 0;
+        let mut hits: u64 = 0;
+        // Split borrows: faults are read while the RNG draws.
+        let SimState {
+            net_faults,
+            net_rng,
+            ..
+        } = &mut *st;
+        for f in net_faults.iter() {
+            if now < f.from_ns || !f.matches(src, dst) {
+                continue;
+            }
+            match f.kind {
+                NetFaultKind::Delay { extra_ns } => {
+                    extra += extra_ns;
+                    hits += 1;
+                }
+                NetFaultKind::Drop {
+                    prob,
+                    retransmit_ns,
+                } => {
+                    if net_rng.gen_bool(prob) {
+                        extra += retransmit_ns;
+                        hits += 1;
+                    }
+                }
+                NetFaultKind::Partition => {
+                    stall_until = stall_until.max(f.until_ns);
+                    hits += 1;
+                }
+            }
+        }
+        st.net_fault_hits += hits;
+        stall_until.saturating_sub(now) + extra
     }
 
     /// Process finished normally.
@@ -523,6 +605,7 @@ impl SimCore {
             bytes_requested: st.bytes_requested,
             events: st.events_processed,
             now_ns: st.now,
+            net_fault_hits: st.net_fault_hits,
         }
     }
 }

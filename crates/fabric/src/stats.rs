@@ -6,7 +6,7 @@
 use crate::topology::{ClusterSpec, NodeId, ResourceKind};
 
 /// Snapshot of fabric-level counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FabricStats {
     /// Bytes (or CPU ops) accounted per resource, indexed like
     /// [`ClusterSpec::resource`].
@@ -22,6 +22,9 @@ pub struct FabricStats {
     pub events: u64,
     /// Current virtual/wall time in nanoseconds.
     pub now_ns: u64,
+    /// Times an installed network fault actually penalized a transfer
+    /// (0 in live mode and in fault-free simulations).
+    pub net_fault_hits: u64,
 }
 
 impl FabricStats {

@@ -44,6 +44,39 @@ pub enum ResourceKind {
 /// Number of per-node resources.
 pub const RES_PER_NODE: usize = 5;
 
+/// Why a [`ClusterSpec`] cannot describe a runnable cluster.
+/// Returned by [`ClusterSpec::validate`] so generators (chaos schedules,
+/// sweep harnesses) get a typed rejection instead of a panic deep inside
+/// the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The cluster has zero nodes.
+    NoNodes,
+    /// A capacity is zero, negative, NaN or infinite.
+    BadCapacity { what: &'static str, value: f64 },
+    /// The configured backplane capacity is not a positive finite number.
+    BadBackplane { value: f64 },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::NoNodes => write!(f, "cluster spec has zero nodes"),
+            SpecError::BadCapacity { what, value } => {
+                write!(f, "{what} must be positive and finite, got {value}")
+            }
+            SpecError::BadBackplane { value } => {
+                write!(
+                    f,
+                    "backplane bandwidth must be positive and finite, got {value}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// Static description of the simulated cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterSpec {
@@ -126,6 +159,32 @@ impl ClusterSpec {
     pub fn with_cpu_ops(mut self, ops: f64) -> Self {
         self.cpu_ops = ops;
         self
+    }
+
+    /// Check that this spec describes a runnable cluster: at least one node
+    /// and positive, finite capacities everywhere. Builders stay infallible
+    /// (they just set fields); call this before handing a generated spec to
+    /// [`crate::Fabric::sim`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.nodes == 0 {
+            return Err(SpecError::NoNodes);
+        }
+        for (what, value) in [
+            ("nic bandwidth", self.nic_bw),
+            ("disk bandwidth", self.disk_bw),
+            ("loopback bandwidth", self.loopback_bw),
+            ("cpu capacity", self.cpu_ops),
+        ] {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(SpecError::BadCapacity { what, value });
+            }
+        }
+        if let Some(bp) = self.backplane_bw {
+            if !(bp.is_finite() && bp > 0.0) {
+                return Err(SpecError::BadBackplane { value: bp });
+            }
+        }
+        Ok(())
     }
 
     /// Total number of fluid resources for this spec.
@@ -230,5 +289,44 @@ mod tests {
     #[test]
     fn orsay_is_270_nodes() {
         assert_eq!(ClusterSpec::orsay_270().nodes, 270);
+    }
+
+    #[test]
+    fn validate_accepts_stock_specs() {
+        assert_eq!(ClusterSpec::tiny(1).validate(), Ok(()));
+        assert_eq!(ClusterSpec::orsay_270().validate(), Ok(()));
+        assert_eq!(
+            ClusterSpec::tiny(4).with_backplane(Some(1e9)).validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_impossible_topologies() {
+        assert_eq!(ClusterSpec::tiny(0).validate(), Err(SpecError::NoNodes));
+        assert!(matches!(
+            ClusterSpec::tiny(2).with_nic_bw(0.0).validate(),
+            Err(SpecError::BadCapacity {
+                what: "nic bandwidth",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ClusterSpec::tiny(2).with_disk_bw(-1.0).validate(),
+            Err(SpecError::BadCapacity { .. })
+        ));
+        assert!(matches!(
+            ClusterSpec::tiny(2).with_cpu_ops(f64::NAN).validate(),
+            Err(SpecError::BadCapacity { .. })
+        ));
+        assert!(matches!(
+            ClusterSpec::tiny(2)
+                .with_backplane(Some(f64::INFINITY))
+                .validate(),
+            Err(SpecError::BadBackplane { .. })
+        ));
+        // Errors render a human-readable reason.
+        let msg = ClusterSpec::tiny(0).validate().unwrap_err().to_string();
+        assert!(msg.contains("zero nodes"), "{msg}");
     }
 }

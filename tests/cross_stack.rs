@@ -117,7 +117,9 @@ fn replicated_bsfs_survives_provider_loss_under_mapreduce() {
         fs2.write_file(p, &d("/in/text"), Payload::from_vec(text.into_bytes()))
             .unwrap();
         // Take down one provider before the job runs.
-        store.kill_provider(3);
+        store
+            .inject(blobseer::FaultTarget::Provider(3), blobseer::Fault::Crash)
+            .unwrap();
         let job = JobConf {
             name: "wc-under-failure".into(),
             inputs: vec![d("/in/text")],
