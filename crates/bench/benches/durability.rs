@@ -1,0 +1,294 @@
+//! Durability bench — what the durable storage plane costs and buys.
+//!
+//! The paper's BlobSeer providers persist pages through BerkeleyDB
+//! (§3.1.1); its published numbers run with the cache hot, so persistence
+//! is a retention cost off the critical path. This bench pins our
+//! equivalent in two series:
+//!
+//! * **retention**: per-append cost of a memory-only vs a pstore-backed
+//!   deployment, in wall-clock ns (the real buffered-log write) and
+//!   simulated ns (the modeled disk charge on the provider);
+//! * **recovery**: crash-wiping and recovering every provider and metadata
+//!   server, sweeping the checkpoint cadence — replayed log bytes must
+//!   shrink as checkpoints tighten (that is the entire point of
+//!   checkpointing), while recovery wall time is recorded for the record.
+//!
+//! Results land in `BENCH_durability.json`; the DETERMINISTIC currencies
+//! (simulated ns, replayed bytes) are self-diffed against the committed
+//! baseline at 1.25x. Wall-clock is recorded, never gated.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench_suite::{json_num, print_table};
+use blobseer::{BlobSeer, BlobSeerConfig, Layout};
+use fabric::{ClusterSpec, Fabric, NodeId, Payload};
+
+const PS: u64 = 1024;
+const APPENDS: usize = 256;
+/// Checkpoint cadences swept by the recovery series; 0 encodes "never
+/// checkpoint" (recovery replays the whole log).
+const CADENCES: [u64; 4] = [0, 64 * 1024, 16 * 1024, 4 * 1024];
+
+struct RetentionPoint {
+    persist: bool,
+    wall_ns_per_op: f64,
+    sim_ns_per_op: f64,
+}
+
+struct RecoveryPoint {
+    checkpoint_bytes: u64,
+    provider_replayed_bytes: u64,
+    meta_replayed_bytes: u64,
+    recovery_wall_ns: u64,
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blobseer-bench-dur-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn deploy(persist_dir: Option<PathBuf>, checkpoint: Option<u64>) -> (Fabric, BlobSeer) {
+    let fx = Fabric::sim(ClusterSpec::tiny(4));
+    let layout = Layout::compact(fx.spec());
+    let cfg = BlobSeerConfig::test_small(PS)
+        .with_persist_dir(persist_dir)
+        .with_persist_checkpoint_bytes(checkpoint);
+    let bs = BlobSeer::deploy(&fx, cfg, layout).expect("deploy");
+    (fx, bs)
+}
+
+/// Drive the fixed append workload (real bytes — a durable provider has to
+/// retain them) and return (wall ns, sim ns) across all appends.
+fn run_appends(fx: &Fabric, bs: &BlobSeer) -> (u64, u64) {
+    let bs2 = bs.clone();
+    let h = fx.spawn(NodeId(1), "appender", move |p| {
+        let c = bs2.client();
+        let blob = c.create(p, None);
+        let data: Vec<u8> = (0..PS).map(|i| (i % 251) as u8 + 1).collect();
+        let sim0 = p.now();
+        let wall0 = Instant::now();
+        for _ in 0..APPENDS {
+            c.append(p, blob, Payload::from_vec(data.clone())).unwrap();
+        }
+        (wall0.elapsed().as_nanos() as u64, p.now() - sim0)
+    });
+    fx.run();
+    h.take().unwrap()
+}
+
+fn retention_point(persist: bool) -> RetentionPoint {
+    let dir = persist.then(|| scratch_dir("retention"));
+    let (fx, bs) = deploy(dir.clone(), None);
+    let (wall, sim) = run_appends(&fx, &bs);
+    drop(bs);
+    if let Some(dir) = dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    RetentionPoint {
+        persist,
+        wall_ns_per_op: wall as f64 / APPENDS as f64,
+        sim_ns_per_op: sim as f64 / APPENDS as f64,
+    }
+}
+
+fn recovery_point(checkpoint_bytes: u64) -> RecoveryPoint {
+    let dir = scratch_dir(&format!("recovery-{checkpoint_bytes}"));
+    let cadence = (checkpoint_bytes > 0).then_some(checkpoint_bytes);
+    let (fx, bs) = deploy(Some(dir.clone()), cadence);
+    run_appends(&fx, &bs);
+
+    // Kill and recover the full storage plane, summing how much log each
+    // service had to replay past its newest checkpoint — the deterministic
+    // recovery cost that checkpoint cadence exists to bound.
+    let wall0 = Instant::now();
+    let mut provider_replayed = 0u64;
+    for pr in bs.providers() {
+        let stored = pr.stored_bytes();
+        pr.crash_wipe().expect("persistent provider wipes");
+        provider_replayed += pr.recover().expect("provider recovers");
+        assert_eq!(pr.stored_bytes(), stored, "recovery lost pages");
+    }
+    let mut meta_replayed = 0u64;
+    for ms in bs.metadata_dht().servers() {
+        ms.crash_wipe().expect("persistent meta server wipes");
+        meta_replayed += ms.recover().expect("meta server recovers");
+    }
+    let recovery_wall_ns = wall0.elapsed().as_nanos() as u64;
+    drop(bs);
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryPoint {
+        checkpoint_bytes,
+        provider_replayed_bytes: provider_replayed,
+        meta_replayed_bytes: meta_replayed,
+        recovery_wall_ns,
+    }
+}
+
+fn main() {
+    let retention: Vec<RetentionPoint> = vec![retention_point(false), retention_point(true)];
+    let recovery: Vec<RecoveryPoint> = CADENCES.iter().map(|&c| recovery_point(c)).collect();
+
+    print_table(
+        "Durability: per-append retention cost, memory vs pstore backend",
+        &["backend", "wall ns/op", "sim ns/op"],
+        &retention
+            .iter()
+            .map(|pt| {
+                vec![
+                    if pt.persist { "pstore" } else { "mem" }.to_string(),
+                    format!("{:.0}", pt.wall_ns_per_op),
+                    format!("{:.0}", pt.sim_ns_per_op),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Durability: full-plane crash recovery vs checkpoint cadence",
+        &[
+            "ckpt bytes",
+            "provider replay B",
+            "meta replay B",
+            "recovery wall ns",
+        ],
+        &recovery
+            .iter()
+            .map(|pt| {
+                vec![
+                    if pt.checkpoint_bytes == 0 {
+                        "never".to_string()
+                    } else {
+                        pt.checkpoint_bytes.to_string()
+                    },
+                    pt.provider_replayed_bytes.to_string(),
+                    pt.meta_replayed_bytes.to_string(),
+                    pt.recovery_wall_ns.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let json = to_json(&retention, &recovery);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_durability.json");
+    // Diff BEFORE overwriting: a regressed run dies with the committed
+    // baseline intact; the fresh numbers sit in a `.new` side file (what CI
+    // uploads on failure) and are promoted only after the diff passes.
+    let new_path = format!("{path}.new");
+    std::fs::write(&new_path, &json).expect("write fresh bench record");
+    match std::fs::read_to_string(path).ok() {
+        None => println!("\nno committed baseline found; this run records the first one"),
+        Some(base) => {
+            diff(&base, &retention, &recovery);
+            println!("\nbaseline diff passed: sim cost and replayed bytes within 1.25x");
+        }
+    }
+    std::fs::write(path, &json).expect("write BENCH_durability.json");
+    let _ = std::fs::remove_file(&new_path);
+    println!("wrote {path}");
+
+    // Acceptance gate on the deterministic currency: the tightest cadence
+    // must bound replay to well under the no-checkpoint full-log scan, or
+    // checkpointing is not doing its one job.
+    let full = recovery.first().expect("no-checkpoint point");
+    let tight = recovery.last().expect("tightest-cadence point");
+    assert!(
+        2 * tight.provider_replayed_bytes <= full.provider_replayed_bytes,
+        "checkpoints failed to bound provider replay: {} B at {} B cadence vs {} B unbounded",
+        tight.provider_replayed_bytes,
+        tight.checkpoint_bytes,
+        full.provider_replayed_bytes,
+    );
+    assert!(
+        2 * tight.meta_replayed_bytes <= full.meta_replayed_bytes,
+        "checkpoints failed to bound meta replay: {} B at {} B cadence vs {} B unbounded",
+        tight.meta_replayed_bytes,
+        tight.checkpoint_bytes,
+        full.meta_replayed_bytes,
+    );
+    println!(
+        "recovery gates passed: provider replay {} -> {} B, meta replay {} -> {} B (never -> {} B cadence)",
+        full.provider_replayed_bytes,
+        tight.provider_replayed_bytes,
+        full.meta_replayed_bytes,
+        tight.meta_replayed_bytes,
+        tight.checkpoint_bytes,
+    );
+}
+
+/// Diff this run's deterministic currencies against the committed baseline:
+/// simulated append cost per backend, replayed bytes per cadence. Wall
+/// fields are recorded but never gated.
+fn diff(base: &str, retention: &[RetentionPoint], recovery: &[RecoveryPoint]) {
+    let series = |name: &str| -> &str {
+        let start = base.find(&format!("\"{name}\"")).expect("baseline series");
+        let seg = &base[start..];
+        &seg[..seg.find(']').expect("series closes")]
+    };
+    let seg = series("retention_series");
+    for pt in retention {
+        let obj = seg
+            .split('{')
+            .find(|o| json_num(o, "persist") == Some(u64::from(pt.persist) as f64))
+            .expect("baseline retention point");
+        let base_sim = json_num(obj, "sim_ns_per_op").expect("baseline sim_ns_per_op");
+        assert!(
+            pt.sim_ns_per_op <= base_sim * 1.25,
+            "retention (persist={}): simulated append cost regressed {:.0} -> {:.0} ns/op",
+            pt.persist,
+            base_sim,
+            pt.sim_ns_per_op,
+        );
+    }
+    let seg = series("recovery_series");
+    for pt in recovery {
+        let obj = seg
+            .split('{')
+            .find(|o| json_num(o, "checkpoint_bytes") == Some(pt.checkpoint_bytes as f64))
+            .unwrap_or_else(|| panic!("baseline lacks cadence {}", pt.checkpoint_bytes));
+        for (key, got) in [
+            ("provider_replayed_bytes", pt.provider_replayed_bytes),
+            ("meta_replayed_bytes", pt.meta_replayed_bytes),
+        ] {
+            let base_v = json_num(obj, key).expect("baseline replay bytes");
+            assert!(
+                got as f64 <= base_v * 1.25,
+                "recovery at cadence {}: {key} regressed {:.0} -> {} B vs baseline",
+                pt.checkpoint_bytes,
+                base_v,
+                got,
+            );
+        }
+    }
+}
+
+fn to_json(retention: &[RetentionPoint], recovery: &[RecoveryPoint]) -> String {
+    let ret: Vec<String> = retention
+        .iter()
+        .map(|pt| {
+            format!(
+                "    {{\"persist\": {}, \"wall_ns_per_op\": {:.1}, \"sim_ns_per_op\": {:.1}}}",
+                u8::from(pt.persist),
+                pt.wall_ns_per_op,
+                pt.sim_ns_per_op
+            )
+        })
+        .collect();
+    let rec: Vec<String> = recovery
+        .iter()
+        .map(|pt| {
+            format!(
+                "    {{\"checkpoint_bytes\": {}, \"provider_replayed_bytes\": {}, \"meta_replayed_bytes\": {}, \"recovery_wall_ns\": {}}}",
+                pt.checkpoint_bytes,
+                pt.provider_replayed_bytes,
+                pt.meta_replayed_bytes,
+                pt.recovery_wall_ns
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"durability\",\n  \"page_size\": {PS},\n  \"appends\": {APPENDS},\n  \"retention_series\": [\n{}\n  ],\n  \"recovery_series\": [\n{}\n  ]\n}}\n",
+        ret.join(",\n"),
+        rec.join(",\n")
+    )
+}

@@ -133,6 +133,10 @@ pub fn budget_for(workload: Workload, layout: &Layout) -> ChaosConfig {
     let mut cfg = ChaosConfig::quiet(HORIZON_NS, NODES, layout.providers.len(), layout.meta.len());
     cfg.provider_crashes = 2;
     cfg.max_concurrent_provider_crashes = REPLICATION - 1;
+    // Providers deploy persistently (see `run`), so full process deaths are
+    // survivable too: while wiped the provider is down like a `Crash`, and
+    // the heal must rebuild it byte-for-byte from its pstore directory.
+    cfg.provider_restarts = 2;
     cfg.vm_pauses = 1;
     cfg.reaper_pauses = 1;
     cfg.net_faults = 4;
@@ -142,13 +146,34 @@ pub fn budget_for(workload: Workload, layout: &Layout) -> ChaosConfig {
     cfg.max_net_fault_ns = 40 * MILLIS;
     if workload == Workload::BsfsChurn {
         cfg.meta_crashes = 2;
+        cfg.meta_restarts = 1;
     }
     cfg
 }
 
+/// Serial number distinguishing concurrent runs of the same `(workload,
+/// seed)` inside one test process (sweep vs. replay test threads), so their
+/// pstore directories never collide. The path never feeds the simulation,
+/// so reports stay deterministic.
+static RUN_SERIAL: AtomicU64 = AtomicU64::new(0);
+
 fn run(workload: Workload, seed: u64, faulted: bool) -> RunReport {
     let fx = Fabric::sim_seeded(ClusterSpec::tiny(NODES), seed);
-    let mut cfg = BlobSeerConfig::test_small(256).with_replication(REPLICATION);
+    // Every chaos run deploys on the durable storage plane: pstore disk I/O
+    // is wall-clock-only (never simulated time), so determinism per seed
+    // holds, and `Fault::CrashRestart` becomes injectable everywhere. A
+    // small checkpoint cadence makes recovery exercise checkpoint loading,
+    // not just full-log replay.
+    let persist_dir = std::env::temp_dir().join(format!(
+        "blobseer-chaos-{}-{workload}-{seed}-{}",
+        std::process::id(),
+        RUN_SERIAL.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&persist_dir);
+    let mut cfg = BlobSeerConfig::test_small(256)
+        .with_replication(REPLICATION)
+        .with_persist_dir(Some(persist_dir.clone()))
+        .with_persist_checkpoint_bytes(Some(16 * 1024));
     cfg.timeouts.write_timeout_ns = Some(WRITE_TIMEOUT_NS);
     cfg.timeouts.reaper_interval_ns = REAPER_INTERVAL_NS;
     let layout = Layout::compact(fx.spec());
@@ -229,7 +254,7 @@ fn run(workload: Workload, seed: u64, faulted: bool) -> RunReport {
     let mut all = violations.lock().clone();
     all.extend(checker.take().expect("checker finished"));
 
-    RunReport {
+    let report = RunReport {
         workload,
         seed,
         schedule_digest: digest,
@@ -237,7 +262,10 @@ fn run(workload: Workload, seed: u64, faulted: bool) -> RunReport {
         stats: fx.stats(),
         violations: all,
         tolerated_errors: tolerated.load(Ordering::Relaxed),
-    }
+    };
+    drop(bsfs);
+    let _ = std::fs::remove_dir_all(&persist_dir);
+    report
 }
 
 fn d(s: &str) -> DfsPath {
@@ -519,5 +547,40 @@ fn check_blocks(
             }
         }
         last_k.insert(w, k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use blobseer::{Fault, FaultTarget};
+
+    use super::*;
+
+    /// The sweep's own budgets must actually draw crash-restart windows —
+    /// otherwise the recovery path would pass the sweep vacuously.
+    #[test]
+    fn runner_budgets_draw_crash_restarts() {
+        let spec = ClusterSpec::tiny(NODES);
+        let layout = Layout::compact(&spec);
+        let (mut provider_restarts, mut meta_restarts) = (0usize, 0usize);
+        for seed in 0..16 {
+            for w in Workload::ALL {
+                let sched = ChaosSchedule::generate(&budget_for(w, &layout), seed);
+                for ev in &sched.events {
+                    if let ChaosAction::Inject(t, Fault::CrashRestart) = ev.action {
+                        match t {
+                            FaultTarget::Provider(_) => provider_restarts += 1,
+                            FaultTarget::MetaServer(_) => {
+                                assert_eq!(w, Workload::BsfsChurn, "meta restarts are churn-only");
+                                meta_restarts += 1;
+                            }
+                            t => panic!("crash-restart drawn for unsupported target {t}"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(provider_restarts > 0, "no provider crash-restart drawn");
+        assert!(meta_restarts > 0, "no meta-server crash-restart drawn");
     }
 }

@@ -51,6 +51,16 @@ pub struct ChaosConfig {
     pub vm_pauses: usize,
     /// Reaper pause windows to attempt.
     pub reaper_pauses: usize,
+    /// Provider crash-restart windows to attempt (`Fault::CrashRestart`:
+    /// the process loses all memory, the heal restarts it from its pstore
+    /// directory). Only meaningful on persistent deployments; counts
+    /// against the same concurrency cap as plain provider crashes — a wiped
+    /// provider is just as down as a crashed one.
+    pub provider_restarts: usize,
+    /// Meta-server crash-restart windows to attempt (persistent
+    /// deployments; a metadata outage fails in-flight writes, so only
+    /// error-tolerant workloads should allow these).
+    pub meta_restarts: usize,
     /// Network fault windows (delay / drop / partition) to attempt.
     pub net_faults: usize,
     /// Service fault windows last `[max/4, max]` of this.
@@ -73,6 +83,8 @@ impl ChaosConfig {
             meta_crashes: 0,
             vm_pauses: 0,
             reaper_pauses: 0,
+            provider_restarts: 0,
+            meta_restarts: 0,
             net_faults: 0,
             max_service_fault_ns: 200 * MILLIS,
             max_net_fault_ns: 50 * MILLIS,
@@ -132,24 +144,31 @@ impl ChaosSchedule {
         };
 
         // Service fault windows, one class at a time. Draw order is part of
-        // the schedule's identity — do not reorder these loops.
-        let classes: [(usize, Fault); 4] = [
+        // the schedule's identity — never reorder these; new classes are
+        // only ever APPENDED, so a budget that zeroes them reproduces the
+        // schedules generated before they existed.
+        let classes: [(usize, Fault); 6] = [
             (cfg.provider_crashes, Fault::Crash),
             (cfg.meta_crashes, Fault::Crash),
             (cfg.vm_pauses, Fault::Pause),
             (cfg.reaper_pauses, Fault::Pause),
+            (cfg.provider_restarts, Fault::CrashRestart),
+            (cfg.meta_restarts, Fault::CrashRestart),
         ];
         for (class, &(count, fault)) in classes.iter().enumerate() {
             for _ in 0..count {
                 for _attempt in 0..8 {
                     let target = match class {
-                        0 => {
+                        // A wiped provider is as down as a crashed one:
+                        // restarts share the crash concurrency cap so every
+                        // page keeps a live replica either way.
+                        0 | 4 => {
                             if cfg.providers == 0 || cfg.max_concurrent_provider_crashes == 0 {
                                 break;
                             }
                             FaultTarget::Provider(rng.gen_range(0..cfg.providers))
                         }
-                        1 => {
+                        1 | 5 => {
                             if cfg.meta_servers == 0 {
                                 break;
                             }
@@ -301,6 +320,8 @@ mod tests {
             meta_crashes: 2,
             vm_pauses: 2,
             reaper_pauses: 1,
+            provider_restarts: 2,
+            meta_restarts: 1,
             net_faults: 5,
             max_service_fault_ns: 200 * MILLIS,
             max_net_fault_ns: 50 * MILLIS,
@@ -346,8 +367,11 @@ mod tests {
 
     #[test]
     fn provider_crash_concurrency_never_exceeds_cap() {
+        // Crash-restart windows count against the same cap: a wiped
+        // provider is down exactly like a crashed one.
         let mut cfg = busy_cfg();
         cfg.provider_crashes = 6;
+        cfg.provider_restarts = 6;
         for seed in 0..50 {
             let s = ChaosSchedule::generate(&cfg, seed);
             let mut down = 0usize;
@@ -362,6 +386,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn zero_restart_budget_reproduces_pre_restart_schedules() {
+        // The restart classes were APPENDED to the draw sequence, so a
+        // budget that zeroes them must leave the RNG stream — and hence the
+        // whole schedule — untouched relative to a config that never knew
+        // about them.
+        let mut with = busy_cfg();
+        with.provider_restarts = 0;
+        with.meta_restarts = 0;
+        for seed in 0..20 {
+            let s = ChaosSchedule::generate(&with, seed);
+            assert!(s
+                .events
+                .iter()
+                .all(|e| !matches!(e.action, ChaosAction::Inject(_, Fault::CrashRestart))));
+        }
+    }
+
+    #[test]
+    fn restart_budgets_draw_crash_restart_windows() {
+        let cfg = busy_cfg();
+        let mut saw_provider = false;
+        let mut saw_meta = false;
+        for seed in 0..20 {
+            let s = ChaosSchedule::generate(&cfg, seed);
+            for ev in &s.events {
+                match ev.action {
+                    ChaosAction::Inject(FaultTarget::Provider(_), Fault::CrashRestart) => {
+                        saw_provider = true;
+                    }
+                    ChaosAction::Inject(FaultTarget::MetaServer(_), Fault::CrashRestart) => {
+                        saw_meta = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(saw_provider, "provider restarts never drawn in 20 seeds");
+        assert!(saw_meta, "meta restarts never drawn in 20 seeds");
     }
 
     #[test]

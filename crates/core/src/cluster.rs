@@ -168,11 +168,16 @@ impl BlobSeer {
     /// [`Layout::validate`]), never a panic.
     pub fn deploy(fabric: &Fabric, config: BlobSeerConfig, layout: Layout) -> BlobResult<BlobSeer> {
         layout.validate(fabric.spec(), &config)?;
+        let store_opts = config.store_options();
         let mut providers = Vec::with_capacity(layout.providers.len());
         for (i, &node) in layout.providers.iter().enumerate() {
             let prov = match &config.persist_dir {
                 None => Provider::new_mem(node),
-                Some(dir) => Provider::new_persistent(node, &dir.join(format!("provider-{i}")))?,
+                Some(dir) => Provider::new_persistent_with(
+                    node,
+                    &dir.join(format!("provider-{i}")),
+                    store_opts.clone(),
+                )?,
             };
             providers.push(Arc::new(prov));
         }
@@ -181,10 +186,18 @@ impl BlobSeer {
         let meta_servers: Vec<Arc<MetaServer>> = layout
             .meta
             .iter()
-            .map(|&n| Arc::new(MetaServer::new(n)))
-            .collect();
+            .enumerate()
+            .map(|(i, &n)| match &config.persist_dir {
+                None => Ok(Arc::new(MetaServer::new(n))),
+                Some(dir) => Ok(Arc::new(MetaServer::new_persistent(
+                    n,
+                    &dir.join(format!("meta-{i}")),
+                    store_opts.clone(),
+                )?)),
+            })
+            .collect::<BlobResult<_>>()?;
         let dht = Arc::new(MetaDht::new(meta_servers, config.meta_cpu_ops));
-        let pm = Arc::new(ProviderManager::new(
+        let mut pm = ProviderManager::new(
             layout.pm,
             fabric.clone(),
             providers.clone(),
@@ -194,7 +207,11 @@ impl BlobSeer {
             // timeout section decouples them: both sides of a write
             // (version + capacity) expire on the same clock.
             config.timeouts.effective_lease_timeout_ns(),
-        ));
+        );
+        if let Some(dir) = &config.persist_dir {
+            pm = pm.with_persistence(&dir.join("pm"), store_opts)?;
+        }
+        let pm = Arc::new(pm);
         let vm = Arc::new(VersionManager::new(
             layout.vm,
             fabric.clone(),
@@ -324,6 +341,16 @@ impl BlobSeer {
                 self.svc.reaper_paused.store(true, Ordering::Release);
                 Ok(())
             }
+            (FaultTarget::Provider(i), Fault::CrashRestart) => self.provider_at(i)?.crash_wipe(),
+            (FaultTarget::MetaServer(i), Fault::CrashRestart) => {
+                self.meta_server_at(i)?.crash_wipe()
+            }
+            (FaultTarget::VersionManager | FaultTarget::Reaper, Fault::CrashRestart) => {
+                Err(BlobError::UnsupportedFault(format!(
+                    "{target} has no durable store to restart from; \
+                     CrashRestart targets providers and metadata servers"
+                )))
+            }
             (FaultTarget::Provider(_) | FaultTarget::MetaServer(_), Fault::Pause) => {
                 Err(BlobError::UnsupportedFault(format!(
                     "{target} cannot pause: storage services model crash-stop \
@@ -334,12 +361,35 @@ impl BlobSeer {
     }
 
     /// Undo every fault injected into `target` (revive a crashed service,
-    /// resume a paused one). Idempotent; healing a target that was never
-    /// faulted is a no-op.
+    /// resume a paused one, restart a crash-wiped one from its durable
+    /// store). Idempotent; healing a target that was never faulted is a
+    /// no-op.
+    ///
+    /// A crash-wiped provider recovers in two steps whose order matters:
+    /// first [`Provider::recover`] rebuilds the page index and counters from
+    /// disk (zeroing reservations — the restarted process has no memory of
+    /// promises), then [`ProviderManager::reinstate`] re-reserves the
+    /// outstanding lease entries that straddled the crash, so the capacity
+    /// books balance at the next quiescence check.
     pub fn heal(&self, target: FaultTarget) -> BlobResult<()> {
         match target {
-            FaultTarget::Provider(i) => self.provider_at(i)?.revive(),
-            FaultTarget::MetaServer(i) => self.meta_server_at(i)?.revive(),
+            FaultTarget::Provider(i) => {
+                let pr = self.provider_at(i)?;
+                if pr.is_wiped() {
+                    pr.recover()?;
+                    self.svc.pm.reinstate(pr.node());
+                } else {
+                    pr.revive();
+                }
+            }
+            FaultTarget::MetaServer(i) => {
+                let ms = self.meta_server_at(i)?;
+                if ms.is_wiped() {
+                    ms.recover()?;
+                } else {
+                    ms.revive();
+                }
+            }
             FaultTarget::VersionManager => self.svc.vm.set_paused(false),
             FaultTarget::Reaper => self.svc.reaper_paused.store(false, Ordering::Release),
         }

@@ -120,10 +120,18 @@ pub struct BlobSeerConfig {
     /// When true (default), `append`/`write` block until the new version is
     /// published, giving read-your-writes to the caller.
     pub wait_published: bool,
-    /// Directory for pstore-backed page persistence on providers (live mode
-    /// only; `None` keeps pages in memory, which matches the BlobSeer
-    /// deployments measured in the paper — BerkeleyDB persisted lazily).
+    /// Directory for pstore-backed persistence: providers keep pages, the
+    /// metadata servers their tree nodes and the provider manager its lease
+    /// book under per-service subdirectories, and `Fault::CrashRestart`
+    /// becomes injectable. `None` keeps everything in memory, which matches
+    /// the BlobSeer deployments measured in the paper — BerkeleyDB persisted
+    /// lazily.
     pub persist_dir: Option<PathBuf>,
+    /// Checkpoint cadence of every durable store in the deployment: after
+    /// this many appended log bytes, the store snapshots its index, bounding
+    /// crash-recovery replay to the bytes since the last checkpoint. `None`
+    /// (default) never checkpoints — recovery replays the whole log.
+    pub persist_checkpoint_bytes: Option<u64>,
     /// Abstract CPU operations charged on the version-manager node per
     /// request. This is the serialization point of the design; a nonzero
     /// cost lets the benchmarks observe the (small) contention the paper
@@ -144,6 +152,7 @@ impl Default for BlobSeerConfig {
             timeouts: Timeouts::default(),
             wait_published: true,
             persist_dir: None,
+            persist_checkpoint_bytes: None,
             vm_cpu_ops: 1_000_000,
             meta_cpu_ops: 100_000,
         }
@@ -190,6 +199,25 @@ impl BlobSeerConfig {
     pub fn with_persist_dir(mut self, dir: Option<PathBuf>) -> Self {
         self.persist_dir = dir;
         self
+    }
+
+    pub fn with_persist_checkpoint_bytes(mut self, bytes: Option<u64>) -> Self {
+        assert!(
+            bytes != Some(0),
+            "a zero checkpoint cadence would checkpoint after every record; \
+             use None to disable checkpointing"
+        );
+        self.persist_checkpoint_bytes = bytes;
+        self
+    }
+
+    /// [`pstore::StoreOptions`] every durable store of this deployment opens
+    /// with.
+    pub fn store_options(&self) -> pstore::StoreOptions {
+        pstore::StoreOptions {
+            checkpoint_every_bytes: self.persist_checkpoint_bytes,
+            ..pstore::StoreOptions::default()
+        }
     }
 
     /// Replace the whole timeout section.

@@ -8,6 +8,7 @@
 //! servers and scale out — the paper deploys 20 of them on 270 nodes.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -15,7 +16,7 @@ use fabric::{NodeId, Proc};
 use parking_lot::RwLock;
 
 use crate::error::{BlobError, BlobResult};
-use crate::meta::{NodeBody, NodeKey};
+use crate::meta::{NodeBody, NodeKey, NODE_KEY_PREFIX};
 
 /// Stripe count of one server's node map. Keys spread via the upper bits of
 /// the same FNV hash that routes them to a server (the lower bits picked the
@@ -40,6 +41,19 @@ pub struct MetaServer {
     gets: AtomicU64,
     put_rpcs: AtomicU64,
     get_rpcs: AtomicU64,
+    /// Durable write-through of the node map (see [`Self::new_persistent`]).
+    /// The striped in-memory map stays the authoritative read path; the
+    /// store exists to survive a crash-restart.
+    persist: Option<MetaPersist>,
+    /// Completed crash-restart recoveries (diagnostics).
+    recoveries: AtomicU64,
+}
+
+struct MetaPersist {
+    /// `None` while crash-wiped (between `crash_wipe` and `recover`).
+    store: RwLock<Option<pstore::Store>>,
+    dir: PathBuf,
+    opts: pstore::StoreOptions,
 }
 
 impl MetaServer {
@@ -54,7 +68,167 @@ impl MetaServer {
             gets: AtomicU64::new(0),
             put_rpcs: AtomicU64::new(0),
             get_rpcs: AtomicU64::new(0),
+            persist: None,
+            recoveries: AtomicU64::new(0),
         }
+    }
+
+    /// Metadata server whose node map is write-through mirrored into a
+    /// [`pstore::Store`] at `dir`. Opening a non-empty directory *recovers*
+    /// it: every stored tree node is decoded back into the striped map, so
+    /// a restarted server answers exactly what it acknowledged before the
+    /// crash.
+    pub fn new_persistent(
+        node: NodeId,
+        dir: &Path,
+        opts: pstore::StoreOptions,
+    ) -> BlobResult<Self> {
+        let store = pstore::Store::open_with(dir, opts.clone())
+            .map_err(|e| BlobError::persistence(dir, &e))?;
+        let mut server = Self::new(node);
+        server.persist = Some(MetaPersist {
+            store: RwLock::new(Some(store)),
+            dir: dir.to_path_buf(),
+            opts,
+        });
+        server.load_stripes()?;
+        Ok(server)
+    }
+
+    /// Rebuild the striped in-memory map from the durable store's `n/`
+    /// namespace (replacing whatever the stripes currently hold).
+    fn load_stripes(&self) -> BlobResult<()> {
+        let Some(mp) = &self.persist else {
+            return Ok(());
+        };
+        let g = mp.store.read();
+        let Some(s) = g.as_ref() else {
+            return Ok(());
+        };
+        let records = s
+            .scan_prefix(NODE_KEY_PREFIX)
+            .map_err(|e| BlobError::persistence(&mp.dir, &e))?;
+        for stripe in &self.nodes {
+            stripe.write().clear();
+        }
+        for (k, v) in records {
+            let (Some(key), Some(body)) = (NodeKey::decode(&k), NodeBody::decode(&v)) else {
+                // Malformed record: skip it — the write path only ever
+                // stores codec output, so this is corruption the CRC
+                // already let through; losing one node degrades to a
+                // MetadataMissing read error, never a panic.
+                continue;
+            };
+            self.nodes[stripe_of(&key)].write().insert(key, body);
+        }
+        Ok(())
+    }
+
+    /// Store one server group of tree nodes: durably first (when
+    /// persistent), then into the striped memory map. The store read guard
+    /// is held across the whole group INCLUDING the flush, so a concurrent
+    /// [`Self::crash_wipe`] serializes entirely before the group (it fails
+    /// `ProviderDown`) or entirely after (every acknowledged node is on the
+    /// OS side of a process crash).
+    pub(crate) fn store_nodes(&self, nodes: Vec<(NodeKey, NodeBody)>) -> BlobResult<()> {
+        if let Some(mp) = &self.persist {
+            let g = mp.store.read();
+            let Some(s) = g.as_ref() else {
+                return Err(BlobError::ProviderDown { node: self.node.0 });
+            };
+            for (key, body) in &nodes {
+                s.put(&key.encode(), &body.encode())
+                    .map_err(|e| BlobError::persistence(&mp.dir, &e))?;
+            }
+            s.flush_buffered()
+                .map_err(|e| BlobError::persistence(&mp.dir, &e))?;
+        }
+        // Write-lock each touched stripe once for its share; untouched
+        // stripes (and their concurrent readers) are never blocked.
+        let mut by_stripe: Vec<Vec<(NodeKey, NodeBody)>> =
+            (0..NODE_STRIPES).map(|_| Vec::new()).collect();
+        for (key, body) in nodes {
+            by_stripe[stripe_of(&key)].push((key, body));
+        }
+        for (si, share) in by_stripe.into_iter().enumerate() {
+            if share.is_empty() {
+                continue;
+            }
+            let mut stored = self.nodes[si].write();
+            for (key, body) in share {
+                if let Some(prev) = stored.get(&key) {
+                    debug_assert_eq!(
+                        prev, &body,
+                        "metadata node {key:?} rewritten with different content"
+                    );
+                }
+                stored.insert(key, body);
+            }
+        }
+        Ok(())
+    }
+
+    /// Process-crash injection for persistent metadata servers: stop
+    /// serving, drop the striped map, all counters and any buffered
+    /// unacknowledged records — keep only the on-disk store directory.
+    /// Memory-only servers answer `UnsupportedFault`.
+    pub fn crash_wipe(&self) -> BlobResult<()> {
+        let Some(mp) = &self.persist else {
+            return Err(BlobError::UnsupportedFault(format!(
+                "metadata server on {} holds its node map in memory only; \
+                 CrashRestart requires a persist_dir deployment",
+                self.node
+            )));
+        };
+        self.kill();
+        if let Some(s) = mp.store.write().take() {
+            s.abandon();
+        }
+        for stripe in &self.nodes {
+            stripe.write().clear();
+        }
+        for c in [&self.puts, &self.gets, &self.put_rpcs, &self.get_rpcs] {
+            c.store(0, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Restart a crash-wiped metadata server from its store directory:
+    /// replay from the newest checkpoint, rebuild the striped map, resume
+    /// serving. Returns the bytes replayed past the checkpoint. Idempotent:
+    /// recovering a server that was never wiped just revives it.
+    pub fn recover(&self) -> BlobResult<u64> {
+        let Some(mp) = &self.persist else {
+            return Err(BlobError::UnsupportedFault(format!(
+                "metadata server on {} holds its node map in memory only; nothing to recover",
+                self.node
+            )));
+        };
+        let mut g = mp.store.write();
+        let replayed = if g.is_none() {
+            let store = pstore::Store::open_with(&mp.dir, mp.opts.clone())
+                .map_err(|e| BlobError::persistence(&mp.dir, &e))?;
+            let replayed = store.replayed_bytes();
+            *g = Some(store);
+            drop(g);
+            self.load_stripes()?;
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+            replayed
+        } else {
+            0
+        };
+        self.revive();
+        Ok(replayed)
+    }
+
+    /// True between [`Self::crash_wipe`] and [`Self::recover`].
+    pub fn is_wiped(&self) -> bool {
+        matches!(&self.persist, Some(mp) if mp.store.read().is_none())
+    }
+
+    /// Completed crash-restart recoveries.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
     }
 
     pub fn node(&self) -> NodeId {
@@ -179,28 +353,7 @@ impl MetaDht {
             }
             server.put_rpcs.fetch_add(1, Ordering::Relaxed);
             server.puts.fetch_add(group.len() as u64, Ordering::Relaxed);
-            // Write-lock each touched stripe once for its share; untouched
-            // stripes (and their concurrent readers) are never blocked.
-            let mut by_stripe: Vec<Vec<(NodeKey, NodeBody)>> =
-                (0..NODE_STRIPES).map(|_| Vec::new()).collect();
-            for (key, body) in group {
-                by_stripe[stripe_of(&key)].push((key, body));
-            }
-            for (si, share) in by_stripe.into_iter().enumerate() {
-                if share.is_empty() {
-                    continue;
-                }
-                let mut stored = server.nodes[si].write();
-                for (key, body) in share {
-                    if let Some(prev) = stored.get(&key) {
-                        debug_assert_eq!(
-                            prev, &body,
-                            "metadata node {key:?} rewritten with different content"
-                        );
-                    }
-                    stored.insert(key, body);
-                }
-            }
+            server.store_nodes(group)?;
         }
         Ok(())
     }
@@ -397,6 +550,79 @@ mod tests {
                 .sum();
             assert_eq!(rpcs, 0);
         });
+    }
+
+    #[test]
+    fn persistent_meta_server_survives_crash_restart() {
+        let dir = std::env::temp_dir().join(format!("meta-pstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d2 = dir.clone();
+        with_proc(move |p| {
+            let server = Arc::new(
+                MetaServer::new_persistent(NodeId(0), &d2, pstore::StoreOptions::default())
+                    .unwrap(),
+            );
+            let d = MetaDht::new(vec![server.clone()], 0);
+            let items: Vec<(NodeKey, NodeBody)> =
+                (1..40u64).map(|v| (key(v, 0, 1), leaf(v))).collect();
+            d.put_batch(p, items.clone()).unwrap();
+            assert_eq!(server.node_count(), 39);
+
+            server.crash_wipe().unwrap();
+            assert!(server.is_wiped());
+            assert_eq!(server.node_count(), 0, "wipe drops the whole map");
+            assert!(matches!(
+                d.get(p, &key(1, 0, 1)),
+                Err(BlobError::ProviderDown { .. })
+            ));
+
+            let replayed = server.recover().unwrap();
+            assert!(replayed > 0, "no checkpoint: the whole log replays");
+            assert_eq!(server.recoveries(), 1);
+            assert_eq!(server.node_count(), 39, "every acked node came back");
+            for (k, body) in &items {
+                assert_eq!(d.get(p, k).unwrap().as_ref(), Some(body));
+            }
+            // Idempotent on a live server.
+            assert_eq!(server.recover().unwrap(), 0);
+            assert_eq!(server.recoveries(), 1);
+
+            // Memory-only servers cannot model a restart.
+            let mem = MetaServer::new(NodeId(1));
+            assert!(matches!(
+                mem.crash_wipe(),
+                Err(BlobError::UnsupportedFault(_))
+            ));
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_meta_server_reopens_from_directory() {
+        let dir = std::env::temp_dir().join(format!("meta-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d2 = dir.clone();
+        with_proc(move |p| {
+            let server = Arc::new(
+                MetaServer::new_persistent(NodeId(0), &d2, pstore::StoreOptions::default())
+                    .unwrap(),
+            );
+            let d = MetaDht::new(vec![server], 0);
+            d.put(p, key(5, 0, 1), leaf(5)).unwrap();
+        });
+        // A brand-new server object over the same directory (full process
+        // restart) serves the old nodes.
+        let d3 = dir.clone();
+        with_proc(move |p| {
+            let server = Arc::new(
+                MetaServer::new_persistent(NodeId(0), &d3, pstore::StoreOptions::default())
+                    .unwrap(),
+            );
+            assert_eq!(server.node_count(), 1);
+            let d = MetaDht::new(vec![server], 0);
+            assert_eq!(d.get(p, &key(5, 0, 1)).unwrap(), Some(leaf(5)));
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

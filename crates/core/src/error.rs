@@ -1,8 +1,54 @@
 //! Error vocabulary for the BLOB store.
 
 use std::fmt;
+use std::path::Path;
 
 use crate::types::{BlobId, Version};
+
+/// Cause class of a [`BlobError::Persistence`] failure. Typed (not a string)
+/// so chaos/recovery tests can assert on the cause rather than
+/// substring-match a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PersistenceKind {
+    /// Underlying filesystem error.
+    Io,
+    /// On-disk data failed checksum or structural validation.
+    Corrupt,
+    /// The operation is not representable on the durable backend (e.g.
+    /// storing a ghost payload, which has no bytes to persist).
+    Unsupported,
+}
+
+impl fmt::Display for PersistenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistenceKind::Io => write!(f, "io"),
+            PersistenceKind::Corrupt => write!(f, "corrupt"),
+            PersistenceKind::Unsupported => write!(f, "unsupported"),
+        }
+    }
+}
+
+impl From<pstore::PStoreErrorKind> for PersistenceKind {
+    fn from(k: pstore::PStoreErrorKind) -> Self {
+        match k {
+            pstore::PStoreErrorKind::Io => PersistenceKind::Io,
+            pstore::PStoreErrorKind::Corrupt => PersistenceKind::Corrupt,
+        }
+    }
+}
+
+impl BlobError {
+    /// Wrap a [`pstore::PStoreError`] raised while operating on the store
+    /// rooted at `path`, preserving its cause class.
+    pub fn persistence(path: &Path, e: &pstore::PStoreError) -> BlobError {
+        BlobError::Persistence {
+            kind: e.kind().into(),
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        }
+    }
+}
 
 /// Errors surfaced by BlobSeer operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,8 +85,13 @@ pub enum BlobError {
     /// between two observations. Callers may re-check the published version
     /// and retry; this is never a panic.
     VersionRaced { blob: BlobId, version: Version },
-    /// Local persistence failure.
-    Persistence(String),
+    /// Local persistence failure: the cause class, the store directory it
+    /// happened in, and a human-readable detail line.
+    Persistence {
+        kind: PersistenceKind,
+        path: String,
+        detail: String,
+    },
     /// A deployment was asked for that cannot work (no providers,
     /// replication above the provider count, service nodes outside the
     /// cluster, ...). Returned by `BlobSeer::deploy` instead of panicking
@@ -88,7 +139,9 @@ impl fmt::Display for BlobError {
                 "{blob} version {version}: pending state vanished to a concurrent \
                  reap/commit; re-check the published version"
             ),
-            BlobError::Persistence(msg) => write!(f, "persistence layer: {msg}"),
+            BlobError::Persistence { kind, path, detail } => {
+                write!(f, "persistence layer ({kind}) at {path}: {detail}")
+            }
             BlobError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
             BlobError::NoSuchTarget(msg) => write!(f, "no such fault target: {msg}"),
             BlobError::UnsupportedFault(msg) => write!(f, "unsupported fault: {msg}"),

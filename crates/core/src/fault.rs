@@ -10,12 +10,17 @@
 //! Supported combinations (anything else is a typed
 //! [`crate::BlobError::UnsupportedFault`], never a panic):
 //!
-//! | target            | `Crash`                         | `Pause`                    |
-//! |-------------------|---------------------------------|----------------------------|
-//! | `Provider(i)`     | rejects stores/fetches          | —                          |
-//! | `MetaServer(i)`   | rejects tree-node puts/gets     | —                          |
-//! | `VersionManager`  | — (failover is a roadmap item)  | requests stall until heal  |
-//! | `Reaper`          | sweeps skipped until heal       | sweeps skipped until heal  |
+//! | target            | `Crash`                         | `Pause`                    | `CrashRestart`                      |
+//! |-------------------|---------------------------------|----------------------------|-------------------------------------|
+//! | `Provider(i)`     | rejects stores/fetches          | —                          | wipes memory; heal replays disk ¹   |
+//! | `MetaServer(i)`   | rejects tree-node puts/gets     | —                          | wipes memory; heal replays disk ¹   |
+//! | `VersionManager`  | — (failover is a roadmap item)  | requests stall until heal  | —                                   |
+//! | `Reaper`          | sweeps skipped until heal       | sweeps skipped until heal  | —                                   |
+//!
+//! ¹ `CrashRestart` requires a persistent deployment (`persist_dir` set):
+//! the process loses everything in memory and the paired heal restarts it
+//! from its [`pstore`] directory. On a memory-only deployment there is no
+//! disk to come back from, so injection answers `UnsupportedFault`.
 //!
 //! Network-level faults (delays, drops, partitions) live one layer down, on
 //! the fabric: see `fabric::NetFault`.
@@ -56,6 +61,12 @@ pub enum Fault {
     /// The service freezes: requests against it stall until healed (a
     /// GC pause, an overloaded box — the process is alive but mute).
     Pause,
+    /// The process dies and loses ALL in-memory state (index, counters,
+    /// buffered unacknowledged writes); the paired heal restarts it from
+    /// its durable store directory, replaying from the newest checkpoint.
+    /// Only meaningful on persistent deployments — `Crash` merely makes a
+    /// service unresponsive, `CrashRestart` proves its *recovery* path.
+    CrashRestart,
 }
 
 impl fmt::Display for Fault {
@@ -63,6 +74,7 @@ impl fmt::Display for Fault {
         match self {
             Fault::Crash => write!(f, "crash"),
             Fault::Pause => write!(f, "pause"),
+            Fault::CrashRestart => write!(f, "crash-restart"),
         }
     }
 }

@@ -42,7 +42,7 @@ pub use client::{BlobClient, PageLocation};
 pub use cluster::{BlobSeer, Layout, ReaperHandle};
 pub use config::{AllocStrategy, BlobSeerConfig, Timeouts};
 pub use desc_index::DescIndex;
-pub use error::{BlobError, BlobResult};
+pub use error::{BlobError, BlobResult, PersistenceKind};
 pub use fault::{Fault, FaultTarget};
 pub use meta::{PageRef, SnapshotInfo};
 pub use provider_manager::LeaseId;

@@ -52,7 +52,39 @@ impl NodeKey {
     pub fn is_leaf(&self) -> bool {
         self.page_hi - self.page_lo == 1
     }
+
+    /// Durable-store key: the `n/` namespace tag followed by the four id
+    /// fields big-endian, so a prefix scan enumerates nodes in a stable
+    /// (blob, version, range) order.
+    pub fn encode(&self) -> [u8; NODE_KEY_BYTES] {
+        let mut k = [0u8; NODE_KEY_BYTES];
+        k[..2].copy_from_slice(NODE_KEY_PREFIX);
+        k[2..10].copy_from_slice(&self.blob.0.to_be_bytes());
+        k[10..18].copy_from_slice(&self.version.to_be_bytes());
+        k[18..26].copy_from_slice(&self.page_lo.to_be_bytes());
+        k[26..].copy_from_slice(&self.page_hi.to_be_bytes());
+        k
+    }
+
+    /// Inverse of [`Self::encode`]; `None` on any structural mismatch.
+    pub fn decode(k: &[u8]) -> Option<NodeKey> {
+        if k.len() != NODE_KEY_BYTES || &k[..2] != NODE_KEY_PREFIX {
+            return None;
+        }
+        let f = |r: std::ops::Range<usize>| u64::from_be_bytes(k[r].try_into().unwrap());
+        Some(NodeKey {
+            blob: BlobId(f(2..10)),
+            version: f(10..18),
+            page_lo: f(18..26),
+            page_hi: f(26..34),
+        })
+    }
 }
+
+/// Key namespace for metadata tree nodes inside a server's durable store.
+pub const NODE_KEY_PREFIX: &[u8] = b"n/";
+/// Encoded [`NodeKey`] length: prefix + 4×u64.
+pub const NODE_KEY_BYTES: usize = 34;
 
 /// Reference from an inner node to a child subtree (possibly of an older
 /// version).
@@ -95,6 +127,92 @@ impl NodeBody {
             NodeBody::Inner { .. } => 96,
             NodeBody::Leaf(p) => 48 + 8 * p.providers.len() as u64,
         }
+    }
+
+    /// Durable-store value: a tag byte (0 = inner, 1 = leaf) followed by
+    /// the variant's fields in fixed-width little-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        fn child(out: &mut Vec<u8>, c: &Option<ChildRef>) {
+            match c {
+                None => out.push(0),
+                Some(c) => {
+                    out.push(1);
+                    for v in [c.version, c.page_lo, c.page_hi, c.byte_len] {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            NodeBody::Inner { left, right } => {
+                out.push(0);
+                child(&mut out, left);
+                child(&mut out, right);
+            }
+            NodeBody::Leaf(p) => {
+                out.push(1);
+                out.extend_from_slice(&p.id.0.to_le_bytes());
+                out.extend_from_slice(&p.id.1.to_le_bytes());
+                out.extend_from_slice(&p.byte_len.to_le_bytes());
+                out.extend_from_slice(&(p.providers.len() as u32).to_le_bytes());
+                for n in &p.providers {
+                    out.extend_from_slice(&n.0.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Self::encode`]; `None` on any structural mismatch
+    /// (wrong tag, truncation, trailing bytes).
+    pub fn decode(v: &[u8]) -> Option<NodeBody> {
+        fn u64_at(v: &[u8], at: &mut usize) -> Option<u64> {
+            let out = u64::from_le_bytes(v.get(*at..*at + 8)?.try_into().unwrap());
+            *at += 8;
+            Some(out)
+        }
+        fn child(v: &[u8], at: &mut usize) -> Option<Option<ChildRef>> {
+            let tag = *v.get(*at)?;
+            *at += 1;
+            match tag {
+                0 => Some(None),
+                1 => Some(Some(ChildRef {
+                    version: u64_at(v, at)?,
+                    page_lo: u64_at(v, at)?,
+                    page_hi: u64_at(v, at)?,
+                    byte_len: u64_at(v, at)?,
+                })),
+                _ => None,
+            }
+        }
+        let mut at = 1;
+        let body = match *v.first()? {
+            0 => NodeBody::Inner {
+                left: child(v, &mut at)?,
+                right: child(v, &mut at)?,
+            },
+            1 => {
+                let id = PageId(u64_at(v, &mut at)?, u64_at(v, &mut at)?);
+                let byte_len = u64_at(v, &mut at)?;
+                let count = u32::from_le_bytes(v.get(at..at + 4)?.try_into().unwrap());
+                at += 4;
+                let mut providers = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    providers.push(NodeId(u32::from_le_bytes(
+                        v.get(at..at + 4)?.try_into().unwrap(),
+                    )));
+                    at += 4;
+                }
+                NodeBody::Leaf(PageRef {
+                    id,
+                    byte_len,
+                    providers,
+                })
+            }
+            _ => return None,
+        };
+        (at == v.len()).then_some(body)
     }
 }
 
@@ -560,6 +678,77 @@ mod tests {
     use super::*;
 
     const PS: u64 = 100;
+
+    #[test]
+    fn node_codec_roundtrips() {
+        let keys = [
+            NodeKey {
+                blob: BlobId(7),
+                version: 3,
+                page_lo: 0,
+                page_hi: 8,
+            },
+            NodeKey {
+                blob: BlobId(u64::MAX),
+                version: u64::MAX,
+                page_lo: u64::MAX - 1,
+                page_hi: u64::MAX,
+            },
+        ];
+        for k in keys {
+            let enc = k.encode();
+            assert!(enc.starts_with(NODE_KEY_PREFIX));
+            assert_eq!(NodeKey::decode(&enc), Some(k));
+        }
+        assert_eq!(NodeKey::decode(b"n/short"), None);
+        assert_eq!(NodeKey::decode(&[0u8; NODE_KEY_BYTES]), None, "bad prefix");
+
+        let bodies = [
+            NodeBody::Inner {
+                left: None,
+                right: None,
+            },
+            NodeBody::Inner {
+                left: Some(ChildRef {
+                    version: 2,
+                    page_lo: 0,
+                    page_hi: 4,
+                    byte_len: 400,
+                }),
+                right: Some(ChildRef {
+                    version: 3,
+                    page_lo: 4,
+                    page_hi: 8,
+                    byte_len: 137,
+                }),
+            },
+            NodeBody::Leaf(PageRef {
+                id: PageId(0xAB, 0xCD),
+                byte_len: 64,
+                providers: vec![],
+            }),
+            NodeBody::Leaf(PageRef {
+                id: PageId(1, 2),
+                byte_len: 100,
+                providers: vec![NodeId(5), NodeId(9), NodeId(200)],
+            }),
+        ];
+        for b in bodies {
+            assert_eq!(NodeBody::decode(&b.encode()), Some(b));
+        }
+        assert_eq!(NodeBody::decode(&[]), None);
+        assert_eq!(NodeBody::decode(&[9]), None, "unknown tag");
+        let mut trailing = bodies_last_encode();
+        trailing.push(0);
+        assert_eq!(NodeBody::decode(&trailing), None, "trailing bytes");
+        fn bodies_last_encode() -> Vec<u8> {
+            NodeBody::Inner {
+                left: None,
+                right: None,
+            }
+            .encode()
+        }
+    }
 
     /// In-memory harness that plays version manager + DHT + providers for
     /// the pure metadata logic: appends real byte vectors, keeps reference

@@ -27,12 +27,13 @@
 //! relies on a global lock either.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use fabric::{NodeId, Payload, Proc};
 use parking_lot::RwLock;
 
-use crate::error::{BlobError, BlobResult};
+use crate::error::{BlobError, BlobResult, PersistenceKind};
 use crate::types::PageId;
 
 /// Stripe count of the in-memory page map. Page ids are random 128-bit
@@ -49,9 +50,24 @@ enum Backend {
     /// benchmarks).
     Mem(Vec<RwLock<HashMap<PageId, Payload>>>),
     /// BerkeleyDB-substitute store; internally synchronized (`put`/`get`
-    /// take `&self`), so no provider-level lock wraps it.
-    Persistent(pstore::Store),
+    /// take `&self`), so data-path calls share a read guard. The outer
+    /// `RwLock<Option<..>>` exists only for the crash-restart lifecycle:
+    /// `crash_wipe` takes the write guard (serializing against in-flight
+    /// batches) and drops the store; `recover` reopens it from `dir`.
+    /// Boxed to keep the common `Mem` variant lean.
+    Persistent(Box<PersistentBackend>),
 }
+
+struct PersistentBackend {
+    /// `None` while crash-wiped (between `crash_wipe` and `recover`).
+    store: RwLock<Option<pstore::Store>>,
+    dir: PathBuf,
+    opts: pstore::StoreOptions,
+}
+
+/// Key namespace for pages inside a provider's store (recovery rebuilds the
+/// page counters from exactly this prefix).
+const PAGE_PREFIX: &[u8] = b"p/";
 
 /// One page-storage service instance.
 pub struct Provider {
@@ -67,6 +83,8 @@ pub struct Provider {
     get_ops: AtomicU64,
     put_rpcs: AtomicU64,
     get_rpcs: AtomicU64,
+    /// Completed crash-restart recoveries (diagnostics).
+    recoveries: AtomicU64,
 }
 
 /// Modeled per-page framing overhead riding a batched page transfer.
@@ -74,10 +92,11 @@ const PAGE_HDR_BYTES: u64 = 32;
 /// Modeled wire size of one page id in a batched fetch request.
 const PAGE_REQ_BYTES: u64 = 16;
 
-fn page_key(id: PageId) -> [u8; 16] {
-    let mut k = [0u8; 16];
-    k[..8].copy_from_slice(&id.0.to_be_bytes());
-    k[8..].copy_from_slice(&id.1.to_be_bytes());
+fn page_key(id: PageId) -> [u8; 18] {
+    let mut k = [0u8; 18];
+    k[..2].copy_from_slice(PAGE_PREFIX);
+    k[2..10].copy_from_slice(&id.0.to_be_bytes());
+    k[10..].copy_from_slice(&id.1.to_be_bytes());
     k
 }
 
@@ -94,6 +113,7 @@ impl Provider {
             get_ops: AtomicU64::new(0),
             put_rpcs: AtomicU64::new(0),
             get_rpcs: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
         }
     }
 
@@ -103,11 +123,128 @@ impl Provider {
         Self::with_backend(node, Backend::Mem(stripes.collect()))
     }
 
-    /// Provider backed by the BerkeleyDB-substitute [`pstore::Store`]
-    /// (live mode with real bytes only).
-    pub fn new_persistent(node: NodeId, dir: &std::path::Path) -> BlobResult<Self> {
-        let store = pstore::Store::open(dir).map_err(|e| BlobError::Persistence(e.to_string()))?;
-        Ok(Self::with_backend(node, Backend::Persistent(store)))
+    /// Provider backed by the BerkeleyDB-substitute [`pstore::Store`] with
+    /// default store options (real payload bytes only).
+    pub fn new_persistent(node: NodeId, dir: &Path) -> BlobResult<Self> {
+        Self::new_persistent_with(node, dir, pstore::StoreOptions::default())
+    }
+
+    /// Provider backed by [`pstore::Store`] with explicit store options
+    /// (segment size, fsync policy, checkpoint cadence). Opening a
+    /// non-empty directory *recovers* it: the page index replays from the
+    /// newest checkpoint and `stored_bytes`/`stored_pages` are reconstructed
+    /// from the index — never trusted from the dead process.
+    pub fn new_persistent_with(
+        node: NodeId,
+        dir: &Path,
+        opts: pstore::StoreOptions,
+    ) -> BlobResult<Self> {
+        let store = pstore::Store::open_with(dir, opts.clone())
+            .map_err(|e| BlobError::persistence(dir, &e))?;
+        let prov = Self::with_backend(
+            node,
+            Backend::Persistent(Box::new(PersistentBackend {
+                store: RwLock::new(Some(store)),
+                dir: dir.to_path_buf(),
+                opts,
+            })),
+        );
+        prov.rebuild_counters();
+        Ok(prov)
+    }
+
+    /// Reconstruct `stored_pages`/`stored_bytes` from the store's page index
+    /// (metadata only — no value reads) and zero the reservation book: a
+    /// freshly (re)opened provider has no in-flight writers yet; the
+    /// provider manager re-reserves for leases that straddled the restart
+    /// (`ProviderManager::reinstate`).
+    fn rebuild_counters(&self) {
+        let Backend::Persistent(pb) = &self.backend else {
+            return;
+        };
+        let g = pb.store.read();
+        if let Some(s) = g.as_ref() {
+            let meta = s.prefix_meta(PAGE_PREFIX);
+            self.stored_pages
+                .store(meta.len() as u64, Ordering::Relaxed);
+            self.stored_bytes
+                .store(meta.iter().map(|(_, n)| *n).sum(), Ordering::Relaxed);
+        }
+        self.reserved_bytes.store(0, Ordering::Relaxed);
+    }
+
+    /// Process-crash injection for persistent providers: stop serving, drop
+    /// ALL in-memory state (index, counters, buffered unacknowledged
+    /// records) and keep only the on-disk store directory — the state a real
+    /// restart would find. Memory-backed providers cannot model this
+    /// (nothing would survive) and answer `UnsupportedFault`.
+    pub fn crash_wipe(&self) -> BlobResult<()> {
+        let Backend::Persistent(pb) = &self.backend else {
+            return Err(BlobError::UnsupportedFault(format!(
+                "provider on {} holds pages in memory only; \
+                 CrashRestart requires a persist_dir deployment",
+                self.node
+            )));
+        };
+        self.kill();
+        // The write guard serializes against in-flight batches: a batch
+        // that acknowledged before the wipe has already flushed to the OS
+        // and survives; one that lost the race observes `None` and fails
+        // with `ProviderDown`, exactly like a mid-stream crash.
+        if let Some(s) = pb.store.write().take() {
+            s.abandon();
+        }
+        for c in [
+            &self.stored_bytes,
+            &self.stored_pages,
+            &self.reserved_bytes,
+            &self.put_ops,
+            &self.get_ops,
+            &self.put_rpcs,
+            &self.get_rpcs,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Restart a crash-wiped provider from its store directory: replay from
+    /// the newest checkpoint, rebuild counters from the recovered index, and
+    /// resume serving. Returns the bytes replayed past the checkpoint (the
+    /// recovery cost the checkpoint cadence bounds). Idempotent: recovering
+    /// a provider that was never wiped just revives it.
+    pub fn recover(&self) -> BlobResult<u64> {
+        let Backend::Persistent(pb) = &self.backend else {
+            return Err(BlobError::UnsupportedFault(format!(
+                "provider on {} holds pages in memory only; nothing to recover",
+                self.node
+            )));
+        };
+        let mut g = pb.store.write();
+        let replayed = if g.is_none() {
+            let store = pstore::Store::open_with(&pb.dir, pb.opts.clone())
+                .map_err(|e| BlobError::persistence(&pb.dir, &e))?;
+            let replayed = store.replayed_bytes();
+            *g = Some(store);
+            drop(g);
+            self.rebuild_counters();
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+            replayed
+        } else {
+            0
+        };
+        self.revive();
+        Ok(replayed)
+    }
+
+    /// True between [`Self::crash_wipe`] and [`Self::recover`].
+    pub fn is_wiped(&self) -> bool {
+        matches!(&self.backend, Backend::Persistent(pb) if pb.store.read().is_none())
+    }
+
+    /// Completed crash-restart recoveries.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
     }
 
     /// The node hosting this provider.
@@ -220,11 +357,10 @@ impl Provider {
             return all_down();
         }
         let mut out = Vec::with_capacity(n);
-        let mut landed_bytes = 0u64;
-        for (id, data) in pages {
-            let len = data.len();
-            let res = match &self.backend {
-                Backend::Mem(stripes) => {
+        match &self.backend {
+            Backend::Mem(stripes) => {
+                for (id, data) in pages {
+                    let len = data.len();
                     // Only this page's stripe is write-locked; concurrent
                     // batches for other stripes proceed in parallel.
                     let mut m = stripes[stripe_of(id)].write();
@@ -232,38 +368,72 @@ impl Provider {
                         self.stored_pages.fetch_add(1, Ordering::Relaxed);
                         self.stored_bytes.fetch_add(len, Ordering::Relaxed);
                     }
-                    Ok(())
+                    drop(m);
+                    // A page that landed consumes its capacity reservation
+                    // here — failed pages keep theirs for the caller to
+                    // release.
+                    self.unreserve(len);
+                    out.push(Ok(()));
                 }
-                Backend::Persistent(s) => match &data {
-                    Payload::Bytes(b) => {
-                        let existed = s.contains(&page_key(id));
-                        match s.put(&page_key(id), b.as_ref()) {
-                            Ok(()) => {
-                                if !existed {
-                                    self.stored_pages.fetch_add(1, Ordering::Relaxed);
-                                    self.stored_bytes.fetch_add(len, Ordering::Relaxed);
-                                }
-                                Ok(())
-                            }
-                            Err(e) => Err(BlobError::Persistence(e.to_string())),
-                        }
-                    }
-                    Payload::Ghost(_) => Err(BlobError::Persistence(
-                        "persistent providers require real payload bytes".into(),
-                    )),
-                },
-            };
-            // A page that landed consumes its capacity reservation here —
-            // failed pages keep theirs for the caller to release, whatever
-            // mix of per-page successes and failures the batch produced.
-            if res.is_ok() {
-                landed_bytes += len;
-                self.unreserve(len);
             }
-            out.push(res);
-        }
-        if matches!(&self.backend, Backend::Persistent(_)) {
-            p.disk_write(self.node, landed_bytes);
+            Backend::Persistent(pb) => {
+                // The read guard is held across the whole batch INCLUDING
+                // the flush: a concurrent crash_wipe serializes before the
+                // batch (every page answers ProviderDown) or after it
+                // (every acknowledged page is already on the OS side of a
+                // process crash). No page is ever acked and then lost.
+                let g = pb.store.read();
+                let Some(s) = g.as_ref() else {
+                    return all_down();
+                };
+                // Stage every page into the store first...
+                let mut staged: Vec<(u64, BlobResult<bool>)> = Vec::with_capacity(n);
+                for (id, data) in pages {
+                    let len = data.len();
+                    let res = match &data {
+                        Payload::Bytes(b) => {
+                            let existed = s.contains(&page_key(id));
+                            s.put(&page_key(id), b.as_ref())
+                                .map(|()| !existed)
+                                .map_err(|e| BlobError::persistence(&pb.dir, &e))
+                        }
+                        Payload::Ghost(_) => Err(BlobError::Persistence {
+                            kind: PersistenceKind::Unsupported,
+                            path: pb.dir.display().to_string(),
+                            detail: "persistent providers require real payload bytes".into(),
+                        }),
+                    };
+                    staged.push((len, res));
+                }
+                // ...then make them process-crash durable before a single
+                // acknowledgement leaves this provider. A failed flush
+                // fails the batch: nothing unflushed is ever acked.
+                let flush_err = s
+                    .flush_buffered()
+                    .err()
+                    .map(|e| BlobError::persistence(&pb.dir, &e));
+                drop(g);
+                let mut landed_bytes = 0u64;
+                for (len, res) in staged {
+                    let res = match (&flush_err, res) {
+                        (Some(fe), Ok(_)) => Err(fe.clone()),
+                        (_, r) => r,
+                    };
+                    match res {
+                        Ok(newly_stored) => {
+                            if newly_stored {
+                                self.stored_pages.fetch_add(1, Ordering::Relaxed);
+                                self.stored_bytes.fetch_add(len, Ordering::Relaxed);
+                            }
+                            landed_bytes += len;
+                            self.unreserve(len);
+                            out.push(Ok(()));
+                        }
+                        Err(e) => out.push(Err(e)),
+                    }
+                }
+                p.disk_write(self.node, landed_bytes);
+            }
         }
         out
     }
@@ -296,29 +466,51 @@ impl Provider {
         p.transfer(p.node(), self.node, PAGE_REQ_BYTES * n as u64);
         let mut out = Vec::with_capacity(n);
         let mut found_bytes = 0u64;
-        for id in ids {
-            let data = match &self.backend {
-                // Read lock on one stripe: concurrent readers of the same
-                // stripe share it, writers to other stripes never touch it.
-                Backend::Mem(stripes) => Ok(stripes[stripe_of(*id)].read().get(id).cloned()),
-                Backend::Persistent(s) => s
-                    .get(&page_key(*id))
-                    .map_err(|e| BlobError::Persistence(e.to_string()))
-                    .map(|b| b.map(Payload::from_vec)),
-            };
-            out.push(match data {
-                Ok(Some(d)) => {
-                    found_bytes += d.len();
-                    Ok(d)
+        match &self.backend {
+            Backend::Mem(stripes) => {
+                for id in ids {
+                    // Read lock on one stripe: concurrent readers of the
+                    // same stripe share it, writers to other stripes never
+                    // touch it.
+                    let data = stripes[stripe_of(*id)].read().get(id).cloned();
+                    out.push(match data {
+                        Some(d) => {
+                            found_bytes += d.len();
+                            Ok(d)
+                        }
+                        None => Err(BlobError::PageUnavailable {
+                            detail: format!("page {id:?} not on provider {}", self.node),
+                        }),
+                    });
                 }
-                Ok(None) => Err(BlobError::PageUnavailable {
-                    detail: format!("page {id:?} not on provider {}", self.node),
-                }),
-                Err(e) => Err(e),
-            });
-        }
-        if matches!(&self.backend, Backend::Persistent(_)) {
-            p.disk_read(self.node, found_bytes);
+            }
+            Backend::Persistent(pb) => {
+                let g = pb.store.read();
+                let Some(s) = g.as_ref() else {
+                    // Crash-wiped mid-exchange: the whole batch is lost.
+                    return (0..n)
+                        .map(|_| Err(BlobError::ProviderDown { node: self.node.0 }))
+                        .collect();
+                };
+                for id in ids {
+                    let data = s
+                        .get(&page_key(*id))
+                        .map_err(|e| BlobError::persistence(&pb.dir, &e))
+                        .map(|b| b.map(Payload::from_vec));
+                    out.push(match data {
+                        Ok(Some(d)) => {
+                            found_bytes += d.len();
+                            Ok(d)
+                        }
+                        Ok(None) => Err(BlobError::PageUnavailable {
+                            detail: format!("page {id:?} not on provider {}", self.node),
+                        }),
+                        Err(e) => Err(e),
+                    });
+                }
+                drop(g);
+                p.disk_read(self.node, found_bytes);
+            }
         }
         p.transfer(self.node, p.node(), found_bytes + PAGE_HDR_BYTES * n as u64);
         out
@@ -330,7 +522,14 @@ impl Provider {
     pub fn has_page(&self, id: PageId) -> bool {
         match &self.backend {
             Backend::Mem(stripes) => stripes[stripe_of(id)].read().contains_key(&id),
-            Backend::Persistent(s) => s.contains(&page_key(id)),
+            // A crash-wiped store holds nothing in memory; any reaper
+            // misaccounting in the wipe window is erased when `recover`
+            // rebuilds the counters from disk.
+            Backend::Persistent(pb) => pb
+                .store
+                .read()
+                .as_ref()
+                .is_some_and(|s| s.contains(&page_key(id))),
         }
     }
 }
@@ -498,7 +697,13 @@ mod tests {
                 ],
             );
             assert!(res[0].is_ok());
-            assert!(matches!(res[1], Err(BlobError::Persistence(_))));
+            assert!(matches!(
+                res[1],
+                Err(BlobError::Persistence {
+                    kind: PersistenceKind::Unsupported,
+                    ..
+                })
+            ));
             assert!(res[2].is_ok());
             assert_eq!(prov.stored_pages(), 2, "only the landed pages count");
             assert_eq!(prov.stored_bytes(), 20);
@@ -531,7 +736,7 @@ mod tests {
             // Ghosts cannot be persisted.
             assert!(matches!(
                 prov.put_page(p, PageId(3, 5), Payload::ghost(10)),
-                Err(BlobError::Persistence(_))
+                Err(BlobError::Persistence { .. })
             ));
         });
         // Reopen: pages survive "process restart".
@@ -542,6 +747,96 @@ mod tests {
                 prov.get_page(p, PageId(3, 4)).unwrap().bytes().as_ref(),
                 b"durable"
             );
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_persistent_provider_reconstructs_counters() {
+        // Satellite: the books must balance after open → put → reopen — a
+        // fresh process on a non-empty directory reconstructs
+        // stored_bytes/stored_pages from the index instead of starting at
+        // zero, and load_estimate equals stored_bytes (no phantom
+        // reservations).
+        let dir = std::env::temp_dir().join(format!("prov-books-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d2 = dir.clone();
+        with_proc(move |p| {
+            let prov = Provider::new_persistent(NodeId(1), &d2).unwrap();
+            assert_eq!(prov.stored_bytes(), 0);
+            for i in 0..5u64 {
+                prov.put_page(p, PageId(7, i), Payload::from_vec(vec![i as u8; 100]))
+                    .unwrap();
+            }
+            assert_eq!(prov.stored_pages(), 5);
+            assert_eq!(prov.stored_bytes(), 500);
+        });
+        let d3 = dir.clone();
+        with_proc(move |_p| {
+            let prov = Provider::new_persistent(NodeId(1), &d3).unwrap();
+            assert_eq!(prov.stored_pages(), 5, "page count rebuilt from index");
+            assert_eq!(prov.stored_bytes(), 500, "byte count rebuilt from index");
+            assert_eq!(
+                prov.load_estimate(),
+                prov.stored_bytes(),
+                "no reservations cross a restart"
+            );
+            assert_eq!(prov.op_counts(), (0, 0), "op counters are per-process");
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_wipe_then_recover_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("prov-wipe-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let d2 = dir.clone();
+        with_proc(move |p| {
+            let prov = Provider::new_persistent(NodeId(1), &d2).unwrap();
+            prov.reserve(64);
+            prov.put_page(p, PageId(1, 1), Payload::from_vec(vec![1u8; 64]))
+                .unwrap();
+            prov.put_page(p, PageId(1, 2), Payload::from_vec(vec![2u8; 32]))
+                .unwrap();
+            prov.reserve(1000); // in-flight writer that will die with the crash
+
+            prov.crash_wipe().unwrap();
+            assert!(prov.is_wiped());
+            assert!(!prov.is_alive());
+            assert_eq!(prov.stored_bytes(), 0, "wipe drops all in-memory state");
+            assert!(!prov.has_page(PageId(1, 1)), "wiped store answers nothing");
+            assert!(matches!(
+                prov.get_page(p, PageId(1, 1)),
+                Err(BlobError::ProviderDown { .. })
+            ));
+
+            let replayed = prov.recover().unwrap();
+            assert!(replayed > 0, "no checkpoint was taken: all bytes replay");
+            assert!(!prov.is_wiped());
+            assert!(prov.is_alive());
+            assert_eq!(prov.recoveries(), 1);
+            assert_eq!(prov.stored_pages(), 2);
+            assert_eq!(prov.stored_bytes(), 96);
+            assert_eq!(
+                prov.load_estimate(),
+                prov.stored_bytes(),
+                "crash erased the stale reservation"
+            );
+            assert_eq!(
+                prov.get_page(p, PageId(1, 2)).unwrap().bytes().as_ref(),
+                &[2u8; 32][..]
+            );
+            // Idempotent: recovering a live provider is a no-op revive.
+            assert_eq!(prov.recover().unwrap(), 0);
+            assert_eq!(prov.recoveries(), 1);
+
+            // Memory-backed providers cannot model a restart.
+            let mem = Provider::new_mem(NodeId(2));
+            assert!(matches!(
+                mem.crash_wipe(),
+                Err(BlobError::UnsupportedFault(_))
+            ));
+            assert!(matches!(mem.recover(), Err(BlobError::UnsupportedFault(_))));
         });
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -44,6 +44,7 @@
 //! RNG stream.
 
 use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -56,6 +57,51 @@ use crate::config::AllocStrategy;
 use crate::error::{BlobError, BlobResult};
 use crate::provider::Provider;
 use crate::types::PageId;
+
+/// Key namespace for lease records inside the manager's durable store.
+const LEASE_PREFIX: &[u8] = b"l/";
+
+fn lease_key(id: u64) -> [u8; 10] {
+    let mut k = [0u8; 10];
+    k[..2].copy_from_slice(LEASE_PREFIX);
+    k[2..].copy_from_slice(&id.to_be_bytes());
+    k
+}
+
+/// One lease record is the concatenation of its outstanding entries, 28
+/// bytes each: provider node (u32 LE), page id (2×u64 LE), bytes (u64 LE).
+const LEASE_ENTRY_BYTES: usize = 28;
+
+fn encode_lease(entries: &[(NodeId, PageId, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * LEASE_ENTRY_BYTES);
+    for &(node, page, bytes) in entries {
+        out.extend_from_slice(&node.0.to_le_bytes());
+        out.extend_from_slice(&page.0.to_le_bytes());
+        out.extend_from_slice(&page.1.to_le_bytes());
+        out.extend_from_slice(&bytes.to_le_bytes());
+    }
+    out
+}
+
+fn decode_lease(v: &[u8]) -> Option<Vec<(NodeId, PageId, u64)>> {
+    if !v.len().is_multiple_of(LEASE_ENTRY_BYTES) {
+        return None;
+    }
+    Some(
+        v.chunks_exact(LEASE_ENTRY_BYTES)
+            .map(|c| {
+                (
+                    NodeId(u32::from_le_bytes(c[..4].try_into().unwrap())),
+                    PageId(
+                        u64::from_le_bytes(c[4..12].try_into().unwrap()),
+                        u64::from_le_bytes(c[12..20].try_into().unwrap()),
+                    ),
+                    u64::from_le_bytes(c[20..].try_into().unwrap()),
+                )
+            })
+            .collect(),
+    )
+}
 
 /// Handle to the lease covering one update's page-replica reservations.
 /// Returned by [`ProviderManager::allocate`]; the writer settles it after
@@ -96,6 +142,10 @@ pub struct ProviderManager {
     leases: Mutex<LeaseBook>,
     expired_leases: AtomicU64,
     reclaimed_bytes: AtomicU64,
+    /// Durable copy of the lease book (see [`Self::with_persistence`]).
+    /// Writes are best-effort: the in-memory book stays authoritative, and a
+    /// store hiccup must never fail an allocation.
+    persist: Option<pstore::Store>,
 }
 
 impl ProviderManager {
@@ -121,6 +171,72 @@ impl ProviderManager {
             leases: Mutex::new(LeaseBook::default()),
             expired_leases: AtomicU64::new(0),
             reclaimed_bytes: AtomicU64::new(0),
+            persist: None,
+        }
+    }
+
+    /// Enable the durable lease book: every lease mutation is mirrored into
+    /// a [`pstore::Store`] at `dir`, and a manager constructed over a
+    /// non-empty directory *recovers* the leases a dead predecessor left
+    /// behind — each reloaded lease gets a fresh deadline (the predecessor's
+    /// clock died with it), `next_lease` resumes past the highest recovered
+    /// id, and unlanded reservations are re-taken on their providers so the
+    /// capacity books balance from the first allocation. A lease that
+    /// straddled the crash is then settled / adopted / reaped exactly like
+    /// one registered in this life. No-op book-keeping when leasing is
+    /// disabled (`lease_timeout_ns == None`).
+    pub fn with_persistence(mut self, dir: &Path, opts: pstore::StoreOptions) -> BlobResult<Self> {
+        let store =
+            pstore::Store::open_with(dir, opts).map_err(|e| BlobError::persistence(dir, &e))?;
+        if let Some(timeout) = self.lease_timeout_ns {
+            let records = store
+                .scan_prefix(LEASE_PREFIX)
+                .map_err(|e| BlobError::persistence(dir, &e))?;
+            let mut book = self.leases.lock();
+            // All recovered leases share one fresh deadline, keeping the
+            // queue monotone; scan order is ascending key = ascending id.
+            let deadline = self.fabric.now() + timeout;
+            let mut max_id = 0u64;
+            for (k, v) in records {
+                let (Ok(id_bytes), Some(entries)) = (
+                    <[u8; 8]>::try_from(&k[LEASE_PREFIX.len()..]),
+                    decode_lease(&v),
+                ) else {
+                    continue; // malformed record: drop it, never panic
+                };
+                let id = u64::from_be_bytes(id_bytes);
+                max_id = max_id.max(id);
+                for &(node, page, bytes) in &entries {
+                    if let Some(pr) = self.by_node.get(&node) {
+                        if !pr.has_page(page) {
+                            pr.reserve(bytes);
+                        }
+                    }
+                }
+                book.queue.push_back((deadline, id));
+                book.table.insert(id, Lease { entries });
+            }
+            drop(book);
+            self.next_lease.store(max_id, Ordering::Relaxed);
+        }
+        self.persist = Some(store);
+        Ok(self)
+    }
+
+    /// Mirror one lease's current entries into the durable book
+    /// (best-effort, flushed to the OS so it survives a process crash).
+    fn persist_lease(&self, id: u64, entries: &[(NodeId, PageId, u64)]) {
+        if let Some(s) = &self.persist {
+            let _ = s.put(&lease_key(id), &encode_lease(entries));
+            let _ = s.flush_buffered();
+        }
+    }
+
+    /// Drop one lease from the durable book (settled or reaped).
+    fn persist_drop(&self, id: u64) {
+        if let Some(s) = &self.persist {
+            let _ = s.delete(&lease_key(id));
+            let _ = s.flush_buffered();
         }
     }
 
@@ -176,6 +292,7 @@ impl ProviderManager {
     fn register_lease(&self, entries: Vec<(NodeId, PageId, u64)>) -> LeaseId {
         let id = self.next_lease.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(timeout) = self.lease_timeout_ns {
+            self.persist_lease(id, &entries);
             let mut book = self.leases.lock();
             // The deadline is read under the book lock: the O(1) front peek
             // relies on monotone queue order, which a pre-lock read would
@@ -278,6 +395,7 @@ impl ProviderManager {
                 {
                     Some(at) => {
                         l.entries.swap_remove(at);
+                        self.persist_lease(lease.0, &l.entries);
                         true
                     }
                     None => false,
@@ -312,10 +430,14 @@ impl ProviderManager {
             let mut book = self.leases.lock();
             let entry = (provider.node(), page, bytes);
             match book.table.get_mut(&lease.0) {
-                Some(l) => l.entries.push(entry),
+                Some(l) => {
+                    l.entries.push(entry);
+                    self.persist_lease(lease.0, &l.entries);
+                }
                 None => {
                     let deadline = self.fabric.now() + timeout;
                     book.queue.push_back((deadline, lease.0));
+                    self.persist_lease(lease.0, &[entry]);
                     book.table.insert(
                         lease.0,
                         Lease {
@@ -332,7 +454,9 @@ impl ProviderManager {
     /// lease so the reaper never considers this write again. Idempotent.
     pub fn settle(&self, p: &Proc, lease: LeaseId) {
         p.rpc(self.node, self.ctl_msg_bytes, self.ctl_msg_bytes);
-        self.leases.lock().table.remove(&lease.0);
+        if self.leases.lock().table.remove(&lease.0).is_some() {
+            self.persist_drop(lease.0);
+        }
         // The deadline-queue entry is dropped lazily at the next front peek.
     }
 
@@ -358,13 +482,14 @@ impl ProviderManager {
                     }
                     if now >= deadline {
                         book.queue.pop_front();
-                        expired = book.table.remove(&id);
+                        expired = book.table.remove(&id).map(|l| (id, l));
                     }
                     break;
                 }
                 expired
             };
-            let Some(lease) = expired else { break };
+            let Some((id, lease)) = expired else { break };
+            self.persist_drop(id);
             self.expired_leases.fetch_add(1, Ordering::Relaxed);
             // One control exchange per expired lease: the manager confirms
             // with the holders which reservations were consumed. A page that
@@ -385,6 +510,32 @@ impl ProviderManager {
             self.reclaimed_bytes.fetch_add(reclaimed, Ordering::Relaxed);
         }
         reclaimed
+    }
+
+    /// Re-reserve, on provider `node`, every outstanding lease entry whose
+    /// page has not landed there. Called right after a crash-restarted
+    /// provider [`Provider::recover`]s: recovery zeroes the reservation
+    /// counter (a restarted process has no memory of promises), but leases
+    /// that straddled the crash are still live — their writers may yet store
+    /// pages, and the reaper will expect the reservations to be there when
+    /// the deadlines lapse. Entries whose pages DID land consumed their
+    /// reservations (recovery already counts them as stored bytes), so only
+    /// the unlanded remainder is restored. Returns the bytes re-reserved.
+    pub fn reinstate(&self, node: NodeId) -> u64 {
+        let Some(pr) = self.by_node.get(&node) else {
+            return 0;
+        };
+        let book = self.leases.lock();
+        let mut restored = 0u64;
+        for lease in book.table.values() {
+            for &(n, page, bytes) in &lease.entries {
+                if n == node && !pr.has_page(page) {
+                    pr.reserve(bytes);
+                    restored += bytes;
+                }
+            }
+        }
+        restored
     }
 
     /// Leases currently outstanding (allocated, neither settled nor
@@ -630,6 +781,125 @@ mod tests {
         });
         fx.run();
         h.take().unwrap();
+    }
+
+    #[test]
+    fn lease_codec_roundtrips() {
+        let entries = vec![
+            (NodeId(3), PageId(0xDEAD, 0xBEEF), 4096),
+            (NodeId(0), PageId(0, 1), 7),
+            (NodeId(u32::MAX), PageId(u64::MAX, 0), u64::MAX),
+        ];
+        assert_eq!(decode_lease(&encode_lease(&entries)), Some(entries));
+        assert_eq!(decode_lease(&[]), Some(vec![]));
+        assert_eq!(decode_lease(&[1, 2, 3]), None, "truncated record");
+    }
+
+    #[test]
+    fn persisted_leases_survive_a_manager_restart() {
+        let dir = std::env::temp_dir().join(format!("pm-lease-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let timeout = 100 * fabric::MILLIS;
+
+        // Life 1: allocate three leases; settle one, partially store another,
+        // then "crash" (drop the manager without settling).
+        let fx = Fabric::sim(ClusterSpec::tiny(8));
+        let provs = providers(2);
+        let pm = pm_on(&fx, provs.clone(), AllocStrategy::RoundRobin, Some(timeout))
+            .with_persistence(&dir, pstore::StoreOptions::default())
+            .unwrap();
+        let d2 = dir.clone();
+        let h = fx.spawn(NodeId(0), "t", move |p| {
+            let (la, a) = pm.allocate(p, &pages(&[40]), 1, &[]).unwrap();
+            a[0][0].put_page(p, pg(0), Payload::ghost(40)).unwrap();
+            pm.settle(p, la);
+            let (_, b) = pm.allocate(p, &[(pg(1), 60)], 1, &[]).unwrap();
+            b[0][0].put_page(p, pg(1), Payload::ghost(60)).unwrap();
+            let (_, _) = pm.allocate(p, &[(pg(2), 90)], 1, &[]).unwrap();
+            (a[0][0].node(), b[0][0].node())
+        });
+        fx.run();
+        let (_n_a, n_b) = h.take().unwrap();
+
+        // Life 2: fresh fabric, fresh providers (pages are gone — these are
+        // mem providers, modeling the worst case), fresh manager over the
+        // same lease directory.
+        let fx = Fabric::sim(ClusterSpec::tiny(8));
+        let provs = providers(2);
+        let pm = pm_on(&fx, provs.clone(), AllocStrategy::RoundRobin, Some(timeout))
+            .with_persistence(&d2, pstore::StoreOptions::default())
+            .unwrap();
+        // The settled lease is gone; the two unsettled ones were recovered
+        // and their unlanded reservations re-taken.
+        assert_eq!(pm.outstanding_leases(), 2);
+        let reserved: u64 = provs.iter().map(|pr| pr.load_estimate()).sum();
+        assert_eq!(reserved, 150, "pg(1)+pg(2) bytes re-reserved");
+        let _ = n_b;
+        let h = fx.spawn(NodeId(0), "t", move |p| {
+            // New allocations never reuse a recovered lease id.
+            let (lease, _) = pm.allocate(p, &[(pg(9), 10)], 1, &[]).unwrap();
+            assert!(lease.0 > 3, "id sequence resumes past recovery");
+            // The recovered leases expire like natives (their writers died
+            // with the old manager) and the reaper balances the books.
+            p.sleep(2 * timeout);
+            pm.reap_expired_leases(p);
+            assert_eq!(pm.outstanding_leases(), 0);
+            for pr in pm.providers() {
+                assert_eq!(pr.load_estimate(), pr.stored_bytes());
+            }
+        });
+        fx.run();
+        h.take().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reinstate_restores_only_unlanded_reservations() {
+        let dir = std::env::temp_dir().join(format!("pm-reinstate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let pdir = dir.join("prov");
+        let ldir = dir.join("pm");
+        let timeout = 100 * fabric::MILLIS;
+        let fx = Fabric::sim(ClusterSpec::tiny(8));
+        let pr = Arc::new(Provider::new_persistent(NodeId(1), &pdir).unwrap());
+        let pm = pm_on(
+            &fx,
+            vec![pr.clone()],
+            AllocStrategy::RoundRobin,
+            Some(timeout),
+        )
+        .with_persistence(&ldir, pstore::StoreOptions::default())
+        .unwrap();
+        let h = fx.spawn(NodeId(0), "t", move |p| {
+            // One lease, two pages: the first lands, the second is still in
+            // flight when the provider crash-restarts.
+            let (lease, a) = pm.allocate(p, &pages(&[100, 60]), 1, &[]).unwrap();
+            a[0][0]
+                .put_page(p, pg(0), Payload::from_vec(vec![1u8; 100]))
+                .unwrap();
+            assert_eq!(pr.load_estimate(), 160, "100 stored + 60 reserved");
+
+            pr.crash_wipe().unwrap();
+            pr.recover().unwrap();
+            assert_eq!(
+                pr.load_estimate(),
+                100,
+                "recovery rebuilt stored bytes but forgot the reservation"
+            );
+            let restored = pm.reinstate(pr.node());
+            assert_eq!(restored, 60, "only the unlanded entry is re-reserved");
+            assert_eq!(pr.load_estimate(), 160, "books match pre-crash state");
+
+            // The straddling lease stays fully functional: the writer's late
+            // release and settle balance the books to zero outstanding.
+            pm.release(p, lease, &a[1][0], pg(1), 60);
+            pm.settle(p, lease);
+            assert_eq!(pr.load_estimate(), pr.stored_bytes());
+            assert_eq!(pm.outstanding_leases(), 0);
+        });
+        fx.run();
+        h.take().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -16,6 +16,35 @@ pub enum PStoreError {
     },
 }
 
+/// The cause class of a [`PStoreError`], detached from its payload so
+/// callers can carry it through `Clone`/`Eq` error types and assert on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PStoreErrorKind {
+    /// Underlying filesystem error.
+    Io,
+    /// Checksum or structural validation failure.
+    Corrupt,
+}
+
+impl fmt::Display for PStoreErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PStoreErrorKind::Io => write!(f, "io"),
+            PStoreErrorKind::Corrupt => write!(f, "corrupt"),
+        }
+    }
+}
+
+impl PStoreError {
+    /// The cause class of this error.
+    pub fn kind(&self) -> PStoreErrorKind {
+        match self {
+            PStoreError::Io(_) => PStoreErrorKind::Io,
+            PStoreError::Corrupt { .. } => PStoreErrorKind::Corrupt,
+        }
+    }
+}
+
 impl fmt::Display for PStoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

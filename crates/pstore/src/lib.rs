@@ -9,8 +9,12 @@
 //!
 //! Guarantees:
 //! * `put`/`delete` are durable after [`Store::flush`] (or `fsync` mode);
+//!   [`Store::flush_buffered`] gives the weaker process-crash contract;
 //! * recovery replays segments in order and stops at the first torn/corrupt
 //!   record (prefix consistency), discarding the damaged tail;
+//! * checkpoints ([`Store::checkpoint`] or `checkpoint_every_bytes`) bound
+//!   recovery replay to data-since-last-checkpoint; a damaged checkpoint is
+//!   skipped, never trusted;
 //! * [`Store::compact`] rewrites live records and reclaims dead space while
 //!   preserving the latest value of every key.
 //!
@@ -21,5 +25,5 @@ mod error;
 mod store;
 
 pub use crc::crc32;
-pub use error::{PStoreError, Result};
+pub use error::{PStoreError, PStoreErrorKind, Result};
 pub use store::{Store, StoreOptions, StoreStats};

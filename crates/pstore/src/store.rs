@@ -14,6 +14,15 @@
 //! everything after itself. The in-memory index maps keys to the segment and
 //! offset of their newest record; recovery rebuilds it by scanning segments
 //! in id order.
+//!
+//! Optionally, `NNNNNNNN.ckpt` checkpoint files snapshot the index together
+//! with a `(segment, flushed_len)` watermark. Recovery then loads the newest
+//! valid checkpoint and replays only the records written after its
+//! watermark, bounding open cost by data-since-last-checkpoint rather than
+//! total log length. A checkpoint that fails validation (bad CRC, missing
+//! segment, watermark past end-of-file) is skipped silently — older
+//! checkpoints and finally a full scan always remain as fallbacks, so a
+//! damaged checkpoint can never make data unreachable.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
@@ -29,6 +38,13 @@ use crate::error::{PStoreError, Result};
 const TOMBSTONE: u32 = u32::MAX;
 const HEADER: usize = 12; // crc + key_len + val_len
 
+const CKPT_MAGIC: [u8; 4] = *b"PSCK";
+const CKPT_VERSION: u32 = 1;
+/// Fixed checkpoint prelude: magic + version + watermark (seg, len) + count.
+const CKPT_HEAD: usize = 4 + 4 + 8 + 8 + 8;
+/// Per-entry fixed part: key_len + seg + offset + rec_len.
+const CKPT_ENTRY: usize = 4 + 8 + 8 + 8;
+
 /// Tunables for a [`Store`].
 #[derive(Debug, Clone)]
 pub struct StoreOptions {
@@ -37,6 +53,10 @@ pub struct StoreOptions {
     /// `fsync` after every write (slow, maximally durable). Default: rely on
     /// explicit [`Store::flush`].
     pub fsync_each_write: bool,
+    /// Write a checkpoint after this many appended bytes, bounding recovery
+    /// replay to data-since-last-checkpoint. `None` (default) disables
+    /// automatic checkpoints; [`Store::checkpoint`] stays available.
+    pub checkpoint_every_bytes: Option<u64>,
 }
 
 impl Default for StoreOptions {
@@ -44,6 +64,7 @@ impl Default for StoreOptions {
         StoreOptions {
             max_segment_bytes: 64 * 1024 * 1024,
             fsync_each_write: false,
+            checkpoint_every_bytes: None,
         }
     }
 }
@@ -93,6 +114,13 @@ struct Inner {
     /// Bytes of the active segment already in the file.
     flushed: u64,
     live_bytes: u64,
+    /// Bytes appended since the last checkpoint (or open).
+    since_ckpt: u64,
+    /// Id for the next checkpoint file (strictly monotone).
+    next_ckpt: u64,
+    /// Log bytes scanned past the newest valid checkpoint when this store
+    /// was opened — the recovery cost the checkpoint cadence bounds.
+    replayed_at_open: u64,
 }
 
 /// An embedded log-structured KV store; see the crate docs.
@@ -102,6 +130,73 @@ pub struct Store {
 
 fn seg_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("{id:08}.seg"))
+}
+
+fn ckpt_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("{id:08}.ckpt"))
+}
+
+/// A decoded, validated checkpoint: index snapshot plus the replay watermark
+/// `(segment, flushed_len)` it was taken at.
+struct Checkpoint {
+    wseg: u64,
+    wlen: u64,
+    index: HashMap<Vec<u8>, Loc>,
+}
+
+/// Decode + validate a checkpoint file. Any failure — I/O, bad CRC, bad
+/// structure, a referenced segment missing or shorter than claimed — returns
+/// `None`: checkpoints are an optimization, never an authority.
+fn load_checkpoint(path: &Path, seg_disk_len: &BTreeMap<u64, u64>) -> Option<Checkpoint> {
+    let data = std::fs::read(path).ok()?;
+    if data.len() < CKPT_HEAD + 4 || data[..4] != CKPT_MAGIC {
+        return None;
+    }
+    let body = &data[..data.len() - 4];
+    let stored_crc = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+    if crc32_multi(&[body]) != stored_crc {
+        return None;
+    }
+    let u32_at = |p: usize| u32::from_le_bytes(body[p..p + 4].try_into().unwrap());
+    let u64_at = |p: usize| u64::from_le_bytes(body[p..p + 8].try_into().unwrap());
+    if u32_at(4) != CKPT_VERSION {
+        return None;
+    }
+    let wseg = u64_at(8);
+    let wlen = u64_at(16);
+    let count = u64_at(24) as usize;
+    if seg_disk_len.get(&wseg).copied().unwrap_or(0) < wlen {
+        return None;
+    }
+    let mut index = HashMap::with_capacity(count);
+    let mut pos = CKPT_HEAD;
+    for _ in 0..count {
+        if body.len() < pos + CKPT_ENTRY {
+            return None;
+        }
+        let key_len = u32_at(pos) as usize;
+        let loc = Loc {
+            seg: u64_at(pos + 4),
+            offset: u64_at(pos + 12),
+            rec_len: u64_at(pos + 20),
+        };
+        pos += CKPT_ENTRY;
+        if body.len() < pos + key_len {
+            return None;
+        }
+        // Every referenced record must lie within a segment that still
+        // exists at (at least) its checkpointed length.
+        let seg_len = seg_disk_len.get(&loc.seg).copied()?;
+        if loc.offset.checked_add(loc.rec_len)? > seg_len {
+            return None;
+        }
+        index.insert(body[pos..pos + key_len].to_vec(), loc);
+        pos += key_len;
+    }
+    if pos != body.len() {
+        return None;
+    }
+    Some(Checkpoint { wseg, wlen, index })
 }
 
 fn encode_record(out: &mut Vec<u8>, key: &[u8], val: Option<&[u8]>) -> u64 {
@@ -176,6 +271,7 @@ impl Store {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let mut ids: Vec<u64> = Vec::new();
+        let mut ckpt_ids: Vec<u64> = Vec::new();
         for entry in std::fs::read_dir(&dir)? {
             let entry = entry?;
             let name = entry.file_name();
@@ -184,21 +280,60 @@ impl Store {
                 if let Ok(id) = stem.parse::<u64>() {
                     ids.push(id);
                 }
+            } else if let Some(stem) = name.strip_suffix(".ckpt") {
+                if let Ok(id) = stem.parse::<u64>() {
+                    ckpt_ids.push(id);
+                }
             }
         }
         ids.sort_unstable();
+        ckpt_ids.sort_unstable();
 
-        let mut index = HashMap::new();
+        // Segment lengths up front: checkpoint validation needs them.
+        let mut disk_len: BTreeMap<u64, u64> = BTreeMap::new();
+        for &id in &ids {
+            disk_len.insert(id, std::fs::metadata(seg_path(&dir, id))?.len());
+        }
+
+        // Newest valid checkpoint wins; damaged ones are skipped and the
+        // full scan remains the final fallback.
+        let mut ckpt = None;
+        for &cid in ckpt_ids.iter().rev() {
+            if let Some(c) = load_checkpoint(&ckpt_path(&dir, cid), &disk_len) {
+                ckpt = Some(c);
+                break;
+            }
+        }
+        let (mut index, mut live_bytes, watermark) = match ckpt {
+            Some(c) => {
+                let live = c.index.values().map(|l| l.rec_len).sum();
+                (c.index, live, Some((c.wseg, c.wlen)))
+            }
+            None => (HashMap::new(), 0u64, None),
+        };
+
         let mut files = BTreeMap::new();
         let mut seg_len = BTreeMap::new();
-        let mut live_bytes = 0u64;
+        let mut replayed = 0u64;
         let newest = ids.last().copied();
         for &id in &ids {
             let path = seg_path(&dir, id);
             let mut f = OpenOptions::new().read(true).append(true).open(&path)?;
+            // Segments fully covered by the checkpoint are not rescanned;
+            // the watermark segment replays from its checkpointed length.
+            let start = match watermark {
+                Some((wseg, _)) if id < wseg => None,
+                Some((wseg, wlen)) if id == wseg => Some(wlen as usize),
+                _ => Some(0usize),
+            };
+            let Some(start) = start else {
+                seg_len.insert(id, disk_len[&id]);
+                files.insert(id, f);
+                continue;
+            };
             let mut data = Vec::new();
             f.read_to_end(&mut data)?;
-            let mut pos = 0usize;
+            let mut pos = start;
             while pos < data.len() {
                 match parse_record(&data, pos) {
                     Ok((key, val, rec_len)) => {
@@ -237,6 +372,7 @@ impl Store {
                     }
                 }
             }
+            replayed += (data.len() - start) as u64;
             seg_len.insert(id, data.len() as u64);
             files.insert(id, f);
         }
@@ -255,6 +391,7 @@ impl Store {
             }
         };
         let flushed = seg_len[&active];
+        let next_ckpt = ckpt_ids.last().map_or(0, |c| c + 1);
         Ok(Store {
             inner: Mutex::new(Inner {
                 dir,
@@ -266,6 +403,12 @@ impl Store {
                 buf: Vec::new(),
                 flushed,
                 live_bytes,
+                // Replayed-but-uncheckpointed bytes count against the
+                // checkpoint budget, so crash loops with short uptimes
+                // still converge on bounded replay.
+                since_ckpt: replayed,
+                next_ckpt,
+                replayed_at_open: replayed,
             }),
         })
     }
@@ -290,9 +433,11 @@ impl Store {
         }
         inner.live_bytes += rec_len;
         *inner.seg_len.get_mut(&inner.active).unwrap() = offset + rec_len;
+        inner.since_ckpt += rec_len;
         if inner.opts.fsync_each_write {
             inner.flush(true)?;
         }
+        inner.maybe_checkpoint()?;
         Ok(())
     }
 
@@ -327,10 +472,20 @@ impl Store {
             inner.live_bytes -= o.rec_len;
         }
         *inner.seg_len.get_mut(&inner.active).unwrap() = offset + rec_len;
+        inner.since_ckpt += rec_len;
         if inner.opts.fsync_each_write {
             inner.flush(true)?;
         }
+        inner.maybe_checkpoint()?;
         Ok(true)
+    }
+
+    /// Log bytes this store had to scan past the newest valid checkpoint
+    /// when it was opened (0 for a brand-new store, or when a checkpoint
+    /// covered the whole log). Deterministic for a given directory state —
+    /// recovery benchmarks gate on it instead of wall-clock.
+    pub fn replayed_bytes(&self) -> u64 {
+        self.inner.lock().replayed_at_open
     }
 
     /// True when `key` is present.
@@ -375,9 +530,57 @@ impl Store {
         Ok(out)
     }
 
+    /// All `(key, value_length)` pairs whose key starts with `prefix`,
+    /// sorted by key — index metadata only, no value reads. Lets recovery
+    /// reconstruct byte counters without touching record bodies.
+    pub fn prefix_meta(&self, prefix: &[u8]) -> Vec<(Vec<u8>, u64)> {
+        let g = self.inner.lock();
+        let mut out: Vec<(Vec<u8>, u64)> = g
+            .index
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, l)| (k.clone(), l.rec_len - (HEADER + k.len()) as u64))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Write buffered records to disk and `fsync`.
     pub fn flush(&self) -> Result<()> {
         self.inner.lock().flush(true)
+    }
+
+    /// Write buffered records to the OS without `fsync`: survives process
+    /// crashes (the page cache outlives the process) but not power loss.
+    /// Use [`Store::flush`] or `fsync_each_write` for the stronger contract.
+    pub fn flush_buffered(&self) -> Result<()> {
+        self.inner.lock().flush(false)
+    }
+
+    /// Snapshot the index + watermark into a checkpoint file, bounding the
+    /// next open's replay to records appended after this call. Flushes and
+    /// `fsync`s first so the watermark only covers durable bytes.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.inner.lock().write_checkpoint()
+    }
+
+    /// Number of checkpoint files currently on disk.
+    pub fn checkpoint_count(&self) -> usize {
+        let g = self.inner.lock();
+        std::fs::read_dir(&g.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.file_name().to_string_lossy().ends_with(".ckpt"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Drop the store *without* the clean-close flush, discarding buffered
+    /// (unacknowledged) records — exactly what a process crash would do.
+    /// Chaos harnesses use this to model `CrashRestart` honestly.
+    pub fn abandon(self) {
+        self.inner.lock().buf.clear();
     }
 
     /// Occupancy counters.
@@ -465,6 +668,10 @@ impl Store {
         for id in old_ids {
             let _ = std::fs::remove_file(seg_path(&inner.dir, id));
         }
+        // Existing checkpoints reference the deleted segments; drop them.
+        // Until the next checkpoint, recovery is a full (all-live) scan.
+        inner.drop_checkpoints(u64::MAX);
+        inner.since_ckpt = live;
         Ok(())
     }
 }
@@ -510,6 +717,69 @@ impl Inner {
         self.active = id;
         self.flushed = 0;
         Ok(())
+    }
+
+    /// Checkpoint when the appended-bytes budget is exhausted.
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        match self.opts.checkpoint_every_bytes {
+            Some(limit) if self.since_ckpt >= limit => self.write_checkpoint(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Write a checkpoint: flush + fsync (the watermark must only cover
+    /// durable bytes), snapshot the index, write to a temp file, rename into
+    /// place, then retire older checkpoint files.
+    fn write_checkpoint(&mut self) -> Result<()> {
+        self.flush(true)?;
+        let mut body = Vec::with_capacity(CKPT_HEAD + self.index.len() * (CKPT_ENTRY + 16));
+        body.extend_from_slice(&CKPT_MAGIC);
+        body.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        body.extend_from_slice(&self.active.to_le_bytes());
+        body.extend_from_slice(&self.flushed.to_le_bytes());
+        body.extend_from_slice(&(self.index.len() as u64).to_le_bytes());
+        let mut entries: Vec<(&Vec<u8>, &Loc)> = self.index.iter().collect();
+        entries.sort_by_key(|(k, _)| k.as_slice());
+        for (key, loc) in entries {
+            body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            body.extend_from_slice(&loc.seg.to_le_bytes());
+            body.extend_from_slice(&loc.offset.to_le_bytes());
+            body.extend_from_slice(&loc.rec_len.to_le_bytes());
+            body.extend_from_slice(key);
+        }
+        let crc = crc32_multi(&[&body]);
+        body.extend_from_slice(&crc.to_le_bytes());
+
+        let id = self.next_ckpt;
+        self.next_ckpt += 1;
+        let tmp = self.dir.join("ckpt.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&body)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, ckpt_path(&self.dir, id))?;
+        self.drop_checkpoints(id);
+        self.since_ckpt = 0;
+        Ok(())
+    }
+
+    /// Remove every checkpoint file with id below `keep`.
+    fn drop_checkpoints(&self, keep: u64) {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in rd.filter_map(|e| e.ok()) {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(stem) = name.strip_suffix(".ckpt") {
+                if let Ok(id) = stem.parse::<u64>() {
+                    if id < keep {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
     }
 
     /// Read the raw bytes of the record at `loc`, serving from the write
@@ -717,6 +987,121 @@ mod tests {
                 (b"blob/2".to_vec(), b"two".to_vec())
             ]
         );
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_survives_reopen() {
+        let td = TempDir::new("ckpt");
+        let opts = StoreOptions {
+            max_segment_bytes: 512,
+            ..Default::default()
+        };
+        {
+            let s = Store::open_with(&td.0, opts.clone()).unwrap();
+            for i in 0..60u32 {
+                s.put(format!("k{i}").as_bytes(), &[i as u8; 40]).unwrap();
+            }
+            s.delete(b"k3").unwrap();
+            s.checkpoint().unwrap();
+            assert_eq!(s.checkpoint_count(), 1);
+            // Records after the checkpoint must replay on top of it.
+            s.put(b"k7", b"post-ckpt").unwrap();
+            s.put(b"late", b"appended-after").unwrap();
+            s.flush().unwrap();
+        }
+        let s = Store::open_with(&td.0, opts.clone()).unwrap();
+        assert_eq!(s.len(), 60); // 60 puts - k3 + late
+        assert_eq!(s.get(b"k3").unwrap(), None);
+        assert_eq!(s.get(b"k7").unwrap().unwrap(), b"post-ckpt");
+        assert_eq!(s.get(b"late").unwrap().unwrap(), b"appended-after");
+        assert_eq!(s.get(b"k5").unwrap().unwrap(), vec![5u8; 40]);
+        drop(s);
+
+        // A corrupted checkpoint is skipped, not trusted: flip one byte and
+        // recovery must still produce the same state via full scan.
+        let ck = ckpt_path(&td.0, 0);
+        let mut data = std::fs::read(&ck).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        std::fs::write(&ck, data).unwrap();
+        let s = Store::open_with(&td.0, opts).unwrap();
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.get(b"k7").unwrap().unwrap(), b"post-ckpt");
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_and_retires_older_ones() {
+        let td = TempDir::new("auto-ckpt");
+        let opts = StoreOptions {
+            max_segment_bytes: 1024,
+            checkpoint_every_bytes: Some(256),
+            ..Default::default()
+        };
+        let s = Store::open_with(&td.0, opts.clone()).unwrap();
+        for i in 0..40u32 {
+            s.put(format!("k{i}").as_bytes(), &[1u8; 32]).unwrap();
+        }
+        // Budget 256 with ~44-byte records: many checkpoints written, only
+        // the newest retained.
+        assert_eq!(s.checkpoint_count(), 1);
+        drop(s);
+        let s = Store::open_with(&td.0, opts).unwrap();
+        assert_eq!(s.len(), 40);
+        assert_eq!(s.get(b"k39").unwrap().unwrap(), vec![1u8; 32]);
+    }
+
+    #[test]
+    fn compaction_invalidates_checkpoints() {
+        let td = TempDir::new("ckpt-compact");
+        let opts = StoreOptions {
+            max_segment_bytes: 512,
+            ..Default::default()
+        };
+        let s = Store::open_with(&td.0, opts.clone()).unwrap();
+        for round in 0..5u32 {
+            for i in 0..10u32 {
+                s.put(format!("k{i}").as_bytes(), format!("r{round}").as_bytes())
+                    .unwrap();
+            }
+        }
+        s.checkpoint().unwrap();
+        s.compact().unwrap();
+        // The old checkpoint referenced deleted segments; it must be gone.
+        assert_eq!(s.checkpoint_count(), 0);
+        drop(s);
+        let s = Store::open_with(&td.0, opts).unwrap();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.get(b"k9").unwrap().unwrap(), b"r4");
+    }
+
+    #[test]
+    fn abandon_discards_buffered_records() {
+        let td = TempDir::new("abandon");
+        {
+            let s = Store::open(&td.0).unwrap();
+            s.put(b"durable", b"flushed").unwrap();
+            s.flush_buffered().unwrap();
+            s.put(b"lost", b"never-acked").unwrap();
+            s.abandon();
+        }
+        let s = Store::open(&td.0).unwrap();
+        assert_eq!(s.get(b"durable").unwrap().unwrap(), b"flushed");
+        assert_eq!(s.get(b"lost").unwrap(), None, "abandon must not flush");
+    }
+
+    #[test]
+    fn prefix_meta_reports_value_lengths_without_reading_values() {
+        let td = TempDir::new("meta");
+        let s = Store::open(&td.0).unwrap();
+        s.put(b"p/b", &[0u8; 100]).unwrap();
+        s.put(b"p/a", &[0u8; 7]).unwrap();
+        s.put(b"l/1", &[0u8; 3]).unwrap();
+        s.put(b"p/a", &[0u8; 9]).unwrap(); // overwrite: newest wins
+        assert_eq!(
+            s.prefix_meta(b"p/"),
+            vec![(b"p/a".to_vec(), 9), (b"p/b".to_vec(), 100)]
+        );
+        assert_eq!(s.prefix_meta(b"l/"), vec![(b"l/1".to_vec(), 3)]);
     }
 
     #[test]

@@ -3,14 +3,24 @@
 //! versioning underneath.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Set `QUICKSTART_PERSIST_DIR=/some/dir` to deploy the durable storage
+//! plane instead: every service persists to a pstore directory, and the
+//! demo kills a provider mid-session and restarts it from disk.
 
+use blobseer::{Fault, FaultTarget};
 use blobseer_repro::testbed;
 use dfs::{DfsPath, FileSystem};
 use fabric::{NodeId, Payload};
 
 fn main() {
     // 4 logical nodes, 4 KB blocks (small so the output is interesting).
-    let (fx, fs) = testbed::live_bsfs(4, 4096);
+    let persist_dir = std::env::var_os("QUICKSTART_PERSIST_DIR").map(std::path::PathBuf::from);
+    let (fx, fs) = match &persist_dir {
+        Some(dir) => testbed::live_bsfs_persistent(4, 4096, dir),
+        None => testbed::live_bsfs(4, 4096),
+    };
+    let persistent = persist_dir.is_some();
     let fs2 = fs.clone();
     fx.spawn(NodeId(0), "quickstart", move |p| {
         let path = DfsPath::new("/demo/log.txt").unwrap();
@@ -57,6 +67,25 @@ fn main() {
                 loc.offset,
                 loc.len,
                 loc.hosts.iter().map(|h| h.0).collect::<Vec<_>>()
+            );
+        }
+        // On the durable plane, prove the recovery path: kill provider 0
+        // (it loses every in-memory page), restart it from its pstore
+        // directory, and re-read the file through the healed deployment.
+        if persistent {
+            let bs = fs2.store();
+            bs.inject(FaultTarget::Provider(0), Fault::CrashRestart)
+                .unwrap();
+            bs.heal(FaultTarget::Provider(0)).unwrap();
+            let again = fs2.read_file(p, &path).unwrap();
+            assert_eq!(
+                again.bytes(),
+                content.bytes(),
+                "file changed across provider restart"
+            );
+            println!(
+                "provider 0 died, restarted from its pstore directory ({} recovery), file intact",
+                bs.providers()[0].recoveries()
             );
         }
         println!("quickstart done.");

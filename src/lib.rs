@@ -53,6 +53,26 @@ pub mod testbed {
         (fx, fs)
     }
 
+    /// Like [`live_bsfs`], but every service persists to a per-service
+    /// subdirectory of `dir` (providers their pages, metadata servers their
+    /// tree nodes, the provider manager its lease book), which makes
+    /// `blobseer::Fault::CrashRestart` injectable: a killed service heals
+    /// by replaying its pstore directory.
+    pub fn live_bsfs_persistent(
+        nodes: u32,
+        block_size: u64,
+        dir: &std::path::Path,
+    ) -> (Fabric, Bsfs) {
+        let fx = Fabric::live(ClusterSpec::tiny(nodes));
+        let fs = Bsfs::deploy(
+            &fx,
+            BlobSeerConfig::test_small(block_size).with_persist_dir(Some(dir.to_path_buf())),
+            Layout::compact(fx.spec()),
+        )
+        .expect("deploy persistent BSFS");
+        (fx, fs)
+    }
+
     /// A small live-mode HDFS world.
     pub fn live_hdfs(nodes: u32, block_size: u64) -> (Fabric, HdfsSim) {
         let fx = Fabric::live(ClusterSpec::tiny(nodes));
