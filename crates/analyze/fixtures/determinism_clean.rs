@@ -1,0 +1,43 @@
+//! Fixture: determinism-family clean sample — the approved idioms for the
+//! same jobs the violating sample does wrong. Expected: 0 findings.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::{Rng, SeedableRng};
+
+struct Registry {
+    slots: HashMap<u64, String>,
+    ordered: BTreeMap<u64, String>,
+}
+
+fn sorted_in_statement(reg: &Registry) -> Vec<u64> {
+    // Sorting in the same statement restores a canonical order.
+    let mut ids: Vec<u64> = reg.slots.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn order_insensitive(reg: &Registry) -> u64 {
+    // Commutative reductions cannot leak hash order.
+    reg.slots.values().map(|s| s.len() as u64).sum::<u64>()
+}
+
+fn btree_is_ordered(reg: &Registry) -> Vec<u64> {
+    // BTreeMap iterates in key order: no finding.
+    reg.ordered.keys().copied().collect()
+}
+
+fn annotated(reg: &Registry) -> u64 {
+    let mut acc = 0;
+    // analyze: allow(unordered-iter): idempotent commutative accumulation
+    for v in reg.slots.values() {
+        acc |= v.len() as u64;
+    }
+    acc
+}
+
+fn seeded(seed: u64) -> u64 {
+    // Schedule-derived seeds keep the stream replayable.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.gen()
+}

@@ -1,0 +1,37 @@
+//! Fixture: determinism-family violations. NOT compiled — lexed by the
+//! fixture tests, which assert the exact finding set.
+//!
+//! Expected: 2× unordered-iter, 1× wall-clock, 2× unseeded-rng.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct Registry {
+    slots: HashMap<u64, String>,
+}
+
+fn leak_hash_order(reg: &Registry) -> Vec<u64> {
+    // unordered-iter: keys() of a HashMap feeding an ordered output.
+    reg.slots.keys().copied().collect()
+}
+
+fn leak_for_loop(pending: HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    // unordered-iter: bare for-in over a HashMap.
+    for (k, _) in pending {
+        out.push(k);
+    }
+    out
+}
+
+fn leak_wall_clock() -> u64 {
+    // wall-clock: host time outside the fabric boundary.
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn leak_entropy() -> u64 {
+    // unseeded-rng ×2: host entropy in a replay-critical path.
+    let mut rng = rand::thread_rng();
+    rng.gen::<u64>() ^ rand::random::<u64>()
+}

@@ -1,0 +1,40 @@
+//! Fixture: lock-discipline clean sample — guards acquired up the hierarchy,
+//! wire traffic only after every ranked guard is dropped.
+//! Expected: 0 findings.
+
+struct Vm {
+    blobs: RwLock<HashMap<u64, u64>>, // rank 1
+    state: Mutex<BlobState>,          // rank 2
+    leases: Mutex<LeaseBook>,         // rank 3
+    node: NodeId,
+}
+
+impl Vm {
+    fn up_hierarchy(&self) -> usize {
+        let reg = self.blobs.read();
+        let st = self.state.lock();
+        let book = self.leases.lock();
+        let n = reg.len();
+        drop(book);
+        drop(st);
+        drop(reg);
+        n
+    }
+
+    fn wire_after_drop(&self, p: &Proc) {
+        let st = self.state.lock();
+        let snapshot = st.len();
+        drop(st);
+        // Every ranked guard is gone: the fabric call is clean.
+        p.rpc(self.node, snapshot as u64, 64);
+    }
+
+    fn scoped_guard(&self, p: &Proc) {
+        {
+            let st = self.state.lock();
+            let _ = st.len();
+        }
+        // The guard died with its block.
+        p.rpc(self.node, 64, 64);
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: lock-discipline violations. NOT compiled — lexed by the fixture
+//! tests, which assert the exact finding set.
+//!
+//! Expected: 1× lock-order, 1× wire-while-locked.
+
+struct Vm {
+    blobs: RwLock<HashMap<u64, u64>>, // rank 1
+    state: Mutex<BlobState>,          // rank 2
+    node: NodeId,
+}
+
+impl Vm {
+    fn down_hierarchy(&self) -> usize {
+        let st = self.state.lock();
+        // lock-order: registry (rank 1) acquired under the blob slot (2).
+        let reg = self.blobs.read();
+        let n = reg.len();
+        drop(reg);
+        drop(st);
+        n
+    }
+
+    fn wire_under_guard(&self, p: &Proc) {
+        let st = self.state.lock();
+        // wire-while-locked: a fabric call with a ranked guard live.
+        p.rpc(self.node, 64, 64);
+        drop(st);
+    }
+}

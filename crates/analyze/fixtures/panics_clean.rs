@@ -1,0 +1,31 @@
+//! Fixture: panic-path clean sample — typed errors, bounded subscripts,
+//! justified allows, and test code (which may unwrap freely).
+//! Expected: 0 findings.
+
+fn typed_errors(o: Option<u64>, v: &[u64]) -> Result<u64, BlobError> {
+    let a = o.ok_or(BlobError::EmptyWrite)?;
+    let b = v.get(3).copied().ok_or(BlobError::NoProviders)?;
+    Ok(a + b)
+}
+
+fn bounded_subscripts(v: &[u64], i: usize) -> u64 {
+    // Modulo-bounded and range subscripts are structurally safe.
+    let head = &v[..1];
+    v[i % v.len()] + head.len() as u64
+}
+
+fn justified(k: &[u8]) -> u64 {
+    // analyze: allow(panic-unwrap): 8-byte range into [u8; 8] is infallible
+    u64::from_be_bytes(k[..8].try_into().unwrap())
+}
+
+fn invariant_checks(v: &[u64]) {
+    // Indexing inside assert-family macros is the invariant check itself.
+    assert_eq!(v[0], 1, "first element pinned by the caller");
+}
+
+#[test]
+fn tests_may_unwrap() {
+    let v = vec![1u64];
+    assert_eq!(v.first().copied().unwrap(), v[0]);
+}

@@ -1,0 +1,24 @@
+//! Fixture: panic-path violations. NOT compiled — lexed by the fixture
+//! tests, which assert the exact finding set.
+//!
+//! Expected: 2× panic-unwrap, 1× panic-macro, 1× panic-index.
+
+fn aborts_on_none(o: Option<u64>, r: Result<u64, String>) -> u64 {
+    // panic-unwrap ×2.
+    let a = o.unwrap();
+    let b = r.expect("must be ok");
+    a + b
+}
+
+fn aborts_on_short_input(v: &[u64]) -> u64 {
+    // panic-index: unchecked subscript.
+    v[3]
+}
+
+fn aborts_on_odd_state(x: u64) -> u64 {
+    if x == 0 {
+        // panic-macro.
+        panic!("zero is not modeled");
+    }
+    x
+}

@@ -1,0 +1,352 @@
+//! A minimal token-level lexer for Rust source.
+//!
+//! The build environment has no cargo registry, so real parsing frameworks
+//! (`syn`, `rustc` internals) are unavailable; every lint in this crate works
+//! on the token stream this module produces. It understands exactly the
+//! surface that matters for not mis-firing inside non-code text:
+//!
+//! - line (`//`) and nested block (`/* */`) comments — captured separately so
+//!   `// analyze: allow(...)` annotations survive tokenization,
+//! - string literals in all the forms the workspace uses: `"…"`, `b"…"`,
+//!   raw `r"…"` / `r#"…"#` (any hash depth) and their byte variants,
+//! - char literals vs lifetimes (`'a'` vs `'a`),
+//! - identifiers, numbers and single-character punctuation.
+//!
+//! Multi-character operators (`::`, `..`, `->`) are left as consecutive
+//! punctuation tokens; lint passes match the sequences they need.
+
+/// Token class. Punctuation is one token per character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Ident,
+    Punct,
+    Str,
+    Char,
+    Num,
+    Lifetime,
+}
+
+/// One lexed token with the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lexer output: the token stream plus every comment (line, body) in order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<(u32, String)>,
+}
+
+/// Try to scan a string literal (plain, byte, raw, raw-byte) starting at
+/// `chars[i]`. Returns `(end_exclusive, newlines_inside)` on success.
+fn scan_string(chars: &[char], i: usize) -> Option<(usize, u32)> {
+    let n = chars.len();
+    let mut j = i;
+    if j < n && chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+        let mut hashes = 0usize;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) != Some(&'"') {
+            return None;
+        }
+        j += 1;
+        let mut newlines = 0u32;
+        while j < n {
+            if chars.get(j) == Some(&'\n') {
+                newlines += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && chars.get(k) == Some(&'#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return Some((k, newlines));
+                }
+            }
+            j += 1;
+        }
+        return Some((n, newlines));
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    let mut newlines = 0u32;
+    while j < n {
+        match chars.get(j) {
+            Some('\\') => j += 2,
+            Some('"') => return Some((j + 1, newlines)),
+            Some('\n') => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    Some((n, newlines))
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens + comments. Never fails: unknown bytes become
+/// punctuation, unterminated literals run to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. /// and //! docs).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push((line, chars[start..j].iter().collect()));
+            i = j;
+            continue;
+        }
+        // Nested block comment.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            let comment_line = line;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            out.comments
+                .push((comment_line, chars[start..end].iter().collect()));
+            i = j;
+            continue;
+        }
+        // String literals (plain/byte/raw). Must run before ident lexing so
+        // the r/b prefixes are not eaten as identifiers.
+        if c == '"' || ((c == 'r' || c == 'b') && scan_string(&chars, i).is_some()) {
+            if let Some((end, newlines)) = scan_string(&chars, i) {
+                out.tokens.push(Token {
+                    kind: Kind::Str,
+                    text: String::new(), // bodies never matter to lints
+                    line,
+                });
+                line += newlines;
+                i = end;
+                continue;
+            }
+        }
+        // Byte char b'x'.
+        if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            let mut j = i + 2;
+            if chars.get(j) == Some(&'\\') {
+                j += 1;
+            }
+            j += 1;
+            if chars.get(j) == Some(&'\'') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: Kind::Char,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if chars.get(i + 1) == Some(&'\\') {
+                let mut j = i + 2;
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: Kind::Char,
+                    text: String::new(),
+                    line,
+                });
+                i = (j + 1).min(n);
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') {
+                out.tokens.push(Token {
+                    kind: Kind::Char,
+                    text: String::new(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < n && is_ident_cont(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: Kind::Lifetime,
+                text: chars[i + 1..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_cont(chars[j]) {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                kind: Kind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < n && (is_ident_cont(chars[j])) {
+                j += 1;
+            }
+            // Fractional part: `1.25` but not `1..n` or `1.method()`.
+            if chars.get(j) == Some(&'.') && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                j += 1;
+                while j < n && is_ident_cont(chars[j]) {
+                    j += 1;
+                }
+            }
+            out.tokens.push(Token {
+                kind: Kind::Num,
+                text: chars[i..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: Kind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+// a comment with .unwrap() inside
+let s = "text .unwrap() more";
+let r = r#"raw "quoted" .expect("x")"#;
+let b = b"bytes";
+real_ident();
+"##;
+        assert_eq!(
+            idents(src),
+            vec!["let", "s", "let", "r", "let", "b", "real_ident"]
+        );
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].1.contains("unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }").tokens;
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "a\n/* two\nlines */\nb\nc";
+        let toks = lex(src).tokens;
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 4);
+        assert_eq!(toks[2].line, 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("x /* outer /* inner */ still */ y").tokens;
+        assert_eq!(toks.len(), 2);
+        assert!(toks[0].is_ident("x") && toks[1].is_ident("y"));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = lex("0xFF_u64 1.25 0..n").tokens;
+        assert_eq!(toks[0].text, "0xFF_u64");
+        assert_eq!(toks[1].text, "1.25");
+        assert_eq!(toks[2].text, "0");
+        assert!(toks[3].is_punct('.') && toks[4].is_punct('.'));
+    }
+}

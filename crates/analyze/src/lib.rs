@@ -1,0 +1,657 @@
+//! Workspace static analysis: replay determinism, lock discipline and panic
+//! paths, enforced as a CI gate (`cargo run -p analyze -- --deny`).
+//!
+//! Three lint families (see `README.md` for the full contract):
+//!
+//! 1. **Determinism** — `unordered-iter` (HashMap/HashSet iteration in
+//!    replay-critical crates), `wall-clock` (`Instant::now` / `SystemTime`
+//!    outside the fabric/pstore/bench boundary), `unseeded-rng`.
+//! 2. **Lock discipline** — `lock-order` (the declared hierarchy: VM
+//!    registry → blob slot → lease book → provider/meta stripes) and
+//!    `wire-while-locked` (no fabric calls while a control-plane guard is
+//!    live).
+//! 3. **Panic paths** — `panic-unwrap`, `panic-macro`, `panic-index` in
+//!    non-test, non-bench production code.
+//!
+//! Suppression is explicit and always justified: inline
+//! `// analyze: allow(<lint>): <why>` (same or previous line),
+//! `// analyze: allow-fn(<lint>): <why>` (rest of the enclosing block), or a
+//! file-scoped entry in the committed `analyze.allow` at the workspace root.
+//! Unjustified annotations and unused allowlist entries are findings
+//! themselves, so the suppression surface can only shrink.
+
+pub mod lexer;
+mod lints;
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use lexer::{Kind, Lexed, Token};
+
+/// Lint identifiers (stable strings: they appear in annotations and the
+/// allowlist file).
+pub const UNORDERED_ITER: &str = "unordered-iter";
+pub const WALL_CLOCK: &str = "wall-clock";
+pub const UNSEEDED_RNG: &str = "unseeded-rng";
+pub const LOCK_ORDER: &str = "lock-order";
+pub const WIRE_WHILE_LOCKED: &str = "wire-while-locked";
+pub const PANIC_UNWRAP: &str = "panic-unwrap";
+pub const PANIC_MACRO: &str = "panic-macro";
+pub const PANIC_INDEX: &str = "panic-index";
+pub const ANNOTATION_UNJUSTIFIED: &str = "annotation-unjustified";
+pub const ALLOWLIST_UNJUSTIFIED: &str = "allowlist-unjustified";
+pub const ALLOWLIST_UNUSED: &str = "allowlist-unused";
+
+/// Every lint an annotation or allowlist entry may name.
+pub const ALL_LINTS: &[&str] = &[
+    UNORDERED_ITER,
+    WALL_CLOCK,
+    UNSEEDED_RNG,
+    LOCK_ORDER,
+    WIRE_WHILE_LOCKED,
+    PANIC_UNWRAP,
+    PANIC_MACRO,
+    PANIC_INDEX,
+];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub lint: String,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Per-file lint configuration, derived from the path by [`classify`] (or
+/// built by hand in fixture tests).
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path (forward slashes), used in findings.
+    pub rel_path: String,
+    /// Crate the file belongs to (`core`, `chaos`, …; `root` for the
+    /// umbrella package).
+    pub crate_name: String,
+    /// Subject to the unordered-iteration lint (core, chaos, mapreduce,
+    /// workloads — the crates whose behaviour must replay byte-identically
+    /// from a seed).
+    pub replay_critical: bool,
+    /// Inside the sanctioned wall-clock boundary (fabric, pstore, bench).
+    pub wallclock_exempt: bool,
+    /// Exempt from the panic-path family (tests, benches, examples).
+    pub panics_exempt: bool,
+    /// Subject to the lock-hierarchy lints (core, where the ranked locks
+    /// live).
+    pub lock_ranked: bool,
+    /// Crate-wide extra unordered-container names (fields declared in a
+    /// sibling file, e.g. `BlobState::pending` from `meta.rs` iterated in
+    /// `version_manager.rs`). Filled by [`analyze_workspace`]'s pre-pass.
+    pub extra_unordered: Vec<String>,
+}
+
+/// Crates whose control flow feeds the seeded chaos replay.
+const REPLAY_CRITICAL: &[&str] = &["core", "chaos", "mapreduce", "workloads"];
+/// Crates allowed to read the wall clock (they *are* the time boundary).
+const WALLCLOCK_EXEMPT: &[&str] = &["fabric", "pstore", "bench"];
+
+/// Map a workspace-relative path to its lint context. `None` = not analyzed
+/// (non-Rust, shims, the analyzer's own fixture corpus).
+pub fn classify(rel_path: &str) -> Option<FileCtx> {
+    if !rel_path.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    // Vendored API shims mirror external crates; their idioms are not ours
+    // to lint. Fixture files are deliberately-violating lint samples.
+    if rel_path.starts_with("crates/shims/") || parts.contains(&"fixtures") {
+        return None;
+    }
+    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        "root".to_string()
+    };
+    // Test, bench and example code may unwrap freely; its determinism is
+    // enforced dynamically (the chaos sweep replays byte-identically or
+    // fails), not statically.
+    let test_like = parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples");
+    Some(FileCtx {
+        rel_path: rel_path.to_string(),
+        replay_critical: REPLAY_CRITICAL.contains(&crate_name.as_str()) && !test_like,
+        wallclock_exempt: WALLCLOCK_EXEMPT.contains(&crate_name.as_str()) || test_like,
+        panics_exempt: test_like || crate_name == "bench",
+        lock_ranked: crate_name == "core" && !test_like,
+        crate_name,
+        extra_unordered: Vec::new(),
+    })
+}
+
+/// Token stream plus the masks lints need: which tokens are inside
+/// attributes, and which are inside `#[cfg(test)]` / `#[test]` / `#[bench]`
+/// items (skipped by every lint).
+pub(crate) struct View {
+    pub toks: Vec<Token>,
+    /// Token is lintable production code (not attr, not test-masked).
+    pub code: Vec<bool>,
+    /// Token is inside a `#[...]` attribute.
+    pub attr: Vec<bool>,
+}
+
+impl View {
+    pub(crate) fn new(lexed: &Lexed) -> View {
+        let toks = lexed.tokens.clone();
+        let n = toks.len();
+        let mut attr = vec![false; n];
+        let mut test_mask = vec![false; n];
+        let mut i = 0usize;
+        while i < n {
+            if toks[i].is_punct('#') {
+                let open = if toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+                    Some(i + 1)
+                } else if toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
+                {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                if let Some(open) = open {
+                    if let Some(close) = match_bracket(&toks, open, '[', ']') {
+                        for m in attr.iter_mut().take(close + 1).skip(i) {
+                            *m = true;
+                        }
+                        let is_test = toks[open..close]
+                            .iter()
+                            .any(|t| t.is_ident("test") || t.is_ident("bench"));
+                        if is_test {
+                            let end = item_end(&toks, close + 1);
+                            for m in test_mask.iter_mut().take(end + 1).skip(i) {
+                                *m = true;
+                            }
+                        }
+                        i = close + 1;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        let code = (0..n).map(|k| !attr[k] && !test_mask[k]).collect();
+        View { toks, code, attr }
+    }
+
+    pub(crate) fn ident(&self, i: usize) -> Option<&str> {
+        match self.toks.get(i) {
+            Some(t) if t.kind == Kind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn is_punct(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    pub(crate) fn is_code(&self, i: usize) -> bool {
+        self.code.get(i).copied().unwrap_or(false)
+    }
+
+    pub(crate) fn line(&self, i: usize) -> u32 {
+        self.toks.get(i).map_or(0, |t| t.line)
+    }
+
+    /// Index of the matching closer for the opener at `open`.
+    pub(crate) fn match_close(&self, open: usize, oc: char, cc: char) -> Option<usize> {
+        match_bracket(&self.toks, open, oc, cc)
+    }
+}
+
+fn match_bracket(toks: &[Token], open: usize, oc: char, cc: char) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct(oc) {
+            depth += 1;
+        } else if toks[j].is_punct(cc) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// End (token index) of the item starting at `from`: the matching `}` of its
+/// first top-level `{`, or the first top-level `;`. Used to mask test items.
+fn item_end(toks: &[Token], from: usize) -> usize {
+    let mut j = from;
+    let mut round = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            round += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            round -= 1;
+        } else if round == 0 && t.is_punct(';') {
+            return j;
+        } else if round == 0 && t.is_punct('{') {
+            return match_bracket(toks, j, '{', '}').unwrap_or(toks.len() - 1);
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// One parsed `// analyze: allow(...)` annotation.
+#[derive(Debug, Clone)]
+struct Annot {
+    lints: Vec<String>,
+    /// Covered lines (inclusive). For exact `allow` annotations this is the
+    /// annotation's own line through the first line after its contiguous
+    /// comment run (so a wrapped justification still reaches the code line
+    /// below it); for `allow-fn` it is the enclosing brace block.
+    span: (u32, u32),
+    justified: bool,
+}
+
+pub(crate) struct Annots {
+    items: Vec<Annot>,
+}
+
+impl Annots {
+    /// True when `lint` at `line` is suppressed by a *justified* annotation.
+    pub(crate) fn allowed(&self, lint: &str, line: u32) -> bool {
+        self.items.iter().any(|a| {
+            a.justified
+                && a.lints.iter().any(|l| l == lint)
+                && (a.span.0..=a.span.1).contains(&line)
+        })
+    }
+}
+
+/// Parse annotations out of the comment stream; malformed or unjustified
+/// ones become findings immediately (they must never silently suppress).
+fn parse_annotations(ctx: &FileCtx, lexed: &Lexed, view: &View) -> (Annots, Vec<Finding>) {
+    let mut items = Vec::new();
+    let mut findings = Vec::new();
+    let comment_lines: std::collections::BTreeSet<u32> =
+        lexed.comments.iter().map(|(l, _)| *l).collect();
+    for (line, body) in &lexed.comments {
+        // The annotation must be the whole comment (`// analyze: allow(…)`),
+        // so prose and doc comments *mentioning* the grammar never parse.
+        let Some(tail) = body.trim_start().strip_prefix("analyze:") else {
+            continue;
+        };
+        let rest = tail.trim_start();
+        let fn_scope = rest.starts_with("allow-fn");
+        if !rest.starts_with("allow") {
+            continue;
+        }
+        let Some(open) = rest.find('(') else {
+            findings.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: *line,
+                lint: ANNOTATION_UNJUSTIFIED.into(),
+                message: "malformed annotation: expected `allow(<lint>): <justification>`".into(),
+            });
+            continue;
+        };
+        let Some(close) = rest[open..].find(')').map(|k| open + k) else {
+            findings.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: *line,
+                lint: ANNOTATION_UNJUSTIFIED.into(),
+                message: "malformed annotation: unclosed lint list".into(),
+            });
+            continue;
+        };
+        let lints: Vec<String> = rest[open + 1..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        for l in &lints {
+            if !ALL_LINTS.contains(&l.as_str()) {
+                findings.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: *line,
+                    lint: ANNOTATION_UNJUSTIFIED.into(),
+                    message: format!("annotation names unknown lint `{l}`"),
+                });
+            }
+        }
+        let after = rest[close + 1..].trim_start();
+        let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        let justified = !justification.is_empty();
+        if !justified {
+            findings.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: *line,
+                lint: ANNOTATION_UNJUSTIFIED.into(),
+                message:
+                    "annotation carries no justification: write `allow(<lint>): <one-line why>`"
+                        .into(),
+            });
+        }
+        let span = if fn_scope {
+            enclosing_block_lines(view, *line)
+        } else {
+            // Extend through the contiguous comment run (a wrapped
+            // justification) to the first code line after it.
+            let mut end = *line;
+            while comment_lines.contains(&(end + 1)) {
+                end += 1;
+            }
+            (*line, end + 1)
+        };
+        items.push(Annot {
+            lints,
+            span,
+            justified,
+        });
+    }
+    (Annots { items }, findings)
+}
+
+/// Line range of the innermost brace block containing `line` (the whole file
+/// when the annotation sits at top level). `allow-fn` annotations therefore
+/// belong *inside* the function body they cover.
+fn enclosing_block_lines(view: &View, line: u32) -> (u32, u32) {
+    let mut best: Option<(u32, u32)> = None;
+    let mut stack: Vec<u32> = Vec::new();
+    for i in 0..view.toks.len() {
+        if view.is_punct(i, '{') {
+            stack.push(view.line(i));
+        } else if view.is_punct(i, '}') {
+            if let Some(lo) = stack.pop() {
+                let hi = view.line(i);
+                if lo <= line && line <= hi {
+                    let tighter = match best {
+                        Some((blo, _)) => lo >= blo,
+                        None => true,
+                    };
+                    if tighter {
+                        best = Some((lo, hi));
+                    }
+                }
+            }
+        }
+    }
+    best.unwrap_or((1, u32::MAX))
+}
+
+/// Analyze one file under an explicit context (fixture tests use this
+/// directly; [`analyze_workspace`] derives contexts via [`classify`]).
+pub fn analyze_with_ctx(ctx: &FileCtx, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let view = View::new(&lexed);
+    let (annots, mut findings) = parse_annotations(ctx, &lexed, &view);
+    let mut raw = Vec::new();
+    lints::determinism::run(ctx, &view, &mut raw);
+    lints::locks::run(ctx, &view, &mut raw);
+    lints::panics::run(ctx, &view, &mut raw);
+    findings.extend(raw.into_iter().filter(|f| !annots.allowed(&f.lint, f.line)));
+    findings.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
+    findings
+}
+
+/// Workspace analysis result.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+/// Name of the committed file-scoped allowlist at the workspace root.
+pub const ALLOWLIST_FILE: &str = "analyze.allow";
+
+struct AllowEntry {
+    line_no: u32,
+    lint: String,
+    path: String,
+    used: bool,
+}
+
+/// Parse `analyze.allow`: one `<lint> <path> <justification…>` per line,
+/// `#` comments and blanks ignored. Entries without a justification are
+/// findings; so are entries that match nothing (the list can only shrink).
+fn parse_allowlist(root: &Path, findings: &mut Vec<Finding>) -> Vec<AllowEntry> {
+    let path = root.join(ALLOWLIST_FILE);
+    let Ok(body) = fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for (idx, raw) in body.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let lint = parts.next().unwrap_or("").to_string();
+        let file = parts.next().unwrap_or("").to_string();
+        let justification = parts.next().unwrap_or("").trim();
+        if !ALL_LINTS.contains(&lint.as_str()) {
+            findings.push(Finding {
+                file: ALLOWLIST_FILE.into(),
+                line: line_no,
+                lint: ALLOWLIST_UNJUSTIFIED.into(),
+                message: format!("entry names unknown lint `{lint}`"),
+            });
+            continue;
+        }
+        if file.is_empty() || justification.is_empty() {
+            findings.push(Finding {
+                file: ALLOWLIST_FILE.into(),
+                line: line_no,
+                lint: ALLOWLIST_UNJUSTIFIED.into(),
+                message: "entry must read `<lint> <path> <one-line justification>`".into(),
+            });
+            continue;
+        }
+        entries.push(AllowEntry {
+            line_no,
+            lint,
+            path: file,
+            used: false,
+        });
+    }
+    entries
+}
+
+fn allow_matches(entry: &AllowEntry, finding: &Finding) -> bool {
+    entry.lint == finding.lint
+        && (finding.file == entry.path
+            || (entry.path.ends_with('/') && finding.file.starts_with(&entry.path)))
+}
+
+/// Recursively collect the workspace `.rs` files to analyze.
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures", "shims"];
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect_files(root, &path, out);
+            }
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel: Vec<String> = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect();
+                out.push(rel.join("/"));
+            }
+        }
+    }
+}
+
+/// Walk the workspace rooted at `root`, lint every production source file,
+/// apply the committed allowlist, and report what remains.
+pub fn analyze_workspace(root: &Path) -> Result<Report, String> {
+    if !root.join("Cargo.toml").exists() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let mut files = Vec::new();
+    collect_files(root, root, &mut files);
+    let mut batch: Vec<(FileCtx, String)> = Vec::new();
+    for rel in &files {
+        let Some(ctx) = classify(rel) else { continue };
+        let src =
+            fs::read_to_string(root.join(rel)).map_err(|e| format!("failed to read {rel}: {e}"))?;
+        batch.push((ctx, src));
+    }
+    // Pre-pass: per-crate union of unordered-container names, so fields
+    // declared in one file and iterated in a sibling are still tracked.
+    let mut per_crate: std::collections::HashMap<String, Vec<String>> =
+        std::collections::HashMap::new();
+    for (ctx, src) in &batch {
+        if !ctx.replay_critical {
+            continue;
+        }
+        let lexed = lexer::lex(src);
+        let view = View::new(&lexed);
+        per_crate
+            .entry(ctx.crate_name.clone())
+            .or_default()
+            .extend(lints::determinism::unordered_names(&view));
+    }
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for (ctx, src) in &mut batch {
+        if let Some(extra) = per_crate.get(&ctx.crate_name) {
+            ctx.extra_unordered = extra.clone();
+        }
+        scanned += 1;
+        findings.extend(analyze_with_ctx(ctx, src));
+    }
+    let mut meta = Vec::new();
+    let mut entries = parse_allowlist(root, &mut meta);
+    findings.retain(|f| {
+        let mut keep = true;
+        for e in entries.iter_mut() {
+            if allow_matches(e, f) {
+                e.used = true;
+                keep = false;
+            }
+        }
+        keep
+    });
+    for e in &entries {
+        if !e.used {
+            meta.push(Finding {
+                file: ALLOWLIST_FILE.into(),
+                line: e.line_no,
+                lint: ALLOWLIST_UNUSED.into(),
+                message: format!(
+                    "entry `{} {}` matches no finding — delete it (the allowlist only shrinks)",
+                    e.lint, e.path
+                ),
+            });
+        }
+    }
+    findings.extend(meta);
+    findings.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    Ok(Report {
+        findings,
+        files_scanned: scanned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain_ctx() -> FileCtx {
+        FileCtx {
+            rel_path: "x.rs".into(),
+            crate_name: "core".into(),
+            replay_critical: true,
+            wallclock_exempt: false,
+            panics_exempt: false,
+            lock_ranked: true,
+            extra_unordered: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn classify_routes_paths() {
+        let core = classify("crates/core/src/client.rs").expect("classified");
+        assert!(core.replay_critical && core.lock_ranked && !core.panics_exempt);
+        let core_tests = classify("crates/core/tests/metadata_ops.rs").expect("classified");
+        assert!(core_tests.panics_exempt && !core_tests.replay_critical);
+        let fabric = classify("crates/fabric/src/live.rs").expect("classified");
+        assert!(fabric.wallclock_exempt && !fabric.replay_critical);
+        assert!(classify("crates/shims/rand/src/lib.rs").is_none());
+        assert!(classify("crates/analyze/fixtures/panics_violating.rs").is_none());
+        let bench = classify("crates/bench/src/lib.rs").expect("classified");
+        assert!(bench.panics_exempt && bench.wallclock_exempt);
+        let root = classify("src/lib.rs").expect("classified");
+        assert_eq!(root.crate_name, "root");
+    }
+
+    #[test]
+    fn test_items_are_masked() {
+        let src = r#"
+fn prod() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { y.unwrap(); z.unwrap(); }
+}
+"#;
+        let f = analyze_with_ctx(&plain_ctx(), src);
+        assert_eq!(f.iter().filter(|f| f.lint == PANIC_UNWRAP).count(), 1);
+    }
+
+    #[test]
+    fn annotations_suppress_only_with_justification() {
+        let justified =
+            "fn f() {\n    // analyze: allow(panic-unwrap): provably Some here\n    x.unwrap();\n}";
+        assert!(analyze_with_ctx(&plain_ctx(), justified).is_empty());
+        let bare = "fn f() {\n    // analyze: allow(panic-unwrap)\n    x.unwrap();\n}";
+        let f = analyze_with_ctx(&plain_ctx(), bare);
+        assert!(f.iter().any(|f| f.lint == ANNOTATION_UNJUSTIFIED));
+        assert!(f.iter().any(|f| f.lint == PANIC_UNWRAP));
+    }
+
+    #[test]
+    fn allow_fn_covers_enclosing_block() {
+        let src = "fn f() {\n    // analyze: allow-fn(panic-index): parallel arrays built together\n    let a = xs[0];\n    let b = xs[1];\n}\nfn g() { let c = xs[2]; }";
+        let f = analyze_with_ctx(&plain_ctx(), src);
+        let idx: Vec<_> = f.iter().filter(|f| f.lint == PANIC_INDEX).collect();
+        assert_eq!(idx.len(), 1, "only g()'s site survives: {f:?}");
+        assert_eq!(idx[0].line, 6);
+    }
+
+    #[test]
+    fn unknown_lint_in_annotation_is_flagged() {
+        let src = "// analyze: allow(no-such-lint): whatever\nfn f() {}";
+        let f = analyze_with_ctx(&plain_ctx(), src);
+        assert!(f.iter().any(|f| f.lint == ANNOTATION_UNJUSTIFIED));
+    }
+}

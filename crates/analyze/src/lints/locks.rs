@@ -1,0 +1,170 @@
+//! Lock-discipline family: `lock-order` and `wire-while-locked`.
+//!
+//! The core crate's declared hierarchy, outermost first:
+//!
+//! | rank | lock | where |
+//! |------|------|-------|
+//! | 1 | `blobs` — VM registry `RwLock<HashMap<BlobId, Arc<BlobSlot>>>` | `version_manager.rs` |
+//! | 2 | `state` — per-BLOB `Mutex<BlobState>` (the `meta.rs` lock unit) | `version_manager.rs` |
+//! | 3 | `leases` — provider-manager lease book `Mutex<LeaseBook>` | `provider_manager.rs` |
+//! | 4 | `nodes` / `stripes` — provider & meta-server stripe locks | `provider.rs`, `dht.rs` |
+//!
+//! A nested acquisition must never take a *lower* rank while a higher rank
+//! is held (same rank is allowed — stripes are disjoint by index). And no
+//! fabric traffic (`rpc`, `transfer`, gate `wait`s, batched DHT calls) may
+//! run while any ranked control-plane guard is live: the version manager's
+//! whole design keeps RPC charging and gate waits outside the `BlobState`
+//! critical section, and the lease book documents the same contract.
+//!
+//! The static pass is lexical (guards tracked per brace scope, `drop(g)`
+//! honoured); its dynamic twin is the debug-only rank assertion in the
+//! vendored `parking_lot` shim, exercised by the 64-seed chaos sweep.
+
+use crate::lints::{resolve_receiver, stmt_start};
+use crate::{FileCtx, Finding, View, LOCK_ORDER, WIRE_WHILE_LOCKED};
+
+/// Field name → hierarchy rank.
+fn rank_of(field: &str) -> Option<u8> {
+    match field {
+        "blobs" => Some(1),
+        "state" => Some(2),
+        "leases" => Some(3),
+        "nodes" | "stripes" => Some(4),
+        _ => None,
+    }
+}
+
+const RANK_NAMES: [&str; 4] = [
+    "VM registry",
+    "blob slot (meta.rs lock unit)",
+    "lease book",
+    "provider/meta stripes",
+];
+
+/// Guard acquisition methods.
+const ACQUIRE: &[&str] = &["lock", "read", "write", "try_lock"];
+
+/// Methods that put traffic on (or park on) the fabric.
+const WIRE: &[&str] = &[
+    "rpc",
+    "transfer",
+    "transfer_chain",
+    "wait",
+    "put_batch",
+    "get_batch",
+];
+
+struct Guard {
+    name: Option<String>,
+    rank: u8,
+    field: String,
+    depth: i32,
+    line: u32,
+}
+
+pub(crate) fn run(ctx: &FileCtx, v: &View, out: &mut Vec<Finding>) {
+    if !ctx.lock_ranked {
+        return;
+    }
+    let mut depth = 0i32;
+    let mut held: Vec<Guard> = Vec::new();
+    for i in 0..v.toks.len() {
+        if v.is_punct(i, '{') {
+            depth += 1;
+            continue;
+        }
+        if v.is_punct(i, '}') {
+            depth -= 1;
+            held.retain(|g| g.depth <= depth);
+            continue;
+        }
+        if !v.is_code(i) {
+            continue;
+        }
+        let Some(name) = v.ident(i) else { continue };
+        // drop(guard) ends the guard's liveness early.
+        if name == "drop" && v.is_punct(i + 1, '(') {
+            if let Some(dropped) = v.ident(i + 2) {
+                held.retain(|g| g.name.as_deref() != Some(dropped));
+            }
+            continue;
+        }
+        let is_call = v.is_punct(i + 1, '(') && i >= 2 && v.is_punct(i - 1, '.');
+        if !is_call {
+            continue;
+        }
+        if ACQUIRE.contains(&name) {
+            let Some(recv) = resolve_receiver(v, i - 2) else {
+                continue;
+            };
+            let Some(rank) = rank_of(&recv) else { continue };
+            if let Some(outer) = held.iter().filter(|g| g.rank > rank).max_by_key(|g| g.rank) {
+                out.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: v.line(i),
+                    lint: LOCK_ORDER.into(),
+                    message: format!(
+                        "acquires rank-{rank} `{recv}` ({}) while holding rank-{} `{}` ({}, \
+                         line {}); take locks in hierarchy order registry(1) → slot(2) → \
+                         leases(3) → stripes(4), or drop the outer guard first",
+                        RANK_NAMES[rank as usize - 1],
+                        outer.rank,
+                        outer.field,
+                        RANK_NAMES[outer.rank as usize - 1],
+                        outer.line,
+                    ),
+                });
+            }
+            held.push(Guard {
+                name: let_binding(v, i),
+                rank,
+                field: recv,
+                depth,
+                line: v.line(i),
+            });
+            continue;
+        }
+        if WIRE.contains(&name) {
+            if let Some(g) = held.iter().max_by_key(|g| g.rank) {
+                out.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: v.line(i),
+                    lint: WIRE_WHILE_LOCKED.into(),
+                    message: format!(
+                        "fabric call `.{name}()` while rank-{} guard on `{}` ({}, line {}) is \
+                         live; charge RPCs / fire gates outside the critical section",
+                        g.rank,
+                        g.field,
+                        RANK_NAMES[g.rank as usize - 1],
+                        g.line,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// If the acquisition at token `i` is `let`-bound, the binding name (the
+/// last identifier before `=`, so `let mut st = …` and
+/// `let Some(g) = …try_lock()` both resolve). Unbound (temporary) guards
+/// die within their statement and are not tracked.
+fn let_binding(v: &View, i: usize) -> Option<String> {
+    let start = stmt_start(v, i);
+    if v.ident(start) != Some("let") && v.ident(start) != Some("while") {
+        return None;
+    }
+    let mut last = None;
+    let mut j = start + 1;
+    while j < i {
+        if v.is_punct(j, '=') {
+            return last;
+        }
+        if let Some(name) = v.ident(j) {
+            if name != "mut" && name != "Some" && name != "Ok" && name != "let" {
+                last = Some(name.to_string());
+            }
+        }
+        j += 1;
+    }
+    None
+}

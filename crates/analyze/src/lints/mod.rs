@@ -1,0 +1,114 @@
+//! The three lint families plus the receiver-resolution helpers they share.
+
+pub(crate) mod determinism;
+pub(crate) mod locks;
+pub(crate) mod panics;
+
+use crate::View;
+
+/// Method adapters that forward to the same underlying container/lock, so
+/// receiver resolution can look through them: `self.blobs.read().values()`
+/// resolves to `blobs`.
+const ADAPTERS: &[&str] = &[
+    "read",
+    "write",
+    "lock",
+    "try_lock",
+    "borrow",
+    "borrow_mut",
+    "as_ref",
+    "as_mut",
+];
+
+/// Resolve the field/variable a method chain acts on. `end` is the index of
+/// the token immediately left of the `.` that precedes the method name.
+/// Walks through adapter calls, closing brackets (`stripes[i]` → `stripes`)
+/// and `*`/`&` derefs; `None` when the receiver is not a plain chain.
+pub(crate) fn resolve_receiver(v: &View, mut end: usize) -> Option<String> {
+    loop {
+        if v.is_punct(end, ')') {
+            // Walk back over the call's parens to the method name.
+            let open = match_open(v, end, '(', ')')?;
+            let method = v.ident(open.checked_sub(1)?)?;
+            if !ADAPTERS.contains(&method) {
+                return None;
+            }
+            // Skip the method ident and its leading dot.
+            let dot = open.checked_sub(2)?;
+            if !v.is_punct(dot, '.') {
+                return None;
+            }
+            end = dot.checked_sub(1)?;
+            continue;
+        }
+        if v.is_punct(end, ']') {
+            let open = match_open(v, end, '[', ']')?;
+            end = open.checked_sub(1)?;
+            continue;
+        }
+        if let Some(name) = v.ident(end) {
+            return Some(name.to_string());
+        }
+        return None;
+    }
+}
+
+/// Index of the opener matching the closer at `close` (backward scan).
+pub(crate) fn match_open(v: &View, close: usize, oc: char, cc: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        if v.is_punct(j, cc) {
+            depth += 1;
+        } else if v.is_punct(j, oc) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// Token index where the statement containing `i` begins (just after the
+/// previous `;`, `{` or `}` at the same nesting).
+pub(crate) fn stmt_start(v: &View, i: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0i32;
+    while j > 0 {
+        let k = j - 1;
+        if v.is_punct(k, ')') || v.is_punct(k, ']') {
+            depth += 1;
+        } else if v.is_punct(k, '(') || v.is_punct(k, '[') {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        } else if depth == 0 && (v.is_punct(k, ';') || v.is_punct(k, '{') || v.is_punct(k, '}')) {
+            return j;
+        }
+        j = k;
+    }
+    0
+}
+
+/// Token index just past the statement containing `i` (its `;`, or the `{`
+/// opening a block, whichever comes first at the same nesting).
+pub(crate) fn stmt_end(v: &View, i: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0i32;
+    while j < v.toks.len() {
+        if v.is_punct(j, '(') || v.is_punct(j, '[') {
+            depth += 1;
+        } else if v.is_punct(j, ')') || v.is_punct(j, ']') {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        } else if depth == 0 && (v.is_punct(j, ';') || v.is_punct(j, '{') || v.is_punct(j, '}')) {
+            return j;
+        }
+        j += 1;
+    }
+    v.toks.len()
+}

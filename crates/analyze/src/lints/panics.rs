@@ -1,0 +1,137 @@
+//! Panic-path family: `panic-unwrap`, `panic-macro`, `panic-index`.
+//!
+//! Production code in a storage system must degrade into typed errors, not
+//! process aborts: a poisoned unwrap in the version manager takes every
+//! blob on the node down with it. Non-test, non-bench code must return
+//! [`BlobError`]-style results, or carry an inline justification proving
+//! the site infallible.
+//!
+//! Heuristics (documented in README.md): indexing with a range (`buf[..4]`)
+//! or a `%`/`&`-bounded expression (`stripes[h % N]`) is accepted as
+//! structurally bounded; indexing inside `assert!`-family macros is an
+//! invariant check, not a production path.
+
+use crate::{FileCtx, Finding, View, PANIC_INDEX, PANIC_MACRO, PANIC_UNWRAP};
+
+const UNWRAPS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Macro families whose argument lists are invariant checks: indexing there
+/// is the assertion itself, not a production data path.
+const ASSERT_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+pub(crate) fn run(ctx: &FileCtx, v: &View, out: &mut Vec<Finding>) {
+    if ctx.panics_exempt {
+        return;
+    }
+    let assert_spans = assert_macro_spans(v);
+    let in_assert = |i: usize| assert_spans.iter().any(|&(a, b)| (a..=b).contains(&i));
+    for i in 0..v.toks.len() {
+        if !v.is_code(i) {
+            continue;
+        }
+        if let Some(name) = v.ident(i) {
+            if UNWRAPS.contains(&name) && v.is_punct(i + 1, '(') && i >= 1 && v.is_punct(i - 1, '.')
+            {
+                out.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: v.line(i),
+                    lint: PANIC_UNWRAP.into(),
+                    message: format!(
+                        ".{name}() on a production path; return a typed BlobError (or justify: \
+                         `// analyze: allow(panic-unwrap): <proof of infallibility>`)"
+                    ),
+                });
+                continue;
+            }
+            if PANIC_MACROS.contains(&name) && v.is_punct(i + 1, '!') {
+                out.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: v.line(i),
+                    lint: PANIC_MACRO.into(),
+                    message: format!(
+                        "{name}! aborts the process; surface a typed BlobError instead (or \
+                         justify with an allow annotation if the state is provably unreachable)"
+                    ),
+                });
+                continue;
+            }
+        }
+        // Unchecked indexing: `expr[...]` where expr ends in an identifier,
+        // `)` or `]`, excluding macros (`vec![`), attributes, ranges,
+        // modulo/mask-bounded subscripts, and assert bodies.
+        if v.is_punct(i, '[') && i >= 1 && !v.attr.get(i).copied().unwrap_or(false) {
+            let prev_is_recv =
+                v.ident(i - 1).is_some() || v.is_punct(i - 1, ')') || v.is_punct(i - 1, ']');
+            let prev_is_macro = i >= 2 && v.is_punct(i - 1, '!');
+            // `for` / `if`-style keywords before `[` are slice patterns.
+            let kw = matches!(
+                v.ident(i - 1),
+                Some("let" | "in" | "return" | "mut" | "ref" | "box" | "match" | "if" | "else")
+            );
+            if prev_is_recv && !prev_is_macro && !kw && !in_assert(i) {
+                if let Some(close) = v.match_close(i, '[', ']') {
+                    if !subscript_is_bounded(v, i, close) {
+                        out.push(Finding {
+                            file: ctx.rel_path.clone(),
+                            line: v.line(i),
+                            lint: PANIC_INDEX.into(),
+                            message: "unchecked index can panic; use .get()/.get_mut(), a range \
+                                      slice, a %-bounded subscript, or justify with \
+                                      `// analyze: allow(panic-index): <bounds proof>`"
+                                .into(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A subscript is structurally bounded when it contains a range (`..`), a
+/// modulo (`%`) or a mask (`&` — also map-by-reference indexing, accepted).
+fn subscript_is_bounded(v: &View, open: usize, close: usize) -> bool {
+    if close == open + 1 {
+        return true; // `[]` — array-type or slice-pattern artifact
+    }
+    let mut j = open + 1;
+    while j < close {
+        if v.is_punct(j, '%') || v.is_punct(j, '&') {
+            return true;
+        }
+        if v.is_punct(j, '.') && v.is_punct(j + 1, '.') {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Token spans (inclusive) of `assert*!(...)` argument lists.
+fn assert_macro_spans(v: &View) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for i in 0..v.toks.len() {
+        let Some(name) = v.ident(i) else { continue };
+        if !ASSERT_MACROS.contains(&name) || !v.is_punct(i + 1, '!') {
+            continue;
+        }
+        let open = i + 2;
+        let (oc, cc) = if v.is_punct(open, '(') {
+            ('(', ')')
+        } else if v.is_punct(open, '[') {
+            ('[', ']')
+        } else {
+            continue;
+        };
+        if let Some(close) = v.match_close(open, oc, cc) {
+            spans.push((open, close));
+        }
+    }
+    spans
+}

@@ -1,0 +1,81 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! cargo run -p analyze             # report findings, exit 0
+//! cargo run -p analyze -- --deny   # CI gate: exit 1 on any finding
+//! cargo run -p analyze -- --root <path>
+//! ```
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(body) = std::fs::read_to_string(&manifest) {
+                if body.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "usage: analyze [--deny] [--root <workspace>]\n\
+                     Lints the workspace for determinism, lock-discipline and panic-path\n\
+                     violations. --deny exits non-zero when any finding survives the\n\
+                     annotations and the committed {} allowlist.",
+                    analyze::ALLOWLIST_FILE
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("analyze: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = match root.or_else(|| env::current_dir().ok().and_then(find_workspace_root)) {
+        Some(r) => r,
+        None => {
+            eprintln!("analyze: could not locate a workspace root (pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match analyze::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "analyze: {} finding(s) across {} file(s)",
+        report.findings.len(),
+        report.files_scanned
+    );
+    if deny && !report.findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

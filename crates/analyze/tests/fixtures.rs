@@ -1,0 +1,127 @@
+//! Fixture-corpus tests: every lint family is proven live against a
+//! deliberately violating sample and quiet against a clean one, and the
+//! committed workspace itself passes the `--deny` gate.
+//!
+//! The samples live in `crates/analyze/fixtures/` and are never compiled —
+//! [`analyze::classify`] skips `fixtures` directories, so they are invisible
+//! to the workspace scan and only reachable through these tests.
+
+use std::path::{Path, PathBuf};
+
+use analyze::{
+    analyze_with_ctx, classify, FileCtx, Finding, LOCK_ORDER, PANIC_INDEX, PANIC_MACRO,
+    PANIC_UNWRAP, UNORDERED_ITER, UNSEEDED_RNG, WALL_CLOCK, WIRE_WHILE_LOCKED,
+};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn ctx(rel: &str, replay_critical: bool, lock_ranked: bool, panics: bool) -> FileCtx {
+    FileCtx {
+        rel_path: rel.to_string(),
+        crate_name: "fixture".to_string(),
+        replay_critical,
+        wallclock_exempt: !replay_critical,
+        panics_exempt: !panics,
+        lock_ranked,
+        extra_unordered: Vec::new(),
+    }
+}
+
+fn count(findings: &[Finding], lint: &str) -> usize {
+    findings.iter().filter(|f| f.lint == lint).count()
+}
+
+#[test]
+fn determinism_family_fires_on_violations() {
+    let f = analyze_with_ctx(
+        &ctx("fx/determinism_violating.rs", true, false, false),
+        &fixture("determinism_violating.rs"),
+    );
+    assert_eq!(count(&f, UNORDERED_ITER), 2, "findings: {f:#?}");
+    assert_eq!(count(&f, WALL_CLOCK), 1, "findings: {f:#?}");
+    assert_eq!(count(&f, UNSEEDED_RNG), 2, "findings: {f:#?}");
+    assert_eq!(f.len(), 5, "nothing else may fire: {f:#?}");
+}
+
+#[test]
+fn determinism_family_quiet_on_clean_idioms() {
+    let f = analyze_with_ctx(
+        &ctx("fx/determinism_clean.rs", true, false, false),
+        &fixture("determinism_clean.rs"),
+    );
+    assert!(f.is_empty(), "clean sample must pass: {f:#?}");
+}
+
+#[test]
+fn lock_family_fires_on_violations() {
+    let f = analyze_with_ctx(
+        &ctx("fx/locks_violating.rs", false, true, false),
+        &fixture("locks_violating.rs"),
+    );
+    assert_eq!(count(&f, LOCK_ORDER), 1, "findings: {f:#?}");
+    assert_eq!(count(&f, WIRE_WHILE_LOCKED), 1, "findings: {f:#?}");
+    assert_eq!(f.len(), 2, "nothing else may fire: {f:#?}");
+}
+
+#[test]
+fn lock_family_quiet_on_clean_idioms() {
+    let f = analyze_with_ctx(
+        &ctx("fx/locks_clean.rs", false, true, false),
+        &fixture("locks_clean.rs"),
+    );
+    assert!(f.is_empty(), "clean sample must pass: {f:#?}");
+}
+
+#[test]
+fn panic_family_fires_on_violations() {
+    let f = analyze_with_ctx(
+        &ctx("fx/panics_violating.rs", false, false, true),
+        &fixture("panics_violating.rs"),
+    );
+    assert_eq!(count(&f, PANIC_UNWRAP), 2, "findings: {f:#?}");
+    assert_eq!(count(&f, PANIC_MACRO), 1, "findings: {f:#?}");
+    assert_eq!(count(&f, PANIC_INDEX), 1, "findings: {f:#?}");
+    assert_eq!(f.len(), 4, "nothing else may fire: {f:#?}");
+}
+
+#[test]
+fn panic_family_quiet_on_clean_idioms() {
+    let f = analyze_with_ctx(
+        &ctx("fx/panics_clean.rs", false, false, true),
+        &fixture("panics_clean.rs"),
+    );
+    assert!(f.is_empty(), "clean sample must pass: {f:#?}");
+}
+
+#[test]
+fn fixtures_are_invisible_to_the_workspace_scan() {
+    assert!(classify("crates/analyze/fixtures/panics_violating.rs").is_none());
+}
+
+#[test]
+fn workspace_is_clean_under_deny() {
+    // The committed tree must hold the same bar CI enforces with
+    // `cargo run -p analyze -- --deny`: zero findings surviving the inline
+    // annotations and the root allowlist.
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = analyze::analyze_workspace(&root).expect("scan workspace");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must pass --deny; findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "scan actually covered the tree");
+}

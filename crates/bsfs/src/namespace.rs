@@ -163,7 +163,9 @@ impl NamespaceManager {
         // Move src and (for directories) its whole subtree.
         let to_move: Vec<DfsPath> = st.keys().filter(|k| k.starts_with(src)).cloned().collect();
         for old in to_move {
+            // analyze: allow(panic-unwrap): `to_move` lists distinct live keys
             let entry = st.remove(&old).expect("key just listed");
+            // analyze: allow(panic-unwrap): `old` starts_with `src`, so rebase holds
             let new = old.rebase(src, dst).expect("subtree paths rebase");
             st.insert(new, entry);
         }

@@ -204,6 +204,9 @@ impl BlobClient {
         lease: LeaseId,
         placements: &[Vec<Arc<Provider>>],
     ) -> BlobResult<Vec<Vec<NodeId>>> {
+        // analyze: allow-fn(panic-index): `ids`, `chunks`, `placements` and
+        // `landed` are parallel arrays of equal length; every subscript `i`
+        // is an enumerate() index over one of them
         let repl = self.svc.config.replication;
         // Group every (page, replica) stream by its target provider: one
         // batched put_pages per provider carries that provider's whole share
@@ -357,6 +360,8 @@ impl BlobClient {
         len: u64,
         latest_requested: bool,
     ) -> BlobResult<Payload> {
+        // analyze: allow-fn(panic-index): `parts` is sized to `hits.len()`
+        // and every subscript `i` is an enumerate() index over `hits`
         let end = offset.saturating_add(len).min(snap.total_bytes);
         if offset >= end {
             return Ok(Payload::empty());
@@ -401,8 +406,12 @@ impl BlobClient {
         }
         let parts: Vec<Payload> = parts
             .into_iter()
-            .map(|o| o.expect("every page answered"))
-            .collect();
+            .map(|o| {
+                o.ok_or_else(|| BlobError::Internal {
+                    detail: "page-read batch answered fewer results than requested".into(),
+                })
+            })
+            .collect::<BlobResult<_>>()?;
         Ok(Payload::concat(&parts))
     }
 
@@ -445,12 +454,25 @@ impl BlobClient {
         };
         // The index answers which pages overlap the range and who owns each
         // (the owner version's tree is the one holding the live leaf).
-        let page_lo = ix.page_containing(byte_lo).expect("offset below EOF");
-        let page_hi = ix.page_containing(byte_hi - 1).expect("end-1 below EOF") + 1;
+        // The caller clamps the range below EOF, so a miss here means the
+        // pinned index disagrees with its own snapshot descriptor — an
+        // internal contract breach, not a user error.
+        let index_gap = |what: &str| BlobError::Internal {
+            detail: format!("pinned index at v{} has no {what}", snap.version),
+        };
+        let page_lo = ix
+            .page_containing(byte_lo)
+            .ok_or_else(|| index_gap("page containing the clamped offset"))?;
+        let page_hi = ix
+            .page_containing(byte_hi - 1)
+            .ok_or_else(|| index_gap("page containing the clamped end"))?
+            + 1;
         let mut keys = Vec::with_capacity((page_hi - page_lo) as usize);
         let mut byte_offs = Vec::with_capacity(keys.capacity());
         for page in page_lo..page_hi {
-            let owner = ix.owner_of_page(page).expect("live page has an owner");
+            let owner = ix
+                .owner_of_page(page)
+                .ok_or_else(|| index_gap("owner for a live page"))?;
             keys.push(NodeKey {
                 blob,
                 version: owner,
@@ -459,7 +481,7 @@ impl BlobClient {
             });
             byte_offs.push(
                 ix.byte_offset_of_page(page)
-                    .expect("live page has an offset"),
+                    .ok_or_else(|| index_gap("byte offset for a live page"))?,
             );
         }
         let bodies = self.svc.dht.get_batch(p, &keys)?;
@@ -607,6 +629,8 @@ impl BlobClient {
 /// otherwise. Returns the raw node id; pages with no replicas group under
 /// `u32::MAX` and resolve to a loud failover error.
 fn pick_replica(p: &Proc, hit: &LeafHit) -> u32 {
+    // analyze: allow-fn(panic-index): subscripts are 0 under a len==1 match
+    // arm and gen_range(0..n) under the len==n arm — in-bounds by match
     let providers = &hit.page.providers;
     if providers.contains(&p.node()) {
         return p.node().0;

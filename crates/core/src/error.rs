@@ -104,6 +104,11 @@ pub enum BlobError {
     /// The (target, fault) combination is not modeled (e.g. crashing the
     /// version manager — failover is a separate roadmap item).
     UnsupportedFault(String),
+    /// An internal contract between two components was broken — e.g. a
+    /// batch RPC answered with a different number of results than it was
+    /// asked for. Surfaced instead of panicking so one wedged peer cannot
+    /// take the whole process down; seeing this is always a bug.
+    Internal { detail: String },
 }
 
 impl fmt::Display for BlobError {
@@ -145,6 +150,9 @@ impl fmt::Display for BlobError {
             BlobError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
             BlobError::NoSuchTarget(msg) => write!(f, "no such fault target: {msg}"),
             BlobError::UnsupportedFault(msg) => write!(f, "unsupported fault: {msg}"),
+            BlobError::Internal { detail } => {
+                write!(f, "internal contract violation (a bug): {detail}")
+            }
         }
     }
 }

@@ -25,6 +25,21 @@
 //! Everything runs on a [`fabric::Fabric`] — real threads in live mode, a
 //! deterministic 270-node cluster simulation for paper-scale experiments.
 
+/// The declared lock hierarchy, shared by the static `analyze` lint and the
+/// debug-only runtime assertion in the `parking_lot` shim
+/// ([`parking_lot::lock_order`]). Acquisitions must be non-decreasing in
+/// rank within a thread.
+pub(crate) mod lock_ranks {
+    /// Version-manager BLOB registry.
+    pub const REGISTRY: u8 = 1;
+    /// Per-blob control state (`BlobSlot::state` — the `meta.rs` lock unit).
+    pub const BLOB_STATE: u8 = 2;
+    /// Provider-manager lease book.
+    pub const LEASE_BOOK: u8 = 3;
+    /// Provider page stripes and metadata-server node stripes.
+    pub const STRIPES: u8 = 4;
+}
+
 pub mod client;
 pub mod cluster;
 pub mod config;

@@ -71,7 +71,9 @@ impl NodeKey {
         if k.len() != NODE_KEY_BYTES || &k[..2] != NODE_KEY_PREFIX {
             return None;
         }
-        let f = |r: std::ops::Range<usize>| u64::from_be_bytes(k[r].try_into().unwrap());
+        // analyze: allow(panic-index): every range is within 2..34 and the
+        // length was checked against NODE_KEY_BYTES above
+        let f = |r: std::ops::Range<usize>| u64::from_be_bytes(k[r].try_into().unwrap()); // analyze: allow(panic-unwrap): 8-byte range into [u8; 8] is infallible
         Some(NodeKey {
             blob: BlobId(f(2..10)),
             version: f(10..18),
@@ -168,6 +170,7 @@ impl NodeBody {
     /// (wrong tag, truncation, trailing bytes).
     pub fn decode(v: &[u8]) -> Option<NodeBody> {
         fn u64_at(v: &[u8], at: &mut usize) -> Option<u64> {
+            // analyze: allow(panic-unwrap): get() returned an exactly-8-byte slice
             let out = u64::from_le_bytes(v.get(*at..*at + 8)?.try_into().unwrap());
             *at += 8;
             Some(out)
@@ -195,11 +198,13 @@ impl NodeBody {
             1 => {
                 let id = PageId(u64_at(v, &mut at)?, u64_at(v, &mut at)?);
                 let byte_len = u64_at(v, &mut at)?;
+                // analyze: allow(panic-unwrap): get() returned an exactly-4-byte slice
                 let count = u32::from_le_bytes(v.get(at..at + 4)?.try_into().unwrap());
                 at += 4;
                 let mut providers = Vec::with_capacity(count as usize);
                 for _ in 0..count {
                     providers.push(NodeId(u32::from_le_bytes(
+                        // analyze: allow(panic-unwrap): exactly-4-byte slice from get()
                         v.get(at..at + 4)?.try_into().unwrap(),
                     )));
                     at += 4;
@@ -280,6 +285,8 @@ fn build_node(
     };
     if hi - lo == 1 {
         let idx = (lo - new.page_lo) as usize;
+        // analyze: allow(panic-index): plan_write validated the manifest
+        // covers new.page_lo..page_hi, and build_node recurses within it
         out.push((key, NodeBody::Leaf(manifest[idx].clone())));
         return;
     }
@@ -300,6 +307,8 @@ fn child_ref(
 ) -> Option<ChildRef> {
     let byte_len = ix
         .byte_len_of_range(lo, hi)
+        // analyze: allow(panic-unwrap): planner precondition — plan_write
+        // extended the index snapshot to the new version before building
         .expect("index snapshot covers the new version");
     if new.touches_range(lo, hi) {
         build_node(out, blob, ix, new, manifest, lo, hi);
@@ -318,6 +327,8 @@ fn child_ref(
         // time this version publishes (see crate::version_manager).
         let version = ix
             .latest_toucher(lo, hi)
+            // analyze: allow(panic-unwrap): planner invariant — every page
+            // below total_pages was written by some version in the index
             .expect("pages below total_pages have a writer");
         Some(ChildRef {
             version,

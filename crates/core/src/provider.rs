@@ -119,7 +119,8 @@ impl Provider {
 
     /// In-memory provider on `node`.
     pub fn new_mem(node: NodeId) -> Self {
-        let stripes = (0..MEM_STRIPES).map(|_| RwLock::new(HashMap::new()));
+        let stripes =
+            (0..MEM_STRIPES).map(|_| RwLock::with_rank(HashMap::new(), crate::lock_ranks::STRIPES));
         Self::with_backend(node, Backend::Mem(stripes.collect()))
     }
 
@@ -325,7 +326,11 @@ impl Provider {
     pub fn put_page(&self, p: &Proc, id: PageId, data: Payload) -> BlobResult<()> {
         self.put_pages(p, vec![(id, data)])
             .pop()
-            .expect("one result per page")
+            .unwrap_or_else(|| {
+                Err(BlobError::Internal {
+                    detail: "put_pages answered zero results for one page".into(),
+                })
+            })
     }
 
     /// Store a batch of pages in ONE costed wire exchange: a single bulk
@@ -363,6 +368,7 @@ impl Provider {
                     let len = data.len();
                     // Only this page's stripe is write-locked; concurrent
                     // batches for other stripes proceed in parallel.
+                    // analyze: allow(panic-index): stripe_of is modulo PAGE_STRIPES
                     let mut m = stripes[stripe_of(id)].write();
                     if m.insert(id, data).is_none() {
                         self.stored_pages.fetch_add(1, Ordering::Relaxed);
@@ -443,7 +449,11 @@ impl Provider {
     pub fn get_page(&self, p: &Proc, id: PageId) -> BlobResult<Payload> {
         self.get_pages(p, std::slice::from_ref(&id))
             .pop()
-            .expect("one result per page")
+            .unwrap_or_else(|| {
+                Err(BlobError::Internal {
+                    detail: "get_pages answered zero results for one page".into(),
+                })
+            })
     }
 
     /// Fetch a batch of pages in ONE costed wire exchange: the id list rides
@@ -472,6 +482,7 @@ impl Provider {
                     // Read lock on one stripe: concurrent readers of the
                     // same stripe share it, writers to other stripes never
                     // touch it.
+                    // analyze: allow(panic-index): stripe_of is modulo PAGE_STRIPES
                     let data = stripes[stripe_of(*id)].read().get(id).cloned();
                     out.push(match data {
                         Some(d) => {
@@ -521,6 +532,7 @@ impl Provider {
     /// consumed reservations from stranded ones)
     pub fn has_page(&self, id: PageId) -> bool {
         match &self.backend {
+            // analyze: allow(panic-index): stripe_of is modulo PAGE_STRIPES
             Backend::Mem(stripes) => stripes[stripe_of(id)].read().contains_key(&id),
             // A crash-wiped store holds nothing in memory; any reaper
             // misaccounting in the wipe window is erased when `recover`

@@ -84,6 +84,8 @@ fn encode_lease(entries: &[(NodeId, PageId, u64)]) -> Vec<u8> {
 }
 
 fn decode_lease(v: &[u8]) -> Option<Vec<(NodeId, PageId, u64)>> {
+    // analyze: allow-fn(panic-unwrap): chunks_exact(24) yields exactly-sized
+    // chunks, so every fixed-width try_into is infallible
     if !v.len().is_multiple_of(LEASE_ENTRY_BYTES) {
         return None;
     }
@@ -168,7 +170,7 @@ impl ProviderManager {
             lease_timeout_ns,
             rr: AtomicU64::new(0),
             next_lease: AtomicU64::new(0),
-            leases: Mutex::new(LeaseBook::default()),
+            leases: Mutex::with_rank(LeaseBook::default(), crate::lock_ranks::LEASE_BOOK),
             expired_leases: AtomicU64::new(0),
             reclaimed_bytes: AtomicU64::new(0),
             persist: None,
@@ -311,6 +313,9 @@ impl ProviderManager {
         candidates: &mut [Arc<Provider>],
         replication: usize,
     ) -> Vec<Arc<Provider>> {
+        // analyze: allow-fn(panic-index): every subscript is drawn from
+        // `0..candidates.len()` (permutation or modulo), in-bounds by
+        // construction
         match self.strategy {
             AllocStrategy::RoundRobin => {
                 // Atomic cursor: concurrent allocators interleave without a
@@ -527,6 +532,8 @@ impl ProviderManager {
         };
         let book = self.leases.lock();
         let mut restored = 0u64;
+        // analyze: allow(unordered-iter): commutative accumulation — each
+        // entry's reserve/sum contribution is independent of visit order
         for lease in book.table.values() {
             for &(n, page, bytes) in &lease.entries {
                 if n == node && !pr.has_page(page) {

@@ -126,7 +126,7 @@ impl VersionManager {
             pause_poll_ns: timeouts.pause_poll_ns,
             default_page_size,
             next_blob: AtomicU64::new(1),
-            blobs: RwLock::new(HashMap::new()),
+            blobs: RwLock::with_rank(HashMap::new(), crate::lock_ranks::REGISTRY),
             gc: Mutex::new(RegistryGc::default()),
         }
     }
@@ -188,7 +188,7 @@ impl VersionManager {
         let slot = Arc::new(BlobSlot {
             page_size: ps,
             retired: AtomicBool::new(false),
-            state: Mutex::new(BlobState::new(ps)),
+            state: Mutex::with_rank(BlobState::new(ps), crate::lock_ranks::BLOB_STATE),
         });
         self.blobs.write().insert(id, slot);
         id
@@ -215,11 +215,18 @@ impl VersionManager {
         // The retired flag is set before the gates fire: a woken waiter
         // re-checks it and reports the deletion. Waking happens outside the
         // per-blob lock, like every other gate set.
-        let gates: Vec<_> = {
-            let st = slot.state.lock();
-            st.pending.values().map(|pw| pw.gate.clone()).collect()
-        };
-        for gate in gates {
+        let st = slot.state.lock();
+        let mut gates: Vec<_> = st
+            .pending
+            .iter()
+            .map(|(ver, pw)| (*ver, pw.gate.clone()))
+            .collect();
+        drop(st);
+        // Fire in version order: gate wakeups are replay-visible (they
+        // reschedule parked fibers), so the hash order of `pending` must not
+        // leak into the wakeup sequence.
+        gates.sort_unstable_by_key(|(ver, _)| *ver);
+        for (_, gate) in gates {
             gate.set();
         }
         Ok(())
@@ -442,7 +449,10 @@ impl VersionManager {
                 page_size: slot.page_size,
             });
         }
-        let d = &st.descs[v as usize - 1];
+        let d = st
+            .descs
+            .get(v as usize - 1)
+            .ok_or(BlobError::NoSuchVersion { blob, version: v })?;
         Ok(SnapshotInfo {
             version: v,
             total_pages: d.total_pages,
@@ -508,6 +518,8 @@ impl VersionManager {
         let mut seen = HashSet::new();
         let mut nodes = st.index.count_nodes(&mut seen);
         nodes += st.published_index.count_nodes(&mut seen);
+        // analyze: allow(unordered-iter): commutative count — `seen` dedups
+        // structurally shared nodes, so the total is visit-order independent
         for pw in st.pending.values() {
             nodes += pw.index.count_nodes(&mut seen);
         }
@@ -533,7 +545,9 @@ impl VersionManager {
             }
             match st.pending.get(&version) {
                 Some(pw) => (
-                    st.descs[version as usize - 1],
+                    *st.descs
+                        .get(version as usize - 1)
+                        .ok_or(BlobError::NoSuchVersion { blob, version })?,
                     pw.index.clone(),
                     pw.manifest.clone(),
                 ),
@@ -884,18 +898,32 @@ mod tests {
     #[test]
     fn disjoint_blobs_use_disjoint_locks() {
         // Operations on one blob proceed while another blob's state mutex is
-        // deliberately held hostage — the registry hands out independent
-        // per-blob locks, so nothing funnels through a global one.
+        // held hostage *by a different process* — the registry hands out
+        // independent per-blob locks, so nothing funnels through a global
+        // one (which would park the worker on the hostage below).
         let fx = Fabric::sim(ClusterSpec::tiny(4));
         let vm = setup(&fx);
+        let locked = fx.gate();
+        let done = fx.gate();
+        let vm2 = vm.clone();
+        let a = std::sync::Arc::new(std::sync::OnceLock::new());
+        let b = std::sync::Arc::new(std::sync::OnceLock::new());
+        let (a2, b2) = (a.clone(), b.clone());
+        let (locked2, done2) = (locked.clone(), done.clone());
+        let hostage = fx.spawn(NodeId(2), "hostage", move |p| {
+            a2.set(vm2.create_blob(p, None)).unwrap();
+            b2.set(vm2.create_blob(p, None)).unwrap();
+            let slot_a = vm2.slot(*a2.get().unwrap()).unwrap();
+            let _hostage = slot_a.state.lock();
+            locked2.set();
+            done2.wait(p); // keep a's lock held for the worker's whole run
+        });
         let vm2 = vm.clone();
         let h = fx.spawn(NodeId(3), "t", move |p| {
-            let a = vm2.create_blob(p, None);
-            let b = vm2.create_blob(p, None);
-            let slot_a = vm2.slot(a).unwrap();
-            let _hostage = slot_a.state.lock();
+            locked.wait(p);
+            let b = *b.get().unwrap();
             // Every control-plane verb on b completes despite a's lock being
-            // held (a global lock would deadlock right here).
+            // held elsewhere (a global lock would deadlock right here).
             let (d, _) = vm2
                 .assign(p, b, UpdateKind::Append, 100, manifest(1, 7, 100), 0)
                 .unwrap();
@@ -903,9 +931,11 @@ mod tests {
             vm2.wait_published(p, b, d.version).unwrap();
             assert_eq!(vm2.latest(p, b).unwrap(), 1);
             assert_eq!(vm2.sync_index(p, b, 0).unwrap().version(), 1);
+            done.set();
         });
         fx.run();
         h.take().unwrap();
+        hostage.take().unwrap();
     }
 
     #[test]

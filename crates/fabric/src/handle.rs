@@ -790,6 +790,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_methods)] // measures host time on purpose
     fn virtual_time_is_free() {
         // A year of virtual idling must simulate instantly.
         let fx = Fabric::sim(ClusterSpec::tiny(1));

@@ -30,6 +30,9 @@ pub(crate) struct LiveCore {
 }
 
 impl LiveCore {
+    // Live mode IS the time boundary: this Instant anchors the wall clock
+    // every live-mode timestamp derives from.
+    #[allow(clippy::disallowed_methods)]
     pub fn new(spec: ClusterSpec, seed: u64) -> Arc<Self> {
         Arc::new(LiveCore {
             spec,

@@ -56,6 +56,8 @@ impl Criterion {
     }
 
     /// Run one benchmark and print a one-line summary.
+    // A bench harness measures host time by definition.
+    #[allow(clippy::disallowed_methods)]
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         // Warm-up: run the body repeatedly, and calibrate how many
         // iterations fit in one sample slot.
@@ -136,6 +138,7 @@ impl Bencher {
     }
 
     /// Time `routine`, running it `target_iters` times back to back.
+    #[allow(clippy::disallowed_methods)] // the measurement itself
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let start = Instant::now();
         for _ in 0..self.target_iters {

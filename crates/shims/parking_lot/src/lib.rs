@@ -16,20 +16,102 @@
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{self, TryLockError};
 use std::time::Duration;
 
-/// Mutual exclusion primitive (API subset of `parking_lot::Mutex`).
+/// Debug-only runtime lock-order checking.
+///
+/// A lock may be given a hierarchy rank with [`Mutex::set_rank`] /
+/// [`RwLock::set_rank`] (or constructed ranked via `with_rank`). In debug
+/// builds every acquisition of a *ranked* lock asserts that the rank is `>=`
+/// every rank this thread already holds — acquiring down the hierarchy
+/// panics with both ranks named. Unranked locks (rank 0, the default) are
+/// never checked. Release builds compile the whole mechanism to nothing.
+///
+/// This dynamically cross-checks the same hierarchy the `analyze` lint
+/// enforces statically (`cargo run -p analyze`): every seeded chaos sweep
+/// run in debug mode doubles as a lock-order audit.
+pub mod lock_order {
+    #[cfg(debug_assertions)]
+    mod imp {
+        use std::cell::RefCell;
+
+        thread_local! {
+            static HELD: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+        }
+
+        /// Token recording one held ranked lock; removal happens on drop.
+        pub struct Held(Option<u8>);
+
+        pub fn acquire(rank: u8) -> Held {
+            if rank == 0 {
+                return Held(None);
+            }
+            HELD.with(|h| {
+                let mut held = h.borrow_mut();
+                if let Some(&max) = held.iter().max() {
+                    assert!(
+                        rank >= max,
+                        "lock-order violation: acquiring a rank-{rank} lock while holding \
+                         rank {max} (hierarchy: VM registry(1) -> blob slot(2) -> \
+                         lease book(3) -> provider/meta stripes(4))"
+                    );
+                }
+                held.push(rank);
+            });
+            Held(Some(rank))
+        }
+
+        impl Drop for Held {
+            fn drop(&mut self) {
+                if let Some(rank) = self.0 {
+                    HELD.with(|h| {
+                        let mut held = h.borrow_mut();
+                        if let Some(pos) = held.iter().rposition(|&r| r == rank) {
+                            held.remove(pos);
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    mod imp {
+        /// Zero-sized in release builds: no thread-local, no bookkeeping.
+        pub struct Held;
+
+        #[inline(always)]
+        pub fn acquire(_rank: u8) -> Held {
+            Held
+        }
+    }
+
+    pub use imp::{acquire, Held};
+}
+
+/// Mutual exclusion primitive (API subset of `parking_lot::Mutex`, plus the
+/// workspace-local [`lock_order`] rank extension).
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    rank: AtomicU8,
     inner: sync::Mutex<T>,
 }
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
         Mutex {
+            rank: AtomicU8::new(0),
             inner: sync::Mutex::new(value),
         }
+    }
+
+    /// A mutex pre-ranked in the [`lock_order`] hierarchy.
+    pub fn with_rank(value: T, rank: u8) -> Self {
+        let m = Self::new(value);
+        m.set_rank(rank);
+        m
     }
 
     pub fn into_inner(self) -> T {
@@ -41,20 +123,34 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// Assign this lock's [`lock_order`] rank (0 = unranked, never checked).
+    pub fn set_rank(&self, rank: u8) {
+        self.rank.store(rank, Ordering::Relaxed);
+    }
+
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        let order = lock_order::acquire(self.rank.load(Ordering::Relaxed));
         let guard = match self.inner.lock() {
             Ok(g) => g,
             // parking_lot has no poisoning: recover the guard.
             Err(p) => p.into_inner(),
         };
-        MutexGuard { inner: Some(guard) }
+        MutexGuard {
+            inner: Some(guard),
+            _order: order,
+        }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let order = lock_order::acquire(self.rank.load(Ordering::Relaxed));
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Ok(g) => Some(MutexGuard {
+                inner: Some(g),
+                _order: order,
+            }),
             Err(TryLockError::Poisoned(p)) => Some(MutexGuard {
                 inner: Some(p.into_inner()),
+                _order: order,
             }),
             Err(TryLockError::WouldBlock) => None,
         }
@@ -81,6 +177,7 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 /// inside [`Condvar::wait`], which must hand the std guard back to std.
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<sync::MutexGuard<'a, T>>,
+    _order: lock_order::Held,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -169,57 +266,88 @@ impl fmt::Debug for Condvar {
     }
 }
 
-/// Reader-writer lock (API subset of `parking_lot::RwLock`).
+/// Reader-writer lock (API subset of `parking_lot::RwLock`, plus the
+/// workspace-local [`lock_order`] rank extension).
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    rank: AtomicU8,
     inner: sync::RwLock<T>,
 }
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
         RwLock {
+            rank: AtomicU8::new(0),
             inner: sync::RwLock::new(value),
         }
+    }
+
+    /// An rwlock pre-ranked in the [`lock_order`] hierarchy.
+    pub fn with_rank(value: T, rank: u8) -> Self {
+        let l = Self::new(value);
+        l.set_rank(rank);
+        l
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    /// Assign this lock's [`lock_order`] rank (0 = unranked, never checked).
+    pub fn set_rank(&self, rank: u8) {
+        self.rank.store(rank, Ordering::Relaxed);
+    }
+
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.inner.read() {
-            Ok(g) => RwLockReadGuard(g),
-            Err(p) => RwLockReadGuard(p.into_inner()),
+        let order = lock_order::acquire(self.rank.load(Ordering::Relaxed));
+        let guard = match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard {
+            inner: guard,
+            _order: order,
         }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.inner.write() {
-            Ok(g) => RwLockWriteGuard(g),
-            Err(p) => RwLockWriteGuard(p.into_inner()),
+        let order = lock_order::acquire(self.rank.load(Ordering::Relaxed));
+        let guard = match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard {
+            inner: guard,
+            _order: order,
         }
     }
 }
 
-pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    _order: lock_order::Held,
+}
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
-pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    _order: lock_order::Held,
+}
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
     }
 }
 
@@ -269,5 +397,41 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn ranked_acquisition_up_hierarchy_is_allowed() {
+        let a = Mutex::with_rank((), 1);
+        let b = RwLock::with_rank((), 2);
+        let c = Mutex::with_rank((), 2); // same rank as b: allowed
+        let _ga = a.lock();
+        let _gb = b.read();
+        let _gc = c.lock();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock-order violation")]
+    fn ranked_acquisition_down_hierarchy_panics() {
+        let a = Mutex::with_rank((), 3);
+        let b = RwLock::with_rank((), 2);
+        let _ga = a.lock();
+        let _gb = b.read();
+    }
+
+    #[test]
+    fn rank_token_is_released_with_the_guard() {
+        let a = Mutex::with_rank((), 3);
+        let b = Mutex::with_rank((), 2);
+        drop(a.lock());
+        let _gb = b.lock(); // no rank-3 token survives the dropped guard
+    }
+
+    #[test]
+    fn unranked_locks_are_never_checked() {
+        let ranked = Mutex::with_rank((), 4);
+        let plain = Mutex::new(());
+        let _g = ranked.lock();
+        let _p = plain.lock(); // rank 0 under rank 4: no assertion
     }
 }
