@@ -8,6 +8,7 @@
 //! | 2 | `state` — per-BLOB `Mutex<BlobState>` (the `meta.rs` lock unit) | `version_manager.rs` |
 //! | 3 | `leases` — provider-manager lease book `Mutex<LeaseBook>` | `provider_manager.rs` |
 //! | 4 | `nodes` / `stripes` — provider & meta-server stripe locks | `provider.rs`, `dht.rs` |
+//! | 5 | `shards` / client index caches — read-cache shard + `desc_cache`, `page_size_cache`, `published_floor` | `read_cache.rs`, `client.rs` |
 //!
 //! A nested acquisition must never take a *lower* rank while a higher rank
 //! is held (same rank is allowed — stripes are disjoint by index). And no
@@ -30,15 +31,19 @@ fn rank_of(field: &str) -> Option<u8> {
         "state" => Some(2),
         "leases" => Some(3),
         "nodes" | "stripes" => Some(4),
+        // Client-side caches are leaves of the hierarchy: nothing else may
+        // be acquired (and no wire traffic issued) under a cache guard.
+        "shards" | "shard" | "desc_cache" | "page_size_cache" | "published_floor" => Some(5),
         _ => None,
     }
 }
 
-const RANK_NAMES: [&str; 4] = [
+const RANK_NAMES: [&str; 5] = [
     "VM registry",
     "blob slot (meta.rs lock unit)",
     "lease book",
     "provider/meta stripes",
+    "client read/index cache",
 ];
 
 /// Guard acquisition methods.
@@ -106,7 +111,7 @@ pub(crate) fn run(ctx: &FileCtx, v: &View, out: &mut Vec<Finding>) {
                     message: format!(
                         "acquires rank-{rank} `{recv}` ({}) while holding rank-{} `{}` ({}, \
                          line {}); take locks in hierarchy order registry(1) → slot(2) → \
-                         leases(3) → stripes(4), or drop the outer guard first",
+                         leases(3) → stripes(4) → caches(5), or drop the outer guard first",
                         RANK_NAMES[rank as usize - 1],
                         outer.rank,
                         outer.field,

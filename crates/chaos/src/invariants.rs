@@ -6,6 +6,9 @@
 //!
 //! 1. **Provider books balance** — `load_estimate == stored_bytes` on every
 //!    provider: no reservation byte is stranded by a dead or faulted writer.
+//!    Dedicated read replicas are held to the same books: replica-held
+//!    bytes arrive by background sync (never through a reservation lease),
+//!    so any load/stored skew there is a sync accounting bug.
 //! 2. **No outstanding leases** — every provider-manager reservation lease
 //!    was settled or reaped.
 //! 3. **Versions dense, none pending** — per blob, `pending_count == 0`:
@@ -35,6 +38,17 @@ pub fn check(p: &Proc, bs: &BlobSeer) -> Vec<String> {
                 "provider[{i}] books unbalanced: load_estimate {load} != stored_bytes {stored} \
                  ({} reservation bytes stranded)",
                 load.saturating_sub(stored)
+            ));
+        }
+    }
+
+    for (i, rep) in bs.read_replicas().iter().enumerate() {
+        let (load, stored) = (rep.load_estimate(), rep.stored_bytes());
+        if load != stored {
+            violations.push(format!(
+                "read-replica[{i}] books unbalanced: load_estimate {load} != stored_bytes \
+                 {stored} ({} sync bytes unaccounted)",
+                load.abs_diff(stored)
             ));
         }
     }

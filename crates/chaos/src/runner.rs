@@ -35,16 +35,27 @@ pub enum Workload {
     /// Concurrent BSFS file churn: private and shared append streams plus
     /// delete/recreate, verified for append atomicity and ordering.
     BsfsChurn,
+    /// Reader storm on a replica-bearing layout: a small writer pool
+    /// appends tagged blocks while a larger reader pool hammers full-file
+    /// reads through the cached, replica-preferring path — with replica
+    /// crash/crash-restart faults in the budget.
+    ReaderStorm,
 }
 
 impl Workload {
-    pub const ALL: [Workload; 3] = [Workload::Wordcount, Workload::DataJoin, Workload::BsfsChurn];
+    pub const ALL: [Workload; 4] = [
+        Workload::Wordcount,
+        Workload::DataJoin,
+        Workload::BsfsChurn,
+        Workload::ReaderStorm,
+    ];
 
     pub fn name(&self) -> &'static str {
         match self {
             Workload::Wordcount => "wordcount",
             Workload::DataJoin => "datajoin",
             Workload::BsfsChurn => "bsfs-churn",
+            Workload::ReaderStorm => "reader-storm",
         }
     }
 
@@ -148,7 +159,28 @@ pub fn budget_for(workload: Workload, layout: &Layout) -> ChaosConfig {
         cfg.meta_crashes = 2;
         cfg.meta_restarts = 1;
     }
+    if workload == Workload::ReaderStorm {
+        // The storm runs the replica-bearing layout: replica crashes and
+        // crash-restarts only degrade read capacity (reads fail over to the
+        // primaries), so they are survivable for any workload — the storm
+        // is the one that actually keeps the replica read path hot.
+        cfg.read_replicas = layout.read_replicas.len();
+        cfg.replica_crashes = 2;
+        cfg.replica_restarts = 2;
+    }
     cfg
+}
+
+/// Layout for a workload: the reader storm carves two dedicated read
+/// replicas off the provider tail; every other workload runs the plain
+/// compact layout.
+fn layout_for(workload: Workload, spec: &ClusterSpec) -> Layout {
+    let layout = Layout::compact(spec);
+    if workload == Workload::ReaderStorm {
+        layout.with_read_replicas_from_tail(2)
+    } else {
+        layout
+    }
 }
 
 /// Serial number distinguishing concurrent runs of the same `(workload,
@@ -176,7 +208,7 @@ fn run(workload: Workload, seed: u64, faulted: bool) -> RunReport {
         .with_persist_checkpoint_bytes(Some(16 * 1024));
     cfg.timeouts.write_timeout_ns = Some(WRITE_TIMEOUT_NS);
     cfg.timeouts.reaper_interval_ns = REAPER_INTERVAL_NS;
-    let layout = Layout::compact(fx.spec());
+    let layout = layout_for(workload, fx.spec());
     let bsfs = Bsfs::deploy(&fx, cfg, layout).unwrap();
     let bs = bsfs.store().clone();
 
@@ -228,6 +260,7 @@ fn run(workload: Workload, seed: u64, faulted: bool) -> RunReport {
             Workload::Wordcount => drive_wordcount(p, &fs, seed, &viols),
             Workload::DataJoin => drive_datajoin(p, &fs, seed, &viols),
             Workload::BsfsChurn => drive_churn(p, &fs, seed, &viols, &tol),
+            Workload::ReaderStorm => drive_reader_storm(p, &fs, seed, &viols, &tol),
         }
         // Quiescence: everything is healed by the horizon; give the reaper
         // a full write-timeout plus slack to settle leases, pendings and
@@ -492,6 +525,103 @@ fn drive_churn(
     }
 }
 
+const STORM_WRITERS: u32 = 2;
+const STORM_READERS: u32 = 6;
+const STORM_ROUNDS: u64 = 12;
+
+/// Reader storm: `STORM_WRITERS` writers append tagged blocks to one file
+/// each during the first half of the horizon, while `STORM_READERS` readers
+/// loop full-file reads across the whole horizon — the cached,
+/// replica-preferring read path under replica crashes and restarts. Reads
+/// that fail mid-storm are tolerated; every successful read must parse as
+/// well-formed tagged blocks of the owning writer, and a post-heal audit
+/// requires every file readable.
+fn drive_reader_storm(
+    p: &Proc,
+    fs: &Arc<dyn FileSystem>,
+    _seed: u64,
+    viols: &Mutex<Vec<String>>,
+    tolerated: &Arc<AtomicU64>,
+) {
+    let mut handles = Vec::new();
+    for w in 0..STORM_WRITERS {
+        let fs = fs.clone();
+        let tol = tolerated.clone();
+        let h = p.fabric().spawn(
+            NodeId(1 + w % (NODES - 1)),
+            format!("storm-writer-{w}"),
+            move |p: &Proc| {
+                let path = d(&format!("/storm/file-{w}"));
+                let step = (HORIZON_NS / 2) / (CHURN_APPENDS as u64 + 1);
+                for k in 0..CHURN_APPENDS {
+                    p.sleep(step);
+                    // A failed create/append under a faulted service is
+                    // tolerated; the create retries next iteration.
+                    if !fs.exists(p, &path) && fs.write_file(p, &path, Payload::empty()).is_err() {
+                        tol.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let block = Payload::from_vec(vec![tag(w, k); BLOCK]);
+                    if fs.append_all(p, &path, block).is_err() {
+                        tol.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            },
+        );
+        handles.push((h, Arc::new(Mutex::new(Vec::new()))));
+    }
+    for r in 0..STORM_READERS {
+        let fs = fs.clone();
+        let tol = tolerated.clone();
+        let vw: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let vw2 = vw.clone();
+        let h = p.fabric().spawn(
+            NodeId(1 + r % (NODES - 1)),
+            format!("storm-reader-{r}"),
+            move |p: &Proc| {
+                let step = HORIZON_NS / (STORM_ROUNDS + 2);
+                for i in 0..STORM_ROUNDS {
+                    // Stagger readers so fault windows land mid-read for
+                    // some of them every round.
+                    p.sleep(step / 2 + (r as u64 * step) / (2 * STORM_READERS as u64));
+                    let w = (i as u32 + r) % STORM_WRITERS;
+                    let path = d(&format!("/storm/file-{w}"));
+                    if !fs.exists(p, &path) {
+                        continue; // writer hasn't created it yet
+                    }
+                    match fs.read_file(p, &path) {
+                        Ok(data) => check_blocks(&vw2, &path, data.bytes(), Some(w)),
+                        Err(_) => {
+                            tol.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // Post-heal audit: every storm file that exists must be
+                // readable and well-formed (a file can only be missing if
+                // every one of its writer's creates was tolerated away).
+                p.sleep(HORIZON_NS.saturating_sub(p.now()) + 50 * MILLIS);
+                for w in 0..STORM_WRITERS {
+                    let path = d(&format!("/storm/file-{w}"));
+                    if !fs.exists(p, &path) {
+                        continue;
+                    }
+                    match fs.read_file(p, &path) {
+                        Ok(data) => check_blocks(&vw2, &path, data.bytes(), Some(w)),
+                        Err(e) => vw2
+                            .lock()
+                            .push(format!("storm: {path} unreadable after heal: {e}")),
+                    }
+                }
+            },
+        );
+        handles.push((h, vw));
+    }
+    for (h, vw) in handles {
+        h.join(p);
+        viols.lock().extend(vw.lock().iter().cloned());
+    }
+}
+
 /// Verify a churn file's bytes: length a multiple of the block size (no
 /// torn append), every block uniform (no interleaving inside a block), tags
 /// valid, per-writer sequence numbers strictly increasing (publication
@@ -561,10 +691,11 @@ mod tests {
     #[test]
     fn runner_budgets_draw_crash_restarts() {
         let spec = ClusterSpec::tiny(NODES);
-        let layout = Layout::compact(&spec);
-        let (mut provider_restarts, mut meta_restarts) = (0usize, 0usize);
+        let (mut provider_restarts, mut meta_restarts, mut replica_restarts) =
+            (0usize, 0usize, 0usize);
         for seed in 0..16 {
             for w in Workload::ALL {
+                let layout = layout_for(w, &spec);
                 let sched = ChaosSchedule::generate(&budget_for(w, &layout), seed);
                 for ev in &sched.events {
                     if let ChaosAction::Inject(t, Fault::CrashRestart) = ev.action {
@@ -574,6 +705,14 @@ mod tests {
                                 assert_eq!(w, Workload::BsfsChurn, "meta restarts are churn-only");
                                 meta_restarts += 1;
                             }
+                            FaultTarget::ReadReplica(_) => {
+                                assert_eq!(
+                                    w,
+                                    Workload::ReaderStorm,
+                                    "replica restarts are storm-only"
+                                );
+                                replica_restarts += 1;
+                            }
                             t => panic!("crash-restart drawn for unsupported target {t}"),
                         }
                     }
@@ -582,5 +721,6 @@ mod tests {
         }
         assert!(provider_restarts > 0, "no provider crash-restart drawn");
         assert!(meta_restarts > 0, "no meta-server crash-restart drawn");
+        assert!(replica_restarts > 0, "no read-replica crash-restart drawn");
     }
 }

@@ -61,6 +61,17 @@ pub struct ChaosConfig {
     /// deployments; a metadata outage fails in-flight writes, so only
     /// error-tolerant workloads should allow these).
     pub meta_restarts: usize,
+    /// Dedicated read replicas in the deployment (crash targets for the
+    /// replica fault classes; 0 when the layout runs none).
+    pub read_replicas: usize,
+    /// Read-replica crash windows to attempt. Losing a replica only
+    /// degrades read capacity — reads fail over to the primaries — so these
+    /// never count against the provider crash concurrency cap.
+    pub replica_crashes: usize,
+    /// Read-replica crash-restart windows to attempt (persistent
+    /// deployments; the wiped replica recovers its durable pages on heal
+    /// and the next background sync round re-copies the rest).
+    pub replica_restarts: usize,
     /// Network fault windows (delay / drop / partition) to attempt.
     pub net_faults: usize,
     /// Service fault windows last `[max/4, max]` of this.
@@ -85,6 +96,9 @@ impl ChaosConfig {
             reaper_pauses: 0,
             provider_restarts: 0,
             meta_restarts: 0,
+            read_replicas: 0,
+            replica_crashes: 0,
+            replica_restarts: 0,
             net_faults: 0,
             max_service_fault_ns: 200 * MILLIS,
             max_net_fault_ns: 50 * MILLIS,
@@ -147,13 +161,15 @@ impl ChaosSchedule {
         // the schedule's identity — never reorder these; new classes are
         // only ever APPENDED, so a budget that zeroes them reproduces the
         // schedules generated before they existed.
-        let classes: [(usize, Fault); 6] = [
+        let classes: [(usize, Fault); 8] = [
             (cfg.provider_crashes, Fault::Crash),
             (cfg.meta_crashes, Fault::Crash),
             (cfg.vm_pauses, Fault::Pause),
             (cfg.reaper_pauses, Fault::Pause),
             (cfg.provider_restarts, Fault::CrashRestart),
             (cfg.meta_restarts, Fault::CrashRestart),
+            (cfg.replica_crashes, Fault::Crash),
+            (cfg.replica_restarts, Fault::CrashRestart),
         ];
         for (class, &(count, fault)) in classes.iter().enumerate() {
             for _ in 0..count {
@@ -175,7 +191,16 @@ impl ChaosSchedule {
                             FaultTarget::MetaServer(rng.gen_range(0..cfg.meta_servers))
                         }
                         2 => FaultTarget::VersionManager,
-                        _ => FaultTarget::Reaper,
+                        3 => FaultTarget::Reaper,
+                        // Replica faults never touch durability (primaries
+                        // keep every byte), so they skip the provider
+                        // concurrency cap entirely.
+                        _ => {
+                            if cfg.read_replicas == 0 {
+                                break;
+                            }
+                            FaultTarget::ReadReplica(rng.gen_range(0..cfg.read_replicas))
+                        }
                     };
                     let (start, end) = draw_window(&mut rng, cfg.max_service_fault_ns);
                     let same_target_clash = windows
@@ -322,6 +347,9 @@ mod tests {
             reaper_pauses: 1,
             provider_restarts: 2,
             meta_restarts: 1,
+            read_replicas: 2,
+            replica_crashes: 2,
+            replica_restarts: 1,
             net_faults: 5,
             max_service_fault_ns: 200 * MILLIS,
             max_net_fault_ns: 50 * MILLIS,
@@ -397,6 +425,7 @@ mod tests {
         let mut with = busy_cfg();
         with.provider_restarts = 0;
         with.meta_restarts = 0;
+        with.replica_restarts = 0;
         for seed in 0..20 {
             let s = ChaosSchedule::generate(&with, seed);
             assert!(s
@@ -427,6 +456,44 @@ mod tests {
         }
         assert!(saw_provider, "provider restarts never drawn in 20 seeds");
         assert!(saw_meta, "meta restarts never drawn in 20 seeds");
+    }
+
+    #[test]
+    fn replica_budgets_draw_replica_windows() {
+        let cfg = busy_cfg();
+        let (mut crashes, mut restarts) = (false, false);
+        for seed in 0..20 {
+            let s = ChaosSchedule::generate(&cfg, seed);
+            for ev in &s.events {
+                if let ChaosAction::Inject(FaultTarget::ReadReplica(i), f) = ev.action {
+                    assert!(i < cfg.read_replicas, "replica index out of range");
+                    match f {
+                        Fault::Crash => crashes = true,
+                        Fault::CrashRestart => restarts = true,
+                        Fault::Pause => panic!("replica pause is unsupported"),
+                    }
+                }
+            }
+        }
+        assert!(crashes, "replica crashes never drawn in 20 seeds");
+        assert!(restarts, "replica restarts never drawn in 20 seeds");
+    }
+
+    #[test]
+    fn zero_replica_budget_draws_no_replica_faults() {
+        // The replica classes were APPENDED to the draw sequence (schedule
+        // identity is append-only): a budget that zeroes them must produce
+        // schedules with no replica events at all.
+        let mut cfg = busy_cfg();
+        cfg.replica_crashes = 0;
+        cfg.replica_restarts = 0;
+        for seed in 0..20 {
+            let s = ChaosSchedule::generate(&cfg, seed);
+            assert!(s.events.iter().all(|e| !matches!(
+                e.action,
+                ChaosAction::Inject(FaultTarget::ReadReplica(_), _)
+            )));
+        }
     }
 
     #[test]

@@ -11,12 +11,13 @@
 
 use chaos::{run_chaos, run_quiet, Workload};
 
-/// Seeds per workload: 22 + 21 + 21 = 64 faulted runs in the sweep.
+/// Seeds per workload: 16 x 4 = 64 faulted runs in the sweep.
 fn seeds_for(w: Workload) -> std::ops::Range<u64> {
     match w {
-        Workload::Wordcount => 0..22,
-        Workload::DataJoin => 0..21,
-        Workload::BsfsChurn => 0..21,
+        Workload::Wordcount => 0..16,
+        Workload::DataJoin => 0..16,
+        Workload::BsfsChurn => 0..16,
+        Workload::ReaderStorm => 0..16,
     }
 }
 
@@ -49,6 +50,11 @@ fn sweep_datajoin() {
 #[test]
 fn sweep_bsfs_churn() {
     sweep(Workload::BsfsChurn);
+}
+
+#[test]
+fn sweep_reader_storm() {
+    sweep(Workload::ReaderStorm);
 }
 
 fn sweep(w: Workload) {
@@ -103,7 +109,7 @@ fn replay_from_env() {
         return;
     };
     let workload = Workload::parse(&w).unwrap_or_else(|| {
-        panic!("unknown CHAOS_WORKLOAD {w:?} (want wordcount|datajoin|bsfs-churn)")
+        panic!("unknown CHAOS_WORKLOAD {w:?} (want wordcount|datajoin|bsfs-churn|reader-storm)")
     });
     let seed: u64 = s.parse().expect("CHAOS_SEED must be an integer");
     let report = run_chaos(workload, seed);

@@ -14,7 +14,7 @@
 //! chosen replica into one batched `get_pages` per provider, with per-page
 //! replica failover for the subset that fails → assemble.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fabric::{run_parallel, NodeId, Payload, Proc, TaskFn};
@@ -24,9 +24,11 @@ use rand::Rng;
 use crate::cluster::Services;
 use crate::desc_index::DescIndex;
 use crate::error::{BlobError, BlobResult};
+use crate::lock_ranks;
 use crate::meta::{collect_leaves, plan_write, LeafHit, NodeBody, NodeKey, PageRef, SnapshotInfo};
 use crate::provider::Provider;
 use crate::provider_manager::LeaseId;
+use crate::read_cache::{LruMap, ReadCache, ReadCacheStats};
 use crate::types::{BlobId, PageId, Version};
 use crate::version_manager::UpdateKind;
 
@@ -42,20 +44,86 @@ pub struct PageLocation {
 
 /// A client handle; cheap to create, one per logical client. Caches the
 /// freshest descriptor-index snapshot per BLOB so the version manager only
-/// ships descriptor deltas past the cached watermark.
+/// ships descriptor deltas past the cached watermark, and keeps a bounded
+/// snapshot-scoped [`ReadCache`] of published pages and metadata leaves.
+///
+/// Every per-client cache is bounded: the descriptor/page-size/published
+/// watermark maps evict by LRU at `client_index_cache_entries`, the read
+/// cache at `read_cache_bytes` — client memory stays flat under
+/// many-thousand-blob churn.
 pub struct BlobClient {
     svc: Arc<Services>,
-    desc_cache: Mutex<HashMap<BlobId, DescIndex>>,
-    page_size_cache: Mutex<HashMap<BlobId, u64>>,
+    desc_cache: Mutex<LruMap<BlobId, DescIndex>>,
+    page_size_cache: Mutex<LruMap<BlobId, u64>>,
+    /// Highest version of each blob this client has *observed published*
+    /// (from a VM snapshot answer or its own awaited write). The read cache
+    /// is only ever consulted — or fed — at or below this floor; pending
+    /// versions can still be rewritten by a write-timeout force-complete,
+    /// so nothing about them is cacheable.
+    published_floor: Mutex<LruMap<BlobId, Version>>,
+    cache: ReadCache,
 }
 
 impl BlobClient {
     pub(crate) fn new(svc: Arc<Services>) -> Self {
+        let cache = ReadCache::new(svc.config.read_cache_bytes);
+        Self::with_cache(svc, cache)
+    }
+
+    /// A client whose read cache never holds anything — every read takes
+    /// the full fabric path. Used to compare cached vs uncached reads.
+    pub(crate) fn uncached(svc: Arc<Services>) -> Self {
+        Self::with_cache(svc, ReadCache::disabled())
+    }
+
+    fn with_cache(svc: Arc<Services>, cache: ReadCache) -> Self {
+        let index_cap = svc.config.client_index_cache_entries;
         BlobClient {
             svc,
-            desc_cache: Mutex::new(HashMap::new()),
-            page_size_cache: Mutex::new(HashMap::new()),
+            desc_cache: Mutex::with_rank(LruMap::new(index_cap), lock_ranks::READ_CACHE),
+            page_size_cache: Mutex::with_rank(LruMap::new(index_cap), lock_ranks::READ_CACHE),
+            published_floor: Mutex::with_rank(LruMap::new(index_cap), lock_ranks::READ_CACHE),
+            cache,
         }
+    }
+
+    /// Read-cache counters (hits/misses/evictions/residency) — deterministic
+    /// currencies for benches and tests.
+    pub fn cache_stats(&self) -> ReadCacheStats {
+        self.cache.stats()
+    }
+
+    /// Entries currently held by the bounded index-side caches
+    /// `(descriptors, page sizes, published watermarks)`.
+    pub fn index_cache_entries(&self) -> (usize, usize, usize) {
+        (
+            self.desc_cache.lock().len(),
+            self.page_size_cache.lock().len(),
+            self.published_floor.lock().len(),
+        )
+    }
+
+    /// Record that `version` of `blob` is published (monotone floor).
+    fn note_published(&self, blob: BlobId, version: Version) {
+        if version == 0 {
+            return;
+        }
+        let mut floor = self.published_floor.lock();
+        let cur = floor.get(&blob).copied().unwrap_or(0);
+        if version > cur {
+            floor.insert(blob, version, 1);
+        }
+    }
+
+    /// Has this client observed `version` of `blob` as published? Purely
+    /// local — the gate that keeps pending versions out of the read cache.
+    fn is_published(&self, blob: BlobId, version: Version) -> bool {
+        version > 0
+            && self
+                .published_floor
+                .lock()
+                .get(&blob)
+                .is_some_and(|&f| version <= f)
     }
 
     /// Create a new BLOB (page size defaults to the deployment config).
@@ -63,7 +131,7 @@ impl BlobClient {
         let id = self.svc.vm.create_blob(p, page_size);
         self.page_size_cache
             .lock()
-            .insert(id, page_size.unwrap_or(self.svc.config.page_size));
+            .insert(id, page_size.unwrap_or(self.svc.config.page_size), 1);
         id
     }
 
@@ -73,7 +141,7 @@ impl BlobClient {
             return Ok(*ps);
         }
         let ps = self.svc.vm.page_size_of(p, blob)?;
-        self.page_size_cache.lock().insert(blob, ps);
+        self.page_size_cache.lock().insert(blob, ps, 1);
         Ok(ps)
     }
 
@@ -108,11 +176,7 @@ impl BlobClient {
         // Step 2: get a version plus an index snapshot pinned at it. The VM
         // only ships (and charges for) descriptors after the cached
         // watermark; the snapshot itself is an O(1) Arc share.
-        let known = self
-            .desc_cache
-            .lock()
-            .get(&blob)
-            .map_or(0, |ix| ix.version());
+        let known = self.known_desc_version(blob);
         let kind = match offset {
             None => UpdateKind::Append,
             Some(o) => UpdateKind::WriteAt { offset: o },
@@ -133,6 +197,7 @@ impl BlobClient {
         self.svc.vm.commit(p, blob, desc.version)?;
         if self.svc.config.wait_published {
             self.svc.vm.wait_published(p, blob, desc.version)?;
+            self.note_published(blob, desc.version);
         }
         Ok(desc.version)
     }
@@ -326,6 +391,9 @@ impl BlobClient {
         len: u64,
     ) -> BlobResult<Payload> {
         let snap = self.svc.vm.snapshot(p, blob, version)?;
+        // The VM only answers snapshots for published versions — this read's
+        // version is now known-published and its pages/leaves cacheable.
+        self.note_published(blob, snap.version);
         self.read_snapshot_inner(p, blob, &snap, offset, len, version.is_none())
     }
 
@@ -366,18 +434,48 @@ impl BlobClient {
         if offset >= end {
             return Ok(Payload::empty());
         }
+        // Published versions are immutable, so the read cache is consulted
+        // before any fabric traffic — but only at or below this client's
+        // published-version floor: a pending version's tree can still be
+        // rewritten (write-timeout force-complete), so it is never cached.
+        let published = self.is_published(blob, snap.version);
         let hits = match self.leaves_via_index(p, blob, snap, offset, end, latest_requested)? {
             Some(hits) => hits,
             None => self.leaves(p, blob, snap, offset, end)?,
         };
-        // Choose one replica per page up front (local short-circuit first,
-        // random otherwise) and group the fetches by chosen provider: one
-        // batched get_pages RPC per provider moves its whole share of the
-        // range. Only the pages that fail inside a batch fall back to
-        // per-page replica failover.
+        let slice_to_range = |hit: &LeafHit, full: &Payload| {
+            let (a, b) = (
+                offset.max(hit.blob_byte_off),
+                end.min(hit.blob_byte_off + hit.page.byte_len),
+            );
+            full.slice(a - hit.blob_byte_off, b - a)
+        };
+        let mut parts: Vec<Option<Payload>> = vec![None; hits.len()];
+        if published {
+            for (i, hit) in hits.iter().enumerate() {
+                if let Some(full) = self.cache.get_page(blob, snap.version, hit.page.id) {
+                    parts[i] = Some(slice_to_range(hit, &full));
+                }
+            }
+        }
+        // Choose one replica per remaining page up front — a dedicated read
+        // replica holding the page when the deployment runs them (published
+        // versions only; shields primaries from reader storms), else the
+        // local provider short-circuit, else a random primary replica — and
+        // group the fetches by chosen provider: one batched get_pages RPC
+        // per provider moves its whole share of the range. Only the pages
+        // that fail inside a batch fall back to per-page replica failover.
         let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
         for (i, hit) in hits.iter().enumerate() {
-            groups.entry(pick_replica(p, hit)).or_default().push(i);
+            if parts[i].is_some() {
+                continue;
+            }
+            let node = if published {
+                pick_read_node(p, &self.svc, hit)
+            } else {
+                pick_replica(p, hit)
+            };
+            groups.entry(node).or_default().push(i);
         }
         type GroupResult = Vec<(usize, BlobResult<Payload>)>;
         let mut tasks: Vec<TaskFn<GroupResult>> = Vec::with_capacity(groups.len());
@@ -393,15 +491,15 @@ impl BlobClient {
                     .collect()
             }));
         }
-        let mut parts: Vec<Option<Payload>> = vec![None; hits.len()];
         for group in run_parallel(p, "page-read", tasks) {
             for (i, res) in group {
                 let hit = &hits[i];
-                let (a, b) = (
-                    offset.max(hit.blob_byte_off),
-                    end.min(hit.blob_byte_off + hit.page.byte_len),
-                );
-                parts[i] = Some(res?.slice(a - hit.blob_byte_off, b - a));
+                let full = res?;
+                if published {
+                    self.cache
+                        .put_page(blob, snap.version, hit.page.id, full.clone());
+                }
+                parts[i] = Some(slice_to_range(hit, &full));
             }
         }
         let parts: Vec<Payload> = parts
@@ -449,6 +547,9 @@ impl BlobClient {
         byte_hi: u64,
         latest_requested: bool,
     ) -> BlobResult<Option<Vec<LeafHit>>> {
+        // analyze: allow-fn(panic-index): `keys`, `byte_offs` and `pages`
+        // are parallel arrays of equal length and `missing` holds indices
+        // drawn from `0..keys.len()`
         let Some(ix) = self.index_at(p, blob, snap, latest_requested)? else {
             return Ok(None);
         };
@@ -484,22 +585,53 @@ impl BlobClient {
                     .ok_or_else(|| index_gap("byte offset for a live page"))?,
             );
         }
-        let bodies = self.svc.dht.get_batch(p, &keys)?;
+        // Leaf nodes of published versions are immutable: probe the read
+        // cache first and fetch only the misses from the DHT (one batched
+        // get per metadata server). A leaf's NodeKey names its owner
+        // version, so entries are shared by every later snapshot that still
+        // maps the page — the gate stays the *read* version's publication.
+        let published = self.is_published(blob, snap.version);
+        let mut pages: Vec<Option<PageRef>> = vec![None; keys.len()];
+        if published {
+            for (i, key) in keys.iter().enumerate() {
+                pages[i] = self.cache.get_leaf(*key);
+            }
+        }
+        let missing: Vec<usize> = (0..keys.len()).filter(|&i| pages[i].is_none()).collect();
+        if !missing.is_empty() {
+            let miss_keys: Vec<NodeKey> = missing.iter().map(|&i| keys[i]).collect();
+            let bodies = self.svc.dht.get_batch(p, &miss_keys)?;
+            for (&i, body) in missing.iter().zip(bodies) {
+                match body {
+                    Some(NodeBody::Leaf(page)) => {
+                        if published {
+                            self.cache.put_leaf(keys[i], page.clone());
+                        }
+                        pages[i] = Some(page);
+                    }
+                    _ => {
+                        return Err(BlobError::MetadataMissing {
+                            blob: keys[i].blob,
+                            version: keys[i].version,
+                            page_lo: keys[i].page_lo,
+                            page_hi: keys[i].page_hi,
+                        })
+                    }
+                }
+            }
+        }
         keys.iter()
             .zip(byte_offs)
-            .zip(bodies)
-            .map(|((key, blob_byte_off), body)| match body {
-                Some(NodeBody::Leaf(page)) => Ok(LeafHit {
+            .zip(pages)
+            .map(|((key, blob_byte_off), page)| {
+                let page = page.ok_or_else(|| BlobError::Internal {
+                    detail: "leaf resolution left a hole in the page list".into(),
+                })?;
+                Ok(LeafHit {
                     page_index: key.page_lo,
                     blob_byte_off,
                     page,
-                }),
-                _ => Err(BlobError::MetadataMissing {
-                    blob: key.blob,
-                    version: key.version,
-                    page_lo: key.page_lo,
-                    page_hi: key.page_hi,
-                }),
+                })
             })
             .collect::<BlobResult<Vec<LeafHit>>>()
             .map(Some)
@@ -512,7 +644,9 @@ impl BlobClient {
         blob: BlobId,
         version: Option<Version>,
     ) -> BlobResult<SnapshotInfo> {
-        self.svc.vm.snapshot(p, blob, version)
+        let snap = self.svc.vm.snapshot(p, blob, version)?;
+        self.note_published(blob, snap.version);
+        Ok(snap)
     }
 
     /// Byte size of a snapshot.
@@ -522,7 +656,9 @@ impl BlobClient {
 
     /// Latest published version number.
     pub fn latest(&self, p: &Proc, blob: BlobId) -> BlobResult<Version> {
-        self.svc.vm.latest(p, blob)
+        let v = self.svc.vm.latest(p, blob)?;
+        self.note_published(blob, v);
+        Ok(v)
     }
 
     /// Retire a BLOB: every subsequent operation on it answers
@@ -535,6 +671,10 @@ impl BlobClient {
         self.svc.vm.delete_blob(p, blob)?;
         self.desc_cache.lock().remove(&blob);
         self.page_size_cache.lock().remove(&blob);
+        // Read-cache entries for the deleted blob age out by LRU; the floor
+        // entry goes now so a recreated registry can never be confused (blob
+        // ids are never reused, this is belt-and-braces).
+        self.published_floor.lock().remove(&blob);
         Ok(())
     }
 
@@ -558,6 +698,7 @@ impl BlobClient {
         len: u64,
     ) -> BlobResult<Vec<PageLocation>> {
         let snap = self.svc.vm.snapshot(p, blob, version)?;
+        self.note_published(blob, snap.version);
         if len == 0 {
             return Ok(Vec::new());
         }
@@ -595,7 +736,7 @@ impl BlobClient {
             return Ok(None);
         }
         let known = {
-            let cache = self.desc_cache.lock();
+            let mut cache = self.desc_cache.lock();
             match cache.get(&blob) {
                 Some(ix) if ix.version() == snap.version => return Ok(Some(ix.clone())),
                 Some(ix) => ix.version(),
@@ -612,16 +753,59 @@ impl BlobClient {
         Ok((ix.version() == snap.version).then_some(ix))
     }
 
+    /// Highest descriptor-index version this client has cached for `blob`
+    /// (0 when none). The guard lives only for this probe — callers go on to
+    /// put wire traffic down, which must never happen under a cache lock.
+    fn known_desc_version(&self, blob: BlobId) -> Version {
+        self.desc_cache
+            .lock()
+            .get(&blob)
+            .map_or(0, |ix| ix.version())
+    }
+
     /// Install `ix` as the cached snapshot for `blob` unless a newer one is
     /// already there: concurrent refreshers race, snapshots are cumulative,
     /// so the highest version wins.
     fn refresh_desc_cache(&self, blob: BlobId, ix: &DescIndex) {
         let mut cache = self.desc_cache.lock();
-        let entry = cache.entry(blob).or_insert_with(|| ix.clone());
-        if entry.version() < ix.version() {
-            *entry = ix.clone();
+        let newer = match cache.get(&blob) {
+            Some(cur) => cur.version() < ix.version(),
+            None => true,
+        };
+        if newer {
+            cache.insert(blob, ix.clone(), 1);
         }
     }
+}
+
+/// Choose where a batched read of a **published** page goes when the
+/// deployment runs dedicated read replicas: the local primary when it holds
+/// the page (a short-circuit read is free), else the page's hash-designated
+/// read replica if it is alive and has synced the page — spreading reader
+/// load across the replica tier and off the primaries — else the ordinary
+/// primary-replica choice. A replica is only ever *preferred*, never
+/// required: one that has not synced the page yet (or sits crash-wiped) is
+/// skipped here and by failover, so a stale replica can never serve a
+/// version it lacks.
+fn pick_read_node(p: &Proc, svc: &Services, hit: &LeafHit) -> u32 {
+    // analyze: allow-fn(panic-index): replica subscripts are `% n` of the
+    // non-empty replica vector
+    if hit.page.providers.contains(&p.node()) {
+        return p.node().0;
+    }
+    let replicas = &svc.replicas;
+    let n = replicas.len();
+    if n > 0 {
+        let id = hit.page.id;
+        let start = ((id.0 ^ id.1) % n as u64) as usize;
+        for k in 0..n {
+            let r = &replicas[(start + k) % n];
+            if r.is_alive() && r.has_page(id) {
+                return r.node().0;
+            }
+        }
+    }
+    pick_replica(p, hit)
 }
 
 /// Choose the replica a batched read pulls `hit` from: the local provider
@@ -690,6 +874,15 @@ fn fetch_with_failover(
         .copied()
         .filter(|n| !exclude.contains(n))
         .collect();
+    // Read replicas that have synced this page widen the failover set:
+    // pages are content-addressed by globally unique id, so any holder
+    // serves identical bytes. `has_page` keeps a stale replica out.
+    for r in &svc.replicas {
+        let n = r.node();
+        if !exclude.contains(&n) && !order.contains(&n) && r.has_page(hit.page.id) {
+            order.push(n);
+        }
+    }
     {
         let mut rng = p.rng();
         use rand::seq::SliceRandom;
@@ -755,6 +948,7 @@ mod tests {
     use crate::provider_manager::ProviderManager;
     use crate::version_manager::VersionManager;
     use fabric::{ClusterSpec, Fabric};
+    use std::collections::HashMap;
 
     /// Hand-built service bundle whose provider map deliberately misses a
     /// node, simulating misrouted/corrupt metadata.
@@ -784,10 +978,12 @@ mod tests {
             )),
             dht,
             providers,
+            replicas: Vec::new(),
             provider_map,
             config,
             layout: Layout::compact(fx.spec()),
             reaper_paused: std::sync::atomic::AtomicBool::new(false),
+            replica_sync: crate::cluster::ReplicaSync::default(),
         })
     }
 

@@ -3,19 +3,22 @@
 //! one provider manager, one node for the namespace manager and 20 metadata
 //! providers. The remaining nodes are used as data providers."
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use fabric::{ClusterSpec, Fabric, NodeId};
+use fabric::{ClusterSpec, Fabric, NodeId, Payload, Proc};
+use parking_lot::Mutex;
 
 use crate::client::BlobClient;
 use crate::config::BlobSeerConfig;
 use crate::dht::{MetaDht, MetaServer};
 use crate::error::{BlobError, BlobResult};
 use crate::fault::{Fault, FaultTarget};
+use crate::meta::{collect_leaves, LeafHit, NodeKey, SnapshotInfo};
 use crate::provider::Provider;
 use crate::provider_manager::ProviderManager;
+use crate::types::{BlobId, PageId, Version};
 use crate::version_manager::VersionManager;
 
 /// Which node hosts which service.
@@ -28,6 +31,12 @@ pub struct Layout {
     pub namespace: NodeId,
     pub meta: Vec<NodeId>,
     pub providers: Vec<NodeId>,
+    /// Dedicated read-replica providers: never allocated writes, fed by
+    /// opt-in background sync that copies *published* pages off the
+    /// primaries, preferred by published reads. Must be disjoint from
+    /// `providers` (node ids double as provider-map keys). Empty by
+    /// default — the paper's deployment runs none.
+    pub read_replicas: Vec<NodeId>,
 }
 
 impl Layout {
@@ -46,6 +55,7 @@ impl Layout {
             namespace: NodeId(2),
             meta: (3..23).map(NodeId).collect(),
             providers: (23..spec.nodes).map(NodeId).collect(),
+            read_replicas: Vec::new(),
         }
     }
 
@@ -58,7 +68,22 @@ impl Layout {
             namespace: NodeId(0),
             meta: vec![NodeId(0)],
             providers: spec.all_nodes().collect(),
+            read_replicas: Vec::new(),
         }
+    }
+
+    /// Carve `n` nodes off the tail of the provider set and run them as
+    /// dedicated read replicas instead. Panics if fewer than `n + 1`
+    /// providers remain (a deployment still needs a primary).
+    pub fn with_read_replicas_from_tail(mut self, n: usize) -> Layout {
+        assert!(
+            self.providers.len() > n,
+            "cannot carve {n} read replicas out of {} providers",
+            self.providers.len()
+        );
+        let at = self.providers.len() - n;
+        self.read_replicas = self.providers.split_off(at);
+        self
     }
 
     /// Custom number of metadata providers (for the metadata-scaling
@@ -71,6 +96,7 @@ impl Layout {
             namespace: NodeId(2),
             meta: (3..3 + n_meta).map(NodeId).collect(),
             providers: (3 + n_meta..spec.nodes).map(NodeId).collect(),
+            read_replicas: Vec::new(),
         }
     }
 
@@ -106,10 +132,20 @@ impl Layout {
                 )));
             }
         }
+        // Read replicas share the provider map's NodeId keyspace with the
+        // primaries, so the two sets must be disjoint (and duplicate-free).
+        for &n in &self.read_replicas {
+            if !seen.insert(n) {
+                return Err(BlobError::InvalidTopology(format!(
+                    "read-replica node {n} collides with another provider in layout"
+                )));
+            }
+        }
         for (role, node) in std::iter::once(("version manager", self.vm))
             .chain([("provider manager", self.pm), ("namespace", self.namespace)])
             .chain(self.meta.iter().map(|&n| ("metadata provider", n)))
             .chain(self.providers.iter().map(|&n| ("data provider", n)))
+            .chain(self.read_replicas.iter().map(|&n| ("read replica", n)))
         {
             if node.0 >= spec.nodes {
                 return Err(BlobError::InvalidTopology(format!(
@@ -128,12 +164,199 @@ pub struct Services {
     pub pm: Arc<ProviderManager>,
     pub dht: Arc<MetaDht>,
     pub providers: Vec<Arc<Provider>>,
+    /// Dedicated read replicas (possibly empty). Also present in
+    /// `provider_map` so batched fetches resolve them, but **never** handed
+    /// to the provider manager: they take no allocations, hold no leases,
+    /// and are fed exclusively by [`Services::sync_read_replicas`].
+    pub replicas: Vec<Arc<Provider>>,
     pub provider_map: HashMap<NodeId, Arc<Provider>>,
     pub config: BlobSeerConfig,
     pub layout: Layout,
     /// Fault injection: while set, background-reaper sweeps are skipped
     /// (the daemon is down); lazy reaping from request paths still runs.
     pub reaper_paused: AtomicBool,
+    /// Book-keeping of the replica sync service.
+    pub replica_sync: ReplicaSync,
+}
+
+/// Progress state of the read-replica background sync: a published-version
+/// watermark per blob (how far the replica tier has caught up) plus copy
+/// counters for benches and diagnostics.
+#[derive(Debug, Default)]
+pub struct ReplicaSync {
+    watermarks: Mutex<HashMap<BlobId, Version>>,
+    copied_pages: AtomicU64,
+    copied_bytes: AtomicU64,
+    rounds: AtomicU64,
+}
+
+impl ReplicaSync {
+    fn watermark(&self, blob: BlobId) -> Version {
+        self.watermarks.lock().get(&blob).copied().unwrap_or(0)
+    }
+
+    fn set_watermark(&self, blob: BlobId, v: Version) {
+        self.watermarks.lock().insert(blob, v);
+    }
+
+    /// Pages copied primary → replica over the deployment's lifetime.
+    pub fn copied_pages(&self) -> u64 {
+        self.copied_pages.load(Ordering::Relaxed)
+    }
+
+    /// Bytes copied primary → replica over the deployment's lifetime.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Completed sync rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+}
+
+impl Services {
+    /// One round of read-replica sync: for every live blob whose latest
+    /// published version is past the replica tier's watermark, walk the
+    /// snapshot's leaves and copy every page some replica is missing from a
+    /// primary onto that replica (batched per provider on both sides).
+    ///
+    /// The watermark only advances when a blob syncs completely, so a
+    /// failed copy (crashed primary, crash-wiped replica) retries on the
+    /// next round; pages already landed are deduplicated by `has_page`.
+    /// Pending versions are invisible here by construction — the walk
+    /// starts from the latest *published* snapshot, and pages are
+    /// content-addressed by globally unique id, so a replica can never
+    /// serve stale bytes: it either has the exact page or it is skipped.
+    ///
+    /// Returns `(pages, bytes)` copied this round. Runs on the reaper tick
+    /// when [`BlobSeer::start_reaper`] is active, or whenever
+    /// [`BlobSeer::sync_read_replicas`] pumps it explicitly.
+    pub fn sync_read_replicas(&self, p: &Proc) -> (u64, u64) {
+        if self.replicas.is_empty() {
+            return (0, 0);
+        }
+        let mut pages_total = 0u64;
+        let mut bytes_total = 0u64;
+        // blob_ids is sorted — the sync order is deterministic.
+        for blob in self.vm.blob_ids() {
+            // Deleted blobs (or a VM pause) skip; retry next round.
+            let Ok(snap) = self.vm.snapshot(p, blob, None) else {
+                continue;
+            };
+            if self.replica_sync.watermark(blob) >= snap.version {
+                continue;
+            }
+            if snap.version == 0 || snap.total_bytes == 0 {
+                self.replica_sync.set_watermark(blob, snap.version);
+                continue;
+            }
+            if let Ok((pages, bytes)) = self.sync_blob(p, blob, &snap) {
+                pages_total += pages;
+                bytes_total += bytes;
+                self.replica_sync.set_watermark(blob, snap.version);
+            }
+        }
+        self.replica_sync
+            .copied_pages
+            .fetch_add(pages_total, Ordering::Relaxed);
+        self.replica_sync
+            .copied_bytes
+            .fetch_add(bytes_total, Ordering::Relaxed);
+        self.replica_sync.rounds.fetch_add(1, Ordering::Relaxed);
+        (pages_total, bytes_total)
+    }
+
+    /// Copy every page of `snap` that some replica misses. Fails (and the
+    /// caller leaves the watermark untouched) if any page can neither be
+    /// read from a primary nor landed on a replica.
+    fn sync_blob(&self, p: &Proc, blob: BlobId, snap: &SnapshotInfo) -> BlobResult<(u64, u64)> {
+        // analyze: allow-fn(panic-index): `need` and `payloads` are parallel
+        // arrays; group indices are drawn from `0..need.len()`; the `[1..]`
+        // provider slice follows a first()-is-Some check
+        let mut fetch = |keys: &[NodeKey]| self.dht.get_batch(p, keys);
+        let hits = collect_leaves(&mut fetch, blob, snap, 0, snap.total_bytes)?;
+        let need: Vec<&LeafHit> = hits
+            .iter()
+            .filter(|h| self.replicas.iter().any(|r| !r.has_page(h.page.id)))
+            .collect();
+        if need.is_empty() {
+            return Ok((0, 0));
+        }
+        // Pull each missing page once, batched per primary (first listed
+        // holder), with per-page failover over the remaining holders.
+        let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, h) in need.iter().enumerate() {
+            let Some(&node) = h.page.providers.first() else {
+                return Err(BlobError::PageUnavailable {
+                    detail: format!("page {:?} has no replicas to sync from", h.page.id),
+                });
+            };
+            groups.entry(node.0).or_default().push(i);
+        }
+        let mut payloads: Vec<Option<Payload>> = vec![None; need.len()];
+        for (node, idxs) in groups {
+            let ids: Vec<PageId> = idxs.iter().map(|&i| need[i].page.id).collect();
+            let results = match self.provider_map.get(&NodeId(node)) {
+                Some(prov) => prov.get_pages(p, &ids),
+                None => ids
+                    .iter()
+                    .map(|id| {
+                        Err(BlobError::PageUnavailable {
+                            detail: format!("sync source {node} unknown for page {id:?}"),
+                        })
+                    })
+                    .collect(),
+            };
+            for (&i, res) in idxs.iter().zip(results) {
+                match res {
+                    Ok(data) => payloads[i] = Some(data),
+                    Err(e) => {
+                        // Batched source failed this page: try the other
+                        // primaries one by one before giving up the blob.
+                        let holders = &need[i].page.providers[1..];
+                        let data = holders
+                            .iter()
+                            .filter_map(|n| self.provider_map.get(n))
+                            .find_map(|pr| pr.get_page(p, need[i].page.id).ok());
+                        payloads[i] = Some(data.ok_or(e)?);
+                    }
+                }
+            }
+        }
+        let payloads: Vec<Payload> = payloads
+            .into_iter()
+            .map(|o| {
+                o.ok_or_else(|| BlobError::Internal {
+                    detail: "replica sync fetched fewer pages than planned".into(),
+                })
+            })
+            .collect::<BlobResult<_>>()?;
+        // Land the copies, batched per replica; only pages that replica is
+        // actually missing. `put_pages` on an unmanaged replica is
+        // book-safe: it stores and counts, with no reservation to consume.
+        let mut pages_copied = 0u64;
+        let mut bytes_copied = 0u64;
+        for r in &self.replicas {
+            let batch: Vec<(PageId, Payload)> = need
+                .iter()
+                .zip(&payloads)
+                .filter(|(h, _)| !r.has_page(h.page.id))
+                .map(|(h, d)| (h.page.id, d.clone()))
+                .collect();
+            if batch.is_empty() {
+                continue;
+            }
+            let n = batch.len() as u64;
+            let bytes: u64 = batch.iter().map(|(_, d)| d.len()).sum();
+            for res in r.put_pages(p, batch) {
+                res?;
+            }
+            pages_copied += n;
+            bytes_copied += bytes;
+        }
+        Ok((pages_copied, bytes_copied))
+    }
 }
 
 /// A deployed BlobSeer instance.
@@ -181,8 +404,26 @@ impl BlobSeer {
             };
             providers.push(Arc::new(prov));
         }
-        let provider_map: HashMap<NodeId, Arc<Provider>> =
-            providers.iter().map(|pr| (pr.node(), pr.clone())).collect();
+        let mut replicas = Vec::with_capacity(layout.read_replicas.len());
+        for (i, &node) in layout.read_replicas.iter().enumerate() {
+            let prov = match &config.persist_dir {
+                None => Provider::new_mem(node),
+                Some(dir) => Provider::new_persistent_with(
+                    node,
+                    &dir.join(format!("replica-{i}")),
+                    store_opts.clone(),
+                )?,
+            };
+            replicas.push(Arc::new(prov));
+        }
+        // Replicas resolve through the same map as primaries (reads are
+        // addressed by node id) but are never listed with the provider
+        // manager — they take no write allocations.
+        let provider_map: HashMap<NodeId, Arc<Provider>> = providers
+            .iter()
+            .chain(replicas.iter())
+            .map(|pr| (pr.node(), pr.clone()))
+            .collect();
         let meta_servers: Vec<Arc<MetaServer>> = layout
             .meta
             .iter()
@@ -227,10 +468,12 @@ impl BlobSeer {
                 pm,
                 dht,
                 providers,
+                replicas,
                 provider_map,
                 config,
                 layout,
                 reaper_paused: AtomicBool::new(false),
+                replica_sync: ReplicaSync::default(),
             }),
         })
     }
@@ -244,6 +487,12 @@ impl BlobSeer {
     /// New client handle.
     pub fn client(&self) -> BlobClient {
         BlobClient::new(self.svc.clone())
+    }
+
+    /// A client whose read cache is disabled — every read takes the full
+    /// fabric path. The reference point for cache-correctness tests.
+    pub fn uncached_client(&self) -> BlobClient {
+        BlobClient::uncached(self.svc.clone())
     }
 
     pub fn config(&self) -> &BlobSeerConfig {
@@ -302,6 +551,10 @@ impl BlobSeer {
                 let _ = svc.vm.reap_all(p);
                 svc.pm.reap_expired_leases(p);
                 svc.vm.gc_registry();
+                // Read-replica sync rides the same tick: copy newly
+                // published pages onto the replica tier (no-op without
+                // replicas; failed copies retry next tick).
+                svc.sync_read_replicas(p);
                 ticks2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             }
         });
@@ -310,6 +563,26 @@ impl BlobSeer {
 
     pub fn providers(&self) -> &[Arc<Provider>] {
         &self.svc.providers
+    }
+
+    /// The dedicated read-replica providers (empty unless the layout runs
+    /// some).
+    pub fn read_replicas(&self) -> &[Arc<Provider>] {
+        &self.svc.replicas
+    }
+
+    /// Book-keeping of the replica sync service (watermarks, copy
+    /// counters).
+    pub fn replica_sync(&self) -> &ReplicaSync {
+        &self.svc.replica_sync
+    }
+
+    /// Pump one round of read-replica sync from `p` (see
+    /// [`Services::sync_read_replicas`]). The background reaper runs the
+    /// same round every tick; tests and benches call this for explicit
+    /// control. Returns `(pages, bytes)` copied.
+    pub fn sync_read_replicas(&self, p: &Proc) -> (u64, u64) {
+        self.svc.sync_read_replicas(p)
     }
 
     /// Inject `fault` into `target`. One surface for hand-written failure
@@ -341,6 +614,11 @@ impl BlobSeer {
                 self.svc.reaper_paused.store(true, Ordering::Release);
                 Ok(())
             }
+            (FaultTarget::ReadReplica(i), Fault::Crash) => {
+                self.replica_at(i)?.kill();
+                Ok(())
+            }
+            (FaultTarget::ReadReplica(i), Fault::CrashRestart) => self.replica_at(i)?.crash_wipe(),
             (FaultTarget::Provider(i), Fault::CrashRestart) => self.provider_at(i)?.crash_wipe(),
             (FaultTarget::MetaServer(i), Fault::CrashRestart) => {
                 self.meta_server_at(i)?.crash_wipe()
@@ -351,12 +629,13 @@ impl BlobSeer {
                      CrashRestart targets providers and metadata servers"
                 )))
             }
-            (FaultTarget::Provider(_) | FaultTarget::MetaServer(_), Fault::Pause) => {
-                Err(BlobError::UnsupportedFault(format!(
-                    "{target} cannot pause: storage services model crash-stop \
+            (
+                FaultTarget::Provider(_) | FaultTarget::MetaServer(_) | FaultTarget::ReadReplica(_),
+                Fault::Pause,
+            ) => Err(BlobError::UnsupportedFault(format!(
+                "{target} cannot pause: storage services model crash-stop \
                      failures; use Fault::Crash"
-                )))
-            }
+            ))),
         }
     }
 
@@ -390,6 +669,18 @@ impl BlobSeer {
                     ms.revive();
                 }
             }
+            // A crash-wiped replica recovers its durable pages, nothing
+            // more: it holds no leases, so there is no `reinstate` step —
+            // whatever the wipe lost beyond disk is re-copied by the next
+            // sync round.
+            FaultTarget::ReadReplica(i) => {
+                let pr = self.replica_at(i)?;
+                if pr.is_wiped() {
+                    pr.recover()?;
+                } else {
+                    pr.revive();
+                }
+            }
             FaultTarget::VersionManager => self.svc.vm.set_paused(false),
             FaultTarget::Reaper => self.svc.reaper_paused.store(false, Ordering::Release),
         }
@@ -405,6 +696,9 @@ impl BlobSeer {
         for i in 0..self.svc.dht.servers().len() {
             let _ = self.heal(FaultTarget::MetaServer(i));
         }
+        for i in 0..self.svc.replicas.len() {
+            let _ = self.heal(FaultTarget::ReadReplica(i));
+        }
         let _ = self.heal(FaultTarget::VersionManager);
         let _ = self.heal(FaultTarget::Reaper);
     }
@@ -414,6 +708,15 @@ impl BlobSeer {
             BlobError::NoSuchTarget(format!(
                 "provider[{i}] (deployment has {})",
                 self.svc.providers.len()
+            ))
+        })
+    }
+
+    fn replica_at(&self, i: usize) -> BlobResult<&Arc<Provider>> {
+        self.svc.replicas.get(i).ok_or_else(|| {
+            BlobError::NoSuchTarget(format!(
+                "read-replica[{i}] (deployment has {})",
+                self.svc.replicas.len()
             ))
         })
     }

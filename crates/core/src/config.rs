@@ -140,6 +140,14 @@ pub struct BlobSeerConfig {
     /// Abstract CPU operations charged on a metadata provider per tree-node
     /// operation.
     pub meta_cpu_ops: u64,
+    /// Byte budget of each client's snapshot-scoped read cache (published
+    /// pages + metadata leaves, logical bytes). Published versions are
+    /// immutable, so entries can only go cold, never stale. `0` disables
+    /// the cache.
+    pub read_cache_bytes: u64,
+    /// Entry cap of each client's descriptor-index / page-size caches
+    /// (LRU). Bounds client memory under many-blob churn.
+    pub client_index_cache_entries: u64,
 }
 
 impl Default for BlobSeerConfig {
@@ -155,6 +163,9 @@ impl Default for BlobSeerConfig {
             persist_checkpoint_bytes: None,
             vm_cpu_ops: 1_000_000,
             meta_cpu_ops: 100_000,
+            // Room for a handful of paper-scale 64 MB pages per shard.
+            read_cache_bytes: 1024 * 1024 * 1024,
+            client_index_cache_entries: 1024,
         }
     }
 }
@@ -218,6 +229,19 @@ impl BlobSeerConfig {
             checkpoint_every_bytes: self.persist_checkpoint_bytes,
             ..pstore::StoreOptions::default()
         }
+    }
+
+    /// Set the client read-cache byte budget (`0` disables caching).
+    pub fn with_read_cache_bytes(mut self, bytes: u64) -> Self {
+        self.read_cache_bytes = bytes;
+        self
+    }
+
+    /// Set the client descriptor/page-size cache entry cap.
+    pub fn with_client_index_cache_entries(mut self, entries: u64) -> Self {
+        assert!(entries >= 1, "index caches need room for at least one blob");
+        self.client_index_cache_entries = entries;
+        self
     }
 
     /// Replace the whole timeout section.

@@ -13,6 +13,7 @@
 //! | target            | `Crash`                         | `Pause`                    | `CrashRestart`                      |
 //! |-------------------|---------------------------------|----------------------------|-------------------------------------|
 //! | `Provider(i)`     | rejects stores/fetches          | —                          | wipes memory; heal replays disk ¹   |
+//! | `ReadReplica(i)`  | rejects fetches; reads fail over to primaries | —            | wipes memory; heal replays disk ¹ ² |
 //! | `MetaServer(i)`   | rejects tree-node puts/gets     | —                          | wipes memory; heal replays disk ¹   |
 //! | `VersionManager`  | — (failover is a roadmap item)  | requests stall until heal  | —                                   |
 //! | `Reaper`          | sweeps skipped until heal       | sweeps skipped until heal  | —                                   |
@@ -21,6 +22,11 @@
 //! the process loses everything in memory and the paired heal restarts it
 //! from its [`pstore`] directory. On a memory-only deployment there is no
 //! disk to come back from, so injection answers `UnsupportedFault`.
+//!
+//! ² A read replica holds no leases, so its heal is pure `recover()` —
+//! there is no `reinstate` step; pages the wipe lost beyond disk are
+//! re-copied by the next background sync round, and until then the stale
+//! replica is skipped per-page (`has_page`), never served.
 //!
 //! Network-level faults (delays, drops, partitions) live one layer down, on
 //! the fabric: see `fabric::NetFault`.
@@ -33,6 +39,10 @@ pub enum FaultTarget {
     /// The i-th data provider (deployment order, same index space as
     /// `BlobSeer::providers()`).
     Provider(usize),
+    /// The i-th dedicated read replica (same index space as
+    /// `BlobSeer::read_replicas()`). Losing one degrades read capacity,
+    /// never durability — primaries keep every byte.
+    ReadReplica(usize),
     /// The i-th metadata server of the DHT.
     MetaServer(usize),
     /// The centralized version manager.
@@ -46,6 +56,7 @@ impl fmt::Display for FaultTarget {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FaultTarget::Provider(i) => write!(f, "provider[{i}]"),
+            FaultTarget::ReadReplica(i) => write!(f, "read-replica[{i}]"),
             FaultTarget::MetaServer(i) => write!(f, "meta-server[{i}]"),
             FaultTarget::VersionManager => write!(f, "version-manager"),
             FaultTarget::Reaper => write!(f, "reaper"),

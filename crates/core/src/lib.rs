@@ -38,6 +38,10 @@ pub(crate) mod lock_ranks {
     pub const LEASE_BOOK: u8 = 3;
     /// Provider page stripes and metadata-server node stripes.
     pub const STRIPES: u8 = 4;
+    /// Client-side read-cache shards and index caches (`read_cache.rs`) —
+    /// leaves of the hierarchy: nothing else is ever taken under them, and
+    /// no wire traffic happens while one is held.
+    pub const READ_CACHE: u8 = 5;
 }
 
 pub mod client;
@@ -50,15 +54,17 @@ pub mod fault;
 pub mod meta;
 pub mod provider;
 pub mod provider_manager;
+pub mod read_cache;
 pub mod types;
 pub mod version_manager;
 
 pub use client::{BlobClient, PageLocation};
-pub use cluster::{BlobSeer, Layout, ReaperHandle};
+pub use cluster::{BlobSeer, Layout, ReaperHandle, ReplicaSync};
 pub use config::{AllocStrategy, BlobSeerConfig, Timeouts};
 pub use desc_index::DescIndex;
 pub use error::{BlobError, BlobResult, PersistenceKind};
 pub use fault::{Fault, FaultTarget};
 pub use meta::{PageRef, SnapshotInfo};
 pub use provider_manager::LeaseId;
+pub use read_cache::{LruMap, ReadCache, ReadCacheStats};
 pub use types::{BlobId, PageId, Version, WriteDesc, WriteKind};

@@ -161,7 +161,10 @@ fn replicated_pages_survive_provider_failure() {
     let bs = BlobSeer::deploy(&fx, config, layout).unwrap();
     let bs2 = bs.clone();
     let h = fx.spawn(NodeId(1), "driver", move |p| {
-        let c = bs2.client();
+        // Uncached on purpose: this test is about provider failover, and a
+        // cached client would (correctly) keep serving the published bytes
+        // after every provider replica is dead.
+        let c = bs2.uncached_client();
         let blob = c.create(p, None);
         let data = pattern(1000, 9);
         c.append(p, blob, Payload::from_vec(data.clone())).unwrap();
@@ -237,6 +240,7 @@ fn failover_releases_reservations_on_dead_providers() {
         namespace: NodeId(0),
         meta: vec![NodeId(0)],
         providers: vec![NodeId(1), NodeId(2)],
+        read_replicas: vec![],
     };
     let config = BlobSeerConfig::test_small(PAGE).with_alloc(AllocStrategy::RoundRobin);
     let bs = BlobSeer::deploy(&fx, config, layout).unwrap();
@@ -281,6 +285,7 @@ fn abandoned_writes_release_all_reservations() {
         namespace: NodeId(0),
         meta: vec![NodeId(0)],
         providers: vec![NodeId(1), NodeId(2)],
+        read_replicas: vec![],
     };
     let config = BlobSeerConfig::test_small(PAGE).with_alloc(AllocStrategy::RoundRobin);
     let bs = BlobSeer::deploy(&fx, config, layout).unwrap();

@@ -23,6 +23,7 @@ fn meta_layout(fx: &Fabric, n_meta: u32) -> Layout {
         namespace: NodeId(0),
         meta: (0..n_meta).map(NodeId).collect(),
         providers: fx.spec().all_nodes().collect(),
+        read_replicas: vec![],
     }
 }
 

@@ -22,6 +22,7 @@ fn meta_layout(fx: &Fabric, n_meta: u32) -> Layout {
         namespace: NodeId(0),
         meta: (0..n_meta).map(NodeId).collect(),
         providers: fx.spec().all_nodes().collect(),
+        read_replicas: vec![],
     }
 }
 
@@ -88,7 +89,10 @@ fn reads_batch_one_rpc_per_level_per_server() {
     let fx = Fabric::sim(ClusterSpec::tiny(8));
     let n_meta = 4u32;
     let layout = meta_layout(&fx, n_meta);
-    let bs = BlobSeer::deploy(&fx, BlobSeerConfig::test_small(PS), layout).unwrap();
+    // Read cache off: this test pins the *wire* protocol (leaf-only batched
+    // gets); cached-read behavior is covered by the read_cache suite.
+    let config = BlobSeerConfig::test_small(PS).with_read_cache_bytes(0);
+    let bs = BlobSeer::deploy(&fx, config, layout).unwrap();
     let bs2 = bs.clone();
     let h = fx.spawn(NodeId(1), "reader", move |p| {
         let c = bs2.client();

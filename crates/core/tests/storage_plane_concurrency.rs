@@ -53,6 +53,7 @@ fn storage_deploy(n_writers: u32, n_providers: u32, cfg: BlobSeerConfig) -> (Fab
         namespace: NodeId(0),
         meta: vec![NodeId(0)],
         providers: (1 + n_writers..nodes).map(NodeId).collect(),
+        read_replicas: vec![],
     };
     let bs = BlobSeer::deploy(&fx, cfg, layout).unwrap();
     (fx, bs)
