@@ -34,6 +34,7 @@ fn stage1_profile() -> GhostProfile {
         map_cpu_per_byte: 1_000.0,
         reduce_output_ratio: 1.0,
         reduce_cpu_per_byte: 1_500.0,
+        combine_output_ratio: 1.0, // inert: datajoin has no combiner
     }
 }
 
@@ -75,6 +76,7 @@ fn pipeline_run(overlap: bool, seed: u64) -> (f64, f64) {
                 output_mode: OutputMode::SharedAppendFile,
                 user: workloads::datajoin::user_fns(),
                 ghost: Some(stage1_profile()),
+                shuffle: mapreduce::ShuffleTuning::default(),
             };
             let r = mr2.submit(job).wait(p);
             *s1.lock() = r.elapsed_secs();

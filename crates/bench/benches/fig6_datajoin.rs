@@ -10,11 +10,14 @@
 //! leaves ONE file where HDFS leaves R.
 //!
 //! On top of the paper sweep, a *shuffle-stress* point (maps ≫ nodes, the
-//! regime fig6's 10-map workload never enters) measures the host-grouped
-//! shuffle: segments pulled vs wire transfers that carried them. Results
-//! land in `BENCH_fig6_shuffle.json` at the repo root; the committed copy
-//! is the baseline this driver diffs each run against (deterministic sim
-//! currencies only), so a data-plane regression fails the build.
+//! regime fig6's 10-map workload never enters) measures the combined
+//! shuffle: with the tier-2 node combine on, reducers pull at most one
+//! segment per (map-node, partition) instead of one per (map task,
+//! partition), so 48 maps on 8 nodes collapse 384 naive pulls into ≤ 64.
+//! Results land in `BENCH_fig6_shuffle.json` at the repo root; the
+//! committed copy is the baseline this driver diffs each run against
+//! (deterministic sim currencies only), so a data-plane regression fails
+//! the build.
 
 use bench_suite::{
     fig6_point, fig6_shuffle_stress, json_num, json_series, print_table, relative_spread,
@@ -35,10 +38,12 @@ fn main() {
         hdfs_series.push(hdfs.secs);
         bsfs_series.push(bsfs.secs);
         bsfs_transfers.push(bsfs.shuffle_transfers);
+        // With 10 maps spread over 247 tasktrackers every map lands on its
+        // own node, so tier-2 combining leaves one segment per (map, r).
         assert_eq!(
             bsfs.shuffle_segments,
             10 * u64::from(r),
-            "every reducer pulls every map output"
+            "every reducer pulls every map-node's combined output"
         );
         assert!(
             bsfs.shuffle_transfers <= bsfs.shuffle_segments,
@@ -92,19 +97,30 @@ fn main() {
     );
 
     // Shuffle-stress point: 48 maps on 8 nodes, 8 reducers. fig6's own
-    // 10-map workload spreads across 247 tasktrackers, so host grouping
-    // only shows once maps outnumber nodes — here every reducer's 48 pulls
-    // collapse into at most 8 transfers.
+    // 10-map workload spreads across 247 tasktrackers, so per-node combining
+    // only shows once maps outnumber nodes — here the tier-2 combine folds
+    // every node's 6 map outputs into one segment per partition, so each
+    // reducer pulls at most 8 segments instead of 48.
     let (maps, segments, transfers, stress_secs) = fig6_shuffle_stress(8, 48, 8, 4242);
-    let reduction = segments as f64 / transfers.max(1) as f64;
+    let naive = u64::from(maps) * 8;
+    let reduction = naive as f64 / segments.max(1) as f64;
     println!(
-        "\nshuffle stress ({maps} maps / 8 nodes / 8 reducers): {segments} segment pulls rode \
-         {transfers} host-grouped transfers ({reduction:.1}x fewer round-trips), {stress_secs:.1}s"
+        "\nshuffle stress ({maps} maps / 8 nodes / 8 reducers): tier-2 combine published \
+         {segments} segments where per-task shuffle would pull {naive} ({reduction:.1}x fewer), \
+         {transfers} wire transfers, {stress_secs:.1}s"
     );
     assert!(
-        transfers * 2 <= segments,
-        "with maps >> nodes the grouped shuffle must at least halve the round-trips: \
-         {transfers} transfers for {segments} segments"
+        segments <= 8 * 8,
+        "tier-2 combine must bound segments by map-nodes x reducers: {segments}"
+    );
+    assert!(
+        segments * 2 <= naive,
+        "with maps >> nodes the combined shuffle must at least halve the segment pulls: \
+         {segments} segments for {naive} naive per-task pulls"
+    );
+    assert!(
+        transfers <= 80,
+        "streaming fetch must not exceed the per-(node, partition) delivery budget: {transfers}"
     );
 
     // Record the run and diff the deterministic currencies against the
@@ -194,15 +210,17 @@ fn to_json(
     };
     let fmt_u = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
     let fmt_r = |v: &[u32]| v.iter().map(u32::to_string).collect::<Vec<_>>().join(", ");
+    let naive = u64::from(maps) * 8;
     format!(
         "{{\n  \"bench\": \"fig6_datajoin\",\n  \"reducers\": [{}],\n  \"hdfs_secs\": [{}],\n  \
          \"bsfs_secs\": [{}],\n  \"bsfs_shuffle_transfers\": [{}],\n  \"shuffle_stress\": \
-         {{\"nodes\": 8, \"maps\": {maps}, \"reducers\": 8, \"segments\": {segments}, \
-         \"transfers\": {transfers}, \"round_trip_reduction\": {:.2}, \"secs\": {stress_secs:.1}}}\n}}\n",
+         {{\"nodes\": 8, \"maps\": {maps}, \"reducers\": 8, \"naive_pulls\": {naive}, \
+         \"segments\": {segments}, \"transfers\": {transfers}, \"segment_reduction\": {:.2}, \
+         \"secs\": {stress_secs:.1}}}\n}}\n",
         fmt_r(reducers),
         fmt_f(hdfs),
         fmt_f(bsfs),
         fmt_u(bsfs_transfers),
-        segments as f64 / transfers.max(1) as f64,
+        naive as f64 / segments.max(1) as f64,
     )
 }

@@ -17,7 +17,7 @@ use dfs::{DfsPath, FileSystem};
 use fabric::prelude::*;
 use fabric::ClusterSpec;
 use hdfs_sim::{HdfsConfig, HdfsSim};
-use mapreduce::{JobConf, MrCluster, MrConfig, OutputMode};
+use mapreduce::{JobConf, MrCluster, MrConfig, OutputMode, ShuffleTuning};
 use parking_lot::Mutex;
 
 /// One chunk, as in the paper: 64 MB (page size == HDFS chunk size, §4.1).
@@ -314,7 +314,9 @@ pub struct Fig6Point {
     pub secs: f64,
     pub output_files: u64,
     pub shuffle_bytes: u64,
-    /// Map-output segments reducers pulled (maps × reducers).
+    /// Map-output segments reducers pulled. With the tier-2 node combine
+    /// (the default) these are combined (node, partition) segments, bounded
+    /// by map-nodes × reducers rather than maps × reducers.
     pub shuffle_segments: u64,
     /// Host-grouped wire transfers that carried them — one per
     /// (map-node, reducer) pair.
@@ -355,6 +357,7 @@ pub fn fig6_point(system: Fig6System, reducers: u32, seed: u64) -> Fig6Point {
             output_mode: mode,
             user: workloads::datajoin::user_fns(),
             ghost: Some(workloads::datajoin::fig6_profile()),
+            shuffle: ShuffleTuning::default(),
         };
         let result = mr2.submit(job).wait(p);
         mr2.shutdown();
@@ -376,8 +379,10 @@ pub fn fig6_point(system: Fig6System, reducers: u32, seed: u64) -> Fig6Point {
 /// Shuffle-batching stress point: a data-join-profile job whose map count
 /// far exceeds the node count, the regime where Hadoop's per-segment pulls
 /// hurt most ("Only Aggressive Elephants are Fast Elephants"). Returns the
-/// measured (maps, segments pulled, host-grouped transfers, completion
-/// seconds) so the fig6 driver can report the round-trip reduction.
+/// measured (maps, segments pulled, wire transfers, completion seconds) so
+/// the fig6 driver can report how far the tier-2 combine collapsed the
+/// per-task segment population (maps x reducers naive pulls down to at most
+/// nodes x reducers combined segments).
 pub fn fig6_shuffle_stress(
     nodes: u32,
     maps: u32,
@@ -414,7 +419,9 @@ pub fn fig6_shuffle_stress(
                 map_cpu_per_byte: 10.0, // shuffle-dominated on purpose
                 reduce_output_ratio: 1.0,
                 reduce_cpu_per_byte: 2.0,
+                combine_output_ratio: 1.0, // inert: datajoin has no combiner
             }),
+            shuffle: ShuffleTuning::default(),
         };
         let result = mr2.submit(job).wait(p);
         mr2.shutdown();
@@ -425,6 +432,113 @@ pub fn fig6_shuffle_stress(
     assert_eq!(result.maps, maps, "block count must fix the map count");
     let (segments, transfers) = mr.registry().fetch_counts();
     (result.maps, segments, transfers, result.elapsed_secs())
+}
+
+/// Which workload profile a combiner-ablation point runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineWorkload {
+    /// Wordcount profile: has a combiner, heavy cross-task key repetition —
+    /// the tier-2 combine's best case.
+    Wordcount,
+    /// Datajoin profile: no combiner (unique composite keys) — tier-2 only
+    /// groups segments per node, bytes stay put.
+    Datajoin,
+}
+
+impl CombineWorkload {
+    pub fn label(&self) -> &'static str {
+        match self {
+            CombineWorkload::Wordcount => "wordcount",
+            CombineWorkload::Datajoin => "datajoin",
+        }
+    }
+}
+
+/// One combiner-ablation measurement (fig6_combiners baseline currencies).
+#[derive(Debug, Clone, Copy)]
+pub struct CombinePoint {
+    /// Bytes reducers actually pulled over the wire.
+    pub shuffle_bytes: u64,
+    /// Bytes the tier-2 combine removed before publication.
+    pub combine_saved_bytes: u64,
+    /// Combined (node, partition) segments published.
+    pub combined_segments: u64,
+    /// Reducer fetches issued before the map phase completed.
+    pub early_shuffle_fetches: u64,
+    /// Virtual job completion seconds.
+    pub secs: f64,
+    /// Segments reducers pulled and host-grouped transfers that carried them.
+    pub shuffle_segments: u64,
+    pub shuffle_transfers: u64,
+}
+
+/// Combiner-ablation point at the fig6 stress shape: `maps` 1 MB-block map
+/// tasks over `nodes` nodes (maps ≫ nodes), `reducers` reducers, ghost
+/// payloads with the named workload's calibrated profile, under the given
+/// [`ShuffleTuning`]. The fig6_combiners bench sweeps the tuning axis and
+/// records bytes shuffled + job seconds for both workloads.
+pub fn fig6_combiners_point(
+    workload: CombineWorkload,
+    nodes: u32,
+    maps: u32,
+    reducers: u32,
+    shuffle: ShuffleTuning,
+    seed: u64,
+) -> CombinePoint {
+    const BLOCK: u64 = 1024 * 1024;
+    let fx = Fabric::sim_seeded(ClusterSpec::tiny(nodes), seed);
+    let fs: Arc<dyn FileSystem> = Arc::new(
+        Bsfs::deploy(
+            &fx,
+            BlobSeerConfig::test_small(BLOCK),
+            Layout::compact(fx.spec()),
+        )
+        .expect("bsfs"),
+    );
+    let mr = MrCluster::start(&fx, fs.clone(), MrConfig::compact(fx.spec()));
+    let fs2 = fs.clone();
+    let mr2 = mr.clone();
+    let (user, ghost) = match workload {
+        CombineWorkload::Wordcount => (
+            workloads::wordcount::user_fns(),
+            workloads::wordcount::ghost_profile(),
+        ),
+        CombineWorkload::Datajoin => (
+            workloads::datajoin::user_fns(),
+            workloads::datajoin::fig6_profile(),
+        ),
+    };
+    let driver = fx.spawn(NodeId(0), "driver", move |p| {
+        let mut w = fs2.create(p, &path("/in")).unwrap();
+        w.write(p, Payload::ghost(u64::from(maps) * BLOCK)).unwrap();
+        w.close(p).unwrap();
+        let job = JobConf {
+            name: format!("fig6-combiners-{}", workload.label()),
+            inputs: vec![path("/in")],
+            output_dir: path("/out"),
+            num_reducers: reducers,
+            output_mode: OutputMode::SharedAppendFile,
+            user,
+            ghost: Some(ghost),
+            shuffle,
+        };
+        let result = mr2.submit(job).wait(p);
+        mr2.shutdown();
+        result
+    });
+    fx.run();
+    let result = driver.take().unwrap();
+    assert_eq!(result.maps, maps, "block count must fix the map count");
+    let (shuffle_segments, shuffle_transfers) = mr.registry().fetch_counts();
+    CombinePoint {
+        shuffle_bytes: result.shuffle_bytes,
+        combine_saved_bytes: result.combine_saved_bytes,
+        combined_segments: result.combined_segments,
+        early_shuffle_fetches: result.early_shuffle_fetches,
+        secs: result.elapsed_secs(),
+        shuffle_segments,
+        shuffle_transfers,
+    }
 }
 
 /// Extract the first numeric value following `"key":` in one of the flat

@@ -40,14 +40,21 @@ pub enum Workload {
     /// reads through the cached, replica-preferring path — with replica
     /// crash/crash-restart faults in the budget.
     ReaderStorm,
+    /// Shuffle storm: a wordcount job with maps ≫ nodes, tier-2 node
+    /// combining on and an eager flush cadence (maximally streaming
+    /// shuffle), while map-output-loss faults wipe node spools mid-shuffle
+    /// and force speculative re-runs. Output must match the fault-free
+    /// oracle exactly.
+    ShuffleStorm,
 }
 
 impl Workload {
-    pub const ALL: [Workload; 4] = [
+    pub const ALL: [Workload; 5] = [
         Workload::Wordcount,
         Workload::DataJoin,
         Workload::BsfsChurn,
         Workload::ReaderStorm,
+        Workload::ShuffleStorm,
     ];
 
     pub fn name(&self) -> &'static str {
@@ -56,6 +63,7 @@ impl Workload {
             Workload::DataJoin => "datajoin",
             Workload::BsfsChurn => "bsfs-churn",
             Workload::ReaderStorm => "reader-storm",
+            Workload::ShuffleStorm => "shuffle-storm",
         }
     }
 
@@ -168,6 +176,12 @@ pub fn budget_for(workload: Workload, layout: &Layout) -> ChaosConfig {
         cfg.replica_crashes = 2;
         cfg.replica_restarts = 2;
     }
+    if workload == Workload::ShuffleStorm {
+        // Wiping a node's shuffle spool is survivable by design: the
+        // jobtracker re-queues the buried tasks and reducers wait for the
+        // replacement deliveries.
+        cfg.map_output_losses = 3;
+    }
     cfg
 }
 
@@ -241,6 +255,9 @@ fn run(workload: Workload, seed: u64, faulted: bool) -> RunReport {
                     .expect("schedule generator emitted an unsupported fault"),
                 ChaosAction::Heal(t) => bs_inj.heal(*t).expect("heal of a valid target"),
                 ChaosAction::Net(nf) => p.fabric().inject_net_fault(nf.clone()),
+                // Applied by the MapReduce workload driver, which owns the
+                // MrCluster handle; nothing to flip at the storage plane.
+                ChaosAction::LoseMapOutputs(_) => {}
             }
         }
         // Belt and braces: the generator already heals every window, but a
@@ -255,12 +272,23 @@ fn run(workload: Workload, seed: u64, faulted: bool) -> RunReport {
     let fs: Arc<dyn FileSystem> = Arc::new(bsfs.clone());
     let viols = violations.clone();
     let tol = tolerated.clone();
+    // The map-output-loss events are the workload driver's to apply — only
+    // it owns the MrCluster handle the wipe goes through.
+    let losses: Vec<(u64, NodeId)> = schedule
+        .events
+        .iter()
+        .filter_map(|e| match e.action {
+            ChaosAction::LoseMapOutputs(n) => Some((e.at_ns, n)),
+            _ => None,
+        })
+        .collect();
     let driver = fx.spawn(NodeId(0), "chaos-driver", move |p: &Proc| {
         match workload {
             Workload::Wordcount => drive_wordcount(p, &fs, seed, &viols),
             Workload::DataJoin => drive_datajoin(p, &fs, seed, &viols),
             Workload::BsfsChurn => drive_churn(p, &fs, seed, &viols, &tol),
             Workload::ReaderStorm => drive_reader_storm(p, &fs, seed, &viols, &tol),
+            Workload::ShuffleStorm => drive_shuffle_storm(p, &fs, seed, &viols, &losses),
         }
         // Quiescence: everything is healed by the horizon; give the reaper
         // a full write-timeout plus slack to settle leases, pendings and
@@ -343,16 +371,22 @@ fn drive_wordcount(p: &Proc, fs: &Arc<dyn FileSystem>, seed: u64, viols: &Mutex<
         output_mode: OutputMode::SharedAppendFile,
         user: workloads::wordcount::user_fns(),
         ghost: None,
+        shuffle: mapreduce::ShuffleTuning::default(),
     };
     let _ = mr.submit(job).wait(p);
     let out = fs
         .read_file(p, &d("/out/result"))
         .expect("job output readable");
     mr.shutdown();
+    verify_wordcount_output(&text, out.bytes(), viols);
+}
 
-    let expected = workloads::wordcount::reference_counts(&text);
+/// Compare a wordcount job's `word TAB count` output against the model
+/// oracle (which is also, exactly, the fault-free run's content).
+fn verify_wordcount_output(text: &str, out: &[u8], viols: &Mutex<Vec<String>>) {
+    let expected = workloads::wordcount::reference_counts(text);
     let mut got: HashMap<String, u64> = HashMap::new();
-    for line in out.bytes().split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+    for line in out.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
         let Some(tab) = line.iter().position(|&b| b == b'\t') else {
             viols.lock().push(format!(
                 "wordcount output line without tab: {:?}",
@@ -385,6 +419,72 @@ fn drive_wordcount(p: &Proc, fs: &Arc<dyn FileSystem>, seed: u64, viols: &Mutex<
     }
 }
 
+/// Shuffle storm: wordcount over the seed corpus with maps ≫ nodes (the
+/// 256-byte chaos blocks split it ~40 ways on 8 nodes), tier-2 combining on
+/// an eager flush cadence so combined segments stream out mid-phase, while
+/// the scheduled map-output losses wipe node spools mid-shuffle and force
+/// re-runs through the idempotent buffer. The quiescence invariant is exact:
+/// the surviving output must equal the fault-free oracle.
+fn drive_shuffle_storm(
+    p: &Proc,
+    fs: &Arc<dyn FileSystem>,
+    seed: u64,
+    viols: &Mutex<Vec<String>>,
+    losses: &[(u64, NodeId)],
+) {
+    let text = corpus(seed);
+    let mr = MrCluster::start(p.fabric(), fs.clone(), MrConfig::compact(p.fabric().spec()));
+    fs.write_file(
+        p,
+        &d("/in/corpus"),
+        Payload::from_vec(text.clone().into_bytes()),
+    )
+    .expect("input write precedes the fault window");
+    // Losses fire on the schedule regardless of job progress: a wipe before
+    // the first map or after the shuffle drained is a no-op by construction.
+    let mr_loss = mr.clone();
+    let losses2 = losses.to_vec();
+    let losser = p
+        .fabric()
+        .spawn(NodeId(0), "map-output-losser", move |p: &Proc| {
+            for (at, node) in losses2 {
+                let now = p.now();
+                if at > now {
+                    p.sleep(at - now);
+                }
+                mr_loss.lose_map_outputs(node);
+            }
+        });
+    let job = JobConf {
+        name: "chaos-shuffle-storm".into(),
+        inputs: vec![d("/in/corpus")],
+        output_dir: d("/out"),
+        num_reducers: 3,
+        output_mode: OutputMode::SharedAppendFile,
+        user: workloads::wordcount::user_fns(),
+        ghost: None,
+        shuffle: mapreduce::ShuffleTuning {
+            node_combine: true,
+            flush_tasks: Some(2), // eager: combined segments stream mid-phase
+            flush_bytes: None,
+        },
+    };
+    let result = mr.submit(job).wait(p);
+    // Join before shutdown so no wipe races the inbox close.
+    losser.join(p);
+    let out = fs
+        .read_file(p, &d("/out/result"))
+        .expect("job output readable");
+    mr.shutdown();
+    if u64::from(result.maps) <= u64::from(NODES) {
+        viols.lock().push(format!(
+            "shuffle storm needs maps ({}) over nodes ({NODES}) to stress the spool",
+            result.maps
+        ));
+    }
+    verify_wordcount_output(&text, out.bytes(), viols);
+}
+
 fn lastfm_spec(seed: u64) -> workloads::lastfm::LastFmSpec {
     workloads::lastfm::LastFmSpec {
         records_a: 200,
@@ -408,6 +508,7 @@ fn drive_datajoin(p: &Proc, fs: &Arc<dyn FileSystem>, seed: u64, viols: &Mutex<V
         output_mode: OutputMode::SharedAppendFile,
         user: workloads::datajoin::user_fns(),
         ghost: None,
+        shuffle: mapreduce::ShuffleTuning::default(),
     };
     let _ = mr.submit(job).wait(p);
     let out = fs

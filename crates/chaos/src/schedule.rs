@@ -74,6 +74,11 @@ pub struct ChaosConfig {
     pub replica_restarts: usize,
     /// Network fault windows (delay / drop / partition) to attempt.
     pub net_faults: usize,
+    /// Map-output-loss events to attempt (a node's shuffle spool is wiped
+    /// mid-job; the jobtracker re-queues the buried tasks). Instantaneous —
+    /// no heal window. Applied by MapReduce workload drivers via
+    /// `MrCluster::lose_map_outputs`; the generic injector skips them.
+    pub map_output_losses: usize,
     /// Service fault windows last `[max/4, max]` of this.
     pub max_service_fault_ns: u64,
     /// Network fault windows last `[max/4, max]` of this. Keep far below
@@ -100,6 +105,7 @@ impl ChaosConfig {
             replica_crashes: 0,
             replica_restarts: 0,
             net_faults: 0,
+            map_output_losses: 0,
             max_service_fault_ns: 200 * MILLIS,
             max_net_fault_ns: 50 * MILLIS,
         }
@@ -115,6 +121,9 @@ pub enum ChaosAction {
     Heal(FaultTarget),
     /// Install a windowed network fault (self-expiring).
     Net(NetFault),
+    /// Wipe a node's map-output spool (instantaneous, no heal). Only
+    /// MapReduce workload drivers act on this; the injector skips it.
+    LoseMapOutputs(NodeId),
 }
 
 /// An action at a point in virtual time.
@@ -283,6 +292,21 @@ impl ChaosSchedule {
             });
         }
 
+        // Map-output losses: instantaneous wipes of one node's shuffle
+        // spool, drawn APPENDED to every earlier class so a zero budget
+        // reproduces pre-existing schedules byte-for-byte.
+        for _ in 0..cfg.map_output_losses {
+            if cfg.nodes == 0 {
+                break;
+            }
+            let at_ns = rng.gen_range(0..cfg.horizon_ns.max(1));
+            let node = NodeId(rng.gen_range(0..cfg.nodes));
+            events.push(ChaosEvent {
+                at_ns,
+                action: ChaosAction::LoseMapOutputs(node),
+            });
+        }
+
         // Stable sort: simultaneous events keep generation order.
         events.sort_by_key(|e| e.at_ns);
         ChaosSchedule { seed, events }
@@ -304,6 +328,9 @@ impl ChaosSchedule {
                 }
                 ChaosAction::Net(nf) => {
                     let _ = writeln!(out, "  t={:>12}ns net    {nf:?}", ev.at_ns);
+                }
+                ChaosAction::LoseMapOutputs(n) => {
+                    let _ = writeln!(out, "  t={:>12}ns lose-map-outputs node{}", ev.at_ns, n.0);
                 }
             }
         }
@@ -351,6 +378,7 @@ mod tests {
             replica_crashes: 2,
             replica_restarts: 1,
             net_faults: 5,
+            map_output_losses: 2,
             max_service_fault_ns: 200 * MILLIS,
             max_net_fault_ns: 50 * MILLIS,
         }
@@ -387,6 +415,7 @@ mod tests {
                     ChaosAction::Net(nf) => {
                         assert!(nf.until_ns <= cfg.horizon_ns, "net window past horizon");
                     }
+                    ChaosAction::LoseMapOutputs(_) => {} // instantaneous, no heal
                 }
             }
             assert!(open.is_empty(), "unhealed faults at horizon: {open:?}");
@@ -493,6 +522,34 @@ mod tests {
                 e.action,
                 ChaosAction::Inject(FaultTarget::ReadReplica(_), _)
             )));
+        }
+    }
+
+    #[test]
+    fn map_output_loss_budget_draws_losses_and_zero_budget_draws_none() {
+        let cfg = busy_cfg();
+        let mut seen = false;
+        for seed in 0..20 {
+            let s = ChaosSchedule::generate(&cfg, seed);
+            for ev in &s.events {
+                if let ChaosAction::LoseMapOutputs(n) = ev.action {
+                    assert!(n.0 < cfg.nodes, "loss node out of range");
+                    seen = true;
+                }
+            }
+        }
+        assert!(seen, "map-output losses never drawn in 20 seeds");
+
+        // The class was APPENDED to the draw sequence: a zero budget must
+        // reproduce pre-existing schedules byte-for-byte.
+        let mut without = busy_cfg();
+        without.map_output_losses = 0;
+        for seed in 0..20 {
+            let a = ChaosSchedule::generate(&without, seed);
+            assert!(a
+                .events
+                .iter()
+                .all(|e| !matches!(e.action, ChaosAction::LoseMapOutputs(_))));
         }
     }
 

@@ -11,13 +11,14 @@
 
 use chaos::{run_chaos, run_quiet, Workload};
 
-/// Seeds per workload: 16 x 4 = 64 faulted runs in the sweep.
+/// Seeds per workload: 16 x 5 = 80 faulted runs in the sweep.
 fn seeds_for(w: Workload) -> std::ops::Range<u64> {
     match w {
         Workload::Wordcount => 0..16,
         Workload::DataJoin => 0..16,
         Workload::BsfsChurn => 0..16,
         Workload::ReaderStorm => 0..16,
+        Workload::ShuffleStorm => 0..16,
     }
 }
 
@@ -55,6 +56,11 @@ fn sweep_bsfs_churn() {
 #[test]
 fn sweep_reader_storm() {
     sweep(Workload::ReaderStorm);
+}
+
+#[test]
+fn sweep_shuffle_storm() {
+    sweep(Workload::ShuffleStorm);
 }
 
 fn sweep(w: Workload) {
@@ -109,7 +115,10 @@ fn replay_from_env() {
         return;
     };
     let workload = Workload::parse(&w).unwrap_or_else(|| {
-        panic!("unknown CHAOS_WORKLOAD {w:?} (want wordcount|datajoin|bsfs-churn|reader-storm)")
+        panic!(
+            "unknown CHAOS_WORKLOAD {w:?} \
+             (want wordcount|datajoin|bsfs-churn|reader-storm|shuffle-storm)"
+        )
     });
     let seed: u64 = s.parse().expect("CHAOS_SEED must be an integer");
     let report = run_chaos(workload, seed);

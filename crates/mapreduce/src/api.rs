@@ -84,6 +84,10 @@ pub struct GhostProfile {
     pub reduce_output_ratio: f64,
     /// Abstract CPU operations per shuffled byte in the reduce phase.
     pub reduce_cpu_per_byte: f64,
+    /// Bytes surviving a node-local (tier-2) combine per buffered byte,
+    /// applied only when the job has a combiner. 1.0 = combining saves
+    /// nothing (e.g. unique keys); wordcount-shaped workloads sit far below.
+    pub combine_output_ratio: f64,
 }
 
 impl GhostProfile {
@@ -95,6 +99,7 @@ impl GhostProfile {
             map_cpu_per_byte: 1.0,
             reduce_output_ratio: 1.0,
             reduce_cpu_per_byte: 1.0,
+            combine_output_ratio: 1.0,
         }
     }
 }

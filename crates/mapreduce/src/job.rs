@@ -30,6 +30,35 @@ impl OutputMode {
     }
 }
 
+/// Knobs of the node-local (tier-2) combine stage and the streaming
+/// shuffle's flush cadence. Defaults buffer a node's whole map share and
+/// flush once at node map-phase completion — maximum byte reduction, one
+/// combined segment per (node, partition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShuffleTuning {
+    /// Buffer map outputs per node and combine across tasks before
+    /// publication. Off = every map task publishes its own segments
+    /// directly (pre-tier-2 behavior).
+    pub node_combine: bool,
+    /// Flush the node buffer early once this many tasks are buffered
+    /// (`None` = only at node completion). Smaller values trade combine
+    /// ratio for earlier reducer fetches.
+    pub flush_tasks: Option<u32>,
+    /// Flush the node buffer early once its buffered bytes reach this bound
+    /// (`None` = unbounded). Caps buffer memory on huge map outputs.
+    pub flush_bytes: Option<u64>,
+}
+
+impl Default for ShuffleTuning {
+    fn default() -> Self {
+        ShuffleTuning {
+            node_combine: true,
+            flush_tasks: None,
+            flush_bytes: Some(64 * 1024 * 1024),
+        }
+    }
+}
+
 /// A Map/Reduce job description.
 #[derive(Clone)]
 pub struct JobConf {
@@ -45,6 +74,8 @@ pub struct JobConf {
     /// When set, tasks process ghost payloads through this profile instead
     /// of running the user functions on real bytes (cluster-scale sims).
     pub ghost: Option<GhostProfile>,
+    /// Node-local combine + streaming shuffle knobs.
+    pub shuffle: ShuffleTuning,
 }
 
 impl JobConf {
@@ -82,6 +113,18 @@ pub struct JobCounters {
     pub reduce_output_records: AtomicU64,
     pub data_local_maps: AtomicU64,
     pub remote_maps: AtomicU64,
+    /// Map tasks reported done to the tracker so far (decremented when a
+    /// node's outputs are lost and its tasks re-queued). Reducers compare
+    /// against the map total to detect fetches that beat the map phase.
+    pub maps_completed: AtomicU64,
+    /// Reducer fetches issued while the map phase was still running — the
+    /// streaming-shuffle overlap the old reduce barrier made impossible.
+    pub early_shuffle_fetches: AtomicU64,
+    /// Combined (node, partition) segments published by the tier-2 stage.
+    pub combined_segments: AtomicU64,
+    /// Bytes the tier-2 combine removed before publication
+    /// (buffered input bytes minus combined output bytes).
+    pub combine_saved_bytes: AtomicU64,
 }
 
 impl JobCounters {
@@ -105,6 +148,13 @@ pub struct JobResult {
     pub reduce_output_bytes: u64,
     pub data_local_maps: u64,
     pub remote_maps: u64,
+    /// Combined (node, partition) segments the tier-2 stage published.
+    pub combined_segments: u64,
+    /// Bytes the node-local combine kept off the wire.
+    pub combine_saved_bytes: u64,
+    /// Reducer fetches issued before the map phase completed (streaming
+    /// shuffle overlap; 0 under the old barrier).
+    pub early_shuffle_fetches: u64,
     /// Files the job left in its output directory (the paper's file-count
     /// argument: R for original Hadoop, 1 for the append mode).
     pub output_files: u64,
@@ -155,6 +205,7 @@ mod tests {
             output_mode: OutputMode::PerReducerFiles,
             user: dummy_user(),
             ghost: None,
+            shuffle: ShuffleTuning::default(),
         };
         assert_eq!(conf.shared_output_file().as_str(), "/out/result");
         assert_eq!(conf.part_file(2).as_str(), "/out/part-00002");

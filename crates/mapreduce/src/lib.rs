@@ -16,6 +16,13 @@
 //! Jobs run on real records in live mode and on calibrated
 //! [`api::GhostProfile`]s for cluster-scale simulations; the engine code is
 //! identical in both cases.
+//!
+//! Shuffle *bytes* (not just round-trips) are cut by a two-tier combine:
+//! per-task combiners plus a node-local [`shuffle::NodeCombiner`] that
+//! merges a node's whole map share before publication, while reducers
+//! stream-fetch published segments before the map phase finishes (see
+//! `shuffle.rs` and `tracker.rs` module docs). [`job::ShuffleTuning`]
+//! holds the knobs.
 
 pub mod api;
 pub mod job;
@@ -25,7 +32,9 @@ pub mod task;
 pub mod tracker;
 
 pub use api::{partition_for, GhostProfile, Mapper, Reducer, UserFns, KV};
-pub use job::{JobConf, JobResult, OutputMode};
-pub use shuffle::MapOutputRegistry;
+pub use job::{JobConf, JobResult, OutputMode, ShuffleTuning};
+pub use shuffle::{
+    DeliverySpec, MapOutputRegistry, NodeCombiner, SegmentSource, ShuffleError, ShuffleStats,
+};
 pub use task::{MapTaskSpec, ReduceTaskSpec};
 pub use tracker::{JobHandle, MrCluster, MrConfig};

@@ -93,12 +93,45 @@ pub fn decode_kvs(data: &Bytes) -> Vec<KV> {
 /// the merge step in front of `reduce`.
 pub fn sort_and_group(mut kvs: Vec<KV>) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
     kvs.sort();
+    group_sorted(kvs)
+}
+
+/// Group equal keys of an already fully-sorted record stream (the cheap
+/// half of [`sort_and_group`], for callers that merged sorted runs).
+pub fn group_sorted(kvs: Vec<KV>) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
     let mut out: Vec<(Vec<u8>, Vec<Vec<u8>>)> = Vec::new();
     for kv in kvs {
         match out.last_mut() {
             Some((k, vals)) if *k == kv.key => vals.push(kv.value),
             _ => out.push((kv.key, vec![kv.value])),
         }
+    }
+    out
+}
+
+/// K-way merge of sorted runs into one fully `(key, value)`-sorted stream —
+/// the incremental merge behind the streaming shuffle and the node-local
+/// combine stage. Equal records tie-break by run index, so the result is
+/// deterministic and byte-identical to `sort`ing the concatenation (KV
+/// ordering is total: key, then value).
+pub fn merge_sorted_runs(runs: Vec<Vec<KV>>) -> Vec<KV> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<KV>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<(KV, usize)>> = BinaryHeap::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        if let Some(kv) = it.next() {
+            heap.push(Reverse((kv, i)));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((kv, i))) = heap.pop() {
+        if let Some(next) = iters.get_mut(i).and_then(Iterator::next) {
+            heap.push(Reverse((next, i)));
+        }
+        out.push(kv);
     }
     out
 }
@@ -176,6 +209,47 @@ mod tests {
             let want: Vec<Vec<u8>> = lines(file).map(|l| l.to_vec()).collect();
             assert_eq!(got, want, "split_len={split_len}");
         }
+    }
+
+    #[test]
+    fn merge_sorted_runs_matches_global_sort() {
+        // Byte-identity contract: merging sorted runs must equal sorting the
+        // concatenation, for any run shapes (incl. empty runs / no runs).
+        let cases: Vec<Vec<Vec<KV>>> = vec![
+            vec![],
+            vec![vec![]],
+            vec![vec![KV::new("a", "1")], vec![]],
+            vec![
+                vec![KV::new("a", "1"), KV::new("c", "3")],
+                vec![KV::new("a", "0"), KV::new("b", "2")],
+                vec![KV::new("c", "1"), KV::new("c", "2")],
+            ],
+            vec![
+                vec![KV::new("x", "1"), KV::new("x", "1")],
+                vec![KV::new("x", "1")],
+            ],
+        ];
+        for runs in cases {
+            let mut flat: Vec<KV> = runs.iter().flatten().cloned().collect();
+            flat.sort();
+            let mut sorted_runs = runs;
+            for r in &mut sorted_runs {
+                r.sort();
+            }
+            assert_eq!(merge_sorted_runs(sorted_runs), flat);
+        }
+    }
+
+    #[test]
+    fn group_sorted_equals_sort_and_group_on_sorted_input() {
+        let mut kvs = vec![
+            KV::new("b", "2"),
+            KV::new("a", "1"),
+            KV::new("b", "1"),
+            KV::new("a", "0"),
+        ];
+        kvs.sort();
+        assert_eq!(group_sorted(kvs.clone()), sort_and_group(kvs));
     }
 
     #[test]

@@ -1,37 +1,131 @@
-//! Map-output storage and shuffle serving.
+//! Map-output storage, the node-local (tier-2) combine stage, and shuffle
+//! serving.
 //!
-//! Completed map tasks leave their partitioned, sorted output on the local
-//! node (in Hadoop: local disk files served by the tasktracker's HTTP
-//! server). Reducers *pull* their partition from every map's node; the
-//! network cost of each pull is charged as a map-node→reduce-node transfer.
+//! **Two-tier combine.** Tier 1 is Hadoop's classic per-task combiner (run
+//! inside `run_map_task` over one task's buffered output). Tier 2 is the
+//! in-node combine stage of Lee et al. ("Hadoop MapReduce Performance
+//! Enhancement Using In-node Combiners"): every node accumulates its map
+//! tasks' partitioned, sorted outputs in a [`NodeCombiner`] buffer; when a
+//! configurable threshold of tasks/bytes lands — and always at node
+//! map-phase completion — the node k-way-merges the buffered runs, runs the
+//! job's combiner across the *merged* stream, and publishes ONE combined
+//! segment per (node, partition) instead of one per (map task, partition).
+//! High key-repeat workloads (wordcount) collapse by the node's task count;
+//! combiner-less jobs (datajoin) still merge runs, cutting segment count
+//! (and fetch round-trips) without changing bytes.
+//!
+//! **Streaming handoff.** Publication no longer waits for the job's map
+//! phase: every flush yields a [`DeliverySpec`] that rides the tasktracker's
+//! `MapDone`/`FlushDone` message to the jobtracker, which forwards it to
+//! every reducer's delivery feed (see `tracker.rs`). Reducers fetch and
+//! merge segments as they are announced — shuffle overlaps the map phase.
+//!
+//! **Idempotence.** Speculative / re-executed map tasks stay idempotent
+//! through the buffer: a same-node re-execution replaces the task's runs
+//! before combining (last-writer-wins); if the task was already flushed,
+//! the affected combined segment is invalidated by recombining the flush
+//! and republishing the same keys. A duplicate completion on a *different*
+//! node is dropped (tasks are deterministic, so the first-published copy is
+//! byte-identical) — this keeps every flush's task set stable after it has
+//! been announced. Re-runs scheduled after a node lost its outputs bypass
+//! tier 2 entirely ([`MapTaskSpec::rerun`]) and publish per-task segments,
+//! so replacements land promptly and never overlap a flushed set.
 //!
 //! The fetch path is *batched by host*: [`MapOutputRegistry::fetch_many`]
 //! groups a reducer's segment pulls by the node that holds them and moves
 //! each group in ONE transfer per (map-node, reduce-node) pair — the same
-//! grouped-RPC pattern the storage client applies to page fetches. When
-//! several map tasks of a job ran on the same node (always the case once
-//! maps outnumber nodes), this collapses the per-segment round-trips that
-//! dominate Hadoop's shuffle ("Only Aggressive Elephants are Fast
-//! Elephants"). [`MapOutputRegistry::fetch_counts`] exposes (segments,
-//! host transfers) so tests can pin the batching.
-//!
-//! Publication is idempotent with last-writer-wins semantics: a re-executed
-//! or speculative map task simply replaces its earlier output, matching
-//! Hadoop's task re-run model.
+//! grouped-RPC pattern the storage client applies to page fetches.
+//! [`MapOutputRegistry::stats`] exposes segments, transfers and *bytes*
+//! served plus the tier-2 combine's savings, so tests can pin both the
+//! batching and the volume reduction.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use fabric::{run_parallel, NodeId, Payload, Proc, TaskFn};
 use parking_lot::Mutex;
 
-/// Key of one map-output partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+use crate::job::JobCtx;
+use crate::record::{decode_kvs, encode_kvs, group_sorted, merge_sorted_runs};
+
+/// Who produced a published segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SegmentSource {
+    /// A single map task's own output (tier-2 combining off, or a re-run
+    /// that bypasses the node buffer so its replacement lands promptly).
+    Task(u32),
+    /// The `seq`-th node-local combine flush of `node`, merging several of
+    /// that node's tasks into one segment per partition.
+    Flush { node: u32, seq: u32 },
+}
+
+impl fmt::Display for SegmentSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentSource::Task(t) => write!(f, "task {t}"),
+            SegmentSource::Flush { node, seq } => write!(f, "node {node} flush {seq}"),
+        }
+    }
+}
+
+/// Key of one published map-output partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SegmentKey {
     pub job: u64,
-    pub map_task: u32,
+    pub source: SegmentSource,
     pub partition: u32,
+}
+
+/// Typed shuffle-serving failures (the panic paths the analyze gate bans
+/// from production code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShuffleError {
+    /// `fetch_many` answered a different number of slots than keys asked —
+    /// a registry contract breach, not a missing segment.
+    AnswerCountMismatch { want: usize, got: usize },
+}
+
+impl fmt::Display for ShuffleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShuffleError::AnswerCountMismatch { want, got } => {
+                write!(f, "shuffle fetch answered {got} slots for {want} keys")
+            }
+        }
+    }
+}
+
+/// One publication a reducer should fetch: segment `source` holds the
+/// output of `tasks` (one task for direct publications, a whole node batch
+/// for combine flushes). Forwarded to every reducer's delivery feed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliverySpec {
+    pub source: SegmentSource,
+    /// Map task ids whose output the segment carries (sorted, disjoint
+    /// across a node's flushes).
+    pub tasks: Vec<u32>,
+}
+
+/// Snapshot of the registry's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShuffleStats {
+    /// Segments served to reducers (one per key found).
+    pub fetched_segments: u64,
+    /// Host-grouped wire transfers that carried them.
+    pub fetch_transfers: u64,
+    /// Bytes those transfers moved (the shuffle *volume*).
+    pub fetch_bytes: u64,
+    /// Segments that were published more than once (re-executed maps /
+    /// invalidated combine flushes).
+    pub republished: u64,
+    /// Combined (node, partition) segments the tier-2 stage published.
+    pub combined_segments: u64,
+    /// Bytes the tier-2 combine removed before publication.
+    pub combine_saved_bytes: u64,
+    /// Flushes recombined because a flushed task was re-executed.
+    pub recombined: u64,
 }
 
 struct Segment {
@@ -44,13 +138,13 @@ struct Segment {
 #[derive(Default)]
 pub struct MapOutputRegistry {
     segments: Mutex<HashMap<SegmentKey, Segment>>,
-    /// Segments served to reducers (one per key fetched).
     fetched_segments: AtomicU64,
-    /// Host-grouped wire transfers that carried them (one per
-    /// (map-node, reduce-node) pair per fetch_many call).
     fetch_transfers: AtomicU64,
-    /// Republished segments (re-executed / speculative map tasks).
+    fetch_bytes: AtomicU64,
     republished: AtomicU64,
+    combined_segments: AtomicU64,
+    combine_saved_bytes: AtomicU64,
+    recombined: AtomicU64,
 }
 
 impl MapOutputRegistry {
@@ -58,10 +152,10 @@ impl MapOutputRegistry {
         Arc::new(Self::default())
     }
 
-    /// Store a partition produced by a map task on `host`. Idempotent with
+    /// Store a partition produced on `host`. Idempotent with
     /// last-writer-wins semantics: a re-executed or speculative map task
-    /// replaces its earlier output (Hadoop re-run semantics) instead of
-    /// double-counting it.
+    /// (or an invalidated combine flush) replaces its earlier output
+    /// instead of double-counting it.
     pub fn publish(&self, key: SegmentKey, host: NodeId, data: Payload) {
         let mut seg = self.segments.lock();
         if seg.insert(key, Segment { host, data }).is_some() {
@@ -70,11 +164,15 @@ impl MapOutputRegistry {
     }
 
     /// Fetch a partition into the calling reducer's node (charges the
-    /// transfer). Node-local fetches ride the loopback.
-    pub fn fetch(&self, p: &Proc, key: SegmentKey) -> Option<Payload> {
-        self.fetch_many(p, &[key])
-            .pop()
-            .expect("one answer per key")
+    /// transfer). Node-local fetches ride the loopback. `Ok(None)` means
+    /// the segment is not (or no longer) published.
+    pub fn fetch(&self, p: &Proc, key: SegmentKey) -> Result<Option<Payload>, ShuffleError> {
+        let mut got = self.fetch_many(p, &[key]);
+        let n = got.len();
+        match got.pop() {
+            Some(ans) if n == 1 => Ok(ans),
+            _ => Err(ShuffleError::AnswerCountMismatch { want: 1, got: n }),
+        }
     }
 
     /// Fetch many partitions, grouped by holding node: every group moves in
@@ -90,8 +188,7 @@ impl MapOutputRegistry {
         // Resolve every key under one lock; data clones are cheap (ghosts
         // or refcounted bytes) and movement is charged per host below.
         // BTreeMap keeps the host grouping deterministic across runs.
-        let mut groups: std::collections::BTreeMap<u32, Vec<(usize, Payload)>> =
-            std::collections::BTreeMap::new();
+        let mut groups: BTreeMap<u32, Vec<(usize, Payload)>> = BTreeMap::new();
         {
             let seg = self.segments.lock();
             for (i, key) in keys.iter().enumerate() {
@@ -105,6 +202,10 @@ impl MapOutputRegistry {
         }
         self.fetched_segments.fetch_add(
             groups.values().map(|g| g.len() as u64).sum(),
+            Ordering::Relaxed,
+        );
+        self.fetch_bytes.fetch_add(
+            groups.values().flatten().map(|(_, d)| d.len()).sum::<u64>(),
             Ordering::Relaxed,
         );
         self.fetch_transfers
@@ -146,10 +247,43 @@ impl MapOutputRegistry {
         self.republished.load(Ordering::Relaxed)
     }
 
+    /// Snapshot of every counter (volume included).
+    pub fn stats(&self) -> ShuffleStats {
+        ShuffleStats {
+            fetched_segments: self.fetched_segments.load(Ordering::Relaxed),
+            fetch_transfers: self.fetch_transfers.load(Ordering::Relaxed),
+            fetch_bytes: self.fetch_bytes.load(Ordering::Relaxed),
+            republished: self.republished.load(Ordering::Relaxed),
+            combined_segments: self.combined_segments.load(Ordering::Relaxed),
+            combine_saved_bytes: self.combine_saved_bytes.load(Ordering::Relaxed),
+            recombined: self.recombined.load(Ordering::Relaxed),
+        }
+    }
+
     /// Drop all segments of a finished job (Hadoop cleans map outputs after
     /// job completion).
     pub fn drop_job(&self, job: u64) {
         self.segments.lock().retain(|k, _| k.job != job);
+    }
+
+    /// Drop every segment hosted on `host` (the node lost its local output
+    /// store). Returns the `(job, task)` pairs of direct per-task segments
+    /// that went with it, sorted; lost *flush* segments are reported by
+    /// [`NodeCombiner::drop_node`], which knows their task sets.
+    pub fn drop_host(&self, host: NodeId) -> Vec<(u64, u32)> {
+        let mut lost = Vec::new();
+        self.segments.lock().retain(|k, s| {
+            if s.host != host {
+                return true;
+            }
+            if let SegmentSource::Task(t) = k.source {
+                lost.push((k.job, t));
+            }
+            false
+        });
+        lost.sort_unstable();
+        lost.dedup();
+        lost
     }
 
     /// Total bytes currently held (diagnostics).
@@ -158,17 +292,404 @@ impl MapOutputRegistry {
     }
 }
 
+/// Where a buffered task's runs currently live on its home node.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    Pending,
+    Flushed(u32),
+}
+
+/// One node's combine buffer for one job.
+#[derive(Default)]
+struct NodeBuffer {
+    /// task → per-partition tier-1 sorted runs, awaiting the next flush.
+    pending: BTreeMap<u32, Vec<Payload>>,
+    pending_bytes: u64,
+    pending_tasks: u32,
+    /// flush seq → task → runs; retained so a re-executed task can
+    /// invalidate and recombine its flush.
+    flushed: BTreeMap<u32, BTreeMap<u32, Vec<Payload>>>,
+    next_seq: u32,
+}
+
+/// One job's tier-2 state across all nodes.
+#[derive(Default)]
+struct JobBuffers {
+    /// task → (home node, pending-or-flushed). A task lives on exactly one
+    /// node; duplicate completions elsewhere are dropped (first-published
+    /// wins — deterministic tasks make the copies byte-identical).
+    task_loc: BTreeMap<u32, (u32, Loc)>,
+    nodes: BTreeMap<u32, NodeBuffer>,
+}
+
+/// What a flush produced, computed under the buffer lock and applied
+/// (published + counted) after releasing it.
+struct FlushOut {
+    delivery: Option<DeliverySpec>,
+    combined: Vec<(SegmentKey, Payload)>,
+    compute: u64,
+    saved_bytes: u64,
+}
+
+/// The node-local (tier-2) combine stage: accumulates map tasks' partitioned
+/// outputs per (job, node) and publishes combined per-(node, partition)
+/// segments to the wrapped [`MapOutputRegistry`]. See the module docs for
+/// the full protocol.
+pub struct NodeCombiner {
+    registry: Arc<MapOutputRegistry>,
+    jobs: Mutex<BTreeMap<u64, JobBuffers>>,
+}
+
+impl NodeCombiner {
+    pub fn new(registry: Arc<MapOutputRegistry>) -> Arc<NodeCombiner> {
+        Arc::new(NodeCombiner {
+            registry,
+            jobs: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The wrapped registry (direct publications and fetches go through it).
+    pub fn registry(&self) -> &Arc<MapOutputRegistry> {
+        &self.registry
+    }
+
+    /// Buffer one completed map task's per-partition outputs on the calling
+    /// node. Returns the deliveries this call published (a threshold flush,
+    /// or nothing while the buffer accumulates). Idempotent for re-executed
+    /// tasks; see the module docs.
+    pub fn add(
+        &self,
+        p: &Proc,
+        ctx: &Arc<JobCtx>,
+        task: u32,
+        parts: Vec<Payload>,
+    ) -> Vec<DeliverySpec> {
+        let node = p.node().0;
+        let tuning = ctx.conf.shuffle;
+        let bytes: u64 = parts.iter().map(Payload::len).sum();
+        let mut flushes: Vec<FlushOut> = Vec::new();
+        {
+            let mut jobs = self.jobs.lock();
+            let jb = jobs.entry(ctx.id).or_default();
+            match jb.task_loc.get(&task).copied() {
+                Some((home, Loc::Pending)) if home == node => {
+                    // Same-node re-execution before any flush: last writer
+                    // wins in place.
+                    let nb = jb.nodes.entry(node).or_default();
+                    if let Some(old) = nb.pending.insert(task, parts) {
+                        let old_bytes: u64 = old.iter().map(Payload::len).sum();
+                        nb.pending_bytes = nb.pending_bytes.saturating_sub(old_bytes);
+                    }
+                    nb.pending_bytes += bytes;
+                    self.registry.republished.fetch_add(1, Ordering::Relaxed);
+                }
+                Some((home, Loc::Flushed(seq))) if home == node => {
+                    // Re-execution of an already-flushed task: replace its
+                    // runs, recombine the flush and republish the SAME
+                    // segment keys (the announced task set stays valid;
+                    // deterministic tasks make old and new byte-identical).
+                    let nb = jb.nodes.entry(node).or_default();
+                    if let Some(set) = nb.flushed.get_mut(&seq) {
+                        set.insert(task, parts);
+                        let set_snapshot: Vec<(u32, Vec<Payload>)> =
+                            set.iter().map(|(t, r)| (*t, r.clone())).collect();
+                        let mut out = combine_flush(
+                            ctx,
+                            node,
+                            seq,
+                            &set_snapshot,
+                            set_snapshot
+                                .iter()
+                                .flat_map(|(_, r)| r)
+                                .map(Payload::len)
+                                .sum(),
+                        );
+                        out.delivery = None; // already announced
+                        flushes.push(out);
+                        // republished bumps when the publishes replace the
+                        // flush's live segments below; count the recombine.
+                        self.registry.recombined.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Some(_) => {
+                    // Duplicate completion on a different node: drop it. The
+                    // first-published copy is byte-identical and its flush's
+                    // announced task set must stay stable.
+                }
+                None => {
+                    let nb = jb.nodes.entry(node).or_default();
+                    nb.pending.insert(task, parts);
+                    nb.pending_bytes += bytes;
+                    nb.pending_tasks += 1;
+                    jb.task_loc.insert(task, (node, Loc::Pending));
+                    let hit_tasks = tuning
+                        .flush_tasks
+                        .is_some_and(|n| nb.pending_tasks >= n.max(1));
+                    let hit_bytes = tuning.flush_bytes.is_some_and(|b| nb.pending_bytes >= b);
+                    if hit_tasks || hit_bytes {
+                        if let Some(out) = flush_pending(ctx, jb, node) {
+                            flushes.push(out);
+                        }
+                    }
+                }
+            }
+        }
+        self.apply_flushes(p, ctx, flushes)
+    }
+
+    /// Flush whatever the node still buffers for this job (called by the
+    /// tracker once the node's map share is complete). Returns the
+    /// delivery to announce, or `None` if the buffer was empty.
+    pub fn complete_node(&self, p: &Proc, ctx: &Arc<JobCtx>, node: NodeId) -> Option<DeliverySpec> {
+        let flushes = {
+            let mut jobs = self.jobs.lock();
+            let jb = jobs.entry(ctx.id).or_default();
+            flush_pending(ctx, jb, node.0).into_iter().collect()
+        };
+        self.apply_flushes(p, ctx, flushes).pop()
+    }
+
+    /// The node lost its local output store: drop its buffers (pending and
+    /// flushed run sets) for every job. Returns, per job, the sorted task
+    /// ids whose buffered output went with it — the tracker re-queues them.
+    /// Call together with [`MapOutputRegistry::drop_host`].
+    pub fn drop_node(&self, node: NodeId) -> Vec<(u64, Vec<u32>)> {
+        let mut lost = Vec::new();
+        let mut jobs = self.jobs.lock();
+        for (job, jb) in jobs.iter_mut() {
+            if jb.nodes.remove(&node.0).is_none() {
+                continue;
+            }
+            let tasks: Vec<u32> = jb
+                .task_loc
+                .iter()
+                .filter(|(_, (home, _))| *home == node.0)
+                .map(|(t, _)| *t)
+                .collect();
+            for t in &tasks {
+                jb.task_loc.remove(t);
+            }
+            if !tasks.is_empty() {
+                lost.push((*job, tasks));
+            }
+        }
+        lost
+    }
+
+    /// Drop a finished job's buffers (pairs with
+    /// [`MapOutputRegistry::drop_job`]).
+    pub fn drop_job(&self, job: u64) {
+        self.jobs.lock().remove(&job);
+    }
+
+    /// Charge ghost compute, publish the flush segments and bump counters —
+    /// everything that must happen outside the buffer lock but *before* the
+    /// returned deliveries are announced.
+    fn apply_flushes(
+        &self,
+        p: &Proc,
+        ctx: &Arc<JobCtx>,
+        flushes: Vec<FlushOut>,
+    ) -> Vec<DeliverySpec> {
+        let mut deliveries = Vec::new();
+        for out in flushes {
+            if out.compute > 0 {
+                p.compute(p.node(), out.compute);
+            }
+            let fresh = out.delivery.is_some();
+            let n = out.combined.len() as u64;
+            for (key, data) in out.combined {
+                self.registry.publish(key, p.node(), data);
+            }
+            if fresh {
+                self.registry
+                    .combined_segments
+                    .fetch_add(n, Ordering::Relaxed);
+                self.registry
+                    .combine_saved_bytes
+                    .fetch_add(out.saved_bytes, Ordering::Relaxed);
+                let c = &ctx.counters;
+                c.add(&c.combined_segments, n);
+                c.add(&c.combine_saved_bytes, out.saved_bytes);
+            }
+            if let Some(d) = out.delivery {
+                deliveries.push(d);
+            }
+        }
+        deliveries
+    }
+}
+
+/// Move the node's pending set into a new flush and compute its combined
+/// segments. Runs under the buffer lock; does not publish.
+fn flush_pending(ctx: &Arc<JobCtx>, jb: &mut JobBuffers, node: u32) -> Option<FlushOut> {
+    let nb = jb.nodes.entry(node).or_default();
+    if nb.pending.is_empty() {
+        return None;
+    }
+    let seq = nb.next_seq;
+    nb.next_seq += 1;
+    let set = std::mem::take(&mut nb.pending);
+    let buffered = nb.pending_bytes;
+    nb.pending_bytes = 0;
+    nb.pending_tasks = 0;
+    let tasks: Vec<u32> = set.keys().copied().collect();
+    let set_snapshot: Vec<(u32, Vec<Payload>)> = set.iter().map(|(t, r)| (*t, r.clone())).collect();
+    for t in &tasks {
+        jb.task_loc.insert(*t, (node, Loc::Flushed(seq)));
+    }
+    nb.flushed.insert(seq, set);
+    let mut out = combine_flush(ctx, node, seq, &set_snapshot, buffered);
+    out.delivery = Some(DeliverySpec {
+        source: SegmentSource::Flush { node, seq },
+        tasks,
+    });
+    Some(out)
+}
+
+/// Merge + combine one flush's task runs into per-partition segments.
+/// Ghost jobs scale buffered lengths by the profile's combine ratio; real
+/// jobs k-way-merge the sorted runs and run the combiner over the merged
+/// stream (byte-identical to sorting the concatenation when no combiner).
+fn combine_flush(
+    ctx: &Arc<JobCtx>,
+    node: u32,
+    seq: u32,
+    set: &[(u32, Vec<Payload>)],
+    buffered: u64,
+) -> FlushOut {
+    let r = ctx.conf.num_reducers;
+    let has_combiner = ctx.conf.user.combiner.is_some();
+    let mut segments = Vec::with_capacity(r as usize);
+    let mut combined_bytes = 0u64;
+    let mut compute = 0u64;
+    if let Some(profile) = ctx.conf.ghost {
+        let ratio = if has_combiner {
+            profile.combine_output_ratio
+        } else {
+            1.0
+        };
+        for i in 0..r {
+            let total: u64 = set
+                .iter()
+                .filter_map(|(_, parts)| parts.get(i as usize))
+                .map(Payload::len)
+                .sum();
+            let out = (total as f64 * ratio) as u64;
+            combined_bytes += out;
+            segments.push((seg_key(ctx.id, node, seq, i), Payload::ghost(out)));
+        }
+        if has_combiner {
+            compute = (buffered as f64 * profile.reduce_cpu_per_byte) as u64;
+        }
+    } else {
+        for i in 0..r {
+            let runs: Vec<Vec<crate::api::KV>> = set
+                .iter()
+                .filter_map(|(_, parts)| parts.get(i as usize))
+                .map(|pl| decode_kvs(pl.bytes()))
+                .collect();
+            let merged = merge_sorted_runs(runs);
+            let data = if let Some(combiner) = &ctx.conf.user.combiner {
+                let mut combined = Vec::new();
+                for (key, values) in group_sorted(merged) {
+                    let mut it = values.iter().map(|v| v.as_slice());
+                    combiner.reduce(&key, &mut it, &mut |kv| combined.push(kv));
+                }
+                combined.sort();
+                encode_kvs(&combined)
+            } else {
+                encode_kvs(&merged)
+            };
+            combined_bytes += data.len();
+            segments.push((seg_key(ctx.id, node, seq, i), data));
+        }
+    }
+    FlushOut {
+        delivery: None,
+        combined: segments,
+        compute,
+        saved_bytes: buffered.saturating_sub(combined_bytes),
+    }
+}
+
+fn seg_key(job: u64, node: u32, seq: u32, partition: u32) -> SegmentKey {
+    SegmentKey {
+        job,
+        source: SegmentSource::Flush { node, seq },
+        partition,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::{Mapper, Reducer, UserFns, KV};
+    use crate::job::{JobConf, JobCounters, OutputMode, ShuffleTuning};
+    use dfs::DfsPath;
     use fabric::{ClusterSpec, Fabric};
 
     fn key(map_task: u32, partition: u32) -> SegmentKey {
         SegmentKey {
             job: 1,
-            map_task,
+            source: SegmentSource::Task(map_task),
             partition,
         }
+    }
+
+    fn flush_key(node: u32, seq: u32, partition: u32) -> SegmentKey {
+        seg_key(1, node, seq, partition)
+    }
+
+    struct Nop;
+    impl Mapper for Nop {
+        fn map(&self, _: &[u8], _: &[u8], _: &mut dyn FnMut(KV)) {}
+    }
+    impl Reducer for Nop {
+        fn reduce(&self, _: &[u8], _: &mut dyn Iterator<Item = &[u8]>, _: &mut dyn FnMut(KV)) {}
+    }
+
+    /// Wordcount-style combiner: sums integer values per key.
+    struct SumReduce;
+    impl Reducer for SumReduce {
+        fn reduce(
+            &self,
+            key: &[u8],
+            values: &mut dyn Iterator<Item = &[u8]>,
+            out: &mut dyn FnMut(KV),
+        ) {
+            let sum: u64 = values
+                .map(|v| std::str::from_utf8(v).unwrap().parse::<u64>().unwrap())
+                .sum();
+            out(KV::new(key.to_vec(), sum.to_string()));
+        }
+    }
+
+    fn ctx(reducers: u32, combiner: bool, tuning: ShuffleTuning) -> Arc<JobCtx> {
+        Arc::new(JobCtx {
+            id: 1,
+            conf: JobConf {
+                name: "shuffle-unit".into(),
+                inputs: vec![],
+                output_dir: DfsPath::new("/out").unwrap(),
+                num_reducers: reducers,
+                output_mode: OutputMode::PerReducerFiles,
+                user: UserFns {
+                    mapper: Arc::new(Nop),
+                    reducer: Arc::new(Nop),
+                    combiner: combiner.then(|| Arc::new(SumReduce) as Arc<dyn Reducer>),
+                },
+                ghost: None,
+                shuffle: tuning,
+            },
+            counters: Arc::new(JobCounters::default()),
+        })
+    }
+
+    fn enc(kvs: &[(&str, &str)]) -> Payload {
+        let mut v: Vec<KV> = kvs.iter().map(|(k, val)| KV::new(*k, *val)).collect();
+        v.sort();
+        encode_kvs(&v)
     }
 
     #[test]
@@ -180,9 +701,9 @@ mod tests {
             let k = key(0, 3);
             reg2.publish(k, NodeId(1), Payload::from_vec(vec![7; 100]));
             assert_eq!(reg2.segment_len(&k), Some(100));
-            let got = reg2.fetch(p, k).unwrap();
+            let got = reg2.fetch(p, k).unwrap().unwrap();
             assert_eq!(got.len(), 100);
-            assert!(reg2.fetch(p, key(9, 0)).is_none());
+            assert!(reg2.fetch(p, key(9, 0)).unwrap().is_none());
             reg2.drop_job(1);
             assert_eq!(reg2.total_bytes(), 0);
         });
@@ -204,7 +725,7 @@ mod tests {
             reg2.publish(k, NodeId(2), Payload::from_vec(vec![2; 70]));
             assert_eq!(reg2.republished(), 1);
             assert_eq!(reg2.total_bytes(), 70, "no double count on republish");
-            let got = reg2.fetch(p, k).unwrap();
+            let got = reg2.fetch(p, k).unwrap().unwrap();
             assert_eq!(got.bytes().as_ref(), &[2u8; 70][..], "last writer wins");
         });
         fx.run();
@@ -212,7 +733,7 @@ mod tests {
     }
 
     #[test]
-    fn fetch_many_moves_one_transfer_per_host() {
+    fn fetch_many_moves_one_transfer_per_host_and_counts_bytes() {
         let fx = Fabric::sim(ClusterSpec::tiny(4));
         let reg = MapOutputRegistry::new();
         let reg2 = reg.clone();
@@ -234,10 +755,201 @@ mod tests {
                 "6 segments on 2 hosts must ride 2 transfers, used {wire}"
             );
             assert_eq!(reg2.fetch_counts(), (6, 2));
+            assert_eq!(reg2.stats().fetch_bytes, 6_000_000, "volume counter");
             // Missing keys answer None without extra transfers.
             let got = reg2.fetch_many(p, &[key(0, 0), key(99, 0)]);
             assert!(got[0].is_some() && got[1].is_none());
             assert_eq!(reg2.fetch_counts(), (7, 3));
+            assert_eq!(reg2.stats().fetch_bytes, 7_000_000);
+        });
+        fx.run();
+        h.take().unwrap();
+    }
+
+    /// The tier-2 pin: 4 tasks on 2 nodes with 2 partitions publish exactly
+    /// one combined segment per (node, partition), with the saved bytes
+    /// accounted on both the registry and the job counters.
+    #[test]
+    fn node_combine_publishes_one_segment_per_node_partition() {
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let reg = MapOutputRegistry::new();
+        let nc = NodeCombiner::new(reg.clone());
+        let jctx = ctx(2, true, ShuffleTuning::default());
+        let done1 = fx.gate();
+        let (nc1, ctx1, d1) = (nc.clone(), jctx.clone(), done1.clone());
+        let h1 = fx.spawn(NodeId(1), "node1", move |p| {
+            // Each task: partition 0 carries a=1, partition 1 carries b=<id+1>.
+            for t in 0..2u32 {
+                let parts = vec![enc(&[("a", "1")]), enc(&[("b", &format!("{}", t + 1))])];
+                let got = nc1.add(p, &ctx1, t, parts);
+                assert!(got.is_empty(), "default tuning flushes only at completion");
+            }
+            let d = nc1.complete_node(p, &ctx1, p.node()).expect("one flush");
+            assert_eq!(d.source, SegmentSource::Flush { node: 1, seq: 0 });
+            assert_eq!(d.tasks, vec![0, 1]);
+            d1.set();
+        });
+        let (nc2, ctx2, reg2) = (nc.clone(), jctx.clone(), reg.clone());
+        let h2 = fx.spawn(NodeId(2), "node2", move |p| {
+            done1.wait(p);
+            for t in 2..4u32 {
+                let parts = vec![enc(&[("a", "1")]), enc(&[("b", &format!("{}", t + 1))])];
+                nc2.add(p, &ctx2, t, parts);
+            }
+            let d = nc2.complete_node(p, &ctx2, p.node()).expect("one flush");
+            assert_eq!(d.tasks, vec![2, 3]);
+
+            // Exactly one combined segment per (node, partition).
+            let s = reg2.stats();
+            assert_eq!(s.combined_segments, 4, "2 nodes x 2 partitions");
+            // Each task buffered 20 bytes (two 10-byte records); each node's
+            // combine folds 2 records per partition into 1 → 20 saved/node.
+            assert_eq!(s.combine_saved_bytes, 40);
+            let c = &ctx2.counters;
+            assert_eq!(c.combined_segments.load(Ordering::Relaxed), 4);
+            assert_eq!(c.combine_saved_bytes.load(Ordering::Relaxed), 40);
+
+            // Combined contents match the model: a summed, b summed per node.
+            let p0 = reg2.fetch(p, flush_key(1, 0, 0)).unwrap().unwrap();
+            assert_eq!(decode_kvs(p0.bytes()), vec![KV::new("a", "2")]);
+            let p1 = reg2.fetch(p, flush_key(1, 0, 1)).unwrap().unwrap();
+            assert_eq!(decode_kvs(p1.bytes()), vec![KV::new("b", "3")]);
+            let p1b = reg2.fetch(p, flush_key(2, 0, 1)).unwrap().unwrap();
+            assert_eq!(decode_kvs(p1b.bytes()), vec![KV::new("b", "7")]);
+        });
+        fx.run();
+        h1.take().unwrap();
+        h2.take().unwrap();
+    }
+
+    /// Re-execution idempotence through the buffer: pending tasks replace
+    /// in place (LWW), flushed tasks invalidate + recombine their segment,
+    /// and a duplicate completion on another node is dropped.
+    #[test]
+    fn reexecution_is_idempotent_through_the_buffer() {
+        let fx = Fabric::sim(ClusterSpec::tiny(4));
+        let reg = MapOutputRegistry::new();
+        let nc = NodeCombiner::new(reg.clone());
+        // No combiner: the flush is a pure merge, so LWW bytes are visible.
+        let jctx = ctx(
+            1,
+            false,
+            ShuffleTuning {
+                node_combine: true,
+                flush_tasks: None,
+                flush_bytes: None,
+            },
+        );
+        let reg2 = reg.clone();
+        let done1 = fx.gate();
+        let (nc1, ctx1, d1, rega) = (nc.clone(), jctx.clone(), done1.clone(), reg.clone());
+        let h = fx.spawn(NodeId(1), "node1", move |p| {
+            // Pending LWW: second add of task 0 replaces the first.
+            nc1.add(p, &ctx1, 0, vec![enc(&[("a", "1")])]);
+            nc1.add(p, &ctx1, 0, vec![enc(&[("a", "9")])]);
+            assert_eq!(rega.republished(), 1, "pending replace counts");
+            let d = nc1.complete_node(p, &ctx1, p.node()).expect("flush");
+            assert_eq!(d.tasks, vec![0]);
+            let got = rega.fetch(p, flush_key(1, 0, 0)).unwrap().unwrap();
+            assert_eq!(decode_kvs(got.bytes()), vec![KV::new("a", "9")]);
+
+            // Flushed recombine: task 0 re-runs after its flush; the
+            // combined segment is invalidated and republished in place.
+            nc1.add(p, &ctx1, 0, vec![enc(&[("a", "5")])]);
+            assert_eq!(rega.stats().recombined, 1);
+            let got = rega.fetch(p, flush_key(1, 0, 0)).unwrap().unwrap();
+            assert_eq!(decode_kvs(got.bytes()), vec![KV::new("a", "5")]);
+            d1.set();
+        });
+        // Duplicate completion on another node: dropped, no delivery, the
+        // original node's segment stays authoritative.
+        let h2 = fx.spawn(NodeId(2), "node2", move |p| {
+            done1.wait(p);
+            let d = nc.add(p, &jctx, 0, vec![enc(&[("a", "7")])]);
+            assert!(d.is_empty(), "cross-node duplicate is dropped");
+            assert!(nc.complete_node(p, &jctx, p.node()).is_none());
+            let got = reg2.fetch(p, flush_key(1, 0, 0)).unwrap().unwrap();
+            assert_eq!(
+                decode_kvs(got.bytes()),
+                vec![KV::new("a", "5")],
+                "first-published copy stays authoritative"
+            );
+        });
+        fx.run();
+        h.take().unwrap();
+        h2.take().unwrap();
+    }
+
+    /// Threshold flushes: `flush_tasks` bounds how many tasks a buffer
+    /// holds before publishing mid-phase (the streaming knob).
+    #[test]
+    fn threshold_flush_publishes_mid_phase() {
+        let fx = Fabric::sim(ClusterSpec::tiny(3));
+        let reg = MapOutputRegistry::new();
+        let nc = NodeCombiner::new(reg.clone());
+        let jctx = ctx(
+            1,
+            true,
+            ShuffleTuning {
+                node_combine: true,
+                flush_tasks: Some(2),
+                flush_bytes: None,
+            },
+        );
+        let reg2 = reg.clone();
+        let h = fx.spawn(NodeId(1), "node1", move |p| {
+            assert!(nc.add(p, &jctx, 0, vec![enc(&[("a", "1")])]).is_empty());
+            let d = nc.add(p, &jctx, 1, vec![enc(&[("a", "1")])]);
+            assert_eq!(d.len(), 1, "second task hits the flush_tasks=2 bound");
+            assert_eq!(d[0].tasks, vec![0, 1]);
+            let d = nc.add(p, &jctx, 2, vec![enc(&[("a", "1")])]);
+            assert!(d.is_empty());
+            let fin = nc.complete_node(p, &jctx, p.node()).expect("tail flush");
+            assert_eq!(fin.source, SegmentSource::Flush { node: 1, seq: 1 });
+            assert_eq!(fin.tasks, vec![2]);
+            // Two flushes → two combined segments for the one partition.
+            assert_eq!(reg2.stats().combined_segments, 2);
+            let s0 = reg2.fetch(p, flush_key(1, 0, 0)).unwrap().unwrap();
+            assert_eq!(decode_kvs(s0.bytes()), vec![KV::new("a", "2")]);
+            let s1 = reg2.fetch(p, flush_key(1, 1, 0)).unwrap().unwrap();
+            assert_eq!(decode_kvs(s1.bytes()), vec![KV::new("a", "1")]);
+        });
+        fx.run();
+        h.take().unwrap();
+    }
+
+    /// Losing a node's outputs drops its buffers and reports the buried
+    /// task ids so the tracker can re-queue them.
+    #[test]
+    fn drop_node_reports_buffered_tasks() {
+        let fx = Fabric::sim(ClusterSpec::tiny(3));
+        let reg = MapOutputRegistry::new();
+        let nc = NodeCombiner::new(reg.clone());
+        let jctx = ctx(
+            1,
+            false,
+            ShuffleTuning {
+                node_combine: true,
+                flush_tasks: Some(1),
+                flush_bytes: None,
+            },
+        );
+        let reg2 = reg.clone();
+        let h = fx.spawn(NodeId(1), "node1", move |p| {
+            nc.add(p, &jctx, 0, vec![enc(&[("a", "1")])]); // flushed (threshold 1)
+                                                           // A direct per-task publication on the same node (rerun path).
+            reg2.publish(key(7, 0), p.node(), enc(&[("z", "1")]));
+            let lost_direct = reg2.drop_host(p.node());
+            assert_eq!(lost_direct, vec![(1, 7)]);
+            let lost_buffered = nc.drop_node(p.node());
+            assert_eq!(lost_buffered, vec![(1, vec![0])]);
+            assert!(
+                reg2.fetch(p, flush_key(1, 0, 0)).unwrap().is_none(),
+                "flush segment gone with the host"
+            );
+            // A fresh run of task 0 lands cleanly (task_loc was cleared).
+            let d = nc.add(p, &jctx, 0, vec![enc(&[("a", "1")])]);
+            assert_eq!(d.len(), 1);
         });
         fx.run();
         h.take().unwrap();

@@ -4,12 +4,15 @@
 use std::sync::Arc;
 
 use dfs::{DfsPath, FileSystem};
+use fabric::sync::Queue;
 use fabric::{NodeId, Payload, Proc};
 
 use crate::api::{partition_for, KV};
 use crate::job::{JobCtx, OutputMode};
-use crate::record::{decode_kvs, encode_kvs, sort_and_group, split_records, to_text};
-use crate::shuffle::{MapOutputRegistry, SegmentKey};
+use crate::record::{
+    decode_kvs, encode_kvs, group_sorted, merge_sorted_runs, sort_and_group, split_records, to_text,
+};
+use crate::shuffle::{DeliverySpec, MapOutputRegistry, NodeCombiner, SegmentKey, SegmentSource};
 
 /// Assignment of one input split to a map task.
 #[derive(Clone)]
@@ -21,6 +24,10 @@ pub struct MapTaskSpec {
     pub len: u64,
     /// Nodes holding the split's block (for locality accounting).
     pub hosts: Vec<NodeId>,
+    /// Re-queued after the original's output was lost: bypass the tier-2
+    /// buffer and publish per-task so the replacement lands promptly and
+    /// never overlaps an already-announced flush set.
+    pub rerun: bool,
 }
 
 /// Assignment of one partition to a reduce task.
@@ -28,22 +35,28 @@ pub struct MapTaskSpec {
 pub struct ReduceTaskSpec {
     pub job: Arc<JobCtx>,
     pub partition: u32,
-    /// Number of map tasks whose output must be fetched.
+    /// Number of map tasks whose output must be obtained.
     pub map_count: u32,
+    /// Streaming delivery feed: the jobtracker forwards every published
+    /// [`DeliverySpec`] here as the map phase progresses.
+    pub feed: Queue<DeliverySpec>,
 }
 
 /// How far past the split end the reader looks for the record delimiter per
 /// extension round.
 const LOOKAHEAD: u64 = 64 * 1024;
 
-/// Execute a map task. Returns an error string on failure (the jobtracker
-/// turns it into a loud job failure).
+/// Execute a map task: read the split, run the mapper (+ tier-1 combiner),
+/// hand the partitioned output to the tier-2 node buffer (or publish
+/// per-task when re-running / tier-2 off). Returns the deliveries this task
+/// published — the tasktracker ships them to the jobtracker on `MapDone`
+/// for streaming announcement; an error string means loud job failure.
 pub fn run_map_task(
     p: &Proc,
     fs: &Arc<dyn FileSystem>,
-    registry: &Arc<MapOutputRegistry>,
+    shuffle: &Arc<NodeCombiner>,
     spec: &MapTaskSpec,
-) -> Result<(), String> {
+) -> Result<Vec<DeliverySpec>, String> {
     let ctx = &spec.job;
     let conf = &ctx.conf;
     let r = conf.num_reducers;
@@ -145,21 +158,36 @@ pub fn run_map_task(
             .collect()
     };
 
-    for (i, data) in partitions.into_iter().enumerate() {
-        registry.publish(
-            SegmentKey {
-                job: ctx.id,
-                map_task: spec.task_id,
-                partition: i as u32,
-            },
-            p.node(),
-            data,
-        );
-    }
-    Ok(())
+    let deliveries = if conf.shuffle.node_combine && !spec.rerun {
+        shuffle.add(p, ctx, spec.task_id, partitions)
+    } else {
+        let registry = shuffle.registry();
+        for (i, data) in partitions.into_iter().enumerate() {
+            registry.publish(
+                SegmentKey {
+                    job: ctx.id,
+                    source: SegmentSource::Task(spec.task_id),
+                    partition: i as u32,
+                },
+                p.node(),
+                data,
+            );
+        }
+        vec![DeliverySpec {
+            source: SegmentSource::Task(spec.task_id),
+            tasks: vec![spec.task_id],
+        }]
+    };
+    Ok(deliveries)
 }
 
-/// Execute a reduce task: shuffle, merge, reduce, commit output.
+/// Collapse the reducer's buffered runs once this many accumulate, keeping
+/// reduce-side memory bounded (Hadoop's merge factor, scaled down).
+const MERGE_FANIN: usize = 8;
+
+/// Execute a reduce task: *stream* the shuffle (fetch and merge deliveries
+/// as the jobtracker announces them — no map-phase barrier), then group,
+/// reduce and commit the output.
 pub fn run_reduce_task(
     p: &Proc,
     fs: &Arc<dyn FileSystem>,
@@ -170,32 +198,91 @@ pub fn run_reduce_task(
     let conf = &ctx.conf;
     let counters = &ctx.counters;
 
-    // Shuffle: pull this partition from every map output. The registry
-    // groups the pulls by map node — one transfer per (map-node, this
-    // reducer) pair, with the per-host groups moving in parallel (Hadoop's
-    // parallel fetchers, minus the per-segment round-trips).
-    let keys: Vec<SegmentKey> = (0..spec.map_count)
-        .map(|m| SegmentKey {
-            job: ctx.id,
-            map_task: m,
-            partition: spec.partition,
-        })
-        .collect();
-    let mut segments = Vec::with_capacity(keys.len());
-    for (m, seg) in registry.fetch_many(p, &keys).into_iter().enumerate() {
-        let seg = seg.ok_or_else(|| {
-            format!(
-                "reduce {} missing map output {m} of job {}",
-                spec.partition, ctx.id
-            )
-        })?;
-        counters.add(&counters.shuffle_bytes, seg.len());
-        segments.push(seg);
+    // Streaming shuffle: obtain every map task's contribution exactly once
+    // by consuming announced deliveries. Each fetch batches whatever the
+    // feed holds and rides one transfer per (holding-node, this reducer)
+    // pair. A `None` answer means the segment was lost with its node — the
+    // re-queued tasks' replacement deliveries cover it later.
+    let map_count = spec.map_count as usize;
+    let mut obtained = vec![false; map_count];
+    let mut obtained_count = 0usize;
+    let mut runs: Vec<Vec<KV>> = Vec::new();
+    let mut ghost_bytes = 0u64;
+    while obtained_count < map_count {
+        let first = spec
+            .feed
+            .recv(p)
+            .ok_or_else(|| format!("reduce {}: delivery feed closed early", spec.partition))?;
+        let mut batch = vec![first];
+        while let Some(d) = spec.feed.try_recv() {
+            batch.push(d);
+        }
+        let mut keys = Vec::new();
+        let mut pend: Vec<DeliverySpec> = Vec::new();
+        for d in batch {
+            let done = d
+                .tasks
+                .iter()
+                .filter(|&&t| obtained.get(t as usize).copied().unwrap_or(false))
+                .count();
+            if done == d.tasks.len() {
+                continue; // duplicate announcement (re-run); already merged
+            }
+            if done > 0 {
+                // Structurally prevented (flush sets are disjoint and
+                // re-runs are per-task); a partial overlap would silently
+                // double-count records, so fail loudly.
+                return Err(format!(
+                    "reduce {}: delivery {} partially obtained — combine invariant broken",
+                    spec.partition, d.source
+                ));
+            }
+            keys.push(SegmentKey {
+                job: ctx.id,
+                source: d.source,
+                partition: spec.partition,
+            });
+            pend.push(d);
+        }
+        if keys.is_empty() {
+            continue;
+        }
+        if (counters
+            .maps_completed
+            .load(std::sync::atomic::Ordering::Relaxed) as usize)
+            < map_count
+        {
+            counters.add(&counters.early_shuffle_fetches, 1);
+        }
+        for (d, seg) in pend.into_iter().zip(registry.fetch_many(p, &keys)) {
+            let Some(seg) = seg else {
+                continue; // lost with its node; replacements will arrive
+            };
+            counters.add(&counters.shuffle_bytes, seg.len());
+            for &t in &d.tasks {
+                if let Some(slot) = obtained.get_mut(t as usize) {
+                    if !*slot {
+                        *slot = true;
+                        obtained_count += 1;
+                    }
+                }
+            }
+            if conf.ghost.is_some() {
+                ghost_bytes += seg.len();
+            } else {
+                // Every published segment is fully (key, value)-sorted, so
+                // it joins the incremental k-way merge as one run.
+                runs.push(decode_kvs(seg.bytes()));
+                if runs.len() >= MERGE_FANIN {
+                    runs = vec![merge_sorted_runs(std::mem::take(&mut runs))];
+                }
+            }
+        }
     }
 
-    // Merge + reduce.
+    // Final merge + reduce.
     let output: Payload = if let Some(profile) = conf.ghost {
-        let shuffled: u64 = segments.iter().map(Payload::len).sum();
+        let shuffled = ghost_bytes;
         p.compute(
             p.node(),
             (shuffled as f64 * profile.reduce_cpu_per_byte) as u64,
@@ -208,12 +295,9 @@ pub fn run_reduce_task(
         counters.add(&counters.reduce_output_bytes, out);
         Payload::ghost(out)
     } else {
-        let mut all: Vec<KV> = Vec::new();
-        for seg in &segments {
-            all.extend(decode_kvs(seg.bytes()));
-        }
-        counters.add(&counters.reduce_input_records, all.len() as u64);
-        let grouped = sort_and_group(all);
+        let merged = merge_sorted_runs(runs);
+        counters.add(&counters.reduce_input_records, merged.len() as u64);
+        let grouped = group_sorted(merged);
         let mut out_records = Vec::new();
         for (key, values) in grouped {
             let mut it = values.iter().map(|v| v.as_slice());
@@ -314,6 +398,7 @@ mod tests {
                     combiner: None,
                 },
                 ghost: None,
+                shuffle: crate::job::ShuffleTuning::default(),
             };
             let ctx = Arc::new(JobCtx {
                 id: 1,
@@ -321,10 +406,11 @@ mod tests {
                 counters: Arc::new(JobCounters::default()),
             });
             let registry = MapOutputRegistry::new();
-            run_map_task(
+            let shuffle = NodeCombiner::new(registry.clone());
+            let mut deliveries = run_map_task(
                 p,
                 &fs,
-                &registry,
+                &shuffle,
                 &MapTaskSpec {
                     job: ctx.clone(),
                     task_id: 0,
@@ -332,9 +418,16 @@ mod tests {
                     offset: 0,
                     len: 14,
                     hosts: vec![],
+                    rerun: false,
                 },
             )
             .unwrap();
+            assert!(deliveries.is_empty(), "buffered until node completion");
+            deliveries.extend(shuffle.complete_node(p, &ctx, p.node()));
+            let feed = p.fabric().queue();
+            for d in deliveries {
+                feed.send(d);
+            }
             run_reduce_task(
                 p,
                 &fs,
@@ -343,6 +436,7 @@ mod tests {
                     job: ctx.clone(),
                     partition: 0,
                     map_count: 1,
+                    feed,
                 },
             )
             .unwrap();
@@ -394,6 +488,7 @@ mod tests {
                     combiner: None,
                 },
                 ghost: None,
+                shuffle: crate::job::ShuffleTuning::default(),
             };
             let ctx = Arc::new(JobCtx {
                 id: 1,
@@ -401,6 +496,7 @@ mod tests {
                 counters: Arc::new(JobCounters::default()),
             });
             let registry = MapOutputRegistry::new();
+            let shuffle = NodeCombiner::new(registry.clone());
             let spec = MapTaskSpec {
                 job: ctx.clone(),
                 task_id: 0,
@@ -408,12 +504,18 @@ mod tests {
                 offset: 0,
                 len: 14,
                 hosts: vec![],
+                rerun: false,
             };
             // The task runs twice — first attempt presumed lost, then the
-            // re-execution republishes the same segment.
-            run_map_task(p, &fs, &registry, &spec).unwrap();
-            run_map_task(p, &fs, &registry, &spec).unwrap();
+            // re-execution replaces it in the node buffer (last-writer-wins
+            // before combining).
+            run_map_task(p, &fs, &shuffle, &spec).unwrap();
+            run_map_task(p, &fs, &shuffle, &spec).unwrap();
             assert_eq!(registry.republished(), 1);
+            let feed = p.fabric().queue();
+            if let Some(d) = shuffle.complete_node(p, &ctx, p.node()) {
+                feed.send(d);
+            }
             run_reduce_task(
                 p,
                 &fs,
@@ -422,6 +524,7 @@ mod tests {
                     job: ctx.clone(),
                     partition: 0,
                     map_count: 1,
+                    feed,
                 },
             )
             .unwrap();

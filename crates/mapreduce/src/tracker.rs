@@ -6,10 +6,29 @@
 //! Tasktrackers heartbeat the jobtracker asking for work; the jobtracker
 //! assigns map tasks with data-locality preference (it reads block
 //! locations from the file system — HDFS's namenode or BSFS's new
-//! page-distribution primitive) and assigns reduce tasks once a job's map
-//! phase completes.
+//! page-distribution primitive).
+//!
+//! **Streaming handoff (no reduce barrier).** Reduce tasks are assigned
+//! from the first heartbeat; each carries a delivery *feed* the jobtracker
+//! fills as map outputs publish. A completed map's `MapDone` carries the
+//! [`DeliverySpec`]s its publication produced (a tier-2 threshold flush, or
+//! a direct per-task segment), and the jobtracker forwards them to every
+//! reducer — reducers fetch and merge while the map phase is still
+//! running. When a node's share of the map phase completes (no pending
+//! maps remain and the node has no map in flight), the jobtracker spawns a
+//! final combine flush on that node; its `FlushDone` announces the last
+//! combined segments. See `shuffle.rs` for the two-tier combine itself.
+//!
+//! **Output loss and re-runs.** [`MrCluster::lose_map_outputs`] models a
+//! node losing its local map-output store mid-shuffle (the chaos harness's
+//! shuffle-storm fault): the node's published segments and combine buffers
+//! are dropped, and the tasks whose output they carried are re-queued as
+//! [`MapTaskSpec::rerun`]s that publish per-task segments. Reducers treat a
+//! fetch that answers `None` as exactly this loss and wait for the re-run's
+//! replacement delivery; completion bookkeeping is idempotent under
+//! duplicate `MapDone`s.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -19,7 +38,7 @@ use fabric::{ClusterSpec, Fabric, NodeId, Proc, SimTime};
 use parking_lot::Mutex;
 
 use crate::job::{JobConf, JobCounters, JobCtx, JobResult, OutputMode};
-use crate::shuffle::MapOutputRegistry;
+use crate::shuffle::{DeliverySpec, MapOutputRegistry, NodeCombiner};
 use crate::task::{run_map_task, run_reduce_task, MapTaskSpec, ReduceTaskSpec};
 
 /// Cluster-level framework configuration.
@@ -99,6 +118,23 @@ enum JtMsg {
     },
     MapDone {
         job: u64,
+        task: u32,
+        node: NodeId,
+        /// Deliveries this task's publication produced (threshold flush or
+        /// direct per-task segment), forwarded to every reducer feed.
+        deliveries: Vec<DeliverySpec>,
+    },
+    /// A node's final combine flush finished (spawned by the jobtracker
+    /// once the node's map share completed).
+    FlushDone {
+        job: u64,
+        delivery: Option<DeliverySpec>,
+    },
+    /// `node` lost its local map-output store; `lost` lists, per job, the
+    /// completed tasks whose output went with it.
+    OutputsLost {
+        node: NodeId,
+        lost: Vec<(u64, Vec<u32>)>,
     },
     ReduceDone {
         job: u64,
@@ -115,10 +151,24 @@ struct JobState {
     slot: Arc<Mutex<Option<JobResult>>>,
     /// `(task, available_since_ns)`
     pending_maps: Vec<(MapTaskSpec, u64)>,
+    /// Every planned map spec, kept for re-queuing after output loss.
+    specs: BTreeMap<u32, MapTaskSpec>,
+    /// Tasks whose completion is currently counted (removed on re-queue, so
+    /// duplicate `MapDone`s stay idempotent).
+    completed: BTreeSet<u32>,
     maps_total: u32,
     maps_done: u32,
     pending_reduces: Vec<u32>,
     reduces_done: u32,
+    /// One delivery feed per reduce partition, filled as outputs publish.
+    feeds: Vec<Queue<DeliverySpec>>,
+    /// Maps in flight per tasktracker node (gates the final flush).
+    node_outstanding: BTreeMap<u32, u32>,
+    /// Nodes that received at least one map of this job.
+    seen_nodes: BTreeSet<u32>,
+    /// Nodes whose final flush was already spawned (cleared when a node
+    /// gets new work, e.g. a re-queued task).
+    flushed_nodes: BTreeSet<u32>,
     started_ns: SimTime,
 }
 
@@ -156,6 +206,7 @@ pub struct MrCluster {
     config: MrConfig,
     inbox: Queue<JtMsg>,
     registry: Arc<MapOutputRegistry>,
+    combiner: Arc<NodeCombiner>,
     shutdown: Gate,
 }
 
@@ -165,6 +216,7 @@ impl MrCluster {
     pub fn start(fabric: &Fabric, fs: Arc<dyn FileSystem>, config: MrConfig) -> MrCluster {
         let inbox: Queue<JtMsg> = fabric.queue();
         let registry = MapOutputRegistry::new();
+        let combiner = NodeCombiner::new(registry.clone());
         let shutdown = fabric.gate();
         let cluster = MrCluster {
             fabric: fabric.clone(),
@@ -172,6 +224,7 @@ impl MrCluster {
             config,
             inbox,
             registry,
+            combiner,
             shutdown,
         };
         cluster.spawn_jobtracker();
@@ -205,11 +258,40 @@ impl MrCluster {
         &self.registry
     }
 
+    /// The tier-2 node-combine stage (diagnostics).
+    pub fn node_combiner(&self) -> &Arc<NodeCombiner> {
+        &self.combiner
+    }
+
+    /// Model `node` losing its local map-output store mid-job (a tasktracker
+    /// crash that keeps the process but wipes the shuffle spool). Drops the
+    /// node's published segments and combine buffers and tells the
+    /// jobtracker to re-queue the tasks whose output was buried there.
+    pub fn lose_map_outputs(&self, node: NodeId) {
+        let mut lost: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for (job, task) in self.registry.drop_host(node) {
+            lost.entry(job).or_default().push(task);
+        }
+        for (job, tasks) in self.combiner.drop_node(node) {
+            lost.entry(job).or_default().extend(tasks);
+        }
+        let lost: Vec<(u64, Vec<u32>)> = lost
+            .into_iter()
+            .map(|(job, mut tasks)| {
+                tasks.sort_unstable();
+                tasks.dedup();
+                (job, tasks)
+            })
+            .collect();
+        self.inbox.send(JtMsg::OutputsLost { node, lost });
+    }
+
     fn spawn_jobtracker(&self) {
         let inbox = self.inbox.clone();
         let fs = self.fs.clone();
         let fabric = self.fabric.clone();
         let registry = self.registry.clone();
+        let combiner = self.combiner.clone();
         let jt_node = self.config.jobtracker;
         let locality_delay = self.config.locality_delay_ns;
         self.fabric.spawn(jt_node, "jobtracker", move |p| {
@@ -267,28 +349,86 @@ impl MrCluster {
                                     }
                                 };
                                 let (task, _) = st.pending_maps.swap_remove(idx);
+                                *st.node_outstanding.entry(node.0).or_insert(0) += 1;
+                                st.seen_nodes.insert(node.0);
+                                st.flushed_nodes.remove(&node.0);
                                 out.push(Assignment::Map(task));
                                 free_map -= 1;
                                 maps_this_hb += 1;
                             }
-                            // Reduce tasks unlock when the map phase is done.
-                            if st.maps_done == st.maps_total {
-                                while free_reduce > 0 && !st.pending_reduces.is_empty() {
-                                    let r = st.pending_reduces.pop().expect("nonempty");
-                                    out.push(Assignment::Reduce(ReduceTaskSpec {
-                                        job: st.ctx.clone(),
-                                        partition: r,
-                                        map_count: st.maps_total,
-                                    }));
-                                    free_reduce -= 1;
-                                }
+                            // This heartbeat may have drained the map queue;
+                            // idle nodes can flush without waiting for the
+                            // last in-flight map elsewhere.
+                            maybe_flush_idle_nodes(&fabric, &combiner, &inbox, *id, st);
+                            // Reduce tasks stream: assigned from the first
+                            // heartbeat (no map-phase barrier) — each carries
+                            // its delivery feed and fetches as maps publish.
+                            while free_reduce > 0 && !st.pending_reduces.is_empty() {
+                                let r = st.pending_reduces.pop().expect("nonempty");
+                                let feed = st
+                                    .feeds
+                                    .get(r as usize)
+                                    .cloned()
+                                    .expect("one feed per partition");
+                                out.push(Assignment::Reduce(ReduceTaskSpec {
+                                    job: st.ctx.clone(),
+                                    partition: r,
+                                    map_count: st.maps_total,
+                                    feed,
+                                }));
+                                free_reduce -= 1;
                             }
                         }
                         reply.send(out);
                     }
-                    JtMsg::MapDone { job } => {
+                    JtMsg::MapDone {
+                        job,
+                        task,
+                        node,
+                        deliveries,
+                    } => {
                         if let Some(st) = jobs.get_mut(&job) {
-                            st.maps_done += 1;
+                            if st.completed.insert(task) {
+                                st.maps_done += 1;
+                                st.ctx.counters.add(&st.ctx.counters.maps_completed, 1);
+                            }
+                            if let Some(o) = st.node_outstanding.get_mut(&node.0) {
+                                *o = o.saturating_sub(1);
+                            }
+                            for d in &deliveries {
+                                announce(st, d);
+                            }
+                            maybe_flush_idle_nodes(&fabric, &combiner, &inbox, job, st);
+                        }
+                    }
+                    JtMsg::FlushDone { job, delivery } => {
+                        if let Some(st) = jobs.get_mut(&job) {
+                            if let Some(d) = delivery {
+                                announce(st, &d);
+                            }
+                        }
+                    }
+                    JtMsg::OutputsLost { node, lost } => {
+                        for (job, tasks) in lost {
+                            let Some(st) = jobs.get_mut(&job) else {
+                                continue;
+                            };
+                            for t in tasks {
+                                let Some(orig) = st.specs.get(&t) else {
+                                    continue;
+                                };
+                                let mut spec = orig.clone();
+                                spec.rerun = true;
+                                if st.completed.remove(&t) {
+                                    st.maps_done -= 1;
+                                    st.ctx
+                                        .counters
+                                        .maps_completed
+                                        .fetch_sub(1, Ordering::Relaxed);
+                                }
+                                st.pending_maps.push((spec, p.now()));
+                            }
+                            st.flushed_nodes.remove(&node.0);
                         }
                     }
                     JtMsg::ReduceDone { job } => {
@@ -300,7 +440,7 @@ impl MrCluster {
                         if finished {
                             let st = jobs.remove(&job).expect("known job");
                             order.retain(|&x| x != job);
-                            finalize_job(p, &fs, &fabric, &registry, st);
+                            finalize_job(p, &fs, &fabric, &registry, &combiner, st);
                         }
                     }
                     JtMsg::TaskFailed { job, detail } => {
@@ -317,6 +457,7 @@ impl MrCluster {
         let inbox = self.inbox.clone();
         let fs = self.fs.clone();
         let registry = self.registry.clone();
+        let combiner = self.combiner.clone();
         let shutdown = self.shutdown.clone();
         let fabric = self.fabric.clone();
         let config = self.config.clone();
@@ -352,16 +493,21 @@ impl MrCluster {
                             Assignment::Map(spec) => {
                                 running_maps.fetch_add(1, Ordering::Relaxed);
                                 let fs2 = fs.clone();
-                                let reg2 = registry.clone();
+                                let comb2 = combiner.clone();
                                 let inbox2 = inbox.clone();
                                 let rm = running_maps.clone();
                                 fabric.spawn(
                                     node,
                                     format!("map-{}-{}", spec.job.id, spec.task_id),
                                     move |tp| {
-                                        let res = run_map_task(tp, &fs2, &reg2, &spec);
+                                        let res = run_map_task(tp, &fs2, &comb2, &spec);
                                         let msg = match res {
-                                            Ok(()) => JtMsg::MapDone { job: spec.job.id },
+                                            Ok(deliveries) => JtMsg::MapDone {
+                                                job: spec.job.id,
+                                                task: spec.task_id,
+                                                node: tp.node(),
+                                                deliveries,
+                                            },
                                             Err(e) => JtMsg::TaskFailed {
                                                 job: spec.job.id,
                                                 detail: e,
@@ -403,8 +549,50 @@ impl MrCluster {
     }
 }
 
+/// Forward a delivery to every reducer's feed.
+fn announce(st: &JobState, d: &DeliverySpec) {
+    for feed in &st.feeds {
+        feed.send(d.clone());
+    }
+}
+
+/// Once the map queue is drained, spawn the final combine flush on every
+/// node whose map share is complete (no map in flight) and not yet flushed.
+/// A node that later receives re-queued work is cleared from
+/// `flushed_nodes` and will flush again.
+fn maybe_flush_idle_nodes(
+    fabric: &Fabric,
+    combiner: &Arc<NodeCombiner>,
+    inbox: &Queue<JtMsg>,
+    job: u64,
+    st: &mut JobState,
+) {
+    if !st.pending_maps.is_empty() || !st.ctx.conf.shuffle.node_combine {
+        return;
+    }
+    let idle: Vec<u32> = st
+        .seen_nodes
+        .iter()
+        .copied()
+        .filter(|n| {
+            st.node_outstanding.get(n).copied().unwrap_or(0) == 0 && !st.flushed_nodes.contains(n)
+        })
+        .collect();
+    for n in idle {
+        st.flushed_nodes.insert(n);
+        let comb2 = combiner.clone();
+        let inbox2 = inbox.clone();
+        let ctx = st.ctx.clone();
+        fabric.spawn(NodeId(n), format!("combine-flush-{job}-{n}"), move |tp| {
+            let delivery = comb2.complete_node(tp, &ctx, tp.node());
+            inbox2.send(JtMsg::FlushDone { job, delivery });
+        });
+    }
+}
+
 /// Plan a job: compute input splits from block locations, prepare the
-/// output directory (and, in shared-append mode, the single output file).
+/// output directory (and, in shared-append mode, the single output file),
+/// and create the per-reducer delivery feeds.
 fn plan_job(
     p: &Proc,
     fs: &Arc<dyn FileSystem>,
@@ -452,22 +640,36 @@ fn plan_job(
                     offset: loc.offset,
                     len: loc.len,
                     hosts: loc.hosts,
+                    rerun: false,
                 },
                 p.now(),
             ));
         }
     }
+    let specs: BTreeMap<u32, MapTaskSpec> = pending_maps
+        .iter()
+        .map(|(t, _)| (t.task_id, t.clone()))
+        .collect();
     let maps_total = pending_maps.len() as u32;
     let pending_reduces: Vec<u32> = (0..ctx.conf.num_reducers).rev().collect();
+    let feeds: Vec<Queue<DeliverySpec>> = (0..ctx.conf.num_reducers)
+        .map(|_| p.fabric().queue())
+        .collect();
     Ok(JobState {
         ctx,
         done,
         slot,
         pending_maps,
+        specs,
+        completed: BTreeSet::new(),
         maps_total,
         maps_done: 0,
         pending_reduces,
         reduces_done: 0,
+        feeds,
+        node_outstanding: BTreeMap::new(),
+        seen_nodes: BTreeSet::new(),
+        flushed_nodes: BTreeSet::new(),
         started_ns: p.now(),
     })
 }
@@ -477,6 +679,7 @@ fn finalize_job(
     fs: &Arc<dyn FileSystem>,
     fabric: &Fabric,
     registry: &Arc<MapOutputRegistry>,
+    combiner: &Arc<NodeCombiner>,
     st: JobState,
 ) {
     let conf = &st.ctx.conf;
@@ -490,6 +693,7 @@ fn finalize_job(
     let output_files = fs.count_files(p, &conf.output_dir).unwrap_or(0);
 
     registry.drop_job(st.ctx.id);
+    combiner.drop_job(st.ctx.id);
     let c = &st.ctx.counters;
     use std::sync::atomic::Ordering::Relaxed;
     let result = JobResult {
@@ -505,6 +709,9 @@ fn finalize_job(
         reduce_output_bytes: c.reduce_output_bytes.load(Relaxed),
         data_local_maps: c.data_local_maps.load(Relaxed),
         remote_maps: c.remote_maps.load(Relaxed),
+        combined_segments: c.combined_segments.load(Relaxed),
+        combine_saved_bytes: c.combine_saved_bytes.load(Relaxed),
+        early_shuffle_fetches: c.early_shuffle_fetches.load(Relaxed),
         output_files,
     };
     *st.slot.lock() = Some(result);

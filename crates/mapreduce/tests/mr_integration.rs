@@ -9,7 +9,7 @@ use bsfs::Bsfs;
 use dfs::{DfsPath, FileSystem};
 use fabric::{ClusterSpec, Fabric, NodeId, Payload, Proc};
 use hdfs_sim::{HdfsConfig, HdfsLayout, HdfsSim};
-use mapreduce::{JobConf, MrCluster, MrConfig, OutputMode, UserFns, KV};
+use mapreduce::{JobConf, MrCluster, MrConfig, OutputMode, ShuffleTuning, UserFns, KV};
 
 fn d(s: &str) -> DfsPath {
     DfsPath::new(s).unwrap()
@@ -74,6 +74,16 @@ fn run_wordcount(
     mode: OutputMode,
     reducers: u32,
 ) -> mapreduce::JobResult {
+    run_wordcount_tuned(fs, fx, mode, reducers, ShuffleTuning::default())
+}
+
+fn run_wordcount_tuned(
+    fs: Arc<dyn FileSystem>,
+    fx: &Fabric,
+    mode: OutputMode,
+    reducers: u32,
+    shuffle: ShuffleTuning,
+) -> mapreduce::JobResult {
     let mr = MrCluster::start(fx, fs.clone(), MrConfig::compact(fx.spec()));
     let fs2 = fs.clone();
     let mr2 = mr.clone();
@@ -89,6 +99,7 @@ fn run_wordcount(
             output_mode: mode,
             user: wordcount(),
             ghost: None,
+            shuffle,
         };
         let handle = mr2.submit(job);
         let result = handle.wait(p);
@@ -204,9 +215,10 @@ fn map_tasks_prefer_local_blocks() {
     );
 }
 
-/// The shuffle pulls a reducer's segments grouped by map node: once maps
-/// outnumber nodes, the job-wide transfer count is bounded by
-/// (nodes that ran maps) × reducers, never maps × reducers.
+/// Under default tuning the tier-2 combine publishes one segment per
+/// (map-node, partition): once maps outnumber nodes, the job-wide transfer
+/// count is bounded by (nodes that ran maps) × reducers, never
+/// maps × reducers.
 #[test]
 fn shuffle_moves_one_transfer_per_map_node_reducer_pair() {
     let nodes = 2u32;
@@ -233,6 +245,7 @@ fn shuffle_moves_one_transfer_per_map_node_reducer_pair() {
             output_mode: OutputMode::SharedAppendFile,
             user: wordcount(),
             ghost: None,
+            shuffle: ShuffleTuning::default(),
         };
         let result = mr2.submit(job).wait(p);
         mr2.shutdown();
@@ -247,14 +260,98 @@ fn shuffle_moves_one_transfer_per_map_node_reducer_pair() {
     );
     let (segments, transfers) = mr.registry().fetch_counts();
     assert_eq!(
-        segments,
-        u64::from(result.maps) * u64::from(reducers),
-        "every reducer pulled every map output"
+        segments, result.combined_segments,
+        "every reducer pulled exactly the combined (node, partition) segments"
+    );
+    assert!(
+        segments <= u64::from(nodes) * u64::from(reducers),
+        "tier-2 publishes at most one segment per (node, partition): {segments}"
     );
     assert!(
         transfers <= u64::from(nodes) * u64::from(reducers),
         "shuffle must move one transfer per (map-node, reducer) pair: \
          {transfers} transfers for {segments} segments on {nodes} nodes"
+    );
+    let out = read_all_output(fs, &fx, OutputMode::SharedAppendFile);
+    assert_eq!(parse_counts(&out), expected_counts());
+}
+
+/// Tier-2 combining must be invisible in the output: combiner-on and
+/// combiner-off runs produce byte-identical results, while the combined
+/// run ships fewer shuffle bytes and accounts its savings.
+#[test]
+fn node_combine_output_byte_identical_and_saves_shuffle_bytes() {
+    let run = |node_combine: bool| {
+        let fx = Fabric::sim(ClusterSpec::tiny(2));
+        let bsfs = Bsfs::deploy(
+            &fx,
+            BlobSeerConfig::test_small(8), // 8 B blocks → ~11 maps on 2 nodes
+            Layout::compact(fx.spec()),
+        )
+        .unwrap();
+        let fs: Arc<dyn FileSystem> = Arc::new(bsfs);
+        let result = run_wordcount_tuned(
+            fs.clone(),
+            &fx,
+            OutputMode::SharedAppendFile,
+            2,
+            ShuffleTuning {
+                node_combine,
+                ..ShuffleTuning::default()
+            },
+        );
+        let out = read_all_output(fs, &fx, OutputMode::SharedAppendFile);
+        (result, out)
+    };
+    let (on, out_on) = run(true);
+    let (off, out_off) = run(false);
+    assert_eq!(out_on, out_off, "tier-2 combine changed the job output");
+    assert_eq!(parse_counts(&out_on), expected_counts());
+    assert!(on.combined_segments > 0, "no combined segments published");
+    assert!(
+        on.combined_segments <= 2 * 2,
+        "at most one combined segment per (node, partition): {}",
+        on.combined_segments
+    );
+    assert!(on.combine_saved_bytes > 0, "combine saved nothing");
+    assert!(
+        on.shuffle_bytes < off.shuffle_bytes,
+        "combined run shuffled {} bytes, uncombined {}",
+        on.shuffle_bytes,
+        off.shuffle_bytes
+    );
+    assert_eq!(off.combined_segments, 0);
+    assert_eq!(off.combine_saved_bytes, 0);
+}
+
+/// Streaming shuffle: with an eager flush cadence, reducers demonstrably
+/// issue fetches while the map phase is still running (impossible under
+/// the old reduce barrier, where this counter pinned at 0).
+#[test]
+fn reducers_fetch_before_map_phase_completes() {
+    let fx = Fabric::sim(ClusterSpec::tiny(2));
+    let bsfs = Bsfs::deploy(
+        &fx,
+        BlobSeerConfig::test_small(8), // many maps → many early deliveries
+        Layout::compact(fx.spec()),
+    )
+    .unwrap();
+    let fs: Arc<dyn FileSystem> = Arc::new(bsfs);
+    let result = run_wordcount_tuned(
+        fs.clone(),
+        &fx,
+        OutputMode::SharedAppendFile,
+        2,
+        ShuffleTuning {
+            node_combine: true,
+            flush_tasks: Some(1), // publish after every buffered task
+            flush_bytes: None,
+        },
+    );
+    assert!(result.maps > 2, "need several maps: {}", result.maps);
+    assert!(
+        result.early_shuffle_fetches > 0,
+        "no reducer fetch overlapped the map phase"
     );
     let out = read_all_output(fs, &fx, OutputMode::SharedAppendFile);
     assert_eq!(parse_counts(&out), expected_counts());
@@ -279,6 +376,7 @@ fn two_jobs_run_concurrently() {
             output_mode: OutputMode::SharedAppendFile,
             user: wordcount(),
             ghost: None,
+            shuffle: ShuffleTuning::default(),
         };
         let h1 = mr2.submit(mk("job-a", "/input/a", "/out-a"));
         let h2 = mr2.submit(mk("job-b", "/input/b", "/out-b"));
@@ -325,7 +423,11 @@ fn ghost_job_at_paper_scale_smoke() {
                 map_cpu_per_byte: 2.0,
                 reduce_output_ratio: 1.0,
                 reduce_cpu_per_byte: 1.0,
+                // Ratio 1.0: combining removes nothing, so the 320 MB
+                // shuffle-byte pin below still holds with tier-2 on.
+                combine_output_ratio: 1.0,
             }),
+            shuffle: ShuffleTuning::default(),
         };
         let result = mr2.submit(job).wait(p);
         mr2.shutdown();

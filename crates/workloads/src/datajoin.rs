@@ -110,6 +110,9 @@ pub fn fig6_profile() -> GhostProfile {
         map_cpu_per_byte: 17_000.0,
         reduce_output_ratio: 1.0,
         reduce_cpu_per_byte: 4.0,
+        // Join pairs carry unique composite keys; the job has no combiner,
+        // so this ratio is inert — kept at 1.0 for documentation.
+        combine_output_ratio: 1.0,
     }
 }
 

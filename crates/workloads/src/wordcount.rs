@@ -50,6 +50,9 @@ pub fn ghost_profile() -> GhostProfile {
         map_cpu_per_byte: 4.0,
         reduce_output_ratio: 0.5,
         reduce_cpu_per_byte: 1.0,
+        // Tier-2 combining across a node's tasks collapses repeated words
+        // again — text corpora share most of their vocabulary.
+        combine_output_ratio: 0.15,
     }
 }
 

@@ -49,6 +49,7 @@ fn run_join(
             output_mode: mode,
             user: datajoin::user_fns(),
             ghost: None,
+            shuffle: mapreduce::ShuffleTuning::default(),
         };
         let result = mr2.submit(job).wait(p);
         // Read all output text.

@@ -48,6 +48,7 @@ fn run(fx: &Fabric, fs: Arc<dyn FileSystem>, mode: OutputMode) -> (Vec<String>, 
             output_mode: mode,
             user: workloads::datajoin::user_fns(),
             ghost: None,
+            shuffle: mapreduce::ShuffleTuning::default(),
         };
         let result = mr2.submit(job).wait(p);
         // Gather every output line.

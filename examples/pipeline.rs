@@ -38,6 +38,7 @@ fn main() {
             output_mode: OutputMode::SharedAppendFile,
             user: workloads::wordcount::user_fns(),
             ghost: None,
+            shuffle: mapreduce::ShuffleTuning::default(),
         };
         let r = mr2.submit(job).wait(p);
         println!(

@@ -41,6 +41,7 @@ fn main() {
             output_mode: OutputMode::SharedAppendFile,
             user: workloads::wordcount::user_fns(),
             ghost: None,
+            shuffle: mapreduce::ShuffleTuning::default(),
         };
         let result = mr2.submit(job).wait(p);
         println!(

@@ -46,6 +46,7 @@ fn full_stack_run(seed: u64) -> (Vec<String>, u64, u64) {
             output_mode: OutputMode::SharedAppendFile,
             user: workloads::datajoin::user_fns(),
             ghost: None,
+            shuffle: mapreduce::ShuffleTuning::default(),
         };
         let result = mr2.submit(job).wait(p);
         let out = fs2.read_file(p, &d("/out/result")).unwrap();
@@ -128,6 +129,7 @@ fn replicated_bsfs_survives_provider_loss_under_mapreduce() {
             output_mode: OutputMode::SharedAppendFile,
             user: workloads::wordcount::user_fns(),
             ghost: None,
+            shuffle: mapreduce::ShuffleTuning::default(),
         };
         let result = mr2.submit(job).wait(p);
         let out = fs2

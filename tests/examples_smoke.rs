@@ -88,6 +88,7 @@ fn wordcount_testbed_runs_a_tiny_job() {
             output_mode: OutputMode::SharedAppendFile,
             user: workloads::wordcount::user_fns(),
             ghost: None,
+            shuffle: mapreduce::ShuffleTuning::default(),
         };
         let result = mr2.submit(job).wait(pr);
         assert_eq!(result.output_files, 1, "shared-append mode => one file");
